@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks backing §4.4's computational-requirements
+//! discussion: the costs of the cryptographic and object-system
+//! primitives a NASD drive executes per request, plus ablations
+//! (security on/off, striping width).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nasd::crypto::{hmac_sha256, SecretKey, Sha256};
+use nasd::object::{DriveConfig, NasdDrive};
+use nasd::proto::{
+    ByteRange, CapabilityPublic, Nonce, ObjectId, PartitionId, ProtectionLevel, Rights, Version,
+};
+use nasd::proto::wire::WireEncode;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    for size in [64usize, 4_096, 65_536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, data| {
+            b.iter(|| Sha256::digest(data));
+        });
+        g.bench_with_input(BenchmarkId::new("hmac", size), &data, |b, data| {
+            b.iter(|| hmac_sha256(b"key material", data));
+        });
+    }
+    g.finish();
+}
+
+fn sample_capability() -> CapabilityPublic {
+    CapabilityPublic {
+        drive: nasd::proto::DriveId(1),
+        partition: PartitionId(1),
+        object: ObjectId(0x100),
+        version: Version(0),
+        rights: Rights::READ | Rights::WRITE,
+        region: ByteRange::FULL,
+        expires: 10_000,
+        key_kind: nasd::crypto::KeyKind::Gold,
+        min_protection: ProtectionLevel::ArgsIntegrity,
+    }
+}
+
+fn bench_capability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capability");
+    let key = SecretKey::from_bytes([7u8; 32]);
+    let public = sample_capability();
+    g.bench_function("mint", |b| {
+        b.iter(|| public.clone().mint(&key));
+    });
+    let cap = public.clone().mint(&key);
+    let args = vec![0u8; 64];
+    g.bench_function("sign_request", |b| {
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            cap.sign_request(Nonce::new(1, counter), &args)
+        });
+    });
+    g.bench_function("encode_public", |b| {
+        b.iter(|| public.to_wire());
+    });
+    g.finish();
+}
+
+fn drive_with_object(security: bool) -> (NasdDrive, nasd::object::ClientHandle) {
+    let mut config = DriveConfig::prototype();
+    config.security_enabled = security;
+    let mut drive = NasdDrive::with_memory(config, 1);
+    let p = PartitionId(1);
+    drive.admin_create_partition(p, 64 << 20).unwrap();
+    let obj = drive.admin_create_object(p, 0).unwrap();
+    let cap = drive.issue_capability(p, obj, Rights::READ | Rights::WRITE | Rights::GETATTR, 1 << 30);
+    let client = drive.client(cap);
+    client.write(&mut drive, 0, &vec![0x5au8; 1 << 20]).unwrap();
+    (drive, client)
+}
+
+fn bench_drive_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("drive");
+    for size in [4_096u64, 65_536, 524_288] {
+        g.throughput(Throughput::Bytes(size));
+        // Ablation: the full secured path vs security disabled (the
+        // paper's measurement configuration).
+        for (label, secured) in [("secured", true), ("unchecked", false)] {
+            let (mut drive, client) = drive_with_object(secured);
+            g.bench_with_input(
+                BenchmarkId::new(format!("read-{label}"), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| client.read(&mut drive, 0, size).unwrap());
+                },
+            );
+        }
+    }
+    let (mut drive, client) = drive_with_object(true);
+    g.bench_function("getattr", |b| {
+        b.iter(|| client.get_attr(&mut drive).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_striping(c: &mut Criterion) {
+    use nasd::cheops::{CheopsClient, CheopsManager, Redundancy};
+    use nasd::fm::DriveFleet;
+    use std::sync::Arc;
+
+    let mut g = c.benchmark_group("cheops");
+    g.sample_size(20);
+    for width in [1usize, 2, 4, 8] {
+        let fleet = Arc::new(
+            DriveFleet::spawn_memory(width, DriveConfig::prototype(), PartitionId(1), 1 << 30)
+                .unwrap(),
+        );
+        let (mgr, _h) = CheopsManager::new(Arc::clone(&fleet)).spawn();
+        let client = CheopsClient::new(1, mgr, Arc::clone(&fleet));
+        let id = client.create(width, 64 * 1024, Redundancy::None).unwrap();
+        let file = client.open(id, Rights::ALL).unwrap();
+        let data = vec![0u8; 1 << 20];
+        client.write(&file, 0, &data).unwrap();
+        g.throughput(Throughput::Bytes(1 << 20));
+        g.bench_with_input(BenchmarkId::new("read-1MB", width), &width, |b, _| {
+            b.iter(|| client.read(&file, 0, 1 << 20).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_capability,
+    bench_drive_ops,
+    bench_striping
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation studies: quantify the design arguments §4.1, §4.3, §4.4 and
+//! §5.2 make in prose.
+
+use nasd_bench::{ablations, table};
+
+fn main() {
+    println!("Ablation 1: RPC stack cost vs per-client bandwidth (§4.3, §7)\n");
+    let rows: Vec<Vec<String>> = ablations::rpc_sweep()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.stack.to_string(),
+                format!("{:.0}", r.per_byte),
+                format!("{:.1}", r.client_ceiling_mb_s),
+                r.limiter.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["stack", "instr/byte", "client MB/s", "limited by"], &rows)
+    );
+
+    println!("Ablation 2: Cheops stripe unit (§5.2; the paper chose 512 KB)\n");
+    let rows: Vec<Vec<String>> = ablations::stripe_sweep()
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{} KB", r.unit / 1024),
+                format!("{:.1}", r.per_pair_mb_s),
+            ]
+        })
+        .collect();
+    println!("{}", table::render(&["stripe unit", "per-pair MB/s"], &rows));
+
+    println!("Ablation 3: cryptographic protection at the drive (§4.1)\n");
+    let rows: Vec<Vec<String>> = ablations::security_sweep()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                format!("{:.2}", r.added_ms),
+                format!("{:.1}", r.effective_mb_s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["configuration", "+ms per 512 KB", "drive MB/s"], &rows)
+    );
+    println!("(the prototype's dual-Medallist media rate is 6.4 MB/s)\n");
+
+    println!("Ablation 4: drive controller speed (§4.4)\n");
+    let rows: Vec<Vec<String>> = ablations::cpu_sweep()
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{:.0} MHz", r.mhz),
+                format!("{:.1}", r.service_ms),
+                format!("{:.1}", r.drive_mb_s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["controller", "512 KB service ms", "drive MB/s"], &rows)
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerate the §6 Active Disks comparison.
+
+use nasd_bench::{active, table};
+
+fn main() {
+    println!("Active Disks (§6): frequent-sets counting at the drives\n");
+    let rows: Vec<Vec<String>> = active::run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                format!("{:.1}", r.scan_mb_s),
+                format!("{:.1}", r.network_mbits),
+                r.machines.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["configuration", "scan MB/s", "network Mb/s", "machines"],
+            &rows
+        )
+    );
+    let (scanned, shipped) = active::demonstrate(2 << 20);
+    println!("functional proof: scanned {scanned} bytes on-drive, shipped {shipped} bytes");
+    println!("paper: 45 MB/s with 10 Mb/s ethernet and 1/3 of the hardware.");
+}

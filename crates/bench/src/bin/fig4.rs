@@ -1,0 +1,67 @@
+//! Regenerate Figure 4 (and, with `--asic`, the Figure 3 gate budget).
+
+use nasd::cost::asic::{trident_total_gates, AsicBudget, TRIDENT_UNITS};
+use nasd_bench::{fig4, table};
+
+fn main() {
+    if std::env::args().any(|a| a == "--asic") {
+        print_asic();
+        return;
+    }
+    println!("Figure 4: cost model for the traditional server architecture");
+    println!("(server cost overhead at maximum bandwidth, vs NASD's ~10% uplift)\n");
+    let rows: Vec<Vec<String>> = fig4::run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                r.ndisks.to_string(),
+                format!("{:.0}", r.bandwidth_mb_s),
+                format!("${:.0}", r.server_cost),
+                format!("{:.0}%", r.overhead_percent),
+                format!("{:.0}%", r.nasd_overhead_percent),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["config", "disks", "MB/s", "server $", "overhead", "NASD overhead"],
+            &rows
+        )
+    );
+    println!("paper anchors:");
+    for (config, ndisks, paper) in fig4::paper_points() {
+        let measured = fig4::run()
+            .into_iter()
+            .find(|r| r.config == config && r.ndisks == ndisks)
+            .map(|r| r.overhead_percent)
+            .unwrap_or_default();
+        println!(
+            "  {config}, {ndisks} disk(s): paper {paper:.0}%, model {measured:.0}% ({})",
+            table::deviation(measured, paper)
+        );
+    }
+}
+
+fn print_asic() {
+    println!("Figure 3: drive ASIC gate budget\n");
+    let rows: Vec<Vec<String>> = TRIDENT_UNITS
+        .iter()
+        .map(|u| vec![u.name.to_string(), format!("{}", u.gates)])
+        .collect();
+    println!("{}", table::render(&["Trident function unit", "gates"], &rows));
+    println!("total: {} gates (paper: ~110,000)\n", trident_total_gates());
+    let b = AsicBudget::default();
+    println!("0.35 micron shrink frees {} mm²", b.freed_area_mm2);
+    println!("200 MHz StrongARM fits in {} mm²", b.strongarm_area_mm2);
+    println!(
+        "crypto support: {} gates of the {} gate-equivalents left over",
+        b.crypto_gates, b.leftover_gates
+    );
+    println!(
+        "NASD additions fit: {} ({} gates to spare)",
+        b.nasd_fits(),
+        b.remaining_gates()
+    );
+}

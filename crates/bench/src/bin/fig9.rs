@@ -1,0 +1,29 @@
+//! Regenerate Figure 9: scaling of the parallel data-mining application.
+
+use nasd_bench::{fig9, table};
+
+fn main() {
+    println!("Figure 9: parallel data mining over 300 MB of sales transactions");
+    println!("NASD: n clients x n drives; NFS: AlphaStation 500/500 + n Cheetahs\n");
+    let rows: Vec<Vec<String>> = fig9::run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.ndisks.to_string(),
+                format!("{:.1}", r.nasd_mb_s),
+                format!("{:.1}", r.nasd_mb_s / r.ndisks as f64),
+                format!("{:.1}", r.nfs_mb_s),
+                format!("{:.1}", r.nfs_parallel_mb_s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["disks", "NASD MB/s", "per pair", "NFS MB/s", "NFS-parallel MB/s"],
+            &rows
+        )
+    );
+    println!("paper: NASD scales linearly at 6.2 MB/s per client-drive pair to 45 MB/s;");
+    println!("NFS bottlenecks at ~20.2 MB/s, NFS-parallel at ~22.5 MB/s.");
+}

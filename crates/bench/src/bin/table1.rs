@@ -1,0 +1,52 @@
+//! Regenerate Table 1: instruction costs and estimated request timings.
+
+use nasd_bench::{table, table1};
+
+fn main() {
+    println!("Table 1: measured cost and estimated performance of drive requests");
+    println!("(live request path through the drive; 200 MHz / CPI 2.2 controller)\n");
+    let rows: Vec<Vec<String>> = table1::run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{} - {} cache", r.op, r.cache),
+                if r.size == 1 {
+                    "1 B".to_string()
+                } else {
+                    format!("{} KB", r.size / 1024)
+                },
+                format!("{:.0}k", r.instructions / 1000.0),
+                format!("{:.0}k", r.paper_instructions / 1000.0),
+                format!("{:.0}%", r.pct_comm),
+                format!("{:.0}%", r.paper_pct),
+                format!("{:.2}", r.time_ms),
+                format!("{:.2}", r.paper_time_ms),
+                table::deviation(r.instructions, r.paper_instructions),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "operation", "size", "instr", "paper", "%comm", "paper", "ms", "paper",
+                "dev"
+            ],
+            &rows
+        )
+    );
+
+    println!("Seagate Barracuda comparison (Table 1 caption):");
+    let rows: Vec<Vec<String>> = table1::barracuda_comparison()
+        .into_iter()
+        .map(|(name, model, paper)| {
+            vec![
+                name.to_string(),
+                format!("{model:.2} ms"),
+                format!("{paper:.2} ms"),
+                table::deviation(model, paper),
+            ]
+        })
+        .collect();
+    println!("{}", table::render(&["operation", "model", "paper", "dev"], &rows));
+}

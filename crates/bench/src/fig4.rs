@@ -1,0 +1,87 @@
+//! Figure 4: cost model for the traditional server architecture.
+
+use nasd::cost::{NasdCost, ServerSpec};
+
+/// One row of the Figure 4 sweep.
+#[derive(Clone, Debug)]
+pub struct Fig4Row {
+    /// Server configuration name.
+    pub config: &'static str,
+    /// Number of disks.
+    pub ndisks: usize,
+    /// Aggregate disk bandwidth, MB/s.
+    pub bandwidth_mb_s: f64,
+    /// Server-side cost, dollars.
+    pub server_cost: f64,
+    /// Overhead percent (server cost / disk cost).
+    pub overhead_percent: f64,
+    /// NASD overhead percent for the same disks (the 10% uplift).
+    pub nasd_overhead_percent: f64,
+}
+
+/// Sweep both Figure 4 configurations from one disk to saturation.
+#[must_use]
+pub fn run() -> Vec<Fig4Row> {
+    let mut rows = Vec::new();
+    for spec in [ServerSpec::low_cost(), ServerSpec::high_end()] {
+        let nasd = NasdCost::with_uplift(spec.disk.cost, 0.10);
+        for ndisks in 1..=spec.max_disks() {
+            rows.push(Fig4Row {
+                config: spec.name,
+                ndisks,
+                bandwidth_mb_s: spec.aggregate_bandwidth(ndisks),
+                server_cost: spec.server_cost(ndisks),
+                overhead_percent: spec.overhead_percent(ndisks),
+                nasd_overhead_percent: nasd.overhead_percent(),
+            });
+        }
+    }
+    rows
+}
+
+/// Paper reference points for the printed table.
+#[must_use]
+pub fn paper_points() -> Vec<(&'static str, usize, f64)> {
+    vec![
+        ("low-cost server", 1, 380.0),
+        ("low-cost server", 6, 80.0),
+        ("high-end server", 1, 1_300.0),
+        ("high-end server", 14, 115.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_anchor_points() {
+        let rows = run();
+        for (config, ndisks, paper) in paper_points() {
+            let row = rows
+                .iter()
+                .find(|r| r.config == config && r.ndisks == ndisks)
+                .unwrap_or_else(|| panic!("missing row {config}/{ndisks}"));
+            let rel = (row.overhead_percent - paper).abs() / paper;
+            assert!(
+                rel < 0.10,
+                "{config}/{ndisks}: model {:.0}% vs paper {paper}%",
+                row.overhead_percent
+            );
+        }
+    }
+
+    #[test]
+    fn nasd_always_wins_by_an_order_of_magnitude() {
+        for row in run() {
+            assert!(row.overhead_percent / row.nasd_overhead_percent > 8.0);
+        }
+    }
+
+    #[test]
+    fn sweep_covers_both_configs_to_saturation() {
+        let rows = run();
+        assert_eq!(rows.iter().filter(|r| r.config == "low-cost server").count(), 6);
+        assert_eq!(rows.iter().filter(|r| r.config == "high-end server").count(), 14);
+    }
+}

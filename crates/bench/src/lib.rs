@@ -1,0 +1,31 @@
+//! Experiment harnesses regenerating every table and figure in the
+//! paper's evaluation (§3–§6).
+//!
+//! Each module owns one experiment and exposes a `run()` returning
+//! structured rows; the `src/bin/*` binaries print them as the paper's
+//! tables, and the module tests assert the *shape* results the paper
+//! claims (who wins, by roughly what factor, where the knees fall).
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`fig4`] | server cost overhead vs. number of disks |
+//! | [`fig6`] | NASD vs FFS vs raw sequential bandwidth vs request size |
+//! | [`fig7`] | cached-read scaling, 13 drives × 1–10 clients |
+//! | [`table1`] | per-request instruction costs and 200 MHz timings |
+//! | [`fig9`] | parallel data mining: NASD PFS vs NFS vs NFS-parallel |
+//! | [`andrew`] | Andrew-benchmark parity of NASD-NFS vs NFS |
+//! | [`active`] | Active Disks frequent-sets vs the client-based run |
+//! | [`ablations`] | design-choice sweeps: RPC cost, stripe unit, crypto, CPU |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod active;
+pub mod andrew;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig9;
+pub mod table;
+pub mod table1;

@@ -1,0 +1,80 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Render rows as a fixed-width table with a header and a rule.
+///
+/// # Example
+///
+/// ```
+/// let t = nasd_bench::table::render(
+///     &["disks", "overhead"],
+///     &[vec!["1".into(), "383%".into()], vec!["6".into(), "81%".into()]],
+/// );
+/// assert!(t.contains("disks"));
+/// assert!(t.contains("383%"));
+/// ```
+#[must_use]
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let rule_len = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Format a ratio of measured vs paper as a percent-deviation string.
+#[must_use]
+pub fn deviation(measured: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.0}%", (measured - paper) / paper * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        // All data lines share the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn deviation_formats() {
+        assert_eq!(deviation(110.0, 100.0), "+10%");
+        assert_eq!(deviation(95.0, 100.0), "-5%");
+        assert_eq!(deviation(1.0, 0.0), "n/a");
+    }
+}

@@ -1,0 +1,28 @@
+//! Cheops — the NASD storage manager (§5.2, Figure 8).
+//!
+//! "Our layered approach allows the filesystem to manage a 'logical'
+//! object store provided by our storage management system called Cheops.
+//! Cheops exports the same object interface as the underlying NASD
+//! devices, and maintains the mapping of these higher-level objects to
+//! the objects on the individual devices... a storage manager replaces
+//! the file manager's capability with a set of capabilities for the
+//! objects that actually make up the high-level striped object. This
+//! costs an additional control message but once equipped with these
+//! capabilities, clients again access storage objects directly."
+//!
+//! Unlike Swift, TickerTAIP or Petal, "Cheops uses client processing
+//! power rather than scaling the computational power of the storage
+//! subsystem": all striping/mirroring work happens in the
+//! [`CheopsClient`] library; the [`CheopsManager`] only keeps maps and
+//! arbitrates concurrency with leases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod manager;
+mod map;
+
+pub use client::{CheopsClient, CheopsFile};
+pub use manager::{CheopsManager, CheopsRequest, CheopsResponse, LeaseKind};
+pub use map::{Column, Component, Layout, LogicalObjectId, Redundancy};

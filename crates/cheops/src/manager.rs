@@ -1,0 +1,602 @@
+//! The Cheops storage manager service.
+//!
+//! Keeps the logical-object maps, creates/destroys component objects on
+//! the drives, mints component capability *sets*, and arbitrates
+//! multi-disk concurrency with expiring leases. It is deliberately thin:
+//! data never flows through it.
+
+use crate::map::{Column, Component, Layout, LogicalObjectId, Redundancy};
+use nasd_fm::{DriveFleet, FmError};
+use nasd_net::{spawn_service, Rpc, ServiceHandle};
+use nasd_proto::{ByteRange, Capability, Rights, Version};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Lease type for concurrency control on a logical object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaseKind {
+    /// Shared (many readers).
+    Shared,
+    /// Exclusive (one writer).
+    Exclusive,
+}
+
+/// Requests to the Cheops manager.
+#[derive(Clone, Debug)]
+pub enum CheopsRequest {
+    /// Create a logical object striped over `width` drives.
+    Create {
+        /// Number of stripe columns.
+        width: usize,
+        /// Stripe unit in bytes.
+        stripe_unit: u64,
+        /// Redundancy scheme.
+        redundancy: Redundancy,
+    },
+    /// Fetch the layout and the capability set for a logical object —
+    /// "the additional control message" of organization (6).
+    Open {
+        /// Target logical object.
+        id: LogicalObjectId,
+        /// Rights wanted on every component.
+        rights: Rights,
+    },
+    /// Destroy a logical object and its components.
+    Remove {
+        /// Target logical object.
+        id: LogicalObjectId,
+    },
+    /// Acquire a lease for multi-disk concurrency control.
+    Lease {
+        /// Target logical object.
+        id: LogicalObjectId,
+        /// Requesting client.
+        client: u64,
+        /// Shared or exclusive.
+        kind: LeaseKind,
+        /// Requested duration (seconds).
+        ttl: u64,
+    },
+    /// Release a lease early.
+    Unlease {
+        /// Target logical object.
+        id: LogicalObjectId,
+        /// Releasing client.
+        client: u64,
+    },
+    /// List all logical objects.
+    List,
+}
+
+/// Manager replies.
+#[derive(Clone, Debug)]
+pub enum CheopsResponse {
+    /// New logical object.
+    Created(LogicalObjectId),
+    /// Layout plus one capability per component (mirrors included, in
+    /// column order: primary₀, mirror₀?, primary₁, ...).
+    Opened(Box<Layout>, Vec<Capability>),
+    /// Lease granted until the given drive-clock time.
+    Leased {
+        /// Expiry (drive clock, seconds).
+        until: u64,
+    },
+    /// Lease denied; retry after the given time.
+    LeaseBusy {
+        /// When the conflicting lease expires.
+        until: u64,
+    },
+    /// Logical object ids.
+    Objects(Vec<LogicalObjectId>),
+    /// Success.
+    Ok,
+    /// Failure.
+    Err(FmError),
+}
+
+struct LeaseState {
+    holders: Vec<(u64, LeaseKind)>,
+    expires: u64,
+}
+
+struct ManagerState {
+    maps: HashMap<LogicalObjectId, Layout>,
+    leases: HashMap<LogicalObjectId, LeaseState>,
+    next_id: u64,
+}
+
+/// The Cheops manager ("possibly co-located with the file manager").
+pub struct CheopsManager {
+    fleet: Arc<DriveFleet>,
+    state: Mutex<ManagerState>,
+    /// Capability lifetime issued with each Open.
+    ttl: u64,
+}
+
+impl CheopsManager {
+    /// Create a manager over `fleet`.
+    #[must_use]
+    pub fn new(fleet: Arc<DriveFleet>) -> Self {
+        CheopsManager {
+            fleet,
+            state: Mutex::new(ManagerState {
+                maps: HashMap::new(),
+                leases: HashMap::new(),
+                next_id: 1,
+            }),
+            ttl: 3_600,
+        }
+    }
+
+    fn create_layout(
+        &self,
+        width: usize,
+        stripe_unit: u64,
+        redundancy: Redundancy,
+    ) -> Result<Layout, FmError> {
+        let n = self.fleet.len();
+        if width == 0 || width > n || stripe_unit == 0 {
+            return Err(FmError::Drive(nasd_proto::NasdStatus::BadRequest));
+        }
+        // RAID-4-style parity needs a drive of its own.
+        if redundancy == Redundancy::Parity && width >= n {
+            return Err(FmError::Drive(nasd_proto::NasdStatus::BadRequest));
+        }
+        let p = self.fleet.partition();
+        let expires = self.fleet.now() + self.ttl;
+        let mut columns = Vec::with_capacity(width);
+        for col in 0..width {
+            let ep = self.fleet.endpoint(col);
+            let object = ep.create_object(p, 0, None, expires)?;
+            let primary = Component {
+                drive: ep.id(),
+                partition: p,
+                object,
+            };
+            let mirror = if redundancy == Redundancy::Mirrored {
+                // Mirror on the next drive (requires width < n for a
+                // distinct drive; same-drive mirroring defeats the point).
+                let mep = self.fleet.endpoint((col + 1) % n);
+                let mobj = mep.create_object(p, 0, None, expires)?;
+                Some(Component {
+                    drive: mep.id(),
+                    partition: p,
+                    object: mobj,
+                })
+            } else {
+                None
+            };
+            columns.push(Column { primary, mirror });
+        }
+        let parity = if redundancy == Redundancy::Parity {
+            let pep = self.fleet.endpoint(width); // the spare drive
+            let pobj = pep.create_object(p, 0, None, expires)?;
+            Some(Component {
+                drive: pep.id(),
+                partition: p,
+                object: pobj,
+            })
+        } else {
+            None
+        };
+        Ok(Layout {
+            stripe_unit,
+            columns,
+            redundancy,
+            parity,
+        })
+    }
+
+    fn mint_for(&self, c: Component, rights: Rights) -> Result<Capability, FmError> {
+        let ep = self
+            .fleet
+            .by_id(c.drive)
+            .ok_or(FmError::Transport)?;
+        Ok(ep.mint(
+            c.partition,
+            c.object,
+            Version(0),
+            rights,
+            ByteRange::FULL,
+            self.fleet.now() + self.ttl,
+        ))
+    }
+
+    /// Handle one request.
+    pub fn handle(&self, req: CheopsRequest) -> CheopsResponse {
+        match self.handle_inner(req) {
+            Ok(r) => r,
+            Err(e) => CheopsResponse::Err(e),
+        }
+    }
+
+    fn handle_inner(&self, req: CheopsRequest) -> Result<CheopsResponse, FmError> {
+        match req {
+            CheopsRequest::Create {
+                width,
+                stripe_unit,
+                redundancy,
+            } => {
+                let layout = self.create_layout(width, stripe_unit, redundancy)?;
+                let mut state = self.state.lock();
+                let id = LogicalObjectId(state.next_id);
+                state.next_id += 1;
+                state.maps.insert(id, layout);
+                Ok(CheopsResponse::Created(id))
+            }
+            CheopsRequest::Open { id, rights } => {
+                let layout = {
+                    let state = self.state.lock();
+                    state
+                        .maps
+                        .get(&id)
+                        .cloned()
+                        .ok_or_else(|| FmError::NotFound(id.to_string()))?
+                };
+                let mut caps = Vec::new();
+                for col in &layout.columns {
+                    caps.push(self.mint_for(col.primary, rights)?);
+                    if let Some(m) = col.mirror {
+                        caps.push(self.mint_for(m, rights)?);
+                    }
+                }
+                if let Some(parity) = layout.parity {
+                    // Parity maintenance needs read-modify-write even for
+                    // writers, so grant read alongside the asked rights.
+                    let parity_rights = rights | Rights::READ;
+                    caps.push(self.mint_for(parity, parity_rights)?);
+                }
+                Ok(CheopsResponse::Opened(Box::new(layout), caps))
+            }
+            CheopsRequest::Remove { id } => {
+                let layout = {
+                    let mut state = self.state.lock();
+                    state.leases.remove(&id);
+                    state
+                        .maps
+                        .remove(&id)
+                        .ok_or_else(|| FmError::NotFound(id.to_string()))?
+                };
+                for col in &layout.columns {
+                    for c in std::iter::once(col.primary).chain(col.mirror) {
+                        let cap = self.mint_for(c, Rights::REMOVE)?;
+                        let ep = self.fleet.by_id(c.drive).ok_or(FmError::Transport)?;
+                        ep.remove(&cap)?;
+                    }
+                }
+                if let Some(c) = layout.parity {
+                    let cap = self.mint_for(c, Rights::REMOVE)?;
+                    let ep = self.fleet.by_id(c.drive).ok_or(FmError::Transport)?;
+                    ep.remove(&cap)?;
+                }
+                Ok(CheopsResponse::Ok)
+            }
+            CheopsRequest::Lease {
+                id,
+                client,
+                kind,
+                ttl,
+            } => {
+                let now = self.fleet.now();
+                let mut state = self.state.lock();
+                if !state.maps.contains_key(&id) {
+                    return Err(FmError::NotFound(id.to_string()));
+                }
+                let lease = state.leases.entry(id).or_insert(LeaseState {
+                    holders: Vec::new(),
+                    expires: 0,
+                });
+                // Expired leases evaporate.
+                if lease.expires <= now {
+                    lease.holders.clear();
+                }
+                let conflict = match kind {
+                    LeaseKind::Exclusive => !lease.holders.is_empty(),
+                    LeaseKind::Shared => lease
+                        .holders
+                        .iter()
+                        .any(|(_, k)| *k == LeaseKind::Exclusive),
+                };
+                if conflict && !lease.holders.iter().any(|(c, _)| *c == client) {
+                    return Ok(CheopsResponse::LeaseBusy {
+                        until: lease.expires,
+                    });
+                }
+                lease.holders.retain(|(c, _)| *c != client);
+                lease.holders.push((client, kind));
+                lease.expires = lease.expires.max(now + ttl);
+                Ok(CheopsResponse::Leased {
+                    until: lease.expires,
+                })
+            }
+            CheopsRequest::Unlease { id, client } => {
+                let mut state = self.state.lock();
+                if let Some(lease) = state.leases.get_mut(&id) {
+                    lease.holders.retain(|(c, _)| *c != client);
+                }
+                Ok(CheopsResponse::Ok)
+            }
+            CheopsRequest::List => {
+                let state = self.state.lock();
+                let mut ids: Vec<LogicalObjectId> = state.maps.keys().copied().collect();
+                ids.sort();
+                Ok(CheopsResponse::Objects(ids))
+            }
+        }
+    }
+
+    /// Spawn as a threaded service.
+    #[must_use]
+    pub fn spawn(self) -> (Rpc<CheopsRequest, CheopsResponse>, ServiceHandle) {
+        let mgr = Arc::new(self);
+        spawn_service(move |req| mgr.handle(req))
+    }
+}
+
+impl std::fmt::Debug for CheopsManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CheopsManager { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasd_object::DriveConfig;
+    use nasd_proto::PartitionId;
+
+    fn setup(n: usize) -> (Rpc<CheopsRequest, CheopsResponse>, Arc<DriveFleet>) {
+        let fleet = Arc::new(
+            DriveFleet::spawn_memory(n, DriveConfig::small(), PartitionId(1), 32 << 20).unwrap(),
+        );
+        let (rpc, _h) = CheopsManager::new(Arc::clone(&fleet)).spawn();
+        (rpc, fleet)
+    }
+
+    #[test]
+    fn create_and_open_yields_capability_set() {
+        let (rpc, _fleet) = setup(4);
+        let CheopsResponse::Created(id) = rpc
+            .call(CheopsRequest::Create {
+                width: 4,
+                stripe_unit: 512 * 1024,
+                redundancy: Redundancy::None,
+            })
+            .unwrap()
+        else {
+            panic!("create failed");
+        };
+        let CheopsResponse::Opened(layout, caps) = rpc
+            .call(CheopsRequest::Open {
+                id,
+                rights: Rights::READ | Rights::WRITE,
+            })
+            .unwrap()
+        else {
+            panic!("open failed");
+        };
+        assert_eq!(layout.width(), 4);
+        assert_eq!(caps.len(), 4, "one capability per component");
+        // Each capability is for a distinct drive.
+        let drives: std::collections::HashSet<_> =
+            caps.iter().map(|c| c.public.drive).collect();
+        assert_eq!(drives.len(), 4);
+    }
+
+    #[test]
+    fn mirrored_layout_doubles_capabilities() {
+        let (rpc, _fleet) = setup(3);
+        let CheopsResponse::Created(id) = rpc
+            .call(CheopsRequest::Create {
+                width: 2,
+                stripe_unit: 4096,
+                redundancy: Redundancy::Mirrored,
+            })
+            .unwrap()
+        else {
+            panic!();
+        };
+        let CheopsResponse::Opened(layout, caps) = rpc
+            .call(CheopsRequest::Open {
+                id,
+                rights: Rights::READ,
+            })
+            .unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(caps.len(), 4);
+        for col in &layout.columns {
+            let m = col.mirror.expect("mirror present");
+            assert_ne!(m.drive, col.primary.drive, "mirror on a distinct drive");
+        }
+    }
+
+    #[test]
+    fn remove_destroys_components() {
+        let (rpc, fleet) = setup(2);
+        let CheopsResponse::Created(id) = rpc
+            .call(CheopsRequest::Create {
+                width: 2,
+                stripe_unit: 4096,
+                redundancy: Redundancy::None,
+            })
+            .unwrap()
+        else {
+            panic!();
+        };
+        let CheopsResponse::Opened(layout, _) = rpc
+            .call(CheopsRequest::Open {
+                id,
+                rights: Rights::READ,
+            })
+            .unwrap()
+        else {
+            panic!();
+        };
+        rpc.call(CheopsRequest::Remove { id }).unwrap();
+        // Component objects are gone from the drives.
+        let c = layout.columns[0].primary;
+        let ep = fleet.by_id(c.drive).unwrap();
+        let cap = ep.mint(
+            c.partition,
+            c.object,
+            Version(0),
+            Rights::READ,
+            ByteRange::FULL,
+            fleet.now() + 10,
+        );
+        assert!(ep.read(&cap, 0, 1).is_err());
+        // And the map is gone.
+        let CheopsResponse::Err(FmError::NotFound(_)) = rpc
+            .call(CheopsRequest::Open {
+                id,
+                rights: Rights::READ,
+            })
+            .unwrap()
+        else {
+            panic!("open after remove should fail");
+        };
+    }
+
+    #[test]
+    fn exclusive_lease_blocks_others() {
+        let (rpc, fleet) = setup(2);
+        let CheopsResponse::Created(id) = rpc
+            .call(CheopsRequest::Create {
+                width: 2,
+                stripe_unit: 4096,
+                redundancy: Redundancy::None,
+            })
+            .unwrap()
+        else {
+            panic!();
+        };
+        let CheopsResponse::Leased { .. } = rpc
+            .call(CheopsRequest::Lease {
+                id,
+                client: 1,
+                kind: LeaseKind::Exclusive,
+                ttl: 100,
+            })
+            .unwrap()
+        else {
+            panic!("lease failed");
+        };
+        // Another client is refused, shared or exclusive.
+        for kind in [LeaseKind::Shared, LeaseKind::Exclusive] {
+            let CheopsResponse::LeaseBusy { .. } = rpc
+                .call(CheopsRequest::Lease {
+                    id,
+                    client: 2,
+                    kind,
+                    ttl: 100,
+                })
+                .unwrap()
+            else {
+                panic!("lease should be busy");
+            };
+        }
+        // Release, then client 2 succeeds.
+        rpc.call(CheopsRequest::Unlease { id, client: 1 }).unwrap();
+        let CheopsResponse::Leased { .. } = rpc
+            .call(CheopsRequest::Lease {
+                id,
+                client: 2,
+                kind: LeaseKind::Exclusive,
+                ttl: 100,
+            })
+            .unwrap()
+        else {
+            panic!("lease after release failed");
+        };
+        // Leases also expire with the clock.
+        fleet.advance_clock(1_000);
+        let CheopsResponse::Leased { .. } = rpc
+            .call(CheopsRequest::Lease {
+                id,
+                client: 3,
+                kind: LeaseKind::Exclusive,
+                ttl: 100,
+            })
+            .unwrap()
+        else {
+            panic!("expired lease should evaporate");
+        };
+    }
+
+    #[test]
+    fn shared_leases_coexist() {
+        let (rpc, _fleet) = setup(2);
+        let CheopsResponse::Created(id) = rpc
+            .call(CheopsRequest::Create {
+                width: 1,
+                stripe_unit: 4096,
+                redundancy: Redundancy::None,
+            })
+            .unwrap()
+        else {
+            panic!();
+        };
+        for client in 1..=3 {
+            let CheopsResponse::Leased { .. } = rpc
+                .call(CheopsRequest::Lease {
+                    id,
+                    client,
+                    kind: LeaseKind::Shared,
+                    ttl: 100,
+                })
+                .unwrap()
+            else {
+                panic!("shared lease {client} failed");
+            };
+        }
+        // Writer blocked while readers hold.
+        let CheopsResponse::LeaseBusy { .. } = rpc
+            .call(CheopsRequest::Lease {
+                id,
+                client: 9,
+                kind: LeaseKind::Exclusive,
+                ttl: 100,
+            })
+            .unwrap()
+        else {
+            panic!("exclusive lease should be busy");
+        };
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let (rpc, _fleet) = setup(2);
+        for (width, su) in [(0usize, 4096u64), (3, 4096), (2, 0)] {
+            let CheopsResponse::Err(_) = rpc
+                .call(CheopsRequest::Create {
+                    width,
+                    stripe_unit: su,
+                    redundancy: Redundancy::None,
+                })
+                .unwrap()
+            else {
+                panic!("width {width} su {su} should fail");
+            };
+        }
+    }
+
+    #[test]
+    fn list_reports_objects() {
+        let (rpc, _fleet) = setup(2);
+        for _ in 0..3 {
+            rpc.call(CheopsRequest::Create {
+                width: 2,
+                stripe_unit: 4096,
+                redundancy: Redundancy::None,
+            })
+            .unwrap();
+        }
+        let CheopsResponse::Objects(ids) = rpc.call(CheopsRequest::List).unwrap() else {
+            panic!();
+        };
+        assert_eq!(ids.len(), 3);
+    }
+}

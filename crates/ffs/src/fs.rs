@@ -1,0 +1,976 @@
+//! The filesystem proper: allocation, inodes, directories, file I/O.
+
+use crate::layout::{DiskInode, Superblock, INODE_SIZE, MAGIC, NDIRECT};
+use nasd_disk::{BlockDevice, DiskError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Inode number. Inode 0 is reserved; inode 1 is the root directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InodeNo(pub u64);
+
+/// Root directory inode.
+pub const ROOT: InodeNo = InodeNo(1);
+
+/// Kind of a file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Regular file.
+    File,
+    /// Directory.
+    Directory,
+}
+
+/// Result of [`Ffs::stat`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stat {
+    /// Inode number.
+    pub ino: InodeNo,
+    /// File or directory.
+    pub kind: FileKind,
+    /// Size in bytes.
+    pub size: u64,
+    /// Link count.
+    pub nlink: u16,
+    /// Modification time.
+    pub mtime: u64,
+}
+
+/// A directory entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name (no slashes).
+    pub name: String,
+    /// Target inode.
+    pub ino: InodeNo,
+}
+
+/// Filesystem errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FfsError {
+    /// Path component or file not found.
+    NotFound(String),
+    /// Path already exists.
+    Exists(String),
+    /// Operation needs a directory but found a file (or vice versa).
+    NotADirectory(String),
+    /// Directory operation on a non-empty directory.
+    NotEmpty(String),
+    /// Out of inodes or data blocks.
+    NoSpace,
+    /// Malformed path (empty, missing leading `/`, bad component).
+    BadPath(String),
+    /// Not a valid filesystem (bad magic on mount).
+    BadSuperblock,
+    /// Underlying device error.
+    Disk(DiskError),
+}
+
+impl fmt::Display for FfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FfsError::NotFound(p) => write!(f, "not found: {p}"),
+            FfsError::Exists(p) => write!(f, "already exists: {p}"),
+            FfsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FfsError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FfsError::NoSpace => f.write_str("no space"),
+            FfsError::BadPath(p) => write!(f, "bad path: {p}"),
+            FfsError::BadSuperblock => f.write_str("not an ffs filesystem"),
+            FfsError::Disk(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FfsError {}
+
+impl From<DiskError> for FfsError {
+    fn from(e: DiskError) -> Self {
+        FfsError::Disk(e)
+    }
+}
+
+/// The FFS-like filesystem over a block device.
+pub struct Ffs<D> {
+    device: D,
+    sb: Superblock,
+    /// In-memory inode table (write-through to device on sync).
+    inodes: Vec<DiskInode>,
+    inode_free: Vec<bool>,
+    block_free: Vec<bool>,
+    /// Dirty data blocks awaiting sync (write-behind), block -> data.
+    dirty: HashMap<u64, Vec<u8>>,
+    /// Clean read cache.
+    clean: HashMap<u64, Vec<u8>>,
+    metadata_dirty: bool,
+    clock: u64,
+    /// Round-robin cursor for directory placement (FFS spreads
+    /// directories across cylinder groups).
+    next_dir_group: u64,
+}
+
+impl<D: BlockDevice> Ffs<D> {
+    /// Format `device` with `ninodes` inodes and mount it.
+    ///
+    /// # Errors
+    ///
+    /// Device errors, or `NoSpace` if the device is too small.
+    pub fn format(device: D, ninodes: u64) -> Result<Self, FfsError> {
+        let bs = device.block_size() as u64;
+        let nblocks = device.num_blocks();
+        let inode_bitmap_blocks = ninodes.div_ceil(bs * 8);
+        let block_bitmap_blocks = nblocks.div_ceil(bs * 8);
+        let inode_table_blocks = (ninodes * INODE_SIZE as u64).div_ceil(bs);
+        let inode_bitmap_start = 1;
+        let block_bitmap_start = inode_bitmap_start + inode_bitmap_blocks;
+        let inode_table_start = block_bitmap_start + block_bitmap_blocks;
+        let data_start = inode_table_start + inode_table_blocks;
+        if data_start + 8 > nblocks {
+            return Err(FfsError::NoSpace);
+        }
+        let sb = Superblock {
+            magic: MAGIC,
+            nblocks,
+            ninodes,
+            inode_bitmap_start,
+            block_bitmap_start,
+            inode_table_start,
+            data_start,
+            ngroups: ((nblocks - data_start) / 256).max(1),
+        };
+        let mut inodes = vec![DiskInode::empty(); ninodes as usize];
+        let mut inode_free = vec![true; ninodes as usize];
+        // Reserve inode 0; inode 1 = root directory.
+        inode_free[0] = false;
+        inode_free[1] = false;
+        inodes[1] = DiskInode {
+            kind: 2,
+            nlink: 2,
+            ..DiskInode::empty()
+        };
+        let mut block_free = vec![true; nblocks as usize];
+        for b in block_free.iter_mut().take(data_start as usize) {
+            *b = false;
+        }
+        let mut fs = Ffs {
+            device,
+            sb,
+            inodes,
+            inode_free,
+            block_free,
+            dirty: HashMap::new(),
+            clean: HashMap::new(),
+            metadata_dirty: true,
+            clock: 1,
+            next_dir_group: 0,
+        };
+        fs.sync()?;
+        Ok(fs)
+    }
+
+    /// Mount an already-formatted device.
+    ///
+    /// # Errors
+    ///
+    /// [`FfsError::BadSuperblock`] if the device was never formatted.
+    pub fn mount(device: D) -> Result<Self, FfsError> {
+        let bs = device.block_size();
+        let mut buf = vec![0u8; bs];
+        device.read_block(0, &mut buf)?;
+        let sb = Superblock::decode_from(&buf).ok_or(FfsError::BadSuperblock)?;
+
+        // Load bitmaps.
+        let read_bitmap = |device: &D, start: u64, bits: u64| -> Result<Vec<bool>, FfsError> {
+            let mut out = Vec::with_capacity(bits as usize);
+            let mut buf = vec![0u8; bs];
+            let nblocks = bits.div_ceil(bs as u64 * 8);
+            for i in 0..nblocks {
+                device.read_block(start + i, &mut buf)?;
+                for bit in 0..(bs * 8) {
+                    if out.len() as u64 == bits {
+                        break;
+                    }
+                    out.push(buf[bit / 8] & (1 << (bit % 8)) != 0);
+                }
+            }
+            Ok(out)
+        };
+        let inode_free = read_bitmap(&device, sb.inode_bitmap_start, sb.ninodes)?;
+        let block_free = read_bitmap(&device, sb.block_bitmap_start, sb.nblocks)?;
+
+        // Load the inode table.
+        let mut inodes = Vec::with_capacity(sb.ninodes as usize);
+        let per_block = bs / INODE_SIZE;
+        for i in 0..sb.ninodes as usize {
+            let blk = sb.inode_table_start + (i / per_block) as u64;
+            let off = (i % per_block) * INODE_SIZE;
+            device.read_block(blk, &mut buf)?;
+            inodes.push(DiskInode::decode_from(&buf[off..off + INODE_SIZE]));
+        }
+
+        Ok(Ffs {
+            device,
+            sb,
+            inodes,
+            inode_free,
+            block_free,
+            dirty: HashMap::new(),
+            clean: HashMap::new(),
+            metadata_dirty: false,
+            clock: 1,
+            next_dir_group: 0,
+        })
+    }
+
+    /// The superblock (diagnostics).
+    #[must_use]
+    pub fn superblock(&self) -> &Superblock {
+        &self.sb
+    }
+
+    /// Advance the filesystem clock (drives mtimes).
+    pub fn set_clock(&mut self, now: u64) {
+        self.clock = now;
+    }
+
+    fn bs(&self) -> usize {
+        self.device.block_size()
+    }
+
+    // ----- allocation ---------------------------------------------------
+
+    fn alloc_inode(&mut self) -> Result<InodeNo, FfsError> {
+        let ino = self
+            .inode_free
+            .iter()
+            .position(|&f| f)
+            .ok_or(FfsError::NoSpace)?;
+        self.inode_free[ino] = false;
+        self.metadata_dirty = true;
+        Ok(InodeNo(ino as u64))
+    }
+
+    /// Allocate a data block, preferring allocation group `group`.
+    fn alloc_block(&mut self, group: u64) -> Result<u64, FfsError> {
+        let data_start = self.sb.data_start as usize;
+        let total_data = self.sb.nblocks as usize - data_start;
+        let group_size = (total_data as u64 / self.sb.ngroups).max(1) as usize;
+        let start = data_start + (group as usize % self.sb.ngroups as usize) * group_size;
+        // Search from the group start, wrapping.
+        let n = self.sb.nblocks as usize;
+        for i in 0..(n - data_start) {
+            let b = data_start + (start - data_start + i) % (n - data_start);
+            if self.block_free[b] {
+                self.block_free[b] = false;
+                self.metadata_dirty = true;
+                return Ok(b as u64);
+            }
+        }
+        Err(FfsError::NoSpace)
+    }
+
+    fn free_block(&mut self, b: u64) {
+        debug_assert!(!self.block_free[b as usize], "double free of block {b}");
+        self.block_free[b as usize] = true;
+        self.dirty.remove(&b);
+        self.clean.remove(&b);
+        self.metadata_dirty = true;
+    }
+
+    fn group_of(&self, ino: InodeNo) -> u64 {
+        ino.0 % self.sb.ngroups
+    }
+
+    // ----- buffer cache --------------------------------------------------
+
+    fn read_cached(&mut self, b: u64) -> Result<&[u8], FfsError> {
+        if self.dirty.contains_key(&b) {
+            return Ok(&self.dirty[&b]);
+        }
+        if !self.clean.contains_key(&b) {
+            let mut buf = vec![0u8; self.bs()];
+            self.device.read_block(b, &mut buf)?;
+            self.clean.insert(b, buf);
+        }
+        Ok(&self.clean[&b])
+    }
+
+    fn write_cached(&mut self, b: u64, offset: usize, data: &[u8]) -> Result<(), FfsError> {
+        let bs = self.bs();
+        debug_assert!(offset + data.len() <= bs);
+        if !self.dirty.contains_key(&b) {
+            // Promote: full overwrite skips the read.
+            let base = if offset == 0 && data.len() == bs {
+                vec![0u8; bs]
+            } else if let Some(clean) = self.clean.remove(&b) {
+                clean
+            } else {
+                let mut buf = vec![0u8; bs];
+                self.device.read_block(b, &mut buf)?;
+                buf
+            };
+            self.dirty.insert(b, base);
+            self.clean.remove(&b);
+        }
+        let buf = self.dirty.get_mut(&b).expect("just inserted");
+        buf[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Flush dirty data and metadata to the device.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn sync(&mut self) -> Result<(), FfsError> {
+        let bs = self.bs();
+        // Data blocks in elevator order.
+        let mut blocks: Vec<u64> = self.dirty.keys().copied().collect();
+        blocks.sort_unstable();
+        for b in blocks {
+            let data = self.dirty.remove(&b).expect("listed");
+            self.device.write_block(b, &data)?;
+            self.clean.insert(b, data);
+        }
+        if self.metadata_dirty {
+            // Superblock.
+            let mut buf = vec![0u8; bs];
+            self.sb.encode_into(&mut buf);
+            self.device.write_block(0, &buf)?;
+            // Bitmaps.
+            let write_bitmap =
+                |device: &mut D, start: u64, bits: &[bool]| -> Result<(), FfsError> {
+                    let nblocks = (bits.len() as u64).div_ceil(bs as u64 * 8);
+                    for i in 0..nblocks {
+                        let mut buf = vec![0u8; bs];
+                        for bit in 0..(bs * 8) {
+                            let idx = i as usize * bs * 8 + bit;
+                            if idx >= bits.len() {
+                                break;
+                            }
+                            if bits[idx] {
+                                buf[bit / 8] |= 1 << (bit % 8);
+                            }
+                        }
+                        device.write_block(start + i, &buf)?;
+                    }
+                    Ok(())
+                };
+            write_bitmap(&mut self.device, self.sb.inode_bitmap_start, &self.inode_free)?;
+            write_bitmap(&mut self.device, self.sb.block_bitmap_start, &self.block_free)?;
+            // Inode table.
+            let per_block = bs / INODE_SIZE;
+            for (chunk_idx, chunk) in self.inodes.chunks(per_block).enumerate() {
+                let mut buf = vec![0u8; bs];
+                for (i, ino) in chunk.iter().enumerate() {
+                    ino.encode_into(&mut buf[i * INODE_SIZE..(i + 1) * INODE_SIZE]);
+                }
+                self.device
+                    .write_block(self.sb.inode_table_start + chunk_idx as u64, &buf)?;
+            }
+            self.metadata_dirty = false;
+        }
+        Ok(())
+    }
+
+    // ----- block mapping --------------------------------------------------
+
+    /// Device block holding logical block `l` of inode `ino`, allocating
+    /// it (and any needed indirect blocks) when `allocate` is set.
+    /// Returns 0 for an unallocated hole when not allocating.
+    fn bmap(&mut self, ino: InodeNo, l: u64, allocate: bool) -> Result<u64, FfsError> {
+        let bs = self.bs() as u64;
+        let ptrs = bs / 8;
+        let group = self.group_of(ino);
+        let i = ino.0 as usize;
+
+        if (l as usize) < NDIRECT {
+            let cur = self.inodes[i].direct[l as usize];
+            if cur != 0 || !allocate {
+                return Ok(cur);
+            }
+            let b = self.alloc_block(group)?;
+            self.inodes[i].direct[l as usize] = b;
+            self.metadata_dirty = true;
+            return Ok(b);
+        }
+        let l1 = l - NDIRECT as u64;
+        if l1 < ptrs {
+            let ind = self.indirect_block(ino, IndirectSlot::Single, allocate)?;
+            if ind == 0 {
+                return Ok(0);
+            }
+            return self.indirect_entry(ind, l1, group, allocate);
+        }
+        let l2 = l1 - ptrs;
+        if l2 < ptrs * ptrs {
+            let dind = self.indirect_block(ino, IndirectSlot::Double, allocate)?;
+            if dind == 0 {
+                return Ok(0);
+            }
+            let outer = self.indirect_entry_block(dind, l2 / ptrs, group, allocate)?;
+            if outer == 0 {
+                return Ok(0);
+            }
+            return self.indirect_entry(outer, l2 % ptrs, group, allocate);
+        }
+        Err(FfsError::NoSpace) // file too large for this layout
+    }
+
+    fn indirect_block(
+        &mut self,
+        ino: InodeNo,
+        slot: IndirectSlot,
+        allocate: bool,
+    ) -> Result<u64, FfsError> {
+        let i = ino.0 as usize;
+        let cur = match slot {
+            IndirectSlot::Single => self.inodes[i].indirect,
+            IndirectSlot::Double => self.inodes[i].dindirect,
+        };
+        if cur != 0 || !allocate {
+            return Ok(cur);
+        }
+        let b = self.alloc_block(self.group_of(ino))?;
+        self.write_cached(b, 0, &vec![0u8; self.bs()])?;
+        match slot {
+            IndirectSlot::Single => self.inodes[i].indirect = b,
+            IndirectSlot::Double => self.inodes[i].dindirect = b,
+        }
+        self.metadata_dirty = true;
+        Ok(b)
+    }
+
+    /// Entry `idx` of indirect block `ind`, allocating a *data* block on
+    /// demand.
+    fn indirect_entry(
+        &mut self,
+        ind: u64,
+        idx: u64,
+        group: u64,
+        allocate: bool,
+    ) -> Result<u64, FfsError> {
+        let off = (idx * 8) as usize;
+        let cur = {
+            let data = self.read_cached(ind)?;
+            u64::from_be_bytes(data[off..off + 8].try_into().unwrap())
+        };
+        if cur != 0 || !allocate {
+            return Ok(cur);
+        }
+        let b = self.alloc_block(group)?;
+        self.write_cached(ind, off, &b.to_be_bytes())?;
+        Ok(b)
+    }
+
+    /// Entry `idx` of indirect block `ind`, allocating an *indirect*
+    /// block (zero-filled) on demand.
+    fn indirect_entry_block(
+        &mut self,
+        ind: u64,
+        idx: u64,
+        group: u64,
+        allocate: bool,
+    ) -> Result<u64, FfsError> {
+        let off = (idx * 8) as usize;
+        let cur = {
+            let data = self.read_cached(ind)?;
+            u64::from_be_bytes(data[off..off + 8].try_into().unwrap())
+        };
+        if cur != 0 || !allocate {
+            return Ok(cur);
+        }
+        let b = self.alloc_block(group)?;
+        self.write_cached(b, 0, &vec![0u8; self.bs()])?;
+        self.write_cached(ind, off, &b.to_be_bytes())?;
+        Ok(b)
+    }
+
+    // ----- file I/O --------------------------------------------------------
+
+    /// Write `data` at byte `offset` of `ino`, extending the file.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for a free inode, `NoSpace`, device errors.
+    pub fn write(&mut self, ino: InodeNo, offset: u64, data: &[u8]) -> Result<(), FfsError> {
+        self.check_live(ino)?;
+        let bs = self.bs() as u64;
+        let mut pos = offset;
+        let end = offset + data.len() as u64;
+        let mut src = 0usize;
+        while pos < end {
+            let l = pos / bs;
+            let within = (pos % bs) as usize;
+            let take = (bs as usize - within).min((end - pos) as usize);
+            let b = self.bmap(ino, l, true)?;
+            self.write_cached(b, within, &data[src..src + take])?;
+            pos += take as u64;
+            src += take;
+        }
+        let i = ino.0 as usize;
+        if end > self.inodes[i].size {
+            self.inodes[i].size = end;
+        }
+        self.inodes[i].mtime = self.clock;
+        self.metadata_dirty = true;
+        Ok(())
+    }
+
+    /// Read up to `len` bytes at `offset`; short at end-of-file, zeros in
+    /// holes.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for a free inode, device errors.
+    pub fn read(&mut self, ino: InodeNo, offset: u64, len: u64) -> Result<Vec<u8>, FfsError> {
+        self.check_live(ino)?;
+        let size = self.inodes[ino.0 as usize].size;
+        if offset >= size {
+            return Ok(Vec::new());
+        }
+        let end = (offset + len).min(size);
+        let bs = self.bs() as u64;
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        let mut pos = offset;
+        while pos < end {
+            let l = pos / bs;
+            let within = (pos % bs) as usize;
+            let take = (bs as usize - within).min((end - pos) as usize);
+            let b = self.bmap(ino, l, false)?;
+            if b == 0 {
+                out.extend(std::iter::repeat_n(0u8, take));
+            } else {
+                let data = self.read_cached(b)?;
+                out.extend_from_slice(&data[within..within + take]);
+            }
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    fn check_live(&self, ino: InodeNo) -> Result<(), FfsError> {
+        if ino.0 as usize >= self.inodes.len() || self.inodes[ino.0 as usize].kind == 0 {
+            return Err(FfsError::NotFound(format!("inode {}", ino.0)));
+        }
+        Ok(())
+    }
+
+    /// Stat an inode.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for a free inode.
+    pub fn stat(&self, ino: InodeNo) -> Result<Stat, FfsError> {
+        self.check_live(ino)?;
+        let d = &self.inodes[ino.0 as usize];
+        Ok(Stat {
+            ino,
+            kind: if d.kind == 2 {
+                FileKind::Directory
+            } else {
+                FileKind::File
+            },
+            size: d.size,
+            nlink: d.nlink,
+            mtime: d.mtime,
+        })
+    }
+
+    // ----- directories ------------------------------------------------------
+
+    fn read_dir_entries(&mut self, dir: InodeNo) -> Result<Vec<DirEntry>, FfsError> {
+        let size = self.inodes[dir.0 as usize].size;
+        let raw = self.read(dir, 0, size)?;
+        let mut entries = Vec::new();
+        let mut pos = 0usize;
+        while pos + 10 <= raw.len() {
+            let ino = u64::from_be_bytes(raw[pos..pos + 8].try_into().unwrap());
+            let nlen = u16::from_be_bytes(raw[pos + 8..pos + 10].try_into().unwrap()) as usize;
+            let name = String::from_utf8_lossy(&raw[pos + 10..pos + 10 + nlen]).into_owned();
+            entries.push(DirEntry {
+                name,
+                ino: InodeNo(ino),
+            });
+            pos += 10 + nlen;
+        }
+        Ok(entries)
+    }
+
+    fn write_dir_entries(&mut self, dir: InodeNo, entries: &[DirEntry]) -> Result<(), FfsError> {
+        let mut raw = Vec::new();
+        for e in entries {
+            raw.extend_from_slice(&e.ino.0.to_be_bytes());
+            raw.extend_from_slice(&(e.name.len() as u16).to_be_bytes());
+            raw.extend_from_slice(e.name.as_bytes());
+        }
+        // Rewrite wholesale and shrink the size.
+        self.inodes[dir.0 as usize].size = 0;
+        if !raw.is_empty() {
+            self.write(dir, 0, &raw)?;
+        }
+        self.inodes[dir.0 as usize].size = raw.len() as u64;
+        self.metadata_dirty = true;
+        Ok(())
+    }
+
+    fn split_path(path: &str) -> Result<Vec<&str>, FfsError> {
+        if !path.starts_with('/') {
+            return Err(FfsError::BadPath(path.to_string()));
+        }
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        if comps.iter().any(|c| *c == "." || *c == "..") {
+            return Err(FfsError::BadPath(path.to_string()));
+        }
+        Ok(comps)
+    }
+
+    /// Resolve a path to an inode.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`, `NotADirectory`, `BadPath`.
+    pub fn lookup(&mut self, path: &str) -> Result<InodeNo, FfsError> {
+        let comps = Self::split_path(path)?;
+        let mut cur = ROOT;
+        for c in comps {
+            if self.inodes[cur.0 as usize].kind != 2 {
+                return Err(FfsError::NotADirectory(c.to_string()));
+            }
+            let entries = self.read_dir_entries(cur)?;
+            cur = entries
+                .iter()
+                .find(|e| e.name == c)
+                .map(|e| e.ino)
+                .ok_or_else(|| FfsError::NotFound(path.to_string()))?;
+        }
+        Ok(cur)
+    }
+
+    fn parent_and_name<'a>(&mut self, path: &'a str) -> Result<(InodeNo, &'a str), FfsError> {
+        let comps = Self::split_path(path)?;
+        let (&name, parents) = comps.split_last().ok_or_else(|| {
+            FfsError::BadPath(path.to_string())
+        })?;
+        let mut cur = ROOT;
+        for c in parents {
+            let entries = self.read_dir_entries(cur)?;
+            cur = entries
+                .iter()
+                .find(|e| e.name == *c)
+                .map(|e| e.ino)
+                .ok_or_else(|| FfsError::NotFound(path.to_string()))?;
+            if self.inodes[cur.0 as usize].kind != 2 {
+                return Err(FfsError::NotADirectory((*c).to_string()));
+            }
+        }
+        Ok((cur, name))
+    }
+
+    fn create_node(&mut self, path: &str, kind: FileKind) -> Result<InodeNo, FfsError> {
+        let (parent, name) = self.parent_and_name(path)?;
+        let mut entries = self.read_dir_entries(parent)?;
+        if entries.iter().any(|e| e.name == name) {
+            return Err(FfsError::Exists(path.to_string()));
+        }
+        let ino = self.alloc_inode()?;
+        let i = ino.0 as usize;
+        self.inodes[i] = DiskInode {
+            kind: match kind {
+                FileKind::File => 1,
+                FileKind::Directory => 2,
+            },
+            nlink: match kind {
+                FileKind::File => 1,
+                FileKind::Directory => 2,
+            },
+            mtime: self.clock,
+            ..DiskInode::empty()
+        };
+        if kind == FileKind::Directory {
+            // FFS policy: spread directories across groups.
+            self.next_dir_group = (self.next_dir_group + 1) % self.sb.ngroups;
+        }
+        entries.push(DirEntry {
+            name: name.to_string(),
+            ino,
+        });
+        self.write_dir_entries(parent, &entries)?;
+        Ok(ino)
+    }
+
+    /// Create a regular file.
+    ///
+    /// # Errors
+    ///
+    /// `Exists`, `NotFound` (parent), `NoSpace`.
+    pub fn create(&mut self, path: &str) -> Result<InodeNo, FfsError> {
+        self.create_node(path, FileKind::File)
+    }
+
+    /// Create a directory.
+    ///
+    /// # Errors
+    ///
+    /// `Exists`, `NotFound` (parent), `NoSpace`.
+    pub fn mkdir(&mut self, path: &str) -> Result<InodeNo, FfsError> {
+        self.create_node(path, FileKind::Directory)
+    }
+
+    /// List a directory.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`, `NotADirectory`.
+    pub fn readdir(&mut self, path: &str) -> Result<Vec<DirEntry>, FfsError> {
+        let ino = self.lookup(path)?;
+        if self.inodes[ino.0 as usize].kind != 2 {
+            return Err(FfsError::NotADirectory(path.to_string()));
+        }
+        self.read_dir_entries(ino)
+    }
+
+    /// Remove a file or empty directory.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`, `NotEmpty` for a non-empty directory.
+    pub fn unlink(&mut self, path: &str) -> Result<(), FfsError> {
+        let (parent, name) = self.parent_and_name(path)?;
+        let mut entries = self.read_dir_entries(parent)?;
+        let idx = entries
+            .iter()
+            .position(|e| e.name == name)
+            .ok_or_else(|| FfsError::NotFound(path.to_string()))?;
+        let ino = entries[idx].ino;
+        let i = ino.0 as usize;
+        if self.inodes[i].kind == 2 && !self.read_dir_entries(ino)?.is_empty() {
+            return Err(FfsError::NotEmpty(path.to_string()));
+        }
+        entries.remove(idx);
+        self.write_dir_entries(parent, &entries)?;
+        self.truncate_inode(ino)?;
+        self.inodes[i] = DiskInode::empty();
+        self.inode_free[i] = true;
+        self.metadata_dirty = true;
+        Ok(())
+    }
+
+    fn truncate_inode(&mut self, ino: InodeNo) -> Result<(), FfsError> {
+        let bs = self.bs() as u64;
+        let ptrs = bs / 8;
+        let i = ino.0 as usize;
+        let nblocks = self.inodes[i].size.div_ceil(bs);
+        for l in 0..nblocks {
+            let b = self.bmap(ino, l, false)?;
+            if b != 0 {
+                self.free_block(b);
+            }
+        }
+        let ind = self.inodes[i].indirect;
+        if ind != 0 {
+            self.free_block(ind);
+        }
+        let dind = self.inodes[i].dindirect;
+        if dind != 0 {
+            for idx in 0..ptrs {
+                let outer = self.indirect_entry_block(dind, idx, 0, false)?;
+                if outer != 0 {
+                    self.free_block(outer);
+                }
+            }
+            self.free_block(dind);
+        }
+        Ok(())
+    }
+
+    /// Free data blocks (diagnostic).
+    #[must_use]
+    pub fn free_data_blocks(&self) -> u64 {
+        self.block_free.iter().filter(|&&f| f).count() as u64
+    }
+}
+
+enum IndirectSlot {
+    Single,
+    Double,
+}
+
+impl<D: BlockDevice> fmt::Debug for Ffs<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ffs")
+            .field("nblocks", &self.sb.nblocks)
+            .field("ninodes", &self.sb.ninodes)
+            .field("dirty_blocks", &self.dirty.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasd_disk::MemDisk;
+
+    const BS: usize = 8192;
+
+    fn fs() -> Ffs<MemDisk> {
+        Ffs::format(MemDisk::new(BS, 4096), 512).unwrap()
+    }
+
+    #[test]
+    fn create_write_read() {
+        let mut f = fs();
+        let ino = f.create("/a.txt").unwrap();
+        f.write(ino, 0, b"hello ffs").unwrap();
+        assert_eq!(&f.read(ino, 0, 9).unwrap()[..], b"hello ffs");
+        assert_eq!(&f.read(ino, 6, 100).unwrap()[..], b"ffs");
+        let st = f.stat(ino).unwrap();
+        assert_eq!(st.size, 9);
+        assert_eq!(st.kind, FileKind::File);
+    }
+
+    #[test]
+    fn directories_nest() {
+        let mut f = fs();
+        f.mkdir("/a").unwrap();
+        f.mkdir("/a/b").unwrap();
+        let ino = f.create("/a/b/c.txt").unwrap();
+        f.write(ino, 0, b"deep").unwrap();
+        assert_eq!(f.lookup("/a/b/c.txt").unwrap(), ino);
+        let entries = f.readdir("/a/b").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "c.txt");
+    }
+
+    #[test]
+    fn lookup_failures() {
+        let mut f = fs();
+        assert!(matches!(f.lookup("/nope"), Err(FfsError::NotFound(_))));
+        assert!(matches!(f.lookup("relative"), Err(FfsError::BadPath(_))));
+        assert!(matches!(f.lookup("/a/../b"), Err(FfsError::BadPath(_))));
+        let ino = f.create("/file").unwrap();
+        let _ = ino;
+        assert!(matches!(
+            f.create("/file/child"),
+            Err(FfsError::NotADirectory(_))
+        ));
+        assert!(matches!(f.create("/file"), Err(FfsError::Exists(_))));
+    }
+
+    #[test]
+    fn large_file_through_indirect_blocks() {
+        // > 12 direct blocks (96 KB) and > single-indirect reach.
+        let mut f = Ffs::format(MemDisk::new(BS, 16_384), 64).unwrap();
+        let ino = f.create("/big").unwrap();
+        let chunk: Vec<u8> = (0..BS).map(|i| (i % 253) as u8).collect();
+        let nchunks = 12 + 1024 + 50; // direct + full single indirect + into double
+        for c in 0..nchunks {
+            f.write(ino, (c * BS) as u64, &chunk).unwrap();
+        }
+        assert_eq!(f.stat(ino).unwrap().size, (nchunks * BS) as u64);
+        // Spot-check regions served by each mapping level.
+        for probe in [0u64, 11, 12, 500, 1035, 1036, 1080] {
+            let got = f.read(ino, probe * BS as u64 + 7, 16).unwrap();
+            assert_eq!(&got[..], &chunk[7..23], "block {probe}");
+        }
+    }
+
+    #[test]
+    fn holes_read_as_zeros() {
+        let mut f = fs();
+        let ino = f.create("/sparse").unwrap();
+        f.write(ino, 5 * BS as u64, b"tail").unwrap();
+        let hole = f.read(ino, BS as u64, 100).unwrap();
+        assert!(hole.iter().all(|&b| b == 0));
+        assert_eq!(&f.read(ino, 5 * BS as u64, 4).unwrap()[..], b"tail");
+    }
+
+    #[test]
+    fn unlink_frees_space() {
+        let mut f = fs();
+        let free0 = f.free_data_blocks();
+        let ino = f.create("/victim").unwrap();
+        f.write(ino, 0, &vec![1u8; 20 * BS]).unwrap();
+        assert!(f.free_data_blocks() < free0);
+        f.unlink("/victim").unwrap();
+        // The root dir grew a block for the entry, so allow one block
+        // of slack.
+        assert!(f.free_data_blocks() >= free0 - 1);
+        assert!(matches!(f.lookup("/victim"), Err(FfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn unlink_nonempty_dir_rejected() {
+        let mut f = fs();
+        f.mkdir("/d").unwrap();
+        f.create("/d/x").unwrap();
+        assert!(matches!(f.unlink("/d"), Err(FfsError::NotEmpty(_))));
+        f.unlink("/d/x").unwrap();
+        f.unlink("/d").unwrap();
+    }
+
+    #[test]
+    fn persistence_across_remount() {
+        let mut f = fs();
+        f.mkdir("/docs").unwrap();
+        let ino = f.create("/docs/paper").unwrap();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        f.write(ino, 0, &data).unwrap();
+        f.sync().unwrap();
+
+        // Steal the device back and remount.
+        let device = f.device.clone();
+        let mut f2 = Ffs::mount(device).unwrap();
+        let ino2 = f2.lookup("/docs/paper").unwrap();
+        assert_eq!(ino2, ino);
+        assert_eq!(f2.read(ino2, 0, 100_000).unwrap(), data);
+        assert_eq!(f2.stat(ino2).unwrap().size, 100_000);
+    }
+
+    #[test]
+    fn mount_unformatted_fails() {
+        assert!(matches!(
+            Ffs::mount(MemDisk::new(BS, 64)),
+            Err(FfsError::BadSuperblock)
+        ));
+    }
+
+    #[test]
+    fn many_files_in_directory() {
+        let mut f = fs();
+        f.mkdir("/many").unwrap();
+        for i in 0..200 {
+            f.create(&format!("/many/file{i}")).unwrap();
+        }
+        let entries = f.readdir("/many").unwrap();
+        assert_eq!(entries.len(), 200);
+        assert!(entries.iter().any(|e| e.name == "file137"));
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let mut f = fs();
+        let ino = f.create("/x").unwrap();
+        f.write(ino, 0, &vec![1u8; 3 * BS]).unwrap();
+        let free = f.free_data_blocks();
+        f.write(ino, BS as u64, &vec![2u8; BS]).unwrap();
+        assert_eq!(f.free_data_blocks(), free);
+        assert_eq!(f.stat(ino).unwrap().size, 3 * BS as u64);
+    }
+
+    #[test]
+    fn out_of_inodes() {
+        let mut f = Ffs::format(MemDisk::new(BS, 2048), 4).unwrap();
+        f.create("/a").unwrap();
+        f.create("/b").unwrap();
+        assert!(matches!(f.create("/c"), Err(FfsError::NoSpace)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            FfsError::NotFound("/x".into()).to_string(),
+            "not found: /x"
+        );
+        assert_eq!(FfsError::NoSpace.to_string(), "no space");
+    }
+}

@@ -1,0 +1,40 @@
+//! File managers for NASD (§5.1) and the traditional-NFS baseline.
+//!
+//! "In a NASD-adapted filesystem, files and directories are stored in
+//! NASD objects... each file and each directory occupies exactly one NASD
+//! object, and offsets in files are the same as offsets in objects."
+//!
+//! This crate implements:
+//!
+//! * [`NasdNfs`] — an NFS-style file manager: stateless, weak cache
+//!   consistency; `lookup` piggybacks capabilities; data-moving
+//!   operations go client → drive directly; directory parsing stays at
+//!   the file manager.
+//! * [`NfsClient`] — the client library pairing with [`NasdNfs`].
+//! * [`NasdAfs`] — an AFS-style file manager: explicit capability
+//!   fetch/relinquish RPCs, callbacks broken when a write capability is
+//!   issued, and per-volume quota enforced by byte-range escrow.
+//! * [`NfsServer`] — the traditional store-and-forward NFS server
+//!   baseline (over the `nasd-ffs` filesystem) that Figure 9 compares
+//!   against.
+//!
+//! All managers and drives run as real threaded services over the
+//! `nasd-net` transport; every data byte a NASD client reads flows
+//! drive → client without touching the file manager.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod afs;
+mod dirfmt;
+mod drives;
+mod handle;
+mod nfs;
+mod server;
+
+pub use afs::{AfsClient, CallbackEvent, NasdAfs};
+pub use dirfmt::{decode_dir, encode_dir, DirRecord};
+pub use drives::{spawn_drive, DriveEndpoint, DriveFleet};
+pub use handle::{FileHandle, FmError, FileType, FmAttrs};
+pub use nfs::{NasdNfs, NfsClient, NfsFile, NfsRequest, NfsResponse};
+pub use server::{NfsServer, ServerRequest, ServerResponse};

@@ -1,0 +1,951 @@
+//! The NASD-NFS port (§5.1).
+//!
+//! "The combination of a stateless server, weak cache consistency, and
+//! few filesystem management mechanisms make porting NFS to a NASD
+//! environment straightforward. Data-moving operations (read, write) and
+//! attribute reads (getattr) are directed to the NASD drive while all
+//! other requests are handled by the file manager. Capabilities are
+//! piggybacked on the file manager's response to lookup operations."
+
+use crate::dirfmt::{decode_dir, encode_dir, DirRecord};
+use crate::drives::{DriveEndpoint, DriveFleet};
+use crate::handle::{FileHandle, FileType, FmAttrs, FmError};
+use bytes::Bytes;
+use nasd_net::{spawn_service, Rpc, ServiceHandle};
+use nasd_proto::{
+    ByteRange, Capability, NasdStatus, ObjectAttributes, RequestBody, Rights, Version,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default capability lifetime issued by the file manager (seconds).
+pub const DEFAULT_TTL: u64 = 3_600;
+
+/// Requests a client sends to the NFS file manager.
+#[derive(Clone, Debug)]
+pub enum NfsRequest {
+    /// Fetch the root directory handle.
+    GetRoot,
+    /// Look `name` up in `dir`; the reply piggybacks a capability with
+    /// read rights (plus write rights when `want_write`).
+    Lookup {
+        /// Directory to search.
+        dir: FileHandle,
+        /// Entry name.
+        name: String,
+        /// Also grant write/resize rights.
+        want_write: bool,
+    },
+    /// Create a regular file.
+    Create {
+        /// Parent directory.
+        dir: FileHandle,
+        /// New file name.
+        name: String,
+        /// Mode bits.
+        mode: u16,
+        /// Owner.
+        uid: u32,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Parent directory.
+        dir: FileHandle,
+        /// New directory name.
+        name: String,
+        /// Mode bits.
+        mode: u16,
+        /// Owner.
+        uid: u32,
+    },
+    /// Remove a file or empty directory.
+    Remove {
+        /// Parent directory.
+        dir: FileHandle,
+        /// Entry name.
+        name: String,
+    },
+    /// List a directory (parsing happens at the file manager for NFS).
+    Readdir {
+        /// Directory to list.
+        dir: FileHandle,
+    },
+    /// Attribute read through the manager (policy fields included).
+    GetAttr {
+        /// File to stat.
+        fh: FileHandle,
+    },
+    /// Change mode bits — "commands that may impact policy decisions...
+    /// must go through the file manager".
+    SetMode {
+        /// File to change.
+        fh: FileHandle,
+        /// New mode bits.
+        mode: u16,
+    },
+    /// Move an entry between directories (or rename in place). The
+    /// backing object does not move — only the namespace changes, one of
+    /// the payoffs of the object indirection.
+    Rename {
+        /// Source directory.
+        from_dir: FileHandle,
+        /// Source name.
+        from: String,
+        /// Destination directory.
+        to_dir: FileHandle,
+        /// Destination name.
+        to: String,
+    },
+}
+
+/// File manager replies.
+#[derive(Clone, Debug)]
+pub enum NfsResponse {
+    /// Root handle and attributes.
+    Root(FileHandle, FmAttrs),
+    /// Lookup result with the piggybacked capability.
+    Entry(FileHandle, FmAttrs, Box<Capability>),
+    /// Create result with a write-capable capability.
+    Created(FileHandle, Box<Capability>),
+    /// Plain handle (mkdir).
+    Handle(FileHandle),
+    /// Directory listing.
+    Entries(Vec<DirRecord>),
+    /// Attributes.
+    Attrs(FmAttrs),
+    /// Success with no payload.
+    Ok,
+    /// Failure.
+    Err(FmError),
+}
+
+/// The NASD-NFS file manager.
+pub struct NasdNfs {
+    fleet: Arc<DriveFleet>,
+    root: FileHandle,
+    /// Versions of objects this manager has revoked (absent = 0).
+    versions: Mutex<HashMap<FileHandle, Version>>,
+    /// Round-robin file placement across drives.
+    next_drive: Mutex<usize>,
+}
+
+impl NasdNfs {
+    /// Bootstrap a file manager over `fleet`: creates the root directory
+    /// object on drive 0.
+    ///
+    /// # Errors
+    ///
+    /// Drive failures during bootstrap.
+    pub fn new(fleet: Arc<DriveFleet>) -> Result<Self, FmError> {
+        let p = fleet.partition();
+        let ep = fleet.endpoint(0);
+        let expires = fleet.now() + DEFAULT_TTL;
+        let obj = ep.create_object(p, 0, None, expires)?;
+        let root = FileHandle {
+            drive: ep.id(),
+            partition: p,
+            object: obj,
+        };
+        let fm = NasdNfs {
+            fleet,
+            root,
+            versions: Mutex::new(HashMap::new()),
+            next_drive: Mutex::new(0),
+        };
+        // Stamp directory policy attributes.
+        let attrs = FmAttrs {
+            file_type: FileType::Directory,
+            size: 0,
+            mtime: 0,
+            mode: 0o755,
+            uid: 0,
+        };
+        fm.write_policy(root, &attrs)?;
+        Ok(fm)
+    }
+
+    /// The root directory handle.
+    #[must_use]
+    pub fn root(&self) -> FileHandle {
+        self.root
+    }
+
+    fn version_of(&self, fh: FileHandle) -> Version {
+        self.versions
+            .lock()
+            .get(&fh)
+            .copied()
+            .unwrap_or(Version(0))
+    }
+
+    /// Mint the manager's own full-rights capability for `fh`.
+    fn own_cap(&self, fh: FileHandle) -> Result<(Arc<DriveEndpoint>, Capability), FmError> {
+        let ep = Arc::clone(self.fleet.resolve(fh)?);
+        let cap = ep.mint(
+            fh.partition,
+            fh.object,
+            self.version_of(fh),
+            Rights::ALL,
+            ByteRange::FULL,
+            self.fleet.now() + DEFAULT_TTL,
+        );
+        Ok((ep, cap))
+    }
+
+    fn write_policy(&self, fh: FileHandle, attrs: &FmAttrs) -> Result<(), FmError> {
+        let (ep, cap) = self.own_cap(fh)?;
+        let mut fs_specific = [0u8; nasd_proto::FS_SPECIFIC_ATTR_LEN];
+        fs_specific[..8].copy_from_slice(&attrs.pack_policy());
+        ep.set_fs_specific(&cap, fs_specific)
+    }
+
+    fn attrs_of(&self, fh: FileHandle) -> Result<(FmAttrs, ObjectAttributes), FmError> {
+        let (ep, cap) = self.own_cap(fh)?;
+        let obj_attrs = ep.get_attr(&cap)?;
+        let (file_type, mode, uid) = FmAttrs::unpack_policy(&obj_attrs.fs_specific[..])
+            .ok_or(FmError::Drive(NasdStatus::DriveError))?;
+        Ok((
+            FmAttrs {
+                file_type,
+                size: obj_attrs.size,
+                mtime: obj_attrs.data_modify_time,
+                mode,
+                uid,
+            },
+            obj_attrs,
+        ))
+    }
+
+    fn read_dir(&self, dir: FileHandle) -> Result<Vec<DirRecord>, FmError> {
+        let (ep, cap) = self.own_cap(dir)?;
+        let data = ep.read(&cap, 0, u64::MAX)?;
+        decode_dir(&data).map_err(|_| FmError::Drive(NasdStatus::DriveError))
+    }
+
+    fn write_dir(&self, dir: FileHandle, entries: &[DirRecord]) -> Result<(), FmError> {
+        let (ep, cap) = self.own_cap(dir)?;
+        let data = encode_dir(entries);
+        let new_len = data.len() as u64;
+        ep.write(&cap, 0, Bytes::from(data))?;
+        // Shrink if entries were removed.
+        ep.call(
+            &cap,
+            RequestBody::Resize {
+                partition: dir.partition,
+                object: dir.object,
+                new_size: new_len,
+            },
+            Bytes::new(),
+        )?;
+        Ok(())
+    }
+
+    fn pick_drive(&self) -> usize {
+        let mut cursor = self.next_drive.lock();
+        let idx = *cursor;
+        *cursor = (idx + 1) % self.fleet.len();
+        idx
+    }
+
+    /// Rights granted by a lookup reply.
+    fn grant_rights(want_write: bool) -> Rights {
+        let mut r = Rights::READ | Rights::GETATTR;
+        if want_write {
+            r |= Rights::WRITE | Rights::RESIZE;
+        }
+        r
+    }
+
+    /// Handle one request (the service loop body).
+    pub fn handle(&self, req: NfsRequest) -> NfsResponse {
+        match self.handle_inner(req) {
+            Ok(resp) => resp,
+            Err(e) => NfsResponse::Err(e),
+        }
+    }
+
+    fn handle_inner(&self, req: NfsRequest) -> Result<NfsResponse, FmError> {
+        match req {
+            NfsRequest::GetRoot => {
+                let (attrs, _) = self.attrs_of(self.root)?;
+                Ok(NfsResponse::Root(self.root, attrs))
+            }
+            NfsRequest::Lookup {
+                dir,
+                name,
+                want_write,
+            } => {
+                // An empty name is a by-handle refresh: NFS handles are
+                // stateless, so re-issuing a capability for a handle the
+                // client already holds is legitimate (subject to the same
+                // policy checks).
+                let fh = if name.is_empty() {
+                    dir
+                } else {
+                    let entries = self.read_dir(dir)?;
+                    entries
+                        .iter()
+                        .find(|e| e.name == name)
+                        .ok_or_else(|| FmError::NotFound(name.clone()))?
+                        .handle
+                };
+                let (attrs, _) = self.attrs_of(fh)?;
+                if want_write && attrs.mode & 0o200 == 0 {
+                    return Err(FmError::Permission);
+                }
+                let ep = self.fleet.resolve(fh)?;
+                let cap = ep.mint(
+                    fh.partition,
+                    fh.object,
+                    self.version_of(fh),
+                    Self::grant_rights(want_write),
+                    ByteRange::FULL,
+                    self.fleet.now() + DEFAULT_TTL,
+                );
+                Ok(NfsResponse::Entry(fh, attrs, Box::new(cap)))
+            }
+            NfsRequest::Create {
+                dir,
+                name,
+                mode,
+                uid,
+            } => {
+                let mut entries = self.read_dir(dir)?;
+                if entries.iter().any(|e| e.name == name) {
+                    return Err(FmError::Exists(name));
+                }
+                let idx = self.pick_drive();
+                let ep = self.fleet.endpoint(idx);
+                let p = self.fleet.partition();
+                let expires = self.fleet.now() + DEFAULT_TTL;
+                let obj = ep.create_object(p, 0, None, expires)?;
+                let fh = FileHandle {
+                    drive: ep.id(),
+                    partition: p,
+                    object: obj,
+                };
+                self.write_policy(
+                    fh,
+                    &FmAttrs {
+                        file_type: FileType::Regular,
+                        size: 0,
+                        mtime: 0,
+                        mode,
+                        uid,
+                    },
+                )?;
+                entries.push(DirRecord {
+                    name,
+                    handle: fh,
+                    is_dir: false,
+                });
+                self.write_dir(dir, &entries)?;
+                let cap = ep.mint(
+                    fh.partition,
+                    fh.object,
+                    Version(0),
+                    Self::grant_rights(true),
+                    ByteRange::FULL,
+                    expires,
+                );
+                Ok(NfsResponse::Created(fh, Box::new(cap)))
+            }
+            NfsRequest::Mkdir {
+                dir,
+                name,
+                mode,
+                uid,
+            } => {
+                let mut entries = self.read_dir(dir)?;
+                if entries.iter().any(|e| e.name == name) {
+                    return Err(FmError::Exists(name));
+                }
+                // Directories stay on the parent's drive for locality.
+                let ep = self.fleet.resolve(dir)?;
+                let p = self.fleet.partition();
+                let obj =
+                    ep.create_object(p, 0, Some(dir.object), self.fleet.now() + DEFAULT_TTL)?;
+                let fh = FileHandle {
+                    drive: ep.id(),
+                    partition: p,
+                    object: obj,
+                };
+                self.write_policy(
+                    fh,
+                    &FmAttrs {
+                        file_type: FileType::Directory,
+                        size: 0,
+                        mtime: 0,
+                        mode,
+                        uid,
+                    },
+                )?;
+                entries.push(DirRecord {
+                    name,
+                    handle: fh,
+                    is_dir: true,
+                });
+                self.write_dir(dir, &entries)?;
+                Ok(NfsResponse::Handle(fh))
+            }
+            NfsRequest::Remove { dir, name } => {
+                let mut entries = self.read_dir(dir)?;
+                let idx = entries
+                    .iter()
+                    .position(|e| e.name == name)
+                    .ok_or_else(|| FmError::NotFound(name.clone()))?;
+                let victim = entries[idx].clone();
+                if victim.is_dir && !self.read_dir(victim.handle)?.is_empty() {
+                    return Err(FmError::NotEmpty(name));
+                }
+                let (ep, cap) = self.own_cap(victim.handle)?;
+                ep.remove(&cap)?;
+                self.versions.lock().remove(&victim.handle);
+                entries.remove(idx);
+                self.write_dir(dir, &entries)?;
+                Ok(NfsResponse::Ok)
+            }
+            NfsRequest::Readdir { dir } => Ok(NfsResponse::Entries(self.read_dir(dir)?)),
+            NfsRequest::GetAttr { fh } => {
+                let (attrs, _) = self.attrs_of(fh)?;
+                Ok(NfsResponse::Attrs(attrs))
+            }
+            NfsRequest::Rename {
+                from_dir,
+                from,
+                to_dir,
+                to,
+            } => {
+                let mut src = self.read_dir(from_dir)?;
+                let idx = src
+                    .iter()
+                    .position(|e| e.name == from)
+                    .ok_or_else(|| FmError::NotFound(from.clone()))?;
+                if from_dir == to_dir {
+                    if src.iter().any(|e| e.name == to) {
+                        return Err(FmError::Exists(to));
+                    }
+                    src[idx].name = to;
+                    self.write_dir(from_dir, &src)?;
+                } else {
+                    let mut dst = self.read_dir(to_dir)?;
+                    if dst.iter().any(|e| e.name == to) {
+                        return Err(FmError::Exists(to));
+                    }
+                    let mut entry = src.remove(idx);
+                    entry.name = to;
+                    dst.push(entry);
+                    // Destination first: a crash between the two directory
+                    // writes leaves the entry reachable (possibly twice),
+                    // never lost.
+                    self.write_dir(to_dir, &dst)?;
+                    self.write_dir(from_dir, &src)?;
+                }
+                Ok(NfsResponse::Ok)
+            }
+            NfsRequest::SetMode { fh, mode } => {
+                let (mut attrs, _) = self.attrs_of(fh)?;
+                attrs.mode = mode;
+                self.write_policy(fh, &attrs)?;
+                // Policy changed: revoke outstanding capabilities so
+                // clients re-fetch under the new policy.
+                let (ep, cap) = self.own_cap(fh)?;
+                let new_version = ep.bump_version(&cap)?;
+                self.versions.lock().insert(fh, new_version);
+                Ok(NfsResponse::Ok)
+            }
+        }
+    }
+
+    /// Spawn the manager as a threaded service.
+    #[must_use]
+    pub fn spawn(self) -> (Rpc<NfsRequest, NfsResponse>, ServiceHandle) {
+        let fm = Arc::new(self);
+        spawn_service(move |req| fm.handle(req))
+    }
+}
+
+impl std::fmt::Debug for NasdNfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NasdNfs").field("root", &self.root).finish()
+    }
+}
+
+/// An open file at the client: handle + cached capability.
+#[derive(Clone, Debug)]
+pub struct NfsFile {
+    /// The file's handle.
+    pub fh: FileHandle,
+    /// Attributes at open time.
+    pub attrs: FmAttrs,
+    cap: Capability,
+}
+
+/// Client library for [`NasdNfs`]: control through the manager, data
+/// directly to the drives.
+pub struct NfsClient {
+    fm: Rpc<NfsRequest, NfsResponse>,
+    fleet: Arc<DriveFleet>,
+    root: FileHandle,
+}
+
+impl NfsClient {
+    /// Connect: fetches the root handle from the manager.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a manager error.
+    pub fn connect(
+        fm: Rpc<NfsRequest, NfsResponse>,
+        fleet: Arc<DriveFleet>,
+    ) -> Result<Self, FmError> {
+        let root = match fm.call(NfsRequest::GetRoot)? {
+            NfsResponse::Root(fh, _) => fh,
+            NfsResponse::Err(e) => return Err(e),
+            _ => return Err(FmError::Transport),
+        };
+        Ok(NfsClient { fm, fleet, root })
+    }
+
+    /// The root directory handle.
+    #[must_use]
+    pub fn root(&self) -> FileHandle {
+        self.root
+    }
+
+    fn call(&self, req: NfsRequest) -> Result<NfsResponse, FmError> {
+        match self.fm.call(req)? {
+            NfsResponse::Err(e) => Err(e),
+            other => Ok(other),
+        }
+    }
+
+    /// Walk `path` (absolute, `/`-separated) to a directory handle.
+    ///
+    /// # Errors
+    ///
+    /// Lookup failures along the path.
+    pub fn walk_dir(&self, path: &str) -> Result<FileHandle, FmError> {
+        let mut cur = self.root;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            match self.call(NfsRequest::Lookup {
+                dir: cur,
+                name: comp.to_string(),
+                want_write: false,
+            })? {
+                NfsResponse::Entry(fh, attrs, _) => {
+                    if attrs.file_type != FileType::Directory {
+                        return Err(FmError::NotADirectory(comp.to_string()));
+                    }
+                    cur = fh;
+                }
+                _ => return Err(FmError::Transport),
+            }
+        }
+        Ok(cur)
+    }
+
+    fn split_parent(path: &str) -> Result<(&str, &str), FmError> {
+        let path = path.trim_end_matches('/');
+        let idx = path.rfind('/').ok_or_else(|| FmError::NotFound(path.to_string()))?;
+        let (parent, name) = path.split_at(idx);
+        let name = &name[1..];
+        if name.is_empty() {
+            return Err(FmError::NotFound(path.to_string()));
+        }
+        Ok((if parent.is_empty() { "/" } else { parent }, name))
+    }
+
+    /// Open a file by path. The returned [`NfsFile`] carries the
+    /// capability; subsequent reads/writes go straight to the drive.
+    ///
+    /// # Errors
+    ///
+    /// Lookup failures, permission errors.
+    pub fn open(&self, path: &str, want_write: bool) -> Result<NfsFile, FmError> {
+        let (parent, name) = Self::split_parent(path)?;
+        let dir = self.walk_dir(parent)?;
+        match self.call(NfsRequest::Lookup {
+            dir,
+            name: name.to_string(),
+            want_write,
+        })? {
+            NfsResponse::Entry(fh, attrs, cap) => Ok(NfsFile {
+                fh,
+                attrs,
+                cap: *cap,
+            }),
+            _ => Err(FmError::Transport),
+        }
+    }
+
+    /// Create a file, returning it opened for writing.
+    ///
+    /// # Errors
+    ///
+    /// `Exists`, lookup failures.
+    pub fn create(&self, path: &str, mode: u16, uid: u32) -> Result<NfsFile, FmError> {
+        let (parent, name) = Self::split_parent(path)?;
+        let dir = self.walk_dir(parent)?;
+        match self.call(NfsRequest::Create {
+            dir,
+            name: name.to_string(),
+            mode,
+            uid,
+        })? {
+            NfsResponse::Created(fh, cap) => Ok(NfsFile {
+                fh,
+                attrs: FmAttrs {
+                    file_type: FileType::Regular,
+                    size: 0,
+                    mtime: 0,
+                    mode,
+                    uid,
+                },
+                cap: *cap,
+            }),
+            _ => Err(FmError::Transport),
+        }
+    }
+
+    /// Create a directory.
+    ///
+    /// # Errors
+    ///
+    /// `Exists`, lookup failures.
+    pub fn mkdir(&self, path: &str, mode: u16, uid: u32) -> Result<FileHandle, FmError> {
+        let (parent, name) = Self::split_parent(path)?;
+        let dir = self.walk_dir(parent)?;
+        match self.call(NfsRequest::Mkdir {
+            dir,
+            name: name.to_string(),
+            mode,
+            uid,
+        })? {
+            NfsResponse::Handle(fh) => Ok(fh),
+            _ => Err(FmError::Transport),
+        }
+    }
+
+    /// Remove a file or empty directory.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`, `NotEmpty`.
+    pub fn remove(&self, path: &str) -> Result<(), FmError> {
+        let (parent, name) = Self::split_parent(path)?;
+        let dir = self.walk_dir(parent)?;
+        match self.call(NfsRequest::Remove {
+            dir,
+            name: name.to_string(),
+        })? {
+            NfsResponse::Ok => Ok(()),
+            _ => Err(FmError::Transport),
+        }
+    }
+
+    /// Rename/move a file or directory.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for the source, `Exists` for the destination.
+    pub fn rename(&self, from_path: &str, to_path: &str) -> Result<(), FmError> {
+        let (from_parent, from) = Self::split_parent(from_path)?;
+        let (to_parent, to) = Self::split_parent(to_path)?;
+        let from_dir = self.walk_dir(from_parent)?;
+        let to_dir = self.walk_dir(to_parent)?;
+        match self.call(NfsRequest::Rename {
+            from_dir,
+            from: from.to_string(),
+            to_dir,
+            to: to.to_string(),
+        })? {
+            NfsResponse::Ok => Ok(()),
+            _ => Err(FmError::Transport),
+        }
+    }
+
+    /// List a directory.
+    ///
+    /// # Errors
+    ///
+    /// Lookup failures.
+    pub fn readdir(&self, path: &str) -> Result<Vec<DirRecord>, FmError> {
+        let dir = self.walk_dir(path)?;
+        match self.call(NfsRequest::Readdir { dir })? {
+            NfsResponse::Entries(v) => Ok(v),
+            _ => Err(FmError::Transport),
+        }
+    }
+
+    /// Read file data — **directly from the drive**, no file manager
+    /// involvement. On a revoked/expired capability the client refreshes
+    /// via one lookup and retries once.
+    ///
+    /// # Errors
+    ///
+    /// Drive statuses after refresh.
+    pub fn read(&self, file: &mut NfsFile, offset: u64, len: u64) -> Result<Bytes, FmError> {
+        let ep = self.fleet.resolve(file.fh)?;
+        match ep.read(&file.cap, offset, len) {
+            Err(FmError::Drive(NasdStatus::AccessDenied)) => {
+                self.refresh(file, false)?;
+                let ep = self.fleet.resolve(file.fh)?;
+                ep.read(&file.cap, offset, len)
+            }
+            other => other,
+        }
+    }
+
+    /// Write file data — directly to the drive.
+    ///
+    /// # Errors
+    ///
+    /// Drive statuses after refresh.
+    pub fn write(&self, file: &mut NfsFile, offset: u64, data: &[u8]) -> Result<u64, FmError> {
+        let ep = self.fleet.resolve(file.fh)?;
+        let bytes = Bytes::copy_from_slice(data);
+        match ep.write(&file.cap, offset, bytes.clone()) {
+            Err(FmError::Drive(NasdStatus::AccessDenied)) => {
+                self.refresh(file, true)?;
+                let ep = self.fleet.resolve(file.fh)?;
+                ep.write(&file.cap, offset, bytes)
+            }
+            other => other,
+        }
+    }
+
+    /// Attribute read — directly from the drive (§5.1 sends `getattr`
+    /// to the drive, not the manager).
+    ///
+    /// # Errors
+    ///
+    /// Drive statuses after refresh.
+    pub fn getattr(&self, file: &mut NfsFile) -> Result<FmAttrs, FmError> {
+        let ep = self.fleet.resolve(file.fh)?;
+        let obj_attrs = match ep.get_attr(&file.cap) {
+            Err(FmError::Drive(NasdStatus::AccessDenied)) => {
+                self.refresh(file, false)?;
+                let ep = self.fleet.resolve(file.fh)?;
+                ep.get_attr(&file.cap)?
+            }
+            other => other?,
+        };
+        let (file_type, mode, uid) = FmAttrs::unpack_policy(&obj_attrs.fs_specific[..])
+            .ok_or(FmError::Drive(NasdStatus::DriveError))?;
+        Ok(FmAttrs {
+            file_type,
+            size: obj_attrs.size,
+            mtime: obj_attrs.data_modify_time,
+            mode,
+            uid,
+        })
+    }
+
+    /// Re-fetch the capability after revocation or expiry. NFS's
+    /// stateless design makes this just another lookup.
+    fn refresh(&self, file: &mut NfsFile, want_write: bool) -> Result<(), FmError> {
+        // A lookup needs the parent directory; NFS handles are stateless
+        // so the client re-walks from the root. We retain the path-free
+        // approach by asking the manager for a fresh capability via a
+        // degenerate lookup: scan the namespace. For simplicity and
+        // fidelity to handle-based NFS, the manager grants by handle:
+        match self.call(NfsRequest::Lookup {
+            dir: file.fh,
+            name: String::new(),
+            want_write,
+        }) {
+            Ok(NfsResponse::Entry(_, attrs, cap)) => {
+                file.attrs = attrs;
+                file.cap = *cap;
+                Ok(())
+            }
+            Ok(_) => Err(FmError::Transport),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl std::fmt::Debug for NfsClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NfsClient").field("root", &self.root).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasd_object::DriveConfig;
+    use nasd_proto::PartitionId;
+
+    fn setup(ndrives: usize) -> (NfsClient, Arc<DriveFleet>) {
+        let fleet = Arc::new(
+            DriveFleet::spawn_memory(ndrives, DriveConfig::small(), PartitionId(1), 16 << 20)
+                .unwrap(),
+        );
+        let fm = NasdNfs::new(Arc::clone(&fleet)).unwrap();
+        let (rpc, _handle) = fm.spawn();
+        let client = NfsClient::connect(rpc, Arc::clone(&fleet)).unwrap();
+        (client, fleet)
+    }
+
+    #[test]
+    fn create_write_read_through_full_stack() {
+        let (client, _fleet) = setup(2);
+        let mut f = client.create("/hello.txt", 0o644, 1).unwrap();
+        client.write(&mut f, 0, b"nasd nfs").unwrap();
+        let mut f2 = client.open("/hello.txt", false).unwrap();
+        assert_eq!(&client.read(&mut f2, 0, 8).unwrap()[..], b"nasd nfs");
+        assert_eq!(f2.attrs.size, 8);
+    }
+
+    #[test]
+    fn directories_and_paths() {
+        let (client, _fleet) = setup(2);
+        client.mkdir("/a", 0o755, 0).unwrap();
+        client.mkdir("/a/b", 0o755, 0).unwrap();
+        let mut f = client.create("/a/b/deep.txt", 0o644, 1).unwrap();
+        client.write(&mut f, 0, b"found me").unwrap();
+        let mut g = client.open("/a/b/deep.txt", false).unwrap();
+        assert_eq!(&client.read(&mut g, 0, 8).unwrap()[..], b"found me");
+
+        let names: Vec<String> = client
+            .readdir("/a/b")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, vec!["deep.txt"]);
+    }
+
+    #[test]
+    fn files_round_robin_across_drives() {
+        let (client, _fleet) = setup(3);
+        let mut drives = std::collections::HashSet::new();
+        for i in 0..6 {
+            let f = client.create(&format!("/f{i}"), 0o644, 0).unwrap();
+            drives.insert(f.fh.drive);
+        }
+        assert_eq!(drives.len(), 3, "placement should use every drive");
+    }
+
+    #[test]
+    fn data_moves_without_file_manager() {
+        // Once opened, reads work even with the manager gone — the
+        // capability is the only authority needed.
+        let (client, fleet) = setup(1);
+        let mut f = client.create("/direct", 0o644, 0).unwrap();
+        client.write(&mut f, 0, b"no fm needed").unwrap();
+        // Talk straight to the drive endpoint with the open capability.
+        let ep = fleet.resolve(f.fh).unwrap();
+        let data = ep.read(&f.cap, 0, 12).unwrap();
+        assert_eq!(&data[..], b"no fm needed");
+    }
+
+    #[test]
+    fn remove_and_not_found() {
+        let (client, _fleet) = setup(1);
+        client.create("/gone", 0o644, 0).unwrap();
+        client.remove("/gone").unwrap();
+        assert!(matches!(
+            client.open("/gone", false),
+            Err(FmError::NotFound(_))
+        ));
+        assert!(matches!(
+            client.remove("/gone"),
+            Err(FmError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn nonempty_dir_not_removable() {
+        let (client, _fleet) = setup(1);
+        client.mkdir("/d", 0o755, 0).unwrap();
+        client.create("/d/x", 0o644, 0).unwrap();
+        assert!(matches!(client.remove("/d"), Err(FmError::NotEmpty(_))));
+        client.remove("/d/x").unwrap();
+        client.remove("/d").unwrap();
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let (client, _fleet) = setup(1);
+        client.create("/dup", 0o644, 0).unwrap();
+        assert!(matches!(
+            client.create("/dup", 0o644, 0),
+            Err(FmError::Exists(_))
+        ));
+    }
+
+    #[test]
+    fn write_denied_without_write_mode() {
+        let (client, _fleet) = setup(1);
+        let mut f = client.create("/ro", 0o444, 1).unwrap();
+        client.write(&mut f, 0, b"seed").unwrap(); // creator's cap still valid
+        assert!(matches!(
+            client.open("/ro", true),
+            Err(FmError::Permission)
+        ));
+        // Read-only open works.
+        assert!(client.open("/ro", false).is_ok());
+    }
+
+    #[test]
+    fn getattr_comes_from_drive() {
+        let (client, _fleet) = setup(1);
+        let mut f = client.create("/stat", 0o644, 7).unwrap();
+        client.write(&mut f, 0, &[0u8; 1000]).unwrap();
+        let attrs = client.getattr(&mut f).unwrap();
+        assert_eq!(attrs.size, 1000);
+        assert_eq!(attrs.uid, 7);
+        assert_eq!(attrs.file_type, FileType::Regular);
+    }
+
+    #[test]
+    fn rename_within_and_across_directories() {
+        let (client, _fleet) = setup(2);
+        client.mkdir("/a", 0o755, 0).unwrap();
+        client.mkdir("/b", 0o755, 0).unwrap();
+        let mut f = client.create("/a/old", 0o644, 0).unwrap();
+        client.write(&mut f, 0, b"contents travel by name only").unwrap();
+        let backing = f.fh;
+
+        // In-place rename.
+        client.rename("/a/old", "/a/new").unwrap();
+        assert!(matches!(client.open("/a/old", false), Err(FmError::NotFound(_))));
+        let g = client.open("/a/new", false).unwrap();
+        assert_eq!(g.fh, backing, "the object did not move");
+
+        // Cross-directory move.
+        client.rename("/a/new", "/b/moved").unwrap();
+        let mut h = client.open("/b/moved", false).unwrap();
+        assert_eq!(h.fh, backing);
+        assert_eq!(
+            &client.read(&mut h, 0, 28).unwrap()[..],
+            b"contents travel by name only"
+        );
+        assert!(client.readdir("/a").unwrap().is_empty());
+
+        // Collisions rejected.
+        client.create("/b/taken", 0o644, 0).unwrap();
+        assert!(matches!(
+            client.rename("/b/moved", "/b/taken"),
+            Err(FmError::Exists(_))
+        ));
+    }
+
+    #[test]
+    fn setmode_revokes_and_client_recovers() {
+        let (client, _fleet) = setup(1);
+        let mut f = client.create("/m", 0o644, 0).unwrap();
+        client.write(&mut f, 0, b"v1").unwrap();
+        // Policy change bumps the object version, revoking f's cap.
+        match client.call(NfsRequest::SetMode { fh: f.fh, mode: 0o600 }) {
+            Ok(NfsResponse::Ok) => {}
+            other => panic!("setmode failed: {other:?}"),
+        }
+        // The read path refreshes transparently.
+        assert_eq!(&client.read(&mut f, 0, 2).unwrap()[..], b"v1");
+    }
+}

@@ -1,0 +1,273 @@
+//! Frequent-itemset mining (Apriori, \[Agrawal94\]).
+
+use crate::gen::{Transaction, TransactionReader};
+use std::collections::HashMap;
+
+/// A sorted set of item ids.
+pub type ItemSet = Vec<u32>;
+
+/// Result of a frequent-sets computation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrequentSets {
+    /// Frequent itemsets by size: `levels[0]` holds 1-itemsets, etc.
+    /// Each entry maps the (sorted) itemset to its support count.
+    pub levels: Vec<HashMap<ItemSet, u64>>,
+    /// Transactions scanned.
+    pub transactions: u64,
+}
+
+impl FrequentSets {
+    /// Support count of an itemset, if frequent.
+    #[must_use]
+    pub fn support(&self, set: &[u32]) -> Option<u64> {
+        let mut key = set.to_vec();
+        key.sort_unstable();
+        self.levels.get(key.len().checked_sub(1)?)?.get(&key).copied()
+    }
+
+    /// Number of frequent k-itemsets.
+    #[must_use]
+    pub fn count_at(&self, k: usize) -> usize {
+        self.levels.get(k - 1).map_or(0, HashMap::len)
+    }
+}
+
+/// Count 1-itemsets in one pass — the most I/O-bound phase, the one
+/// Figure 9 measures.
+#[must_use]
+pub fn count_1_itemsets<'a, I>(transactions: I) -> (HashMap<u32, u64>, u64)
+where
+    I: IntoIterator<Item = &'a Transaction>,
+{
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    let mut n = 0u64;
+    for t in transactions {
+        n += 1;
+        for &item in &t.items {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    (counts, n)
+}
+
+/// Merge partial 1-itemset counts (what the "single master client" does
+/// with per-client results).
+pub fn merge_counts(into: &mut HashMap<u32, u64>, from: &HashMap<u32, u64>) {
+    for (&item, &c) in from {
+        *into.entry(item).or_insert(0) += c;
+    }
+}
+
+/// Apriori candidate generation: join frequent (k-1)-itemsets sharing a
+/// (k-2)-prefix, prune candidates with an infrequent subset.
+#[must_use]
+pub fn generate_candidates(frequent: &HashMap<ItemSet, u64>) -> Vec<ItemSet> {
+    let mut keys: Vec<&ItemSet> = frequent.keys().collect();
+    keys.sort();
+    let mut candidates = Vec::new();
+    for i in 0..keys.len() {
+        for j in (i + 1)..keys.len() {
+            let a = keys[i];
+            let b = keys[j];
+            let k = a.len();
+            if a[..k - 1] != b[..k - 1] {
+                continue;
+            }
+            let mut cand = a.clone();
+            cand.push(b[k - 1]);
+            // Prune: every (k)-subset of the (k+1)-candidate must be
+            // frequent.
+            let frequent_subsets = (0..cand.len()).all(|drop| {
+                let mut sub = cand.clone();
+                sub.remove(drop);
+                frequent.contains_key(&sub)
+            });
+            if frequent_subsets {
+                candidates.push(cand);
+            }
+        }
+    }
+    candidates
+}
+
+/// Count candidate itemsets against a transaction scan.
+#[must_use]
+pub fn count_candidates<'a, I>(candidates: &[ItemSet], transactions: I) -> HashMap<ItemSet, u64>
+where
+    I: IntoIterator<Item = &'a Transaction>,
+{
+    let mut counts: HashMap<ItemSet, u64> =
+        candidates.iter().map(|c| (c.clone(), 0)).collect();
+    for t in transactions {
+        let mut sorted = t.items.clone();
+        sorted.sort_unstable();
+        for cand in candidates {
+            if cand
+                .iter()
+                .all(|item| sorted.binary_search(item).is_ok())
+            {
+                *counts.get_mut(cand).expect("candidate present") += 1;
+            }
+        }
+    }
+    counts.retain(|_, &mut c| c > 0);
+    counts
+}
+
+/// Full Apriori over encoded transaction data: all frequent itemsets with
+/// support at least `min_support`, up to size `max_k` (each level is one
+/// full scan, as in the paper).
+#[must_use]
+pub fn mine(data: &[u8], chunk_size: usize, min_support: u64, max_k: usize) -> FrequentSets {
+    let transactions: Vec<Transaction> = TransactionReader::new(data, chunk_size).collect();
+    let mut result = FrequentSets {
+        levels: Vec::new(),
+        transactions: transactions.len() as u64,
+    };
+
+    // Pass 1.
+    let (counts1, _) = count_1_itemsets(&transactions);
+    let mut level1: HashMap<ItemSet, u64> = HashMap::new();
+    for (item, c) in counts1 {
+        if c >= min_support {
+            level1.insert(vec![item], c);
+        }
+    }
+    result.levels.push(level1);
+
+    // Passes 2..k.
+    for _k in 2..=max_k {
+        let prev = result.levels.last().expect("at least level 1");
+        if prev.len() < 2 {
+            break;
+        }
+        let candidates = generate_candidates(prev);
+        if candidates.is_empty() {
+            break;
+        }
+        let mut counts = count_candidates(&candidates, &transactions);
+        counts.retain(|_, &mut c| c >= min_support);
+        if counts.is_empty() {
+            break;
+        }
+        result.levels.push(counts);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TransactionGenerator;
+
+    fn txn(items: &[u32]) -> Transaction {
+        Transaction {
+            items: items.to_vec(),
+        }
+    }
+
+    /// The worked example from Agrawal's papers, hand-checkable.
+    fn classic_dataset() -> Vec<Transaction> {
+        vec![
+            txn(&[1, 3, 4]),
+            txn(&[2, 3, 5]),
+            txn(&[1, 2, 3, 5]),
+            txn(&[2, 5]),
+        ]
+    }
+
+    fn encode(txns: &[Transaction]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for t in txns {
+            t.encode_into(&mut buf);
+        }
+        buf
+    }
+
+    #[test]
+    fn one_itemset_counts() {
+        let txns = classic_dataset();
+        let (counts, n) = count_1_itemsets(&txns);
+        assert_eq!(n, 4);
+        assert_eq!(counts[&1], 2);
+        assert_eq!(counts[&2], 3);
+        assert_eq!(counts[&3], 3);
+        assert_eq!(counts[&4], 1);
+        assert_eq!(counts[&5], 3);
+    }
+
+    #[test]
+    fn classic_apriori_result() {
+        // With min support 2: frequent 1-sets {1},{2},{3},{5};
+        // 2-sets {1,3},{2,3},{2,5},{3,5}; 3-sets {2,3,5}.
+        let data = encode(&classic_dataset());
+        let fs = mine(&data, usize::MAX, 2, 4);
+        assert_eq!(fs.transactions, 4);
+        assert_eq!(fs.count_at(1), 4);
+        assert_eq!(fs.count_at(2), 4);
+        assert_eq!(fs.count_at(3), 1);
+        assert_eq!(fs.support(&[2, 3, 5]), Some(2));
+        assert_eq!(fs.support(&[1, 3]), Some(2));
+        assert_eq!(fs.support(&[1, 5]), None);
+        assert_eq!(fs.support(&[1, 2]), None);
+    }
+
+    #[test]
+    fn candidate_generation_prunes() {
+        let mut frequent: HashMap<ItemSet, u64> = HashMap::new();
+        for s in [vec![1, 2], vec![1, 3], vec![2, 3], vec![2, 4]] {
+            frequent.insert(s, 10);
+        }
+        let cands = generate_candidates(&frequent);
+        // {1,2}+{1,3} → {1,2,3}: subsets {1,2},{1,3},{2,3} all frequent ✓
+        // {2,3}+{2,4} → {2,3,4}: subset {3,4} missing ✗ (pruned)
+        assert_eq!(cands, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn merge_counts_accumulates() {
+        let mut a: HashMap<u32, u64> = [(1, 5), (2, 1)].into_iter().collect();
+        let b: HashMap<u32, u64> = [(2, 3), (7, 4)].into_iter().collect();
+        merge_counts(&mut a, &b);
+        assert_eq!(a[&1], 5);
+        assert_eq!(a[&2], 4);
+        assert_eq!(a[&7], 4);
+    }
+
+    #[test]
+    fn planted_associations_recovered() {
+        // The generator plants {1,2,3} ("milk, eggs, bread") in ~6% of
+        // baskets; mining must surface it as a frequent 3-itemset.
+        let data = TransactionGenerator::new(42).generate_bytes(1 << 20, 1 << 16);
+        let fs = mine(&data, 1 << 16, (fs_support_floor(&data)) as u64, 3);
+        assert!(fs.count_at(1) > 0);
+        assert!(
+            fs.support(&[1, 2, 3]).is_some(),
+            "planted pattern not found; 3-sets: {:?}",
+            fs.levels.get(2).map(HashMap::len)
+        );
+    }
+
+    /// Support floor ≈ 3% of transactions.
+    fn fs_support_floor(data: &[u8]) -> usize {
+        let n = TransactionReader::new(data, 1 << 16).count();
+        n * 3 / 100
+    }
+
+    #[test]
+    fn partial_counts_equal_whole() {
+        // Chunked counting (what the parallel clients do) must agree with
+        // a single scan.
+        let data = TransactionGenerator::new(9).generate_bytes(1 << 18, 1 << 14);
+        let whole: Vec<Transaction> = TransactionReader::new(&data, 1 << 14).collect();
+        let (want, _) = count_1_itemsets(&whole);
+
+        let mut got: HashMap<u32, u64> = HashMap::new();
+        for c in data.chunks(1 << 14) {
+            let txns: Vec<Transaction> = TransactionReader::new(c, 1 << 14).collect();
+            let (partial, _) = count_1_itemsets(&txns);
+            merge_counts(&mut got, &partial);
+        }
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,33 @@
+//! The parallel data-mining application of §5.2 (Figure 9).
+//!
+//! "To evaluate the performance of Cheops, we used a parallel data mining
+//! system that discovers association rules in sales transactions
+//! \[Agrawal94\]. The application's goal is to discover rules of the form
+//! 'if a customer purchases milk and eggs, then they are also likely to
+//! purchase bread'... It does this in several full scans over the data,
+//! first determining the items that occur most often in the transactions
+//! (the 1-itemsets), then... 2-itemsets and then larger groupings
+//! (k-itemsets) in subsequent passes."
+//!
+//! This crate provides:
+//!
+//! * [`TransactionGenerator`] — a synthetic sales-transaction workload
+//!   (Quest-style, with planted associations) standing in for the paper's
+//!   proprietary 300 MB retail file, chunk-aligned so that no record
+//!   splits a 2 MB boundary ("our parallel implementation avoids
+//!   splitting records over 2 MB boundaries");
+//! * [`apriori`] — the frequent-sets algorithm (1-itemsets through
+//!   k-itemsets with candidate generation and pruning);
+//! * [`parallel`] — the Figure 9 harness shape: clients take 2 MB chunks
+//!   round-robin, each running "four producer threads and a single
+//!   consumer".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+mod gen;
+pub mod parallel;
+
+pub use apriori::{FrequentSets, ItemSet};
+pub use gen::{Transaction, TransactionGenerator, TransactionReader, CHUNK_SIZE};

@@ -1,0 +1,22 @@
+//! Network substrate for the NASD reproduction.
+//!
+//! Two planes, mirroring `nasd-disk`:
+//!
+//! * **Timing** ([`NetworkModel`]): a switched network — each node owns a
+//!   full-duplex link to a switch with "sufficient bisection bandwidth"
+//!   (§7), so contention happens only at the endpoints' links, plus a
+//!   protocol CPU-cost model ([`RpcCostModel`]) reproducing the paper's
+//!   observation that "DCE RPC cannot push more than 80 Mb/s through a
+//!   155 Mb/s ATM link before the receiving client saturates" (§4.3).
+//! * **Functional** ([`spawn_service`], [`Rpc`]): a threaded in-process
+//!   request/reply transport over crossbeam channels, used by the real
+//!   file managers, Cheops and PFS to talk to real drives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod rpc;
+
+pub use model::{LinkSpec, NetworkModel, NodeId, RpcCostModel};
+pub use rpc::{spawn_service, Rpc, RpcError, ServiceHandle};

@@ -1,0 +1,342 @@
+//! Disk space management: an extent-based block allocator.
+//!
+//! NASD moves "data layout management to the disk" (§2); this allocator is
+//! that layout manager. It hands out contiguous *extents* of device blocks
+//! using first-fit with a placement hint, so that objects created with a
+//! clustering attribute land near their cluster partner and sequential
+//! object data stays physically sequential (which the mechanical model in
+//! `nasd-disk` rewards).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A contiguous run of device blocks `[start, start + len)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Extent {
+    /// First block.
+    pub start: u64,
+    /// Number of blocks (never zero).
+    pub len: u64,
+}
+
+impl Extent {
+    /// Construct an extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[must_use]
+    pub fn new(start: u64, len: u64) -> Self {
+        assert!(len > 0, "extent length must be positive");
+        Extent { start, len }
+    }
+
+    /// One past the last block.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether `block` lies within the extent.
+    #[must_use]
+    pub fn contains(&self, block: u64) -> bool {
+        block >= self.start && block < self.end()
+    }
+}
+
+impl fmt::Debug for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Extent[{}..{})", self.start, self.end())
+    }
+}
+
+/// Extent-based free-space allocator over a fixed pool of blocks.
+///
+/// Free space is a map from start block to run length, kept coalesced.
+///
+/// # Example
+///
+/// ```
+/// use nasd_object::Allocator;
+/// let mut a = Allocator::new(1000);
+/// let e1 = a.allocate(10, None).unwrap();
+/// assert_eq!(e1.len, 10);
+/// a.free(e1);
+/// assert_eq!(a.free_blocks(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    /// start -> len of each free run.
+    free: BTreeMap<u64, u64>,
+    total: u64,
+    free_count: u64,
+}
+
+impl Allocator {
+    /// An allocator over blocks `0..total`.
+    #[must_use]
+    pub fn new(total: u64) -> Self {
+        let mut free = BTreeMap::new();
+        if total > 0 {
+            free.insert(0, total);
+        }
+        Allocator {
+            free,
+            total,
+            free_count: total,
+        }
+    }
+
+    /// Total blocks managed.
+    #[must_use]
+    pub fn total_blocks(&self) -> u64 {
+        self.total
+    }
+
+    /// Blocks currently free.
+    #[must_use]
+    pub fn free_blocks(&self) -> u64 {
+        self.free_count
+    }
+
+    /// Number of discontiguous free runs (fragmentation diagnostic).
+    #[must_use]
+    pub fn free_runs(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocate exactly `len` contiguous blocks, preferring space at or
+    /// after `hint`. Returns `None` when no contiguous run is large
+    /// enough (callers may retry with smaller pieces).
+    pub fn allocate(&mut self, len: u64, hint: Option<u64>) -> Option<Extent> {
+        if len == 0 || len > self.free_count {
+            return None;
+        }
+        // Pass 0: if a free run contains [hint, hint+len), carve exactly
+        // there — clustering wants adjacency, not just "somewhere after".
+        if let Some(h) = hint {
+            if let Some((&s, &l)) = self.free.range(..=h).next_back() {
+                if h >= s && s + l >= h + len {
+                    self.free.remove(&s);
+                    if h > s {
+                        self.free.insert(s, h - s);
+                    }
+                    if s + l > h + len {
+                        self.free.insert(h + len, s + l - (h + len));
+                    }
+                    self.free_count -= len;
+                    return Some(Extent::new(h, len));
+                }
+            }
+        }
+        // Pass 1: first fit at or after the hint.
+        let start_key = hint.unwrap_or(0);
+        let found = self
+            .free
+            .range(start_key..)
+            .find(|(_, &run_len)| run_len >= len)
+            .map(|(&s, &l)| (s, l))
+            .or_else(|| {
+                // Pass 2: anywhere.
+                self.free
+                    .iter()
+                    .find(|(_, &run_len)| run_len >= len)
+                    .map(|(&s, &l)| (s, l))
+            });
+        let (run_start, run_len) = found?;
+        self.free.remove(&run_start);
+        if run_len > len {
+            self.free.insert(run_start + len, run_len - len);
+        }
+        self.free_count -= len;
+        Some(Extent::new(run_start, len))
+    }
+
+    /// Allocate up to `len` blocks, possibly as several extents (used when
+    /// free space is fragmented). Returns extents totalling exactly `len`,
+    /// or `None` if insufficient space (nothing is allocated then).
+    pub fn allocate_fragmented(&mut self, len: u64, hint: Option<u64>) -> Option<Vec<Extent>> {
+        if len == 0 {
+            return Some(Vec::new());
+        }
+        if len > self.free_count {
+            return None;
+        }
+        let mut remaining = len;
+        let mut out = Vec::new();
+        while remaining > 0 {
+            // Largest piece we can get contiguously, bounded by remaining.
+            let grabbed = self.allocate(remaining, hint).or_else(|| {
+                // Take the largest free run instead.
+                let (&s, &l) = self.free.iter().max_by_key(|(_, &l)| l)?;
+                self.free.remove(&s);
+                self.free_count -= l;
+                Some(Extent::new(s, l))
+            })?;
+            remaining -= grabbed.len.min(remaining);
+            out.push(grabbed);
+        }
+        Some(out)
+    }
+
+    /// Return an extent to the free pool, coalescing with neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extent overlaps free space or exceeds the pool (a
+    /// double free or corruption).
+    pub fn free(&mut self, extent: Extent) {
+        assert!(
+            extent.end() <= self.total,
+            "free of {extent:?} beyond pool of {} blocks",
+            self.total
+        );
+        // Find neighbours.
+        let prev = self
+            .free
+            .range(..extent.start)
+            .next_back()
+            .map(|(&s, &l)| (s, l));
+        let next = self
+            .free
+            .range(extent.start..)
+            .next()
+            .map(|(&s, &l)| (s, l));
+
+        if let Some((ps, pl)) = prev {
+            assert!(ps + pl <= extent.start, "double free: {extent:?} overlaps free run");
+        }
+        if let Some((ns, _)) = next {
+            assert!(extent.end() <= ns, "double free: {extent:?} overlaps free run");
+        }
+
+        let mut start = extent.start;
+        let mut len = extent.len;
+        // Coalesce with the previous run.
+        if let Some((ps, pl)) = prev {
+            if ps + pl == start {
+                self.free.remove(&ps);
+                start = ps;
+                len += pl;
+            }
+        }
+        // Coalesce with the next run.
+        if let Some((ns, nl)) = next {
+            if start + len == ns {
+                self.free.remove(&ns);
+                len += nl;
+            }
+        }
+        self.free.insert(start, len);
+        self.free_count += extent.len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_free_roundtrip() {
+        let mut a = Allocator::new(100);
+        let e = a.allocate(30, None).unwrap();
+        assert_eq!(a.free_blocks(), 70);
+        a.free(e);
+        assert_eq!(a.free_blocks(), 100);
+        assert_eq!(a.free_runs(), 1);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = Allocator::new(10);
+        assert!(a.allocate(11, None).is_none());
+        let _ = a.allocate(10, None).unwrap();
+        assert!(a.allocate(1, None).is_none());
+        assert_eq!(a.free_blocks(), 0);
+    }
+
+    #[test]
+    fn hint_places_nearby() {
+        let mut a = Allocator::new(1000);
+        let _head = a.allocate(10, None).unwrap();
+        let hinted = a.allocate(10, Some(500)).unwrap();
+        assert!(hinted.start >= 500, "hint ignored: {hinted:?}");
+    }
+
+    #[test]
+    fn hint_past_all_space_falls_back() {
+        let mut a = Allocator::new(100);
+        let e = a.allocate(10, Some(99_999)).unwrap();
+        assert_eq!(e.start, 0);
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let mut a = Allocator::new(100);
+        let e1 = a.allocate(10, None).unwrap();
+        let e2 = a.allocate(10, None).unwrap();
+        let e3 = a.allocate(10, None).unwrap();
+        a.free(e1);
+        a.free(e3);
+        // [0,10) free; [20,30) coalesced with the tail [30,100).
+        assert_eq!(a.free_runs(), 2);
+        a.free(e2);
+        assert_eq!(a.free_runs(), 1, "full coalesce after middle freed");
+        assert_eq!(a.free_blocks(), 100);
+    }
+
+    #[test]
+    fn fragmented_allocation_spans_runs() {
+        let mut a = Allocator::new(100);
+        let keep: Vec<Extent> = (0..5).map(|_| a.allocate(10, None).unwrap()).collect();
+        let _tail = a.allocate(50, None).unwrap(); // pool exhausted
+        // Free alternating runs: 0..10, 20..30, 40..50 free (30 blocks, fragmented)
+        a.free(keep[0]);
+        a.free(keep[2]);
+        a.free(keep[4]);
+        assert!(a.allocate(25, None).is_none(), "no contiguous 25-run");
+        let pieces = a.allocate_fragmented(25, None).unwrap();
+        let total: u64 = pieces.iter().map(|e| e.len).sum();
+        assert_eq!(total, 25);
+        assert!(pieces.len() >= 3);
+        assert_eq!(a.free_blocks(), 5);
+    }
+
+    #[test]
+    fn fragmented_insufficient_space() {
+        let mut a = Allocator::new(10);
+        let _ = a.allocate(8, None).unwrap();
+        assert!(a.allocate_fragmented(3, None).is_none());
+        assert_eq!(a.free_blocks(), 2, "failed allocation must not leak");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = Allocator::new(100);
+        let e = a.allocate(10, None).unwrap();
+        a.free(e);
+        a.free(e);
+    }
+
+    #[test]
+    fn extent_api() {
+        let e = Extent::new(5, 3);
+        assert_eq!(e.end(), 8);
+        assert!(e.contains(5) && e.contains(7) && !e.contains(8));
+        assert_eq!(format!("{e:?}"), "Extent[5..8)");
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_extent_panics() {
+        let _ = Extent::new(0, 0);
+    }
+
+    #[test]
+    fn zero_allocation_is_none() {
+        let mut a = Allocator::new(10);
+        assert!(a.allocate(0, None).is_none());
+        assert_eq!(a.allocate_fragmented(0, None).unwrap().len(), 0);
+    }
+}

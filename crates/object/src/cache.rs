@@ -1,0 +1,529 @@
+//! The drive's block cache.
+//!
+//! Sits between the object layer and the [`BlockDevice`]: an LRU cache of
+//! device blocks with write-behind (dirty blocks are flushed on eviction
+//! or explicit flush). Every device access performed on behalf of an
+//! operation is recorded in an [`IoTrace`] so that (a) the cost meter can
+//! distinguish the paper's *cold* and *warm* code paths and (b) the
+//! simulation harnesses can replay the physical I/O against a mechanical
+//! [`DiskModel`](nasd_disk::DiskModel) for timing.
+
+use nasd_disk::{BlockDevice, DiskError};
+use std::collections::HashMap;
+
+/// One physical device access captured during an operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoRecord {
+    /// `count` blocks read from the device starting at `block`.
+    Read {
+        /// First device block.
+        block: u64,
+        /// Blocks read.
+        count: u64,
+    },
+    /// `count` blocks written to the device starting at `block`.
+    Write {
+        /// First device block.
+        block: u64,
+        /// Blocks written.
+        count: u64,
+    },
+}
+
+/// The device I/O performed by one operation, plus hit/miss counts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IoTrace {
+    /// Physical accesses in issue order (adjacent blocks coalesced).
+    pub records: Vec<IoRecord>,
+    /// Block lookups satisfied by the cache.
+    pub hits: u64,
+    /// Block lookups that went to the device.
+    pub misses: u64,
+}
+
+impl IoTrace {
+    /// Whether the operation touched the device at all.
+    #[must_use]
+    pub fn is_warm(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total blocks read from the device.
+    #[must_use]
+    pub fn blocks_read(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| match r {
+                IoRecord::Read { count, .. } => *count,
+                IoRecord::Write { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Total blocks written to the device.
+    #[must_use]
+    pub fn blocks_written(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| match r {
+                IoRecord::Write { count, .. } => *count,
+                IoRecord::Read { .. } => 0,
+            })
+            .sum()
+    }
+
+    fn push_read(&mut self, block: u64) {
+        self.misses += 1;
+        if let Some(IoRecord::Read { block: b, count }) = self.records.last_mut() {
+            if *b + *count == block {
+                *count += 1;
+                return;
+            }
+        }
+        self.records.push(IoRecord::Read { block, count: 1 });
+    }
+
+    fn push_write(&mut self, block: u64) {
+        if let Some(IoRecord::Write { block: b, count }) = self.records.last_mut() {
+            if *b + *count == block {
+                *count += 1;
+                return;
+            }
+        }
+        self.records.push(IoRecord::Write { block, count: 1 });
+    }
+}
+
+/// Cumulative cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied without device I/O.
+    pub hits: u64,
+    /// Lookups requiring a device read.
+    pub misses: u64,
+    /// Dirty blocks written back to the device.
+    pub writebacks: u64,
+    /// Blocks evicted (clean or dirty).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when no lookups happened.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    data: Vec<u8>,
+    dirty: bool,
+    /// LRU clock: larger = more recent.
+    used: u64,
+}
+
+/// LRU block cache with write-behind over a [`BlockDevice`].
+///
+/// # Example
+///
+/// ```
+/// use nasd_disk::MemDisk;
+/// use nasd_object::{BlockCache, IoTrace};
+///
+/// let mut cache = BlockCache::new(MemDisk::new(512, 64), 8);
+/// let mut trace = IoTrace::default();
+/// cache.write(3, &vec![7u8; 512], &mut trace)?;      // absorbed, no I/O
+/// assert!(trace.is_warm());
+/// assert_eq!(cache.read(3, &mut trace)?[0], 7);       // hit
+/// cache.flush(&mut trace)?;                           // write-behind drains
+/// assert_eq!(trace.blocks_written(), 1);
+/// # Ok::<(), nasd_disk::DiskError>(())
+/// ```
+pub struct BlockCache<D> {
+    device: D,
+    capacity_blocks: usize,
+    entries: HashMap<u64, Entry>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl<D: BlockDevice> BlockCache<D> {
+    /// Wrap `device` with a cache of `capacity_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_blocks` is zero.
+    #[must_use]
+    pub fn new(device: D, capacity_blocks: usize) -> Self {
+        assert!(capacity_blocks > 0, "cache needs at least one block");
+        BlockCache {
+            device,
+            capacity_blocks,
+            entries: HashMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The wrapped device.
+    #[must_use]
+    pub fn device(&self) -> &D {
+        &self.device
+    }
+
+    /// Block size of the underlying device.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.device.block_size()
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Blocks currently cached.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether `block` is currently cached (does not touch LRU state).
+    #[must_use]
+    pub fn contains(&self, block: u64) -> bool {
+        self.entries.contains_key(&block)
+    }
+
+    fn touch(&mut self, block: u64) {
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&block) {
+            e.used = self.clock;
+        }
+    }
+
+    /// Make room for one more entry, evicting the LRU entry if full.
+    fn evict_if_full(&mut self, trace: &mut IoTrace) -> Result<(), DiskError> {
+        while self.entries.len() >= self.capacity_blocks {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(&b, _)| b)
+                .expect("cache non-empty when full");
+            let entry = self.entries.remove(&victim).expect("victim present");
+            self.stats.evictions += 1;
+            if entry.dirty {
+                self.device.write_block(victim, &entry.data)?;
+                trace.push_write(victim);
+                self.stats.writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read one block through the cache. Returns a reference to the
+    /// cached data (valid until the next cache call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn read(&mut self, block: u64, trace: &mut IoTrace) -> Result<&[u8], DiskError> {
+        if self.entries.contains_key(&block) {
+            self.stats.hits += 1;
+            trace.hits += 1;
+            self.touch(block);
+        } else {
+            self.evict_if_full(trace)?;
+            let mut buf = vec![0u8; self.device.block_size()];
+            self.device.read_block(block, &mut buf)?;
+            self.stats.misses += 1;
+            trace.push_read(block);
+            self.clock += 1;
+            self.entries.insert(
+                block,
+                Entry {
+                    data: buf,
+                    dirty: false,
+                    used: self.clock,
+                },
+            );
+        }
+        Ok(&self.entries[&block].data)
+    }
+
+    /// Write one full block through the cache (write-behind: the device
+    /// write is deferred to eviction or [`Self::flush`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::BadBufferSize`] if `data` is not exactly one block;
+    /// device errors from any eviction writeback.
+    pub fn write(&mut self, block: u64, data: &[u8], trace: &mut IoTrace) -> Result<(), DiskError> {
+        if data.len() != self.device.block_size() {
+            return Err(DiskError::BadBufferSize {
+                expected: self.device.block_size(),
+                got: data.len(),
+            });
+        }
+        if let Some(e) = self.entries.get_mut(&block) {
+            e.data.copy_from_slice(data);
+            e.dirty = true;
+            self.stats.hits += 1;
+            trace.hits += 1;
+            self.touch(block);
+        } else {
+            self.evict_if_full(trace)?;
+            self.clock += 1;
+            self.entries.insert(
+                block,
+                Entry {
+                    data: data.to_vec(),
+                    dirty: true,
+                    used: self.clock,
+                },
+            );
+            // A full-block overwrite needs no device read; count it as a
+            // (write) hit for Table 1's warm/cold distinction.
+            self.stats.hits += 1;
+            trace.hits += 1;
+        }
+        Ok(())
+    }
+
+    /// Read-modify-write a partial block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; panics are avoided by validating the
+    /// range against the block size.
+    pub fn write_partial(
+        &mut self,
+        block: u64,
+        offset: usize,
+        data: &[u8],
+        trace: &mut IoTrace,
+    ) -> Result<(), DiskError> {
+        let bs = self.device.block_size();
+        if offset + data.len() > bs {
+            return Err(DiskError::BadBufferSize {
+                expected: bs,
+                got: offset + data.len(),
+            });
+        }
+        // Bring the block in (read-modify-write).
+        self.read(block, trace)?;
+        let e = self.entries.get_mut(&block).expect("just read");
+        e.data[offset..offset + data.len()].copy_from_slice(data);
+        e.dirty = true;
+        Ok(())
+    }
+
+    /// Drop a block from the cache without writeback (used when the block
+    /// is freed — its contents are dead).
+    pub fn discard(&mut self, block: u64) {
+        self.entries.remove(&block);
+    }
+
+    /// Write all dirty blocks to the device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; blocks written before an error remain
+    /// clean.
+    pub fn flush(&mut self, trace: &mut IoTrace) -> Result<(), DiskError> {
+        let mut dirty: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(&b, _)| b)
+            .collect();
+        dirty.sort_unstable(); // elevator order
+        for block in dirty {
+            let e = self.entries.get_mut(&block).expect("listed dirty block");
+            self.device.write_block(block, &e.data)?;
+            e.dirty = false;
+            trace.push_write(block);
+            self.stats.writebacks += 1;
+        }
+        Ok(())
+    }
+
+    /// Flush and return the device (teardown path — C-DTOR-FAIL says do
+    /// fallible work here, not in `Drop`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the final flush.
+    pub fn into_device(mut self) -> Result<D, DiskError> {
+        let mut trace = IoTrace::default();
+        self.flush(&mut trace)?;
+        Ok(self.device)
+    }
+}
+
+impl<D: BlockDevice> std::fmt::Debug for BlockCache<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("capacity_blocks", &self.capacity_blocks)
+            .field("resident", &self.entries.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasd_disk::MemDisk;
+
+    fn cache(cap: usize) -> BlockCache<MemDisk> {
+        BlockCache::new(MemDisk::new(512, 1024), cap)
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut c = cache(4);
+        let mut t = IoTrace::default();
+        let _ = c.read(5, &mut t).unwrap();
+        assert_eq!((t.hits, t.misses), (0, 1));
+        assert_eq!(t.blocks_read(), 1);
+        let _ = c.read(5, &mut t).unwrap();
+        assert_eq!((t.hits, t.misses), (1, 1));
+        assert_eq!(c.stats().hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn full_block_write_is_absorbed() {
+        let mut c = cache(4);
+        let mut t = IoTrace::default();
+        c.write(3, &[9u8; 512], &mut t).unwrap();
+        assert!(t.is_warm(), "write-behind should not touch the device");
+        // Data readable through cache.
+        assert_eq!(c.read(3, &mut t).unwrap()[0], 9);
+    }
+
+    #[test]
+    fn partial_write_reads_then_modifies() {
+        let mut c = cache(4);
+        // Seed the device with recognizable data.
+        let mut t = IoTrace::default();
+        c.write(0, &[1u8; 512], &mut t).unwrap();
+        c.flush(&mut t).unwrap();
+        c.discard(0);
+
+        let mut t = IoTrace::default();
+        c.write_partial(0, 10, &[2u8; 5], &mut t).unwrap();
+        assert_eq!(t.misses, 1, "partial write must read-modify-write");
+        let data = c.read(0, &mut t).unwrap();
+        assert_eq!(data[9], 1);
+        assert_eq!(&data[10..15], &[2u8; 5]);
+        assert_eq!(data[15], 1);
+    }
+
+    #[test]
+    fn partial_write_beyond_block_rejected() {
+        let mut c = cache(4);
+        let mut t = IoTrace::default();
+        assert!(c.write_partial(0, 510, &[0u8; 5], &mut t).is_err());
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_lru() {
+        let mut c = cache(2);
+        let mut t = IoTrace::default();
+        c.write(1, &[1u8; 512], &mut t).unwrap();
+        c.write(2, &[2u8; 512], &mut t).unwrap();
+        assert!(t.is_warm());
+        // Touch 1 so 2 becomes LRU.
+        let _ = c.read(1, &mut t).unwrap();
+        let mut t = IoTrace::default();
+        c.write(3, &[3u8; 512], &mut t).unwrap();
+        assert_eq!(t.blocks_written(), 1, "dirty LRU written back");
+        assert_eq!(t.records[0], IoRecord::Write { block: 2, count: 1 });
+        assert!(!c.contains(2));
+        assert!(c.contains(1) && c.contains(3));
+        assert_eq!(c.stats().evictions, 1);
+        // Device now holds block 2's data.
+        let mut buf = vec![0u8; 512];
+        c.device().read_block(2, &mut buf).unwrap();
+        assert_eq!(buf[0], 2);
+    }
+
+    #[test]
+    fn flush_drains_in_elevator_order() {
+        let mut c = cache(8);
+        let mut t = IoTrace::default();
+        for b in [5u64, 1, 3] {
+            c.write(b, &[b as u8; 512], &mut t).unwrap();
+        }
+        let mut t = IoTrace::default();
+        c.flush(&mut t).unwrap();
+        let order: Vec<u64> = t
+            .records
+            .iter()
+            .map(|r| match r {
+                IoRecord::Write { block, .. } => *block,
+                IoRecord::Read { .. } => panic!("flush must not read"),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 3, 5]);
+        // Second flush is a no-op.
+        let mut t2 = IoTrace::default();
+        c.flush(&mut t2).unwrap();
+        assert!(t2.is_warm());
+    }
+
+    #[test]
+    fn discard_drops_without_writeback() {
+        let mut c = cache(4);
+        let mut t = IoTrace::default();
+        c.write(7, &[7u8; 512], &mut t).unwrap();
+        c.discard(7);
+        let mut t = IoTrace::default();
+        c.flush(&mut t).unwrap();
+        assert!(t.is_warm(), "discarded dirty block must not be written");
+    }
+
+    #[test]
+    fn trace_coalesces_adjacent_blocks() {
+        let mut c = cache(8);
+        let mut t = IoTrace::default();
+        for b in 0..4u64 {
+            let _ = c.read(b, &mut t).unwrap();
+        }
+        assert_eq!(t.records, vec![IoRecord::Read { block: 0, count: 4 }]);
+        assert_eq!(t.blocks_read(), 4);
+    }
+
+    #[test]
+    fn into_device_flushes() {
+        let mut c = cache(4);
+        let mut t = IoTrace::default();
+        c.write(0, &[5u8; 512], &mut t).unwrap();
+        let dev = c.into_device().unwrap();
+        let mut buf = vec![0u8; 512];
+        dev.read_block(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 5);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = cache(3);
+        let mut t = IoTrace::default();
+        for b in 0..10u64 {
+            let _ = c.read(b, &mut t).unwrap();
+        }
+        assert!(c.resident() <= 3);
+    }
+
+    #[test]
+    fn hit_ratio_empty_is_zero() {
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+}

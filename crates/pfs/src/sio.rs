@@ -1,0 +1,240 @@
+//! The SIO-style client interface.
+//!
+//! The Scalable I/O low-level API \[Corbett96\] is offset-explicit (no
+//! shared file pointers) and built for parallel access: every compute
+//! node reads and writes its own byte ranges, and collective operations
+//! coordinate only through the (cheap) name and storage managers. That
+//! is precisely what lets NASD PFS "pass the scalable bandwidth of
+//! network-attached storage on to applications".
+
+use crate::name::{NameRequest, NameResponse};
+use bytes::Bytes;
+use nasd_cheops::{CheopsClient, CheopsFile, LogicalObjectId, Redundancy};
+use nasd_fm::FmError;
+use nasd_net::Rpc;
+use nasd_proto::Rights;
+use std::fmt;
+
+/// PFS errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    /// Path not bound.
+    NotFound(String),
+    /// Path already bound.
+    Exists(String),
+    /// Storage layer failure.
+    Storage(FmError),
+    /// Transport failure.
+    Transport,
+}
+
+impl fmt::Display for PfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfsError::NotFound(p) => write!(f, "not found: {p}"),
+            PfsError::Exists(p) => write!(f, "already exists: {p}"),
+            PfsError::Storage(e) => write!(f, "storage error: {e}"),
+            PfsError::Transport => f.write_str("transport failure"),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PfsError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FmError> for PfsError {
+    fn from(e: FmError) -> Self {
+        PfsError::Storage(e)
+    }
+}
+
+impl From<nasd_net::RpcError> for PfsError {
+    fn from(_: nasd_net::RpcError) -> Self {
+        PfsError::Transport
+    }
+}
+
+/// An open PFS file: the Cheops file with its capability set.
+#[derive(Clone, Debug)]
+pub struct PfsFile {
+    /// Bound path.
+    pub path: String,
+    /// Backing logical object.
+    pub id: LogicalObjectId,
+    inner: CheopsFile,
+}
+
+impl PfsFile {
+    /// Stripe unit in bytes (applications align their chunks to this —
+    /// the mining app uses it as its request size).
+    #[must_use]
+    pub fn stripe_unit(&self) -> u64 {
+        self.inner.layout.stripe_unit
+    }
+
+    /// Stripe width (number of drives).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.inner.layout.width()
+    }
+}
+
+/// A PFS client — one per compute node.
+pub struct PfsClient {
+    names: Rpc<NameRequest, NameResponse>,
+    storage: CheopsClient,
+    stripe_unit: u64,
+}
+
+impl PfsClient {
+    /// Assemble a client from its services.
+    #[must_use]
+    pub fn new(
+        names: Rpc<NameRequest, NameResponse>,
+        storage: CheopsClient,
+        stripe_unit: u64,
+    ) -> Self {
+        PfsClient {
+            names,
+            storage,
+            stripe_unit,
+        }
+    }
+
+    /// Create a file striped over `width` drives and bind it to `path`.
+    ///
+    /// # Errors
+    ///
+    /// `Exists`, storage failures.
+    pub fn create(&self, path: &str, width: usize) -> Result<PfsFile, PfsError> {
+        let id = self
+            .storage
+            .create(width, self.stripe_unit, Redundancy::None)?;
+        match self.names.call(NameRequest::Bind {
+            path: path.to_string(),
+            id,
+        })? {
+            NameResponse::Ok => {}
+            NameResponse::Exists => {
+                self.storage.remove(id)?;
+                return Err(PfsError::Exists(path.to_string()));
+            }
+            _ => return Err(PfsError::Transport),
+        }
+        self.open(path)
+    }
+
+    /// Open a file by path, obtaining the layout and capability set.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`, storage failures.
+    pub fn open(&self, path: &str) -> Result<PfsFile, PfsError> {
+        let id = match self.names.call(NameRequest::Lookup {
+            path: path.to_string(),
+        })? {
+            NameResponse::Id(id) => id,
+            NameResponse::NotFound => return Err(PfsError::NotFound(path.to_string())),
+            _ => return Err(PfsError::Transport),
+        };
+        let inner = self.storage.open(id, Rights::ALL)?;
+        Ok(PfsFile {
+            path: path.to_string(),
+            id,
+            inner,
+        })
+    }
+
+    /// Unbind and destroy a file.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`, storage failures.
+    pub fn unlink(&self, path: &str) -> Result<(), PfsError> {
+        let id = match self.names.call(NameRequest::Lookup {
+            path: path.to_string(),
+        })? {
+            NameResponse::Id(id) => id,
+            NameResponse::NotFound => return Err(PfsError::NotFound(path.to_string())),
+            _ => return Err(PfsError::Transport),
+        };
+        match self.names.call(NameRequest::Unbind {
+            path: path.to_string(),
+        })? {
+            NameResponse::Ok => {}
+            _ => return Err(PfsError::Transport),
+        }
+        self.storage.remove(id)?;
+        Ok(())
+    }
+
+    /// List paths under a prefix.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn list(&self, prefix: &str) -> Result<Vec<String>, PfsError> {
+        match self.names.call(NameRequest::List {
+            prefix: prefix.to_string(),
+        })? {
+            NameResponse::Paths(p) => Ok(p),
+            _ => Err(PfsError::Transport),
+        }
+    }
+
+    /// Read at an explicit offset (SIO style; no file pointer).
+    ///
+    /// # Errors
+    ///
+    /// Storage failures.
+    pub fn read_at(&self, file: &PfsFile, offset: u64, len: u64) -> Result<Bytes, PfsError> {
+        Ok(self.storage.read(&file.inner, offset, len)?)
+    }
+
+    /// Write at an explicit offset.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures.
+    pub fn write_at(&self, file: &PfsFile, offset: u64, data: &[u8]) -> Result<u64, PfsError> {
+        Ok(self.storage.write(&file.inner, offset, data)?)
+    }
+
+    /// List-directed read (SIO's `listio`): fetch several extents in one
+    /// call; each extent's request pipeline runs concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures (first failure wins).
+    pub fn read_list(
+        &self,
+        file: &PfsFile,
+        extents: &[(u64, u64)],
+    ) -> Result<Vec<Bytes>, PfsError> {
+        extents
+            .iter()
+            .map(|&(offset, len)| self.read_at(file, offset, len))
+            .collect()
+    }
+
+    /// Current file size.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures.
+    pub fn size(&self, file: &PfsFile) -> Result<u64, PfsError> {
+        Ok(self.storage.size(&file.inner)?)
+    }
+}
+
+impl fmt::Debug for PfsClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PfsClient { .. }")
+    }
+}

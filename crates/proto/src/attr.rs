@@ -1,0 +1,256 @@
+//! Per-object attributes (§4.1).
+//!
+//! NASD objects carry attributes maintained by the drive (size, timestamps,
+//! version) plus an *uninterpreted* block the file manager uses for its own
+//! long-term state — "such as filesystem access control lists or mode bits".
+//! Attributes also carry the preallocation / clustering hints the paper
+//! borrows from the Logical Disk work \[deJonge93\].
+
+use crate::ids::{ObjectId, Version};
+use crate::wire::{DecodeError, WireDecode, WireEncode, WireReader, WireWriter};
+
+/// Size of the filesystem-specific uninterpreted attribute block.
+pub const FS_SPECIFIC_ATTR_LEN: usize = 256;
+
+/// Attributes of a NASD object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectAttributes {
+    /// Logical size of the object in bytes.
+    pub size: u64,
+    /// Bytes of capacity reserved for the object beyond its size.
+    pub preallocated: u64,
+    /// Creation time (drive clock, seconds).
+    pub create_time: u64,
+    /// Last data modification time.
+    pub data_modify_time: u64,
+    /// Last attribute modification time.
+    pub attr_modify_time: u64,
+    /// Last access time.
+    pub access_time: u64,
+    /// Logical version number; bumping it revokes capabilities.
+    pub version: Version,
+    /// Clustering hint: lay this object out near the named object.
+    pub cluster_with: Option<ObjectId>,
+    /// Uninterpreted filesystem-specific state (exactly
+    /// [`FS_SPECIFIC_ATTR_LEN`] bytes).
+    pub fs_specific: Box<[u8; FS_SPECIFIC_ATTR_LEN]>,
+}
+
+impl Default for ObjectAttributes {
+    fn default() -> Self {
+        ObjectAttributes {
+            size: 0,
+            preallocated: 0,
+            create_time: 0,
+            data_modify_time: 0,
+            attr_modify_time: 0,
+            access_time: 0,
+            version: Version(0),
+            cluster_with: None,
+            fs_specific: Box::new([0u8; FS_SPECIFIC_ATTR_LEN]),
+        }
+    }
+}
+
+impl ObjectAttributes {
+    /// Fresh attributes for an object created at `now`.
+    #[must_use]
+    pub fn new_at(now: u64) -> Self {
+        ObjectAttributes {
+            create_time: now,
+            data_modify_time: now,
+            attr_modify_time: now,
+            access_time: now,
+            ..ObjectAttributes::default()
+        }
+    }
+}
+
+/// Selects which client-settable attributes a `SetAttr` request updates.
+///
+/// Drive-maintained fields (size, timestamps, version) are never directly
+/// client-writable; "commands that may impact policy decisions ... must go
+/// through the file manager" (§5.1), which holds a SETATTR capability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SetAttrMask {
+    /// Update the filesystem-specific block.
+    pub fs_specific: bool,
+    /// Update the preallocation reservation.
+    pub preallocated: bool,
+    /// Update the clustering hint.
+    pub cluster_with: bool,
+    /// Bump the logical version number (capability revocation).
+    pub bump_version: bool,
+}
+
+impl SetAttrMask {
+    /// Mask selecting only the filesystem-specific block.
+    #[must_use]
+    pub fn fs_specific_only() -> Self {
+        SetAttrMask {
+            fs_specific: true,
+            ..SetAttrMask::default()
+        }
+    }
+
+    /// Mask selecting only a version bump.
+    #[must_use]
+    pub fn bump_version_only() -> Self {
+        SetAttrMask {
+            bump_version: true,
+            ..SetAttrMask::default()
+        }
+    }
+
+    fn to_byte(self) -> u8 {
+        u8::from(self.fs_specific)
+            | u8::from(self.preallocated) << 1
+            | u8::from(self.cluster_with) << 2
+            | u8::from(self.bump_version) << 3
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        if b & !0x0f != 0 {
+            return None;
+        }
+        Some(SetAttrMask {
+            fs_specific: b & 1 != 0,
+            preallocated: b & 2 != 0,
+            cluster_with: b & 4 != 0,
+            bump_version: b & 8 != 0,
+        })
+    }
+}
+
+impl WireEncode for SetAttrMask {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(self.to_byte());
+    }
+}
+
+impl WireDecode for SetAttrMask {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let b = r.u8()?;
+        SetAttrMask::from_byte(b).ok_or(DecodeError::BadTag {
+            context: "setattr mask",
+            value: u64::from(b),
+        })
+    }
+}
+
+impl WireEncode for ObjectAttributes {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.size)
+            .u64(self.preallocated)
+            .u64(self.create_time)
+            .u64(self.data_modify_time)
+            .u64(self.attr_modify_time)
+            .u64(self.access_time);
+        self.version.encode(w);
+        match self.cluster_with {
+            Some(id) => {
+                w.u8(1);
+                id.encode(w);
+            }
+            None => {
+                w.u8(0);
+            }
+        }
+        w.raw(&self.fs_specific[..]);
+    }
+}
+
+impl WireDecode for ObjectAttributes {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let size = r.u64()?;
+        let preallocated = r.u64()?;
+        let create_time = r.u64()?;
+        let data_modify_time = r.u64()?;
+        let attr_modify_time = r.u64()?;
+        let access_time = r.u64()?;
+        let version = Version::decode(r)?;
+        let cluster_with = match r.u8()? {
+            0 => None,
+            1 => Some(ObjectId::decode(r)?),
+            v => {
+                return Err(DecodeError::BadTag {
+                    context: "cluster_with option",
+                    value: u64::from(v),
+                })
+            }
+        };
+        let raw = r.raw(FS_SPECIFIC_ATTR_LEN)?;
+        let mut fs_specific = Box::new([0u8; FS_SPECIFIC_ATTR_LEN]);
+        fs_specific.copy_from_slice(raw);
+        Ok(ObjectAttributes {
+            size,
+            preallocated,
+            create_time,
+            data_modify_time,
+            attr_modify_time,
+            access_time,
+            version,
+            cluster_with,
+            fs_specific,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{WireDecode, WireEncode};
+
+    #[test]
+    fn attributes_wire_roundtrip() {
+        let mut a = ObjectAttributes::new_at(1234);
+        a.size = 4096;
+        a.preallocated = 8192;
+        a.version = Version(3);
+        a.cluster_with = Some(ObjectId(77));
+        a.fs_specific[0] = 0xaa;
+        a.fs_specific[255] = 0xbb;
+        let decoded = ObjectAttributes::from_wire(&a.to_wire()).unwrap();
+        assert_eq!(decoded, a);
+    }
+
+    #[test]
+    fn attributes_default_roundtrip() {
+        let a = ObjectAttributes::default();
+        assert_eq!(ObjectAttributes::from_wire(&a.to_wire()).unwrap(), a);
+    }
+
+    #[test]
+    fn new_at_sets_timestamps() {
+        let a = ObjectAttributes::new_at(99);
+        assert_eq!(a.create_time, 99);
+        assert_eq!(a.data_modify_time, 99);
+        assert_eq!(a.attr_modify_time, 99);
+        assert_eq!(a.access_time, 99);
+        assert_eq!(a.size, 0);
+    }
+
+    #[test]
+    fn setattr_mask_roundtrip() {
+        for b in 0..16u8 {
+            let m = SetAttrMask::from_byte(b).unwrap();
+            assert_eq!(SetAttrMask::from_wire(&m.to_wire()).unwrap(), m);
+        }
+        assert_eq!(SetAttrMask::from_byte(0x10), None);
+    }
+
+    #[test]
+    fn mask_constructors() {
+        assert!(SetAttrMask::fs_specific_only().fs_specific);
+        assert!(!SetAttrMask::fs_specific_only().bump_version);
+        assert!(SetAttrMask::bump_version_only().bump_version);
+    }
+
+    #[test]
+    fn bad_cluster_tag_rejected() {
+        let mut a = ObjectAttributes::default().to_wire();
+        // The option tag sits right after 6 u64s + version (7 * 8 bytes).
+        a[56] = 9;
+        assert!(ObjectAttributes::from_wire(&a).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Identifiers and ranges used throughout the NASD protocol.
+
+use crate::wire::{DecodeError, WireDecode, WireEncode, WireReader, WireWriter};
+use std::fmt;
+
+/// Identifies one NASD drive in the system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DriveId(pub u64);
+
+/// Identifies a soft partition within a drive.
+///
+/// NASD partitions are "variable-sized groupings of objects, not physical
+/// regions of disk media" (§2); the id is just a namespace selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PartitionId(pub u16);
+
+/// Names an object within a partition's flat namespace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ObjectId(pub u64);
+
+/// An object's logical version number.
+///
+/// The file manager bumps this to revoke outstanding capabilities for the
+/// object (§4.1): a capability embeds the version it was approved for, and
+/// the drive rejects mismatches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The next version (capability revocation).
+    #[must_use]
+    pub fn bumped(self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+/// Anti-replay nonce carried on every request (Figure 5).
+///
+/// A client id plus a strictly increasing counter; the drive keeps a
+/// per-client high-water mark and a small window for reordering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Nonce {
+    /// Issuing client.
+    pub client: u64,
+    /// Strictly increasing per-client counter.
+    pub counter: u64,
+}
+
+impl Nonce {
+    /// Construct a nonce.
+    #[must_use]
+    pub fn new(client: u64, counter: u64) -> Self {
+        Nonce { client, counter }
+    }
+}
+
+/// A half-open byte range `[start, end)` within an object.
+///
+/// Capabilities restrict access to a region (the paper uses this for AFS
+/// quota escrow: a write capability whose region is larger than the current
+/// object escrows room for growth).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct ByteRange {
+    /// First byte covered.
+    pub start: u64,
+    /// One past the last byte covered.
+    pub end: u64,
+}
+
+impl ByteRange {
+    /// A range covering the whole object space.
+    pub const FULL: ByteRange = ByteRange {
+        start: 0,
+        end: u64::MAX,
+    };
+
+    /// Construct a range; `start` must not exceed `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    #[must_use]
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start <= end, "byte range start {start} > end {end}");
+        ByteRange { start, end }
+    }
+
+    /// Length of the range in bytes.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `[offset, offset+len)` lies entirely inside this range.
+    ///
+    /// An empty access (len 0) is contained if its offset is within bounds.
+    #[must_use]
+    pub fn contains_range(&self, offset: u64, len: u64) -> bool {
+        let Some(end) = offset.checked_add(len) else {
+            return false;
+        };
+        offset >= self.start && end <= self.end
+    }
+}
+
+impl fmt::Display for ByteRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+macro_rules! display_newtype {
+    ($ty:ident, $prefix:literal) => {
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+display_newtype!(DriveId, "drive-");
+display_newtype!(PartitionId, "part-");
+display_newtype!(ObjectId, "obj-");
+display_newtype!(Version, "v");
+
+impl WireEncode for DriveId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.0);
+    }
+}
+impl WireDecode for DriveId {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(DriveId(r.u64()?))
+    }
+}
+
+impl WireEncode for PartitionId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u16(self.0);
+    }
+}
+impl WireDecode for PartitionId {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(PartitionId(r.u16()?))
+    }
+}
+
+impl WireEncode for ObjectId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.0);
+    }
+}
+impl WireDecode for ObjectId {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(ObjectId(r.u64()?))
+    }
+}
+
+impl WireEncode for Version {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.0);
+    }
+}
+impl WireDecode for Version {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(Version(r.u64()?))
+    }
+}
+
+impl WireEncode for Nonce {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.client).u64(self.counter);
+    }
+}
+impl WireDecode for Nonce {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(Nonce {
+            client: r.u64()?,
+            counter: r.u64()?,
+        })
+    }
+}
+
+impl WireEncode for ByteRange {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.start).u64(self.end);
+    }
+}
+impl WireDecode for ByteRange {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let start = r.u64()?;
+        let end = r.u64()?;
+        if start > end {
+            return Err(DecodeError::BadTag {
+                context: "byte range",
+                value: start,
+            });
+        }
+        Ok(ByteRange { start, end })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{WireDecode, WireEncode};
+
+    #[test]
+    fn byte_range_containment() {
+        let r = ByteRange::new(100, 200);
+        assert!(r.contains_range(100, 100));
+        assert!(r.contains_range(150, 0));
+        assert!(!r.contains_range(99, 1));
+        assert!(!r.contains_range(150, 51));
+        assert!(!r.contains_range(200, 1));
+        assert!(r.contains_range(200, 0));
+    }
+
+    #[test]
+    fn byte_range_overflow_access_rejected() {
+        let r = ByteRange::FULL;
+        assert!(!r.contains_range(u64::MAX, 2));
+        assert!(r.contains_range(0, u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "byte range start")]
+    fn inverted_range_panics() {
+        let _ = ByteRange::new(5, 4);
+    }
+
+    #[test]
+    fn full_range_contains_everything() {
+        assert!(ByteRange::FULL.contains_range(0, 1 << 40));
+        assert_eq!(ByteRange::FULL.len(), u64::MAX);
+    }
+
+    #[test]
+    fn version_bump() {
+        assert_eq!(Version(3).bumped(), Version(4));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(DriveId(3).to_string(), "drive-3");
+        assert_eq!(PartitionId(1).to_string(), "part-1");
+        assert_eq!(ObjectId(9).to_string(), "obj-9");
+        assert_eq!(Version(2).to_string(), "v2");
+        assert_eq!(ByteRange::new(1, 5).to_string(), "[1, 5)");
+    }
+
+    #[test]
+    fn wire_roundtrips() {
+        let range = ByteRange::new(10, 20);
+        assert_eq!(ByteRange::from_wire(&range.to_wire()).unwrap(), range);
+
+        let nonce = Nonce::new(7, 42);
+        assert_eq!(Nonce::from_wire(&nonce.to_wire()).unwrap(), nonce);
+
+        assert_eq!(
+            ObjectId::from_wire(&ObjectId(5).to_wire()).unwrap(),
+            ObjectId(5)
+        );
+    }
+
+    #[test]
+    fn inverted_range_rejected_on_decode() {
+        let mut w = crate::wire::WireWriter::new();
+        w.u64(10).u64(5);
+        assert!(ByteRange::from_wire(&w.into_vec()).is_err());
+    }
+}

@@ -1,0 +1,685 @@
+//! Request and reply messages of the NASD drive interface (§4.1).
+//!
+//! The interface is deliberately small — under 20 requests. Bulk data is
+//! carried separately from the request arguments so the *request digest*
+//! (always required) covers the arguments and nonce, while covering the
+//! data is the optional, more expensive `DataIntegrity` mode (Figure 5).
+
+use crate::attr::{ObjectAttributes, SetAttrMask, FS_SPECIFIC_ATTR_LEN};
+use crate::capability::{CapabilityPublic, RequestDigest, SecurityHeader};
+use crate::ids::{ObjectId, PartitionId};
+use crate::status::NasdStatus;
+use crate::wire::{DecodeError, WireDecode, WireEncode, WireReader, WireWriter};
+use bytes::Bytes;
+use nasd_crypto::KeyKind;
+
+/// Object id of the well-known per-partition object listing all allocated
+/// object names ("a complete list of allocated object names", §4.1).
+pub const WELL_KNOWN_OBJECT_LIST: ObjectId = ObjectId(1);
+
+/// Arguments of a drive request (everything except bulk data).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RequestBody {
+    /// Read `len` bytes of object data at `offset`.
+    Read {
+        /// Partition holding the object.
+        partition: PartitionId,
+        /// Object to read.
+        object: ObjectId,
+        /// Starting byte offset.
+        offset: u64,
+        /// Number of bytes to read.
+        len: u64,
+    },
+    /// Write the accompanying data at `offset` (length is the data length).
+    Write {
+        /// Partition holding the object.
+        partition: PartitionId,
+        /// Object to write.
+        object: ObjectId,
+        /// Starting byte offset.
+        offset: u64,
+        /// Length of the bulk data that accompanies this request.
+        len: u64,
+    },
+    /// Read object attributes.
+    GetAttr {
+        /// Partition holding the object.
+        partition: PartitionId,
+        /// Object whose attributes to read.
+        object: ObjectId,
+    },
+    /// Write client-settable attributes selected by `mask`.
+    SetAttr {
+        /// Partition holding the object.
+        partition: PartitionId,
+        /// Object whose attributes to update.
+        object: ObjectId,
+        /// Which fields to update.
+        mask: SetAttrMask,
+        /// New filesystem-specific block (used when `mask.fs_specific`).
+        fs_specific: Box<[u8; FS_SPECIFIC_ATTR_LEN]>,
+        /// New preallocation reservation (when `mask.preallocated`).
+        preallocated: u64,
+        /// New clustering hint (when `mask.cluster_with`).
+        cluster_with: Option<ObjectId>,
+    },
+    /// Create a new object; the drive assigns the name.
+    Create {
+        /// Partition to create in.
+        partition: PartitionId,
+        /// Capacity to reserve up front (bytes).
+        preallocate: u64,
+        /// Optional clustering hint.
+        cluster_with: Option<ObjectId>,
+    },
+    /// Remove an object and free its space.
+    Remove {
+        /// Partition holding the object.
+        partition: PartitionId,
+        /// Object to remove.
+        object: ObjectId,
+    },
+    /// Truncate or extend object data to `new_size`.
+    Resize {
+        /// Partition holding the object.
+        partition: PartitionId,
+        /// Object to resize.
+        object: ObjectId,
+        /// New logical size in bytes.
+        new_size: u64,
+    },
+    /// Construct a copy-on-write version of the object (§4.1).
+    Snapshot {
+        /// Partition holding the object.
+        partition: PartitionId,
+        /// Object to version.
+        object: ObjectId,
+    },
+    /// Flush write-behind data for an object to media.
+    Flush {
+        /// Partition holding the object.
+        partition: PartitionId,
+        /// Object to flush.
+        object: ObjectId,
+    },
+    /// Create a soft partition with a capacity quota.
+    CreatePartition {
+        /// New partition id.
+        partition: PartitionId,
+        /// Capacity quota in bytes.
+        quota: u64,
+    },
+    /// Change a partition's quota (may not shrink below usage).
+    ResizePartition {
+        /// Partition to resize.
+        partition: PartitionId,
+        /// New capacity quota in bytes.
+        quota: u64,
+    },
+    /// Remove an empty partition.
+    RemovePartition {
+        /// Partition to remove.
+        partition: PartitionId,
+    },
+    /// List allocated object names in a partition (reads the well-known
+    /// object-list object).
+    ListObjects {
+        /// Partition to list.
+        partition: PartitionId,
+    },
+    /// Replace a working key for a partition. Authorized by the partition
+    /// key, not a capability; `wrapped_key` is the new key protected under
+    /// the parent key.
+    SetKey {
+        /// Partition whose working key changes.
+        partition: PartitionId,
+        /// Which working key to replace.
+        kind: KeyKind,
+        /// New key material (32 bytes, wrapped by the secure channel).
+        wrapped_key: Vec<u8>,
+    },
+}
+
+impl RequestBody {
+    /// Partition the request addresses.
+    #[must_use]
+    pub fn partition(&self) -> PartitionId {
+        match self {
+            RequestBody::Read { partition, .. }
+            | RequestBody::Write { partition, .. }
+            | RequestBody::GetAttr { partition, .. }
+            | RequestBody::SetAttr { partition, .. }
+            | RequestBody::Create { partition, .. }
+            | RequestBody::Remove { partition, .. }
+            | RequestBody::Resize { partition, .. }
+            | RequestBody::Snapshot { partition, .. }
+            | RequestBody::Flush { partition, .. }
+            | RequestBody::CreatePartition { partition, .. }
+            | RequestBody::ResizePartition { partition, .. }
+            | RequestBody::RemovePartition { partition }
+            | RequestBody::ListObjects { partition }
+            | RequestBody::SetKey { partition, .. } => *partition,
+        }
+    }
+
+    /// Object the request addresses, if it names one.
+    #[must_use]
+    pub fn object(&self) -> Option<ObjectId> {
+        match self {
+            RequestBody::Read { object, .. }
+            | RequestBody::Write { object, .. }
+            | RequestBody::GetAttr { object, .. }
+            | RequestBody::SetAttr { object, .. }
+            | RequestBody::Remove { object, .. }
+            | RequestBody::Resize { object, .. }
+            | RequestBody::Snapshot { object, .. }
+            | RequestBody::Flush { object, .. } => Some(*object),
+            _ => None,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            RequestBody::Read { .. } => 0,
+            RequestBody::Write { .. } => 1,
+            RequestBody::GetAttr { .. } => 2,
+            RequestBody::SetAttr { .. } => 3,
+            RequestBody::Create { .. } => 4,
+            RequestBody::Remove { .. } => 5,
+            RequestBody::Resize { .. } => 6,
+            RequestBody::Snapshot { .. } => 7,
+            RequestBody::Flush { .. } => 8,
+            RequestBody::CreatePartition { .. } => 9,
+            RequestBody::ResizePartition { .. } => 10,
+            RequestBody::RemovePartition { .. } => 11,
+            RequestBody::ListObjects { .. } => 12,
+            RequestBody::SetKey { .. } => 13,
+        }
+    }
+}
+
+impl WireEncode for RequestBody {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(self.tag());
+        match self {
+            RequestBody::Read {
+                partition,
+                object,
+                offset,
+                len,
+            }
+            | RequestBody::Write {
+                partition,
+                object,
+                offset,
+                len,
+            } => {
+                partition.encode(w);
+                object.encode(w);
+                w.u64(*offset).u64(*len);
+            }
+            RequestBody::GetAttr { partition, object }
+            | RequestBody::Remove { partition, object }
+            | RequestBody::Snapshot { partition, object }
+            | RequestBody::Flush { partition, object } => {
+                partition.encode(w);
+                object.encode(w);
+            }
+            RequestBody::SetAttr {
+                partition,
+                object,
+                mask,
+                fs_specific,
+                preallocated,
+                cluster_with,
+            } => {
+                partition.encode(w);
+                object.encode(w);
+                mask.encode(w);
+                w.raw(&fs_specific[..]);
+                w.u64(*preallocated);
+                match cluster_with {
+                    Some(id) => {
+                        w.u8(1);
+                        id.encode(w);
+                    }
+                    None => {
+                        w.u8(0);
+                    }
+                }
+            }
+            RequestBody::Create {
+                partition,
+                preallocate,
+                cluster_with,
+            } => {
+                partition.encode(w);
+                w.u64(*preallocate);
+                match cluster_with {
+                    Some(id) => {
+                        w.u8(1);
+                        id.encode(w);
+                    }
+                    None => {
+                        w.u8(0);
+                    }
+                }
+            }
+            RequestBody::Resize {
+                partition,
+                object,
+                new_size,
+            } => {
+                partition.encode(w);
+                object.encode(w);
+                w.u64(*new_size);
+            }
+            RequestBody::CreatePartition { partition, quota }
+            | RequestBody::ResizePartition { partition, quota } => {
+                partition.encode(w);
+                w.u64(*quota);
+            }
+            RequestBody::RemovePartition { partition }
+            | RequestBody::ListObjects { partition } => {
+                partition.encode(w);
+            }
+            RequestBody::SetKey {
+                partition,
+                kind,
+                wrapped_key,
+            } => {
+                partition.encode(w);
+                w.u8(kind.to_byte());
+                w.bytes(wrapped_key);
+            }
+        }
+    }
+}
+
+impl WireDecode for RequestBody {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let tag = r.u8()?;
+        let body = match tag {
+            0 | 1 => {
+                let partition = PartitionId::decode(r)?;
+                let object = ObjectId::decode(r)?;
+                let offset = r.u64()?;
+                let len = r.u64()?;
+                if tag == 0 {
+                    RequestBody::Read {
+                        partition,
+                        object,
+                        offset,
+                        len,
+                    }
+                } else {
+                    RequestBody::Write {
+                        partition,
+                        object,
+                        offset,
+                        len,
+                    }
+                }
+            }
+            2 | 5 | 7 | 8 => {
+                let partition = PartitionId::decode(r)?;
+                let object = ObjectId::decode(r)?;
+                match tag {
+                    2 => RequestBody::GetAttr { partition, object },
+                    5 => RequestBody::Remove { partition, object },
+                    7 => RequestBody::Snapshot { partition, object },
+                    _ => RequestBody::Flush { partition, object },
+                }
+            }
+            3 => {
+                let partition = PartitionId::decode(r)?;
+                let object = ObjectId::decode(r)?;
+                let mask = SetAttrMask::decode(r)?;
+                let raw = r.raw(FS_SPECIFIC_ATTR_LEN)?;
+                let mut fs_specific = Box::new([0u8; FS_SPECIFIC_ATTR_LEN]);
+                fs_specific.copy_from_slice(raw);
+                let preallocated = r.u64()?;
+                let cluster_with = match r.u8()? {
+                    0 => None,
+                    1 => Some(ObjectId::decode(r)?),
+                    v => {
+                        return Err(DecodeError::BadTag {
+                            context: "cluster_with option",
+                            value: u64::from(v),
+                        })
+                    }
+                };
+                RequestBody::SetAttr {
+                    partition,
+                    object,
+                    mask,
+                    fs_specific,
+                    preallocated,
+                    cluster_with,
+                }
+            }
+            4 => {
+                let partition = PartitionId::decode(r)?;
+                let preallocate = r.u64()?;
+                let cluster_with = match r.u8()? {
+                    0 => None,
+                    1 => Some(ObjectId::decode(r)?),
+                    v => {
+                        return Err(DecodeError::BadTag {
+                            context: "cluster_with option",
+                            value: u64::from(v),
+                        })
+                    }
+                };
+                RequestBody::Create {
+                    partition,
+                    preallocate,
+                    cluster_with,
+                }
+            }
+            6 => RequestBody::Resize {
+                partition: PartitionId::decode(r)?,
+                object: ObjectId::decode(r)?,
+                new_size: r.u64()?,
+            },
+            9 => RequestBody::CreatePartition {
+                partition: PartitionId::decode(r)?,
+                quota: r.u64()?,
+            },
+            10 => RequestBody::ResizePartition {
+                partition: PartitionId::decode(r)?,
+                quota: r.u64()?,
+            },
+            11 => RequestBody::RemovePartition {
+                partition: PartitionId::decode(r)?,
+            },
+            12 => RequestBody::ListObjects {
+                partition: PartitionId::decode(r)?,
+            },
+            13 => {
+                let partition = PartitionId::decode(r)?;
+                let kb = r.u8()?;
+                let kind = KeyKind::from_byte(kb).ok_or(DecodeError::BadTag {
+                    context: "key kind",
+                    value: u64::from(kb),
+                })?;
+                let wrapped_key = r.bytes()?.to_vec();
+                RequestBody::SetKey {
+                    partition,
+                    kind,
+                    wrapped_key,
+                }
+            }
+            t => {
+                return Err(DecodeError::BadTag {
+                    context: "request",
+                    value: u64::from(t),
+                })
+            }
+        };
+        Ok(body)
+    }
+}
+
+/// A complete request as it crosses the network (Figure 5): security
+/// header, capability public portion, arguments, digest, and bulk data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Security header (protection level + nonce).
+    pub header: SecurityHeader,
+    /// The capability authorizing this request, if one is required.
+    /// Control requests authorized by partition/drive keys carry `None`.
+    pub capability: Option<CapabilityPublic>,
+    /// Request arguments.
+    pub body: RequestBody,
+    /// MAC over nonce and arguments keyed by the capability private field
+    /// (or the partition key for `SetKey`).
+    pub digest: RequestDigest,
+    /// Bulk data (writes). Empty for all other requests.
+    pub data: Bytes,
+}
+
+impl Request {
+    /// Total bytes this request occupies on the wire, including headers
+    /// and bulk data — what the network model charges.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        let mut w = WireWriter::new();
+        self.header.encode(&mut w);
+        match &self.capability {
+            Some(c) => {
+                w.u8(1);
+                c.encode(&mut w);
+            }
+            None => {
+                w.u8(0);
+            }
+        }
+        self.body.encode(&mut w);
+        self.digest.encode(&mut w);
+        w.len() + self.data.len()
+    }
+}
+
+/// Result payload of a drive operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplyBody {
+    /// No payload.
+    Empty,
+    /// Object data (reads).
+    Data(Bytes),
+    /// Object attributes.
+    Attr(ObjectAttributes),
+    /// Name of a newly created object or snapshot.
+    Created(ObjectId),
+    /// Bytes written.
+    Written(u64),
+    /// Allocated object names.
+    Objects(Vec<ObjectId>),
+}
+
+/// A complete reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reply {
+    /// Outcome status.
+    pub status: NasdStatus,
+    /// Payload (meaningful only when `status.is_ok()`).
+    pub body: ReplyBody,
+}
+
+impl Reply {
+    /// A failure reply with no payload.
+    #[must_use]
+    pub fn error(status: NasdStatus) -> Self {
+        Reply {
+            status,
+            body: ReplyBody::Empty,
+        }
+    }
+
+    /// A success reply.
+    #[must_use]
+    pub fn ok(body: ReplyBody) -> Self {
+        Reply {
+            status: NasdStatus::Ok,
+            body,
+        }
+    }
+
+    /// Total bytes this reply occupies on the wire.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        // status byte + small body header + payload
+        let payload = match &self.body {
+            ReplyBody::Empty => 0,
+            ReplyBody::Data(d) => d.len(),
+            ReplyBody::Attr(_) => 321, // fixed encoding size of attributes
+            ReplyBody::Created(_) | ReplyBody::Written(_) => 8,
+            ReplyBody::Objects(v) => 4 + v.len() * 8,
+        };
+        1 + 1 + payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::ProtectionLevel;
+    use crate::ids::Nonce;
+
+    fn all_bodies() -> Vec<RequestBody> {
+        let p = PartitionId(1);
+        let o = ObjectId(9);
+        vec![
+            RequestBody::Read {
+                partition: p,
+                object: o,
+                offset: 0,
+                len: 4096,
+            },
+            RequestBody::Write {
+                partition: p,
+                object: o,
+                offset: 512,
+                len: 1024,
+            },
+            RequestBody::GetAttr {
+                partition: p,
+                object: o,
+            },
+            RequestBody::SetAttr {
+                partition: p,
+                object: o,
+                mask: SetAttrMask::fs_specific_only(),
+                fs_specific: Box::new([3u8; FS_SPECIFIC_ATTR_LEN]),
+                preallocated: 0,
+                cluster_with: Some(ObjectId(4)),
+            },
+            RequestBody::Create {
+                partition: p,
+                preallocate: 65536,
+                cluster_with: None,
+            },
+            RequestBody::Remove {
+                partition: p,
+                object: o,
+            },
+            RequestBody::Resize {
+                partition: p,
+                object: o,
+                new_size: 100,
+            },
+            RequestBody::Snapshot {
+                partition: p,
+                object: o,
+            },
+            RequestBody::Flush {
+                partition: p,
+                object: o,
+            },
+            RequestBody::CreatePartition {
+                partition: p,
+                quota: 1 << 30,
+            },
+            RequestBody::ResizePartition {
+                partition: p,
+                quota: 1 << 31,
+            },
+            RequestBody::RemovePartition { partition: p },
+            RequestBody::ListObjects { partition: p },
+            RequestBody::SetKey {
+                partition: p,
+                kind: KeyKind::Black,
+                wrapped_key: vec![0xaa; 32],
+            },
+        ]
+    }
+
+    #[test]
+    fn interface_is_under_20_requests() {
+        // The paper: "this interface contains less than 20 requests".
+        assert!(all_bodies().len() < 20);
+    }
+
+    #[test]
+    fn all_request_bodies_roundtrip() {
+        for body in all_bodies() {
+            let decoded = RequestBody::from_wire(&body.to_wire())
+                .unwrap_or_else(|e| panic!("decode {body:?}: {e}"));
+            assert_eq!(decoded, body);
+        }
+    }
+
+    #[test]
+    fn bad_request_tag_rejected() {
+        assert!(matches!(
+            RequestBody::from_wire(&[200]),
+            Err(DecodeError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn partition_and_object_accessors() {
+        for body in all_bodies() {
+            assert_eq!(body.partition(), PartitionId(1));
+        }
+        assert_eq!(
+            RequestBody::Read {
+                partition: PartitionId(1),
+                object: ObjectId(9),
+                offset: 0,
+                len: 1
+            }
+            .object(),
+            Some(ObjectId(9))
+        );
+        assert_eq!(
+            RequestBody::ListObjects {
+                partition: PartitionId(1)
+            }
+            .object(),
+            None
+        );
+    }
+
+    #[test]
+    fn request_wire_size_counts_data() {
+        let body = RequestBody::Write {
+            partition: PartitionId(0),
+            object: ObjectId(2),
+            offset: 0,
+            len: 100,
+        };
+        let base = Request {
+            header: SecurityHeader {
+                protection: ProtectionLevel::ArgsIntegrity,
+                nonce: Nonce::new(1, 1),
+            },
+            capability: None,
+            body: body.clone(),
+            digest: RequestDigest(nasd_crypto::Sha256::digest(b"x")),
+            data: Bytes::new(),
+        };
+        let with_data = Request {
+            data: Bytes::from(vec![0u8; 100]),
+            ..base.clone()
+        };
+        assert_eq!(with_data.wire_size(), base.wire_size() + 100);
+    }
+
+    #[test]
+    fn reply_wire_size() {
+        assert_eq!(Reply::error(NasdStatus::NoSpace).wire_size(), 2);
+        let r = Reply::ok(ReplyBody::Data(Bytes::from(vec![0u8; 50])));
+        assert_eq!(r.wire_size(), 52);
+    }
+
+    #[test]
+    fn reply_constructors() {
+        assert!(Reply::ok(ReplyBody::Empty).status.is_ok());
+        assert!(!Reply::error(NasdStatus::Replay).status.is_ok());
+    }
+}

@@ -1,0 +1,200 @@
+//! Access rights carried in capabilities.
+
+use crate::wire::{DecodeError, WireDecode, WireEncode, WireReader, WireWriter};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign};
+
+/// A set of operations a capability authorizes.
+///
+/// Implemented as a small hand-rolled bitflag type (the `bitflags` crate is
+/// outside the allowed dependency set). Each flag corresponds to a drive
+/// request family in §4.1.
+///
+/// # Example
+///
+/// ```
+/// use nasd_proto::Rights;
+/// let rw = Rights::READ | Rights::WRITE;
+/// assert!(rw.allows(Rights::READ | Rights::WRITE));
+/// assert!(!rw.allows(Rights::SETATTR));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rights(u16);
+
+impl Rights {
+    /// No rights.
+    pub const NONE: Rights = Rights(0);
+    /// Read object data.
+    pub const READ: Rights = Rights(1 << 0);
+    /// Write object data.
+    pub const WRITE: Rights = Rights(1 << 1);
+    /// Read object attributes.
+    pub const GETATTR: Rights = Rights(1 << 2);
+    /// Write object attributes (the filesystem-specific block and hints).
+    pub const SETATTR: Rights = Rights(1 << 3);
+    /// Create objects in the partition.
+    pub const CREATE: Rights = Rights(1 << 4);
+    /// Remove objects from the partition.
+    pub const REMOVE: Rights = Rights(1 << 5);
+    /// Construct a copy-on-write version of the object.
+    pub const SNAPSHOT: Rights = Rights(1 << 6);
+    /// Truncate / resize object data.
+    pub const RESIZE: Rights = Rights(1 << 7);
+    /// All of the above.
+    pub const ALL: Rights = Rights(0xff);
+
+    /// Whether every right in `needed` is present in `self`.
+    #[must_use]
+    pub fn allows(self, needed: Rights) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+
+    /// Whether no rights are present.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw bit pattern.
+    #[must_use]
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Reconstruct from raw bits, rejecting undefined bits.
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Option<Rights> {
+        if bits & !Rights::ALL.0 != 0 {
+            None
+        } else {
+            Some(Rights(bits))
+        }
+    }
+}
+
+impl BitOr for Rights {
+    type Output = Rights;
+    fn bitor(self, rhs: Rights) -> Rights {
+        Rights(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Rights {
+    fn bitor_assign(&mut self, rhs: Rights) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Rights {
+    type Output = Rights;
+    fn bitand(self, rhs: Rights) -> Rights {
+        Rights(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Debug for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rights({self})")
+    }
+}
+
+impl fmt::Display for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("none");
+        }
+        let names = [
+            (Rights::READ, "read"),
+            (Rights::WRITE, "write"),
+            (Rights::GETATTR, "getattr"),
+            (Rights::SETATTR, "setattr"),
+            (Rights::CREATE, "create"),
+            (Rights::REMOVE, "remove"),
+            (Rights::SNAPSHOT, "snapshot"),
+            (Rights::RESIZE, "resize"),
+        ];
+        let mut first = true;
+        for (flag, name) in names {
+            if self.allows(flag) {
+                if !first {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl WireEncode for Rights {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u16(self.0);
+    }
+}
+
+impl WireDecode for Rights {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let bits = r.u16()?;
+        Rights::from_bits(bits).ok_or(DecodeError::BadTag {
+            context: "rights",
+            value: u64::from(bits),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{WireDecode, WireEncode};
+
+    #[test]
+    fn allows_subset_semantics() {
+        let rw = Rights::READ | Rights::WRITE;
+        assert!(rw.allows(Rights::READ));
+        assert!(rw.allows(Rights::NONE));
+        assert!(rw.allows(rw));
+        assert!(!rw.allows(Rights::READ | Rights::CREATE));
+        assert!(Rights::ALL.allows(rw));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Rights::NONE.to_string(), "none");
+        assert_eq!((Rights::READ | Rights::GETATTR).to_string(), "read|getattr");
+        assert_eq!(
+            Rights::ALL.to_string(),
+            "read|write|getattr|setattr|create|remove|snapshot|resize"
+        );
+    }
+
+    #[test]
+    fn from_bits_rejects_undefined() {
+        assert_eq!(Rights::from_bits(0x100), None);
+        assert_eq!(Rights::from_bits(0xff), Some(Rights::ALL));
+    }
+
+    #[test]
+    fn wire_roundtrip_and_reject() {
+        let r = Rights::READ | Rights::SNAPSHOT;
+        assert_eq!(Rights::from_wire(&r.to_wire()).unwrap(), r);
+
+        let mut w = crate::wire::WireWriter::new();
+        w.u16(0xffff);
+        assert!(Rights::from_wire(&w.into_vec()).is_err());
+    }
+
+    #[test]
+    fn bitand_intersects() {
+        let a = Rights::READ | Rights::WRITE;
+        let b = Rights::WRITE | Rights::CREATE;
+        assert_eq!(a & b, Rights::WRITE);
+    }
+
+    #[test]
+    fn bitor_assign() {
+        let mut r = Rights::READ;
+        r |= Rights::WRITE;
+        assert_eq!(r, Rights::READ | Rights::WRITE);
+    }
+}

@@ -1,0 +1,136 @@
+//! Status codes returned by NASD drives.
+
+use crate::wire::{DecodeError, WireDecode, WireEncode, WireReader, WireWriter};
+use std::fmt;
+
+/// Result status of a drive operation.
+///
+/// Security failures are deliberately coarse: the paper sends the client
+/// "back to the file manager" on any capability mismatch, without leaking
+/// which field failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum NasdStatus {
+    /// Operation succeeded.
+    Ok,
+    /// The named partition does not exist.
+    NoSuchPartition,
+    /// The named object does not exist.
+    NoSuchObject,
+    /// An object with the requested name already exists.
+    ObjectExists,
+    /// Capability or request digest failed verification, the capability
+    /// expired, its version is stale, or rights/region are insufficient.
+    AccessDenied,
+    /// The nonce was replayed or too old.
+    Replay,
+    /// Partition quota or drive capacity exhausted.
+    NoSpace,
+    /// Read/write outside the object region permitted by the capability.
+    RangeViolation,
+    /// The request was malformed.
+    BadRequest,
+    /// The drive hit an internal error (I/O failure, corrupt metadata).
+    DriveError,
+}
+
+impl NasdStatus {
+    /// Whether this status indicates success.
+    #[must_use]
+    pub fn is_ok(self) -> bool {
+        self == NasdStatus::Ok
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            NasdStatus::Ok => 0,
+            NasdStatus::NoSuchPartition => 1,
+            NasdStatus::NoSuchObject => 2,
+            NasdStatus::ObjectExists => 3,
+            NasdStatus::AccessDenied => 4,
+            NasdStatus::Replay => 5,
+            NasdStatus::NoSpace => 6,
+            NasdStatus::RangeViolation => 7,
+            NasdStatus::BadRequest => 8,
+            NasdStatus::DriveError => 9,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => NasdStatus::Ok,
+            1 => NasdStatus::NoSuchPartition,
+            2 => NasdStatus::NoSuchObject,
+            3 => NasdStatus::ObjectExists,
+            4 => NasdStatus::AccessDenied,
+            5 => NasdStatus::Replay,
+            6 => NasdStatus::NoSpace,
+            7 => NasdStatus::RangeViolation,
+            8 => NasdStatus::BadRequest,
+            9 => NasdStatus::DriveError,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for NasdStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NasdStatus::Ok => "ok",
+            NasdStatus::NoSuchPartition => "no such partition",
+            NasdStatus::NoSuchObject => "no such object",
+            NasdStatus::ObjectExists => "object already exists",
+            NasdStatus::AccessDenied => "access denied",
+            NasdStatus::Replay => "replayed or stale nonce",
+            NasdStatus::NoSpace => "no space",
+            NasdStatus::RangeViolation => "access outside permitted region",
+            NasdStatus::BadRequest => "malformed request",
+            NasdStatus::DriveError => "drive internal error",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for NasdStatus {}
+
+impl WireEncode for NasdStatus {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(self.to_byte());
+    }
+}
+
+impl WireDecode for NasdStatus {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let b = r.u8()?;
+        NasdStatus::from_byte(b).ok_or(DecodeError::BadTag {
+            context: "status",
+            value: u64::from(b),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{WireDecode, WireEncode};
+
+    #[test]
+    fn roundtrip_all() {
+        for b in 0..10u8 {
+            let s = NasdStatus::from_byte(b).unwrap();
+            assert_eq!(NasdStatus::from_wire(&s.to_wire()).unwrap(), s);
+        }
+        assert_eq!(NasdStatus::from_byte(200), None);
+    }
+
+    #[test]
+    fn is_ok() {
+        assert!(NasdStatus::Ok.is_ok());
+        assert!(!NasdStatus::AccessDenied.is_ok());
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(NasdStatus::NoSuchObject.to_string(), "no such object");
+    }
+}

@@ -1,0 +1,328 @@
+//! Canonical byte encoding for protocol messages.
+//!
+//! NASD request digests are MACs over "the request parameters" (Figure 5),
+//! which requires a canonical encoding: the same logical message must
+//! always serialize to the same bytes on both the client and the drive.
+//! This module provides a tiny deterministic binary format — all integers
+//! big-endian, all variable-length fields length-prefixed — plus a reader
+//! with explicit error reporting for the decode side.
+//!
+//! # Example
+//!
+//! ```
+//! use nasd_proto::wire::{WireReader, WireWriter};
+//!
+//! let mut w = WireWriter::new();
+//! w.u32(7).bytes(b"nasd");
+//! let buf = w.into_vec();
+//!
+//! let mut r = WireReader::new(&buf);
+//! assert_eq!(r.u32().unwrap(), 7);
+//! assert_eq!(r.bytes().unwrap(), b"nasd");
+//! assert!(r.is_empty());
+//! ```
+
+use std::fmt;
+
+/// Error produced when decoding a malformed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the expected field.
+    Truncated {
+        /// Bytes needed to decode the next field.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// A discriminant or enum byte had no defined meaning.
+    BadTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, remaining } => write!(
+                f,
+                "truncated message: needed {needed} bytes, {remaining} remaining"
+            ),
+            DecodeError::BadTag { context, value } => {
+                write!(f, "invalid {context} tag: {value}")
+            }
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializer for the canonical format.
+#[derive(Debug, Default, Clone)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Create an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        WireWriter { buf: Vec::new() }
+    }
+
+    /// Create a writer with preallocated capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append a byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(u32::try_from(v.len()).expect("field under 4 GiB"));
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append raw bytes with no length prefix (fixed-size fields).
+    pub fn raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Current encoded length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish, returning the encoded bytes.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Deserializer for the canonical format.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// Wrap a buffer for reading.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() < n {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                remaining: self.buf.len(),
+            });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Read a byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Read `n` raw bytes (fixed-size field).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is fully consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Error unless the buffer is fully consumed.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes(self.buf.len()))
+        }
+    }
+}
+
+/// Types with a canonical wire encoding.
+pub trait WireEncode {
+    /// Append this value's canonical encoding to `w`.
+    fn encode(&self, w: &mut WireWriter);
+
+    /// Encode into a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.into_vec()
+    }
+
+    /// Size of the canonical encoding in bytes.
+    fn wire_len(&self) -> usize {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.len()
+    }
+}
+
+/// Types decodable from the canonical wire encoding.
+pub trait WireDecode: Sized {
+    /// Decode one value, consuming its bytes from `r`.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError>;
+
+    /// Decode from a complete buffer, rejecting trailing bytes.
+    fn from_wire(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = WireWriter::new();
+        w.u8(0xab).u16(0xcdef).u32(0xdead_beef).u64(u64::MAX);
+        let buf = w.into_vec();
+        assert_eq!(buf.len(), 1 + 2 + 4 + 8);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0xcdef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_read_errors() {
+        let mut r = WireReader::new(&[1, 2]);
+        let err = r.u32().unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::Truncated {
+                needed: 4,
+                remaining: 2
+            }
+        );
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_empty() {
+        let mut w = WireWriter::new();
+        w.bytes(b"").bytes(b"hello");
+        let buf = w.into_vec();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), b"");
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = WireReader::new(&[0]);
+        assert_eq!(r.finish().unwrap_err(), DecodeError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn bogus_length_prefix_is_truncation() {
+        let mut w = WireWriter::new();
+        w.u32(1000); // claims 1000 bytes follow
+        let buf = w.into_vec();
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(
+            r.bytes().unwrap_err(),
+            DecodeError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DecodeError::BadTag {
+            context: "request",
+            value: 99,
+        };
+        assert_eq!(e.to_string(), "invalid request tag: 99");
+    }
+}

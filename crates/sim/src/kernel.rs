@@ -1,0 +1,299 @@
+//! The event loop.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type EventFn = Box<dyn FnOnce(&mut Simulator)>;
+
+struct ScheduledEvent {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    run: Option<EventFn>,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. The sequence number breaks ties deterministically in
+        // schedule order.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator.
+///
+/// Events are closures run at a scheduled time; each may inspect the clock
+/// and schedule further events. Ties execute in schedule order, making runs
+/// reproducible.
+///
+/// # Example
+///
+/// ```
+/// use nasd_sim::{SimTime, Simulator};
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Simulator::new();
+/// let log = Rc::new(RefCell::new(Vec::new()));
+/// for ms in [30u64, 10, 20] {
+///     let log = log.clone();
+///     sim.schedule_at(SimTime::from_millis(ms), move |_| log.borrow_mut().push(ms));
+/// }
+/// sim.run();
+/// assert_eq!(*log.borrow(), vec![10, 20, 30]);
+/// ```
+pub struct Simulator {
+    now: SimTime,
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<EventId>,
+    events_run: u64,
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("events_run", &self.events_run)
+            .finish()
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Create a simulator at time zero with no pending events.
+    #[must_use]
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            events_run: 0,
+        }
+    }
+
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[must_use]
+    pub fn events_run(&self) -> u64 {
+        self.events_run
+    }
+
+    /// Number of events still pending (including cancelled ones not yet
+    /// reaped).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, event: F) -> EventId
+    where
+        F: FnOnce(&mut Simulator) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        let id = EventId(self.next_seq);
+        self.heap.push(ScheduledEvent {
+            at,
+            seq: self.next_seq,
+            id,
+            run: Some(Box::new(event)),
+        });
+        self.next_seq += 1;
+        id
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, event: F) -> EventId
+    where
+        F: FnOnce(&mut Simulator) + 'static,
+    {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancel a pending event. Cancelling an already-run or already-
+    /// cancelled event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Run a single event if any is pending. Returns `false` when the
+    /// event queue is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(mut ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            self.events_run += 1;
+            let run = ev.run.take().expect("event closure present");
+            run(self);
+            return true;
+        }
+        false
+    }
+
+    /// Run until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue is empty or the clock passes `deadline`,
+    /// whichever comes first. Events scheduled exactly at the deadline run.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.heap.peek() {
+                Some(ev) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for t in [5u64, 1, 3, 2, 4] {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_millis(t), move |_| log.borrow_mut().push(t));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+        assert_eq!(sim.events_run(), 5);
+    }
+
+    #[test]
+    fn ties_run_in_schedule_order() {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..10 {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_millis(7), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        sim.schedule_in(SimTime::from_millis(1), move |sim| {
+            h.borrow_mut().push(sim.now().as_millis());
+            let h2 = h.clone();
+            sim.schedule_in(SimTime::from_millis(2), move |sim| {
+                h2.borrow_mut().push(sim.now().as_millis());
+            });
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![1, 3]);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(0));
+        let h = hits.clone();
+        let id = sim.schedule_in(SimTime::from_millis(1), move |_| *h.borrow_mut() += 1);
+        sim.cancel(id);
+        sim.run();
+        assert_eq!(*hits.borrow(), 0);
+        // Cancelling again (already reaped or unknown) is a no-op.
+        sim.cancel(id);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        for t in [1u64, 2, 3, 10] {
+            let h = hits.clone();
+            sim.schedule_at(SimTime::from_millis(t), move |_| h.borrow_mut().push(t));
+        }
+        sim.run_until(SimTime::from_millis(3));
+        assert_eq!(*hits.borrow(), vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_millis(3));
+        assert_eq!(sim.pending(), 1);
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![1, 2, 3, 10]);
+    }
+
+    #[test]
+    fn run_until_with_empty_queue_advances_clock() {
+        let mut sim = Simulator::new();
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_millis(5), |sim| {
+            sim.schedule_at(SimTime::from_millis(1), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn step_returns_false_when_empty() {
+        let mut sim = Simulator::new();
+        assert!(!sim.step());
+        sim.schedule_in(SimTime::ZERO, |_| {});
+        assert!(sim.step());
+        assert!(!sim.step());
+    }
+}

@@ -1,0 +1,43 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The paper's evaluation ran on 1998 hardware (Alpha workstations, OC-3
+//! ATM, SCSI disks). This crate is the substrate that replaces that
+//! testbed: a single-threaded, deterministic event simulator plus the
+//! resource models the experiments need — FIFO service centers for links
+//! and busses, a CPU model that converts instruction counts to time, and
+//! time-weighted utilization statistics (the paper plots *client idle* and
+//! *drive CPU idle* in Figure 7).
+//!
+//! Events are ordered by `(time, sequence)` so identical runs replay
+//! byte-for-byte; all experiment randomness comes from seeded PRNGs
+//! upstream.
+//!
+//! # Example
+//!
+//! ```
+//! use nasd_sim::{Simulator, SimTime};
+//! use std::cell::Cell;
+//! use std::rc::Rc;
+//!
+//! let mut sim = Simulator::new();
+//! let fired = Rc::new(Cell::new(0u64));
+//! let f = fired.clone();
+//! sim.schedule_in(SimTime::from_millis(5), move |sim| {
+//!     f.set(sim.now().as_micros());
+//! });
+//! sim.run();
+//! assert_eq!(fired.get(), 5_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernel;
+mod resource;
+mod stats;
+mod time;
+
+pub use kernel::{EventId, Simulator};
+pub use resource::{BandwidthShare, CpuModel, FifoResource, LinkModel};
+pub use stats::{Throughput, UtilizationTracker};
+pub use time::SimTime;

@@ -1,0 +1,163 @@
+//! Measurement helpers: throughput meters and busy/idle tracking.
+
+use crate::time::SimTime;
+
+/// Accumulates bytes moved over a window and reports MB/s.
+///
+/// Figure 7 and Figure 9 report aggregate application bandwidth; this
+/// meter is what the harnesses read at the end of a run.
+///
+/// # Example
+///
+/// ```
+/// use nasd_sim::{SimTime, Throughput};
+/// let mut t = Throughput::new();
+/// t.record(SimTime::from_secs(1), 6_200_000);
+/// assert!((t.mbytes_per_sec(SimTime::from_secs(1)) - 6.2).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Throughput {
+    bytes: u64,
+    operations: u64,
+    last_event: SimTime,
+}
+
+impl Throughput {
+    /// Create an empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        Throughput::default()
+    }
+
+    /// Record `bytes` delivered at time `at`.
+    pub fn record(&mut self, at: SimTime, bytes: u64) {
+        self.bytes += bytes;
+        self.operations += 1;
+        self.last_event = self.last_event.max(at);
+    }
+
+    /// Total bytes recorded.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total operations recorded.
+    #[must_use]
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Time of the last recorded completion.
+    #[must_use]
+    pub fn last_event(&self) -> SimTime {
+        self.last_event
+    }
+
+    /// Mean bandwidth over `elapsed`, in decimal MB/s (the paper's unit).
+    #[must_use]
+    pub fn mbytes_per_sec(&self, elapsed: SimTime) -> f64 {
+        if elapsed == SimTime::ZERO {
+            return 0.0;
+        }
+        self.bytes as f64 / 1e6 / elapsed.as_secs_f64()
+    }
+}
+
+/// Tracks the busy/idle timeline of an entity (a client or drive CPU) and
+/// reports percent idle, as plotted in Figure 7.
+///
+/// Busy intervals may be reported out of order but must not overlap —
+/// each entity is a single processor.
+#[derive(Debug, Clone, Default)]
+pub struct UtilizationTracker {
+    busy: SimTime,
+    horizon: SimTime,
+}
+
+impl UtilizationTracker {
+    /// Create a tracker with no recorded activity.
+    #[must_use]
+    pub fn new() -> Self {
+        UtilizationTracker::default()
+    }
+
+    /// Record a busy interval `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn record_busy(&mut self, start: SimTime, end: SimTime) {
+        assert!(end >= start, "busy interval ends before it starts");
+        self.busy += end - start;
+        self.horizon = self.horizon.max(end);
+    }
+
+    /// Total busy time recorded.
+    #[must_use]
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Latest time seen.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Percent of `elapsed` spent idle (0–100).
+    #[must_use]
+    pub fn percent_idle(&self, elapsed: SimTime) -> f64 {
+        if elapsed == SimTime::ZERO {
+            return 100.0;
+        }
+        let busy_frac = (self.busy.as_secs_f64() / elapsed.as_secs_f64()).min(1.0);
+        (1.0 - busy_frac) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_accumulates() {
+        let mut t = Throughput::new();
+        t.record(SimTime::from_secs(1), 1_000_000);
+        t.record(SimTime::from_secs(2), 3_000_000);
+        assert_eq!(t.bytes(), 4_000_000);
+        assert_eq!(t.operations(), 2);
+        assert_eq!(t.last_event(), SimTime::from_secs(2));
+        assert!((t.mbytes_per_sec(SimTime::from_secs(2)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_zero_window() {
+        let t = Throughput::new();
+        assert_eq!(t.mbytes_per_sec(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn idle_percentage() {
+        let mut u = UtilizationTracker::new();
+        u.record_busy(SimTime::from_millis(0), SimTime::from_millis(30));
+        u.record_busy(SimTime::from_millis(50), SimTime::from_millis(70));
+        assert_eq!(u.busy_time(), SimTime::from_millis(50));
+        assert!((u.percent_idle(SimTime::from_millis(100)) - 50.0).abs() < 1e-9);
+        assert_eq!(u.horizon(), SimTime::from_millis(70));
+    }
+
+    #[test]
+    fn idle_with_no_activity_is_100() {
+        let u = UtilizationTracker::new();
+        assert_eq!(u.percent_idle(SimTime::from_secs(1)), 100.0);
+        assert_eq!(u.percent_idle(SimTime::ZERO), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy interval")]
+    fn inverted_interval_panics() {
+        let mut u = UtilizationTracker::new();
+        u.record_busy(SimTime::from_millis(2), SimTime::from_millis(1));
+    }
+}

@@ -1,0 +1,91 @@
+//! Cheops in action (§5.2, Figure 8): logical objects striped and
+//! mirrored across drives, two-level capabilities, and a degraded read
+//! after a simulated drive loss.
+//!
+//! ```sh
+//! cargo run --example striped_objects
+//! ```
+
+use nasd::cheops::{CheopsClient, CheopsManager, LeaseKind, Redundancy};
+use nasd::fm::DriveFleet;
+use nasd::object::DriveConfig;
+use nasd::proto::{ByteRange, PartitionId, Rights, Version};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fleet = Arc::new(DriveFleet::spawn_memory(
+        4,
+        DriveConfig::prototype(),
+        PartitionId(1),
+        256 << 20,
+    )?);
+    let (mgr, _h) = CheopsManager::new(Arc::clone(&fleet)).spawn();
+    let client = CheopsClient::new(7, mgr, Arc::clone(&fleet));
+
+    // A striped logical object: one control message to Cheops buys the
+    // layout and a capability per component; data then moves in parallel,
+    // drive-direct.
+    let striped = client.create(4, 64 * 1024, Redundancy::None)?;
+    let file = client.open(striped, Rights::ALL)?;
+    let payload: Vec<u8> = (0..2_000_000u32).map(|i| (i % 251) as u8).collect();
+    client.write(&file, 0, &payload)?;
+    println!(
+        "striped object {striped}: {} bytes over {} drives ({} KB stripe unit)",
+        client.size(&file)?,
+        file.layout.width(),
+        file.layout.stripe_unit / 1024
+    );
+    assert_eq!(&client.read(&file, 0, payload.len() as u64)?[..], &payload[..]);
+
+    // Concurrency control for multi-disk accesses: leases.
+    client.lease(striped, LeaseKind::Exclusive, 60)?;
+    println!("exclusive lease held for the multi-disk update");
+    client.unlease(striped)?;
+
+    // A mirrored object survives losing a drive's copy.
+    let mirrored = client.create(2, 64 * 1024, Redundancy::Mirrored)?;
+    let mfile = client.open(mirrored, Rights::ALL)?;
+    client.write(&mfile, 0, b"redundancy is done within the objects")?;
+
+    // Simulate the failure by destroying column 0's primary component.
+    let victim = mfile.layout.columns[0].primary;
+    let ep = fleet.by_id(victim.drive).expect("drive present");
+    let kill = ep.mint(
+        victim.partition,
+        victim.object,
+        Version(0),
+        Rights::REMOVE,
+        ByteRange::FULL,
+        fleet.now() + 10,
+    );
+    ep.remove(&kill)?;
+    println!("destroyed primary copy on {}", victim.drive);
+
+    let recovered = client.read(&mfile, 0, 64)?;
+    println!(
+        "degraded read from mirror: {:?}",
+        String::from_utf8_lossy(&recovered)
+    );
+
+    // Parity (RAID-4 over objects): n data columns + one parity column;
+    // any single column is reconstructible by XOR.
+    let pobj = client.create(3, 16 * 1024, Redundancy::Parity)?;
+    let pfile = client.open(pobj, Rights::ALL)?;
+    let payload: Vec<u8> = (0..120_000u32).map(|i| (i % 233) as u8).collect();
+    client.write(&pfile, 0, &payload)?;
+    let victim = pfile.layout.columns[2].primary;
+    let ep = fleet.by_id(victim.drive).expect("drive present");
+    let kill = ep.mint(
+        victim.partition,
+        victim.object,
+        Version(0),
+        Rights::REMOVE,
+        ByteRange::FULL,
+        fleet.now() + 10,
+    );
+    ep.remove(&kill)?;
+    let rebuilt = client.read(&pfile, 0, payload.len() as u64)?;
+    assert_eq!(&rebuilt[..], &payload[..]);
+    println!("parity object: column 2 destroyed, {} bytes reconstructed by XOR", rebuilt.len());
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Umbrella package for the NASD reproduction workspace.
+//!
+//! The real API lives in the [`nasd`] facade crate and the per-subsystem
+//! crates (`nasd-object`, `nasd-fm`, `nasd-cheops`, ...). This package only
+//! hosts the repository-level integration tests (`tests/`) and runnable
+//! examples (`examples/`).
+
+pub use nasd::*;
