@@ -158,7 +158,9 @@ impl<D: BlockDevice> ActiveDrive<D> {
 
 impl<D: BlockDevice> fmt::Debug for ActiveDrive<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ActiveDrive").field("drive", &self.drive).finish()
+        f.debug_struct("ActiveDrive")
+            .field("drive", &self.drive)
+            .finish()
     }
 }
 
@@ -217,7 +219,9 @@ mod tests {
         // A write-only capability cannot drive an (on-drive) scan.
         let p = cap.public.partition;
         let obj = cap.public.object;
-        let bad = active.drive().issue_capability(p, obj, Rights::WRITE, 3_600);
+        let bad = active
+            .drive()
+            .issue_capability(p, obj, Rights::WRITE, 3_600);
         let mut f = ByteSum { sum: 0, calls: 0 };
         assert_eq!(
             active.execute(&bad, &mut f).unwrap_err(),

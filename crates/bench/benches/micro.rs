@@ -6,10 +6,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nasd::crypto::{hmac_sha256, SecretKey, Sha256};
 use nasd::object::{DriveConfig, NasdDrive};
+use nasd::proto::wire::WireEncode;
 use nasd::proto::{
     ByteRange, CapabilityPublic, Nonce, ObjectId, PartitionId, ProtectionLevel, Rights, Version,
 };
-use nasd::proto::wire::WireEncode;
 
 fn bench_crypto(c: &mut Criterion) {
     let mut g = c.benchmark_group("crypto");
@@ -69,7 +69,12 @@ fn drive_with_object(security: bool) -> (NasdDrive, nasd::object::ClientHandle) 
     let p = PartitionId(1);
     drive.admin_create_partition(p, 64 << 20).unwrap();
     let obj = drive.admin_create_object(p, 0).unwrap();
-    let cap = drive.issue_capability(p, obj, Rights::READ | Rights::WRITE | Rights::GETATTR, 1 << 30);
+    let cap = drive.issue_capability(
+        p,
+        obj,
+        Rights::READ | Rights::WRITE | Rights::GETATTR,
+        1 << 30,
+    );
     let client = drive.client(cap);
     client.write(&mut drive, 0, &vec![0x5au8; 1 << 20]).unwrap();
     (drive, client)

@@ -218,10 +218,7 @@ mod tests {
         // 64 KB units lose badly to per-request overheads.
         assert!(small.per_pair_mb_s < 0.8 * paper_choice.per_pair_mb_s);
         // The paper's 512 KB choice is within 10% of the best in sweep.
-        let best = rows
-            .iter()
-            .map(|r| r.per_pair_mb_s)
-            .fold(0.0f64, f64::max);
+        let best = rows.iter().map(|r| r.per_pair_mb_s).fold(0.0f64, f64::max);
         assert!(paper_choice.per_pair_mb_s > 0.9 * best);
         // And lands near the measured 6.2 MB/s per pair.
         assert!((5.0..6.6).contains(&paper_choice.per_pair_mb_s));
@@ -240,7 +237,11 @@ mod tests {
             "software MAC should fall below the {media} MB/s media rate: {}",
             sw.effective_mb_s
         );
-        assert!(hw.effective_mb_s > media, "hardware keeps up: {}", hw.effective_mb_s);
+        assert!(
+            hw.effective_mb_s > media,
+            "hardware keeps up: {}",
+            hw.effective_mb_s
+        );
         // Args-only integrity is nearly free.
         let args = &rows[1];
         assert!(args.added_ms < 0.1);

@@ -48,8 +48,7 @@ pub fn run() -> Vec<ActiveRow> {
     let drive_cpu = CpuModel::new(133.0, 2.2);
     // On-drive counting rate: the 133 MHz drive CPU scanning at ~5
     // instructions/byte.
-    let count_rate_mb_s =
-        drive_cpu.mhz * 1e6 / drive_cpu.cpi / COUNT_INSTR_PER_BYTE / 1e6;
+    let count_rate_mb_s = drive_cpu.mhz * 1e6 / drive_cpu.cpi / COUNT_INSTR_PER_BYTE / 1e6;
 
     // NASD PFS (Figure 9): drives stream data to clients; effective scan
     // rate is the measured 6.2 MB/s per pair; network carries every byte.
@@ -67,7 +66,7 @@ pub fn run() -> Vec<ActiveRow> {
     let active = ActiveRow {
         config: "Active Disks",
         scan_mb_s: per_drive * NDRIVES as f64,
-        network_mbits: 0.1, // counts only
+        network_mbits: 0.1,    // counts only
         machines: NDRIVES + 1, // drives + master
     };
     vec![pfs, active]
@@ -87,7 +86,9 @@ pub fn demonstrate(bytes: usize) -> (u64, u64) {
         1,
     );
     let p = PartitionId(1);
-    drive.admin_create_partition(p, bytes as u64 + (8 << 20)).unwrap();
+    drive
+        .admin_create_partition(p, bytes as u64 + (8 << 20))
+        .unwrap();
     let obj = drive.admin_create_object(p, 0).unwrap();
     let cap = drive.issue_capability(p, obj, Rights::READ | Rights::WRITE, 3_600);
     let client = drive.client(cap.clone());

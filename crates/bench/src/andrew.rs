@@ -13,13 +13,11 @@
 //! the Figure 9 server costs), since 1998 wall-clock times cannot be
 //! measured on a simulator host.
 
-use nasd::fm::{
-    DriveFleet, NasdNfs, NfsClient, NfsServer, ServerRequest, ServerResponse,
-};
-use nasd::object::{CostMeter, DriveConfig, OpKind};
-use nasd::sim::{CpuModel, SimTime};
-use nasd::proto::PartitionId;
 use bytes::Bytes;
+use nasd::fm::{DriveFleet, NasdNfs, NfsClient, NfsServer, ServerRequest, ServerResponse};
+use nasd::object::{CostMeter, DriveConfig, OpKind};
+use nasd::proto::PartitionId;
+use nasd::sim::{CpuModel, SimTime};
 use std::sync::Arc;
 
 /// Operation counts accumulated by a benchmark run.
@@ -46,11 +44,18 @@ pub fn script() -> Vec<(&'static str, Vec<(String, usize)>)> {
     // Phase 1: MakeDir — a small tree.
     phases.push((
         "mkdir",
-        (0..5).map(|i| (format!("/src/dir{i}"), 0)).collect::<Vec<_>>(),
+        (0..5)
+            .map(|i| (format!("/src/dir{i}"), 0))
+            .collect::<Vec<_>>(),
     ));
     // Phase 2: Copy — populate with source files (4–16 KB).
     let files: Vec<(String, usize)> = (0..40)
-        .map(|i| (format!("/src/dir{}/file{i}.c", i % 5), 4_096 + (i % 4) * 4_096))
+        .map(|i| {
+            (
+                format!("/src/dir{}/file{i}.c", i % 5),
+                4_096 + (i % 4) * 4_096,
+            )
+        })
         .collect();
     phases.push(("copy", files.clone()));
     // Phase 3: ScanDir — stat every file.
@@ -65,8 +70,7 @@ pub fn script() -> Vec<(&'static str, Vec<(String, usize)>)> {
 /// Run the script against the NASD-NFS stack, counting operations.
 fn run_nasd(ndrives: usize) -> OpCounts {
     let fleet = Arc::new(
-        DriveFleet::spawn_memory(ndrives, DriveConfig::small(), PartitionId(1), 64 << 20)
-            .unwrap(),
+        DriveFleet::spawn_memory(ndrives, DriveConfig::small(), PartitionId(1), 64 << 20).unwrap(),
     );
     let fm = NasdNfs::new(Arc::clone(&fleet)).unwrap();
     let (rpc, _h) = fm.spawn();
@@ -145,8 +149,7 @@ fn run_server(ndisks: usize) -> OpCounts {
             }
             "copy" => {
                 for (path, size) in &items {
-                    let ServerResponse::Ino(ino) = call(ServerRequest::Create(path.clone()))
-                    else {
+                    let ServerResponse::Ino(ino) = call(ServerRequest::Create(path.clone())) else {
                         panic!("create failed");
                     };
                     counts_control += 1;
@@ -161,8 +164,7 @@ fn run_server(ndisks: usize) -> OpCounts {
             }
             "stat" => {
                 for (path, _) in &items {
-                    let ServerResponse::Ino(ino) = call(ServerRequest::Lookup(path.clone()))
-                    else {
+                    let ServerResponse::Ino(ino) = call(ServerRequest::Lookup(path.clone())) else {
                         panic!("lookup failed");
                     };
                     counts_control += 1;
@@ -172,8 +174,7 @@ fn run_server(ndisks: usize) -> OpCounts {
             }
             "read" | "compile" => {
                 for (path, size) in &items {
-                    let ServerResponse::Ino(ino) = call(ServerRequest::Lookup(path.clone()))
-                    else {
+                    let ServerResponse::Ino(ino) = call(ServerRequest::Lookup(path.clone())) else {
                         panic!("lookup failed");
                     };
                     counts_control += 1;
@@ -263,8 +264,7 @@ pub fn model_server_time(c: &OpCounts) -> SimTime {
         t += attr;
     }
     let avg = c.data_bytes.checked_div(c.data_ops).unwrap_or(0);
-    let data_op =
-        cpu.time_for_instructions(35_000 + ((2.30 + 0.9) * avg as f64) as u64);
+    let data_op = cpu.time_for_instructions(35_000 + ((2.30 + 0.9) * avg as f64) as u64);
     for _ in 0..c.data_ops {
         t += data_op;
     }

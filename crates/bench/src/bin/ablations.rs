@@ -31,7 +31,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", table::render(&["stripe unit", "per-pair MB/s"], &rows));
+    println!(
+        "{}",
+        table::render(&["stripe unit", "per-pair MB/s"], &rows)
+    );
 
     println!("Ablation 3: cryptographic protection at the drive (§4.1)\n");
     let rows: Vec<Vec<String>> = ablations::security_sweep()

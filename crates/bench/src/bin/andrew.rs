@@ -22,7 +22,15 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["config", "control ops", "data ops", "data", "NASD-NFS", "NFS", "dev"],
+            &[
+                "config",
+                "control ops",
+                "data ops",
+                "data",
+                "NASD-NFS",
+                "NFS",
+                "dev"
+            ],
             &rows
         )
     );

@@ -26,7 +26,14 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["config", "disks", "MB/s", "server $", "overhead", "NASD overhead"],
+            &[
+                "config",
+                "disks",
+                "MB/s",
+                "server $",
+                "overhead",
+                "NASD overhead"
+            ],
             &rows
         )
     );
@@ -50,7 +57,10 @@ fn print_asic() {
         .iter()
         .map(|u| vec![u.name.to_string(), format!("{}", u.gates)])
         .collect();
-    println!("{}", table::render(&["Trident function unit", "gates"], &rows));
+    println!(
+        "{}",
+        table::render(&["Trident function unit", "gates"], &rows)
+    );
     println!("total: {} gates (paper: ~110,000)\n", trident_total_gates());
     let b = AsicBudget::default();
     println!("0.35 micron shrink frees {} mm²", b.freed_area_mm2);

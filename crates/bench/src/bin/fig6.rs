@@ -24,7 +24,14 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["request", "FFS hit", "NASD hit", "raw read", "NASD miss", "FFS miss"],
+            &[
+                "request",
+                "FFS hit",
+                "NASD hit",
+                "raw read",
+                "NASD miss",
+                "FFS miss"
+            ],
             &read_rows
         )
     );
@@ -44,7 +51,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        table::render(&["request", "FFS write", "NASD write", "raw write"], &write_rows)
+        table::render(
+            &["request", "FFS write", "NASD write", "raw write"],
+            &write_rows
+        )
     );
     println!("paper: raw write (~7 MB/s) appears faster than raw read (~5 MB/s);");
     println!("FFS acknowledges writes <= 64 KB immediately, then waits for media.");

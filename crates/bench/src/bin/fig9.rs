@@ -20,7 +20,13 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["disks", "NASD MB/s", "per pair", "NFS MB/s", "NFS-parallel MB/s"],
+            &[
+                "disks",
+                "NASD MB/s",
+                "per pair",
+                "NFS MB/s",
+                "NFS-parallel MB/s"
+            ],
             &rows
         )
     );

@@ -29,7 +29,14 @@ fn main() {
         "{}",
         table::render(
             &[
-                "operation", "size", "instr", "paper", "%comm", "paper", "ms", "paper",
+                "operation",
+                "size",
+                "instr",
+                "paper",
+                "%comm",
+                "paper",
+                "ms",
+                "paper",
                 "dev"
             ],
             &rows
@@ -48,5 +55,8 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", table::render(&["operation", "model", "paper", "dev"], &rows));
+    println!(
+        "{}",
+        table::render(&["operation", "model", "paper", "dev"], &rows)
+    );
 }

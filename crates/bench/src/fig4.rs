@@ -81,7 +81,17 @@ mod tests {
     #[test]
     fn sweep_covers_both_configs_to_saturation() {
         let rows = run();
-        assert_eq!(rows.iter().filter(|r| r.config == "low-cost server").count(), 6);
-        assert_eq!(rows.iter().filter(|r| r.config == "high-end server").count(), 14);
+        assert_eq!(
+            rows.iter()
+                .filter(|r| r.config == "low-cost server")
+                .count(),
+            6
+        );
+        assert_eq!(
+            rows.iter()
+                .filter(|r| r.config == "high-end server")
+                .count(),
+            14
+        );
     }
 }

@@ -143,8 +143,7 @@ fn nasd_miss_bw(size: u64) -> f64 {
     let mut now = SimTime::ZERO;
     for i in 0..RUN_REQUESTS {
         let disk_done = disks.read(now, i * size, size);
-        now = disk_done + nasd_cpu(size, meter.cold_blocks_for(size))
-            + copy_time(size, 1.0, 0.8);
+        now = disk_done + nasd_cpu(size, meter.cold_blocks_for(size)) + copy_time(size, 1.0, 0.8);
     }
     bandwidth(RUN_REQUESTS * size, now)
 }
@@ -195,7 +194,9 @@ fn ffs_write_bw(size: u64) -> f64 {
         let mut now = SimTime::ZERO;
         for i in 0..RUN_REQUESTS {
             disks.write(now, i * size, size);
-            now = disks.flush(now).max(now + copy_time(size, FFS_HIT_COPIES, 0.85));
+            now = disks
+                .flush(now)
+                .max(now + copy_time(size, FFS_HIT_COPIES, 0.85));
         }
         bandwidth(RUN_REQUESTS * size, now)
     }
@@ -248,7 +249,11 @@ mod tests {
         let rows = run();
         let r = at(&rows, 256 * 1024);
         assert!((38.0..50.0).contains(&r.ffs_hit), "ffs hit {}", r.ffs_hit);
-        assert!((32.0..44.0).contains(&r.nasd_hit), "nasd hit {}", r.nasd_hit);
+        assert!(
+            (32.0..44.0).contains(&r.nasd_hit),
+            "nasd hit {}",
+            r.nasd_hit
+        );
         assert!(r.ffs_hit > r.nasd_hit, "FFS does one less copy");
     }
 
@@ -271,7 +276,11 @@ mod tests {
         // on reads that miss in the cache)".
         let rows = run();
         let r = at(&rows, 512 * 1024);
-        assert!((4.0..7.0).contains(&r.nasd_miss), "nasd miss {}", r.nasd_miss);
+        assert!(
+            (4.0..7.0).contains(&r.nasd_miss),
+            "nasd miss {}",
+            r.nasd_miss
+        );
         assert!((1.8..3.8).contains(&r.ffs_miss), "ffs miss {}", r.ffs_miss);
         assert!(
             r.nasd_miss / r.ffs_miss > 1.5,
@@ -296,7 +305,11 @@ mod tests {
         }
         let r = at(&rows, 512 * 1024);
         assert!((4.0..7.5).contains(&r.raw_read), "raw read {}", r.raw_read);
-        assert!((4.5..10.0).contains(&r.raw_write), "raw write {}", r.raw_write);
+        assert!(
+            (4.5..10.0).contains(&r.raw_write),
+            "raw write {}",
+            r.raw_write
+        );
     }
 
     #[test]
@@ -327,6 +340,9 @@ mod tests {
         let rows = run();
         let small = at(&rows, 16 * 1024);
         let big = at(&rows, 512 * 1024);
-        assert!(big.raw_read > small.raw_read, "per-request overhead should fade");
+        assert!(
+            big.raw_read > small.raw_read,
+            "per-request overhead should fade"
+        );
     }
 }

@@ -15,10 +15,10 @@
 //! receive path. The client CPU is the bottleneck, exactly as the paper
 //! observes.
 
-use nasd::object::{CostMeter, OpKind};
-use nasd::sim::{FifoResource, SimTime, Simulator};
 use nasd::net::RpcCostModel;
+use nasd::object::{CostMeter, OpKind};
 use nasd::sim::{BandwidthShare, CpuModel};
+use nasd::sim::{FifoResource, SimTime, Simulator};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -112,8 +112,7 @@ fn simulate(nclients: usize) -> Fig7Row {
             for p in 0..pieces {
                 // Client `c` stripes over drives c*4.. (mod NDRIVES);
                 // sequential pieces round-robin those four.
-                let drive =
-                    (client * STRIPE_WIDTH + (request_no as usize * pieces + p)) % NDRIVES;
+                let drive = (client * STRIPE_WIDTH + (request_no as usize * pieces + p)) % NDRIVES;
                 let ds = w.drive_service;
                 let (_, t1) = w.drive_cpu[drive].reserve(now, ds);
                 let (_, t2) = w.drive_up[drive].transfer(t1, PIECE);

@@ -107,14 +107,18 @@ fn simulate_nasd(n: usize) -> f64 {
                 )
             })
             .collect(),
-        drive_cpu: (0..n).map(|i| FifoResource::new(format!("dcpu{i}"))).collect(),
+        drive_cpu: (0..n)
+            .map(|i| FifoResource::new(format!("dcpu{i}")))
+            .collect(),
         drive_up: (0..n)
             .map(|i| BandwidthShare::new(format!("dup{i}"), oc3))
             .collect(),
         client_down: (0..n)
             .map(|i| BandwidthShare::new(format!("cdown{i}"), oc3))
             .collect(),
-        client_cpu: (0..n).map(|i| FifoResource::new(format!("ccpu{i}"))).collect(),
+        client_cpu: (0..n)
+            .map(|i| FifoResource::new(format!("ccpu{i}")))
+            .collect(),
         bytes: 0,
     }));
 
@@ -134,7 +138,8 @@ fn simulate_nasd(n: usize) -> f64 {
     ) {
         let total_units = DATASET / PIECE;
         let units_per_chunk = CHUNK / PIECE;
-        let chunk_of_producer = client as u64 + (producer as u64 + 4 * (seq / units_per_chunk)) * n as u64;
+        let chunk_of_producer =
+            client as u64 + (producer as u64 + 4 * (seq / units_per_chunk)) * n as u64;
         let unit = (chunk_of_producer * units_per_chunk + seq % units_per_chunk) % total_units;
         let (drive, local) = locate(unit, n);
 
@@ -208,7 +213,9 @@ fn simulate_nfs(ndisks: usize, single_file: bool) -> f64 {
     // per disk, each on its own replica.
     let nclients = if single_file { 10 } else { ndisks };
     let world = Rc::new(RefCell::new(NfsWorld {
-        disks: (0..ndisks).map(|i| FifoResource::new(format!("disk{i}"))).collect(),
+        disks: (0..ndisks)
+            .map(|i| FifoResource::new(format!("disk{i}")))
+            .collect(),
         server_cpu: FifoResource::new("server-cpu"),
         server_links: (0..2)
             .map(|i| BandwidthShare::new(format!("slink{i}"), oc3))
@@ -216,7 +223,9 @@ fn simulate_nfs(ndisks: usize, single_file: bool) -> f64 {
         client_down: (0..nclients)
             .map(|i| BandwidthShare::new(format!("cdown{i}"), oc3))
             .collect(),
-        client_cpu: (0..nclients).map(|i| FifoResource::new(format!("ccpu{i}"))).collect(),
+        client_cpu: (0..nclients)
+            .map(|i| FifoResource::new(format!("ccpu{i}")))
+            .collect(),
         bytes: 0,
         disk_service: if single_file {
             disk_service_thrashed()

@@ -74,7 +74,9 @@ fn measure(op: &str, cache: &str, size: u64) -> (f64, f64) {
     let client = drive.client(cap);
 
     // Lay the object down and drain write-behind.
-    client.write(&mut drive, 0, &vec![0xa5u8; size as usize]).unwrap();
+    client
+        .write(&mut drive, 0, &vec![0xa5u8; size as usize])
+        .unwrap();
 
     let build_target = |client: &nasd::object::ClientHandle| match op {
         "read" => client.build(
@@ -104,8 +106,7 @@ fn measure(op: &str, cache: &str, size: u64) -> (f64, f64) {
         // run by scanning an unrelated large object to evict, then
         // issuing the target request.
         let evict_obj = drive.admin_create_object(p, 0).unwrap();
-        let evict_cap =
-            drive.issue_capability(p, evict_obj, Rights::READ | Rights::WRITE, 3_600);
+        let evict_cap = drive.issue_capability(p, evict_obj, Rights::READ | Rights::WRITE, 3_600);
         let evictor = drive.client(evict_cap);
         let sweep = 256 * 8_192usize; // the whole cache
         evictor.write(&mut drive, 0, &vec![0u8; sweep]).unwrap();
@@ -117,7 +118,11 @@ fn measure(op: &str, cache: &str, size: u64) -> (f64, f64) {
         // cold surcharge for the blocks the operation touches, as the
         // cost model prescribes.
         let meter = nasd::object::CostMeter::new();
-        let kind = if op == "read" { OpKind::Read } else { OpKind::Write };
+        let kind = if op == "read" {
+            OpKind::Read
+        } else {
+            OpKind::Write
+        };
         let cold_blocks = report.trace.misses.max(meter.cold_blocks_for(size));
         let cost = meter.estimate(kind, size.max(1), cold_blocks);
         (cost.total(), cost.pct_comm())
@@ -139,7 +144,9 @@ pub fn run() -> Vec<Table1Row> {
         .into_iter()
         .map(|(op, cache, size, paper_instr, paper_pct, paper_ms)| {
             let (instructions, pct_comm) = measure(op, cache, size);
-            let time_ms = cpu.time_for_instructions(instructions.round() as u64).as_millis_f64();
+            let time_ms = cpu
+                .time_for_instructions(instructions.round() as u64)
+                .as_millis_f64();
             Table1Row {
                 op,
                 cache,
@@ -239,7 +246,11 @@ mod tests {
             // The 64 KB random caption number implies a transient media
             // rate beyond the drive's datasheet; we keep a physical
             // media rate and accept a wider band there.
-            let tolerance = if name.starts_with("64 KB random") { 0.30 } else { 0.15 };
+            let tolerance = if name.starts_with("64 KB random") {
+                0.30
+            } else {
+                0.15
+            };
             assert!(rel < tolerance, "{name}: {model:.2} vs {paper}");
         }
     }

@@ -10,7 +10,7 @@ use crate::manager::{CheopsRequest, CheopsResponse, LeaseKind};
 use crate::map::{Layout, LogicalObjectId, Redundancy};
 use bytes::Bytes;
 use nasd_fm::{DriveFleet, FmError};
-use nasd_net::Rpc;
+use nasd_net::{RetryPolicy, Rpc, RpcError};
 use nasd_proto::{Capability, NasdStatus, Reply, ReplyBody, RequestBody, Rights};
 use std::sync::Arc;
 
@@ -34,23 +34,48 @@ pub struct CheopsClient {
     id: u64,
     mgr: Rpc<CheopsRequest, CheopsResponse>,
     fleet: Arc<DriveFleet>,
+    retry: RetryPolicy,
 }
 
 impl CheopsClient {
     /// Connect client `id` to a manager and drive fleet.
     #[must_use]
-    pub fn new(
-        id: u64,
-        mgr: Rpc<CheopsRequest, CheopsResponse>,
-        fleet: Arc<DriveFleet>,
-    ) -> Self {
-        CheopsClient { id, mgr, fleet }
+    pub fn new(id: u64, mgr: Rpc<CheopsRequest, CheopsResponse>, fleet: Arc<DriveFleet>) -> Self {
+        CheopsClient {
+            id,
+            mgr,
+            fleet,
+            retry: RetryPolicy::control(),
+        }
     }
 
     /// The drive fleet (shared with other layers).
     #[must_use]
     pub fn fleet(&self) -> &Arc<DriveFleet> {
         &self.fleet
+    }
+
+    /// Replace the manager-path retry policy.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Call the manager with per-attempt timeouts and capped backoff;
+    /// disconnection fails fast (managers do not restart).
+    fn call_mgr(&self, req: CheopsRequest) -> Result<CheopsResponse, FmError> {
+        let attempts = self.retry.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let pause = self.retry.backoff(attempt);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+            match self.mgr.call_timeout(req.clone(), self.retry.timeout) {
+                Ok(resp) => return Ok(resp),
+                Err(RpcError::TimedOut) => {}
+                Err(RpcError::Disconnected) => return Err(FmError::Transport),
+            }
+        }
+        Err(FmError::Unavailable { attempts })
     }
 
     /// Create a logical object.
@@ -64,7 +89,7 @@ impl CheopsClient {
         stripe_unit: u64,
         redundancy: Redundancy,
     ) -> Result<LogicalObjectId, FmError> {
-        match self.mgr.call(CheopsRequest::Create {
+        match self.call_mgr(CheopsRequest::Create {
             width,
             stripe_unit,
             redundancy,
@@ -81,7 +106,7 @@ impl CheopsClient {
     ///
     /// `NotFound`, transport.
     pub fn open(&self, id: LogicalObjectId, rights: Rights) -> Result<CheopsFile, FmError> {
-        match self.mgr.call(CheopsRequest::Open { id, rights })? {
+        match self.call_mgr(CheopsRequest::Open { id, rights })? {
             CheopsResponse::Opened(layout, caps) => {
                 let mut primary_caps = Vec::with_capacity(layout.width());
                 let mut mirror_caps = Vec::with_capacity(layout.width());
@@ -118,7 +143,7 @@ impl CheopsClient {
     ///
     /// `NotFound`, transport.
     pub fn remove(&self, id: LogicalObjectId) -> Result<(), FmError> {
-        match self.mgr.call(CheopsRequest::Remove { id })? {
+        match self.call_mgr(CheopsRequest::Remove { id })? {
             CheopsResponse::Ok => Ok(()),
             CheopsResponse::Err(e) => Err(e),
             _ => Err(FmError::Transport),
@@ -131,7 +156,7 @@ impl CheopsClient {
     ///
     /// [`FmError::Permission`] when the lease is held conflictingly.
     pub fn lease(&self, id: LogicalObjectId, kind: LeaseKind, ttl: u64) -> Result<u64, FmError> {
-        match self.mgr.call(CheopsRequest::Lease {
+        match self.call_mgr(CheopsRequest::Lease {
             id,
             client: self.id,
             kind,
@@ -150,7 +175,7 @@ impl CheopsClient {
     ///
     /// Transport failures.
     pub fn unlease(&self, id: LogicalObjectId) -> Result<(), FmError> {
-        match self.mgr.call(CheopsRequest::Unlease {
+        match self.call_mgr(CheopsRequest::Unlease {
             id,
             client: self.id,
         })? {
@@ -182,7 +207,10 @@ impl CheopsClient {
         for run in &runs {
             let col = &file.layout.columns[run.column];
             let cap = &file.primary_caps[run.column];
-            let ep = self.fleet.by_id(col.primary.drive).ok_or(FmError::Transport)?;
+            let ep = self
+                .fleet
+                .by_id(col.primary.drive)
+                .ok_or(FmError::Transport)?;
             let req = ep.sign(
                 cap,
                 RequestBody::Read {
@@ -193,16 +221,47 @@ impl CheopsClient {
                 },
                 Bytes::new(),
             );
-            pending.push(ep.rpc().call_async(req)?);
+            // A crashed drive fails the send; recovery happens per-run
+            // below (signed retry, then mirror/parity fallback).
+            pending.push(ep.rpc().call_async(req).ok());
         }
 
         let mut out = vec![0u8; len as usize];
         let mut delivered_end = 0u64;
         for (run, rx) in runs.iter().zip(pending) {
-            let reply = rx.recv().map_err(|_| FmError::Transport)?;
-            let data = match Self::check(reply) {
-                Ok(ReplyBody::Data(d)) => d,
-                Ok(_) => return Err(FmError::Drive(NasdStatus::DriveError)),
+            let col = &file.layout.columns[run.column];
+            let primary = match rx.map(|rx| rx.recv()) {
+                Some(Ok(reply)) if !reply.status.is_transient() => match Self::check(reply) {
+                    Ok(ReplyBody::Data(d)) => Ok(d),
+                    Ok(_) => Err(FmError::Drive(NasdStatus::DriveError)),
+                    Err(e) => Err(e),
+                },
+                // Reply lost in flight (fault injection, drive crash) or
+                // a transient bounce: re-issue synchronously — every
+                // retry attempt is freshly signed by the endpoint.
+                _ => self
+                    .fleet
+                    .by_id(col.primary.drive)
+                    .ok_or(FmError::Transport)
+                    .and_then(|ep| {
+                        ep.call(
+                            &file.primary_caps[run.column],
+                            RequestBody::Read {
+                                partition: col.primary.partition,
+                                object: col.primary.object,
+                                offset: run.local_offset,
+                                len: run.len,
+                            },
+                            Bytes::new(),
+                        )
+                    })
+                    .and_then(|body| match body {
+                        ReplyBody::Data(d) => Ok(d),
+                        _ => Err(FmError::Drive(NasdStatus::DriveError)),
+                    }),
+            };
+            let data = match primary {
+                Ok(d) => d,
                 Err(e) => {
                     // Degraded read: mirror first, then parity
                     // reconstruction.
@@ -232,8 +291,7 @@ impl CheopsClient {
                 }
             };
             let n = data.len().min(run.len as usize);
-            out[run.buf_offset as usize..run.buf_offset as usize + n]
-                .copy_from_slice(&data[..n]);
+            out[run.buf_offset as usize..run.buf_offset as usize + n].copy_from_slice(&data[..n]);
             if n > 0 {
                 delivered_end = delivered_end.max(run.buf_offset + n as u64);
             }
@@ -263,12 +321,11 @@ impl CheopsClient {
             let chunk = Bytes::copy_from_slice(
                 &data[run.buf_offset as usize..(run.buf_offset + run.len) as usize],
             );
-            let targets = std::iter::once((col.primary, &file.primary_caps[run.column]))
-                .chain(
-                    col.mirror
-                        .iter()
-                        .filter_map(|m| file.mirror_caps[run.column].as_ref().map(|c| (*m, c))),
-                );
+            let targets = std::iter::once((col.primary, &file.primary_caps[run.column])).chain(
+                col.mirror
+                    .iter()
+                    .filter_map(|m| file.mirror_caps[run.column].as_ref().map(|c| (*m, c))),
+            );
             for (component, cap) in targets {
                 let ep = self
                     .fleet
@@ -284,14 +341,41 @@ impl CheopsClient {
                     },
                     chunk.clone(),
                 );
-                pending.push(ep.rpc().call_async(req)?);
+                let rx = ep.rpc().call_async(req).ok();
+                pending.push((rx, component, cap, run.local_offset, chunk.clone()));
             }
         }
-        for rx in pending {
-            let reply = rx.recv().map_err(|_| FmError::Transport)?;
-            match Self::check(reply)? {
-                ReplyBody::Written(_) => {}
-                _ => return Err(FmError::Drive(NasdStatus::DriveError)),
+        for (rx, component, cap, local_offset, chunk) in pending {
+            let done = match rx.map(|rx| rx.recv()) {
+                Some(Ok(reply)) if !reply.status.is_transient() => match Self::check(reply)? {
+                    ReplyBody::Written(_) => true,
+                    _ => return Err(FmError::Drive(NasdStatus::DriveError)),
+                },
+                // Send failed, reply lost, or transient bounce: fall
+                // through to the signed synchronous retry below. A write
+                // is only counted as acked once some attempt's reply
+                // says `Written`, so this path never loses acked data.
+                _ => false,
+            };
+            if !done {
+                let ep = self
+                    .fleet
+                    .by_id(component.drive)
+                    .ok_or(FmError::Transport)?;
+                let len = chunk.len() as u64;
+                match ep.call(
+                    cap,
+                    RequestBody::Write {
+                        partition: component.partition,
+                        object: component.object,
+                        offset: local_offset,
+                        len,
+                    },
+                    chunk,
+                )? {
+                    ReplyBody::Written(_) => {}
+                    _ => return Err(FmError::Drive(NasdStatus::DriveError)),
+                }
             }
         }
         Ok(data.len() as u64)
@@ -307,7 +391,10 @@ impl CheopsClient {
         offset: u64,
         len: u64,
     ) -> Result<Vec<u8>, FmError> {
-        let ep = self.fleet.by_id(component.drive).ok_or(FmError::Transport)?;
+        let ep = self
+            .fleet
+            .by_id(component.drive)
+            .ok_or(FmError::Transport)?;
         let data = match ep.call(
             cap,
             RequestBody::Read {
@@ -376,7 +463,7 @@ impl CheopsClient {
         }
 
         let ep = self.fleet.by_id(col.drive).ok_or(FmError::Transport)?;
-        match Self::check(ep.rpc().call(ep.sign(
+        match ep.call(
             cap,
             RequestBody::Write {
                 partition: col.partition,
@@ -385,12 +472,12 @@ impl CheopsClient {
                 len,
             },
             Bytes::copy_from_slice(new_data),
-        ))?)? {
+        )? {
             ReplyBody::Written(_) => {}
             _ => return Err(FmError::Drive(NasdStatus::DriveError)),
         }
         let pep = self.fleet.by_id(parity.drive).ok_or(FmError::Transport)?;
-        match Self::check(pep.rpc().call(pep.sign(
+        match pep.call(
             pcap,
             RequestBody::Write {
                 partition: parity.partition,
@@ -399,7 +486,7 @@ impl CheopsClient {
                 len,
             },
             Bytes::from(new_parity),
-        ))?)? {
+        )? {
             ReplyBody::Written(_) => Ok(()),
             _ => Err(FmError::Drive(NasdStatus::DriveError)),
         }
@@ -415,7 +502,10 @@ impl CheopsClient {
         let mut pending = Vec::with_capacity(file.layout.width());
         for (column, col) in file.layout.columns.iter().enumerate() {
             let cap = &file.primary_caps[column];
-            let ep = self.fleet.by_id(col.primary.drive).ok_or(FmError::Transport)?;
+            let ep = self
+                .fleet
+                .by_id(col.primary.drive)
+                .ok_or(FmError::Transport)?;
             let req = ep.sign(
                 cap,
                 RequestBody::GetAttr {
@@ -424,12 +514,30 @@ impl CheopsClient {
                 },
                 Bytes::new(),
             );
-            pending.push(ep.rpc().call_async(req)?);
+            pending.push(ep.rpc().call_async(req).ok());
         }
         let mut size = 0u64;
         for (column, rx) in pending.into_iter().enumerate() {
-            let reply = rx.recv().map_err(|_| FmError::Transport)?;
-            match Self::check(reply)? {
+            let col = &file.layout.columns[column];
+            let body = match rx.map(|rx| rx.recv()) {
+                Some(Ok(reply)) if !reply.status.is_transient() => Self::check(reply)?,
+                // Lost or bounced: re-issue through the retrying path.
+                _ => {
+                    let ep = self
+                        .fleet
+                        .by_id(col.primary.drive)
+                        .ok_or(FmError::Transport)?;
+                    ep.call(
+                        &file.primary_caps[column],
+                        RequestBody::GetAttr {
+                            partition: col.primary.partition,
+                            object: col.primary.object,
+                        },
+                        Bytes::new(),
+                    )?
+                }
+            };
+            match body {
                 ReplyBody::Attr(a) => {
                     size = size.max(file.layout.logical_size_from_component(column, a.size));
                 }
@@ -442,7 +550,9 @@ impl CheopsClient {
 
 impl std::fmt::Debug for CheopsClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CheopsClient").field("id", &self.id).finish()
+        f.debug_struct("CheopsClient")
+            .field("id", &self.id)
+            .finish()
     }
 }
 
@@ -604,7 +714,10 @@ mod parity_tests {
         let file = client.open(id, Rights::ALL).unwrap();
         let data: Vec<u8> = (0..200_000u32).map(|i| (i % 247) as u8).collect();
         client.write(&file, 0, &data).unwrap();
-        assert_eq!(&client.read(&file, 0, data.len() as u64).unwrap()[..], &data[..]);
+        assert_eq!(
+            &client.read(&file, 0, data.len() as u64).unwrap()[..],
+            &data[..]
+        );
     }
 
     #[test]

@@ -189,10 +189,7 @@ impl CheopsManager {
     }
 
     fn mint_for(&self, c: Component, rights: Rights) -> Result<Capability, FmError> {
-        let ep = self
-            .fleet
-            .by_id(c.drive)
-            .ok_or(FmError::Transport)?;
+        let ep = self.fleet.by_id(c.drive).ok_or(FmError::Transport)?;
         Ok(ep.mint(
             c.partition,
             c.object,
@@ -379,8 +376,7 @@ mod tests {
         assert_eq!(layout.width(), 4);
         assert_eq!(caps.len(), 4, "one capability per component");
         // Each capability is for a distinct drive.
-        let drives: std::collections::HashSet<_> =
-            caps.iter().map(|c| c.public.drive).collect();
+        let drives: std::collections::HashSet<_> = caps.iter().map(|c| c.public.drive).collect();
         assert_eq!(drives.len(), 4);
     }
 

@@ -20,16 +20,46 @@ pub struct FunctionUnit {
 /// The Trident's ten function units (Figure 3a), gate counts apportioned
 /// from the stated 110k total across the listed blocks.
 pub const TRIDENT_UNITS: [FunctionUnit; 10] = [
-    FunctionUnit { name: "disk formatter", gates: 18_000 },
-    FunctionUnit { name: "SCSI controller", gates: 20_000 },
-    FunctionUnit { name: "ECC detection", gates: 11_000 },
-    FunctionUnit { name: "ECC correction", gates: 13_000 },
-    FunctionUnit { name: "spindle motor control", gates: 6_000 },
-    FunctionUnit { name: "servo signal processor", gates: 16_000 },
-    FunctionUnit { name: "servo data formatter (spoke)", gates: 8_000 },
-    FunctionUnit { name: "DRAM controller", gates: 10_000 },
-    FunctionUnit { name: "microprocessor port", gates: 5_000 },
-    FunctionUnit { name: "misc glue + clock domains", gates: 3_000 },
+    FunctionUnit {
+        name: "disk formatter",
+        gates: 18_000,
+    },
+    FunctionUnit {
+        name: "SCSI controller",
+        gates: 20_000,
+    },
+    FunctionUnit {
+        name: "ECC detection",
+        gates: 11_000,
+    },
+    FunctionUnit {
+        name: "ECC correction",
+        gates: 13_000,
+    },
+    FunctionUnit {
+        name: "spindle motor control",
+        gates: 6_000,
+    },
+    FunctionUnit {
+        name: "servo signal processor",
+        gates: 16_000,
+    },
+    FunctionUnit {
+        name: "servo data formatter (spoke)",
+        gates: 8_000,
+    },
+    FunctionUnit {
+        name: "DRAM controller",
+        gates: 10_000,
+    },
+    FunctionUnit {
+        name: "microprocessor port",
+        gates: 5_000,
+    },
+    FunctionUnit {
+        name: "misc glue + clock domains",
+        gates: 3_000,
+    },
 ];
 
 /// Geometry of the ASIC generations in Figure 3.
@@ -64,8 +94,7 @@ impl AsicBudget {
     /// next-generation die — the paper's feasibility claim.
     #[must_use]
     pub fn nasd_fits(&self) -> bool {
-        self.strongarm_area_mm2 <= self.freed_area_mm2
-            && self.crypto_gates <= self.leftover_gates
+        self.strongarm_area_mm2 <= self.freed_area_mm2 && self.crypto_gates <= self.leftover_gates
     }
 
     /// Gate-equivalents remaining for DRAM or network accelerators after

@@ -171,6 +171,78 @@ impl BlockDevice for MemDisk {
     }
 }
 
+/// A cloneable handle to one shared underlying device.
+///
+/// Every clone reads and writes the *same* media. This is how a test
+/// harness models the difference between a drive's controller and its
+/// platters: the controller (a `NasdDrive` owning a `SharedDisk` clone)
+/// can crash and be rebuilt, while the harness retains another clone of
+/// the same media to remount from — data written before the crash is
+/// still there, dirty state that never reached the device is not.
+///
+/// # Example
+///
+/// ```
+/// use nasd_disk::{BlockDevice, MemDisk, SharedDisk};
+/// let media = SharedDisk::new(MemDisk::new(512, 64));
+/// let mut controller = media.clone();
+/// controller.write_block(3, &[7u8; 512])?;
+/// drop(controller); // "crash": the controller instance goes away
+/// let mut buf = [0u8; 512];
+/// media.read_block(3, &mut buf)?; // the media survived
+/// assert_eq!(buf[0], 7);
+/// # Ok::<(), nasd_disk::DiskError>(())
+/// ```
+#[derive(Clone)]
+pub struct SharedDisk {
+    inner: Arc<parking_lot::RwLock<MemDisk>>,
+}
+
+impl SharedDisk {
+    /// Wrap `disk` so clones of this handle share its blocks.
+    #[must_use]
+    pub fn new(disk: MemDisk) -> Self {
+        SharedDisk {
+            inner: Arc::new(parking_lot::RwLock::new(disk)),
+        }
+    }
+
+    /// Number of blocks actually materialized (diagnostic).
+    #[must_use]
+    pub fn resident_blocks(&self) -> usize {
+        self.inner.read().resident_blocks()
+    }
+}
+
+impl BlockDevice for SharedDisk {
+    fn block_size(&self) -> usize {
+        self.inner.read().block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.read().num_blocks()
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        self.inner.read().read_block(block, buf)
+    }
+
+    fn write_block(&mut self, block: u64, data: &[u8]) -> Result<(), DiskError> {
+        self.inner.write().write_block(block, data)
+    }
+}
+
+impl fmt::Debug for SharedDisk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.inner.read();
+        f.debug_struct("SharedDisk")
+            .field("block_size", &d.block_size())
+            .field("num_blocks", &d.num_blocks())
+            .field("resident", &d.resident_blocks())
+            .finish()
+    }
+}
+
 /// RAID-0 striping across block devices, block-granular: block `b` lives
 /// on device `b % n` at local block `b / n`.
 ///

@@ -258,10 +258,7 @@ impl StripedModel {
             let take = (su - within).min(end - pos);
             let disk = (unit % n) as usize;
             let local = (unit / n) * su + within;
-            if let Some(last) = runs
-                .iter_mut()
-                .find(|r| r.0 == disk && r.1 + r.2 == local)
-            {
+            if let Some(last) = runs.iter_mut().find(|r| r.0 == disk && r.1 + r.2 == local) {
                 last.2 += take;
             } else {
                 runs.push((disk, local, take));

@@ -355,8 +355,16 @@ impl<D: BlockDevice> Ffs<D> {
                     }
                     Ok(())
                 };
-            write_bitmap(&mut self.device, self.sb.inode_bitmap_start, &self.inode_free)?;
-            write_bitmap(&mut self.device, self.sb.block_bitmap_start, &self.block_free)?;
+            write_bitmap(
+                &mut self.device,
+                self.sb.inode_bitmap_start,
+                &self.inode_free,
+            )?;
+            write_bitmap(
+                &mut self.device,
+                self.sb.block_bitmap_start,
+                &self.block_free,
+            )?;
             // Inode table.
             let per_block = bs / INODE_SIZE;
             for (chunk_idx, chunk) in self.inodes.chunks(per_block).enumerate() {
@@ -648,9 +656,9 @@ impl<D: BlockDevice> Ffs<D> {
 
     fn parent_and_name<'a>(&mut self, path: &'a str) -> Result<(InodeNo, &'a str), FfsError> {
         let comps = Self::split_path(path)?;
-        let (&name, parents) = comps.split_last().ok_or_else(|| {
-            FfsError::BadPath(path.to_string())
-        })?;
+        let (&name, parents) = comps
+            .split_last()
+            .ok_or_else(|| FfsError::BadPath(path.to_string()))?;
         let mut cur = ROOT;
         for c in parents {
             let entries = self.read_dir_entries(cur)?;
@@ -967,10 +975,7 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(
-            FfsError::NotFound("/x".into()).to_string(),
-            "not found: /x"
-        );
+        assert_eq!(FfsError::NotFound("/x".into()).to_string(), "not found: /x");
         assert_eq!(FfsError::NoSpace.to_string(), "no space");
     }
 }

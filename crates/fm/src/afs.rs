@@ -21,7 +21,7 @@ use crate::handle::{FileHandle, FmAttrs, FmError};
 use crate::nfs::DEFAULT_TTL;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use nasd_net::{spawn_service, Rpc, ServiceHandle};
+use nasd_net::{spawn_service, RetryPolicy, Rpc, RpcError, ServiceHandle};
 use nasd_proto::{ByteRange, Capability, Rights, Version};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -269,8 +269,7 @@ impl NasdAfs {
                 // "The file manager no longer knows that a write operation
                 // arrived at a drive so must inform clients as soon as a
                 // write may occur": break callbacks at issue time.
-                let (cap0, attrs) =
-                    self.attrs_and_cap(fh, Rights::GETATTR, ByteRange::FULL)?;
+                let (cap0, attrs) = self.attrs_and_cap(fh, Rights::GETATTR, ByteRange::FULL)?;
                 let _ = cap0;
                 let region = ByteRange::new(0, attrs.size + escrow);
                 let (cap, attrs) = self.attrs_and_cap(
@@ -368,7 +367,9 @@ impl NasdAfs {
                 }
             }
             AfsRequest::Remove { dir, name } => {
-                let resp = self.nfs.handle(crate::nfs::NfsRequest::Remove { dir, name });
+                let resp = self
+                    .nfs
+                    .handle(crate::nfs::NfsRequest::Remove { dir, name });
                 match resp {
                     crate::nfs::NfsResponse::Ok => {
                         let mut state = self.state.lock();
@@ -410,6 +411,7 @@ pub struct AfsClient {
     callbacks: Receiver<CallbackEvent>,
     /// Local whole-file cache, validity guarded by callbacks (AFS-style).
     cache: Mutex<HashMap<FileHandle, Bytes>>,
+    retry: RetryPolicy,
 }
 
 impl AfsClient {
@@ -425,7 +427,10 @@ impl AfsClient {
         fleet: Arc<DriveFleet>,
     ) -> Result<Self, FmError> {
         let (tx, rx) = unbounded();
-        match fm.call(AfsRequest::Register { client: id, sender: tx })? {
+        match fm.call(AfsRequest::Register {
+            client: id,
+            sender: tx,
+        })? {
             AfsResponse::Ok => {}
             AfsResponse::Err(e) => return Err(e),
             _ => return Err(FmError::Transport),
@@ -442,6 +447,7 @@ impl AfsClient {
             root,
             callbacks: rx,
             cache: Mutex::new(HashMap::new()),
+            retry: RetryPolicy::control(),
         })
     }
 
@@ -449,6 +455,29 @@ impl AfsClient {
     #[must_use]
     pub fn root(&self) -> FileHandle {
         self.root
+    }
+
+    /// Replace the control-path retry policy.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Call the file manager with per-attempt timeouts and capped
+    /// backoff; disconnection fails fast (managers do not restart).
+    fn call_fm(&self, req: AfsRequest) -> Result<AfsResponse, FmError> {
+        let attempts = self.retry.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let pause = self.retry.backoff(attempt);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+            match self.fm.call_timeout(req.clone(), self.retry.timeout) {
+                Ok(resp) => return Ok(resp),
+                Err(RpcError::TimedOut) => {}
+                Err(RpcError::Disconnected) => return Err(FmError::Transport),
+            }
+        }
+        Err(FmError::Unavailable { attempts })
     }
 
     /// Drain pending callback breaks, invalidating cached copies.
@@ -468,7 +497,7 @@ impl AfsClient {
     /// [`FmError`]; a blocked callback surfaces as `Drive(AccessDenied)`
     /// replacement — callers should retry after the returned time.
     pub fn fetch_read(&self, fh: FileHandle) -> Result<(Capability, FmAttrs), FmError> {
-        match self.fm.call(AfsRequest::FetchRead {
+        match self.call_fm(AfsRequest::FetchRead {
             client: self.id,
             fh,
         })? {
@@ -489,7 +518,7 @@ impl AfsClient {
         fh: FileHandle,
         escrow: u64,
     ) -> Result<(Capability, FmAttrs), FmError> {
-        match self.fm.call(AfsRequest::FetchWrite {
+        match self.call_fm(AfsRequest::FetchWrite {
             client: self.id,
             fh,
             escrow,
@@ -507,7 +536,7 @@ impl AfsClient {
     ///
     /// Transport failures.
     pub fn relinquish(&self, fh: FileHandle, write: bool) -> Result<(), FmError> {
-        match self.fm.call(AfsRequest::Relinquish {
+        match self.call_fm(AfsRequest::Relinquish {
             client: self.id,
             fh,
             write,
@@ -586,7 +615,7 @@ impl AfsClient {
     ///
     /// `Exists`, transport.
     pub fn create(&self, dir: FileHandle, name: &str) -> Result<FileHandle, FmError> {
-        match self.fm.call(AfsRequest::Create {
+        match self.call_fm(AfsRequest::Create {
             dir,
             name: name.to_string(),
             mode: 0o644,

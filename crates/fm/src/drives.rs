@@ -9,14 +9,18 @@
 use crate::handle::{FileHandle, FmError};
 use bytes::Bytes;
 use nasd_crypto::KeyHierarchy;
-use nasd_net::{spawn_service, Rpc, ServiceHandle};
-use nasd_object::{DriveConfig, DriveSecurity, NasdDrive};
+use nasd_disk::{MemDisk, SharedDisk};
+use nasd_net::{
+    spawn_service, ChannelFaults, FaultConfig, FaultPlan, RetryPolicy, Rpc, RpcError, ServiceHandle,
+};
+use nasd_object::{DriveConfig, DriveFaultConfig, DriveSecurity, NasdDrive};
 use nasd_proto::wire::WireEncode;
 use nasd_proto::{
     ByteRange, Capability, CapabilityPublic, DriveId, NasdStatus, Nonce, ObjectAttributes,
     ObjectId, PartitionId, ProtectionLevel, Reply, ReplyBody, Request, RequestBody, Rights,
     SecurityHeader, SetAttrMask, Version,
 };
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -26,15 +30,18 @@ static NEXT_SIGNER: AtomicU64 = AtomicU64::new(1000);
 /// it (the file manager's position in the architecture).
 pub struct DriveEndpoint {
     id: DriveId,
-    rpc: Rpc<Request, Reply>,
+    rpc: RwLock<Rpc<Request, Reply>>,
     hierarchy: KeyHierarchy,
     signer: u64,
     counter: AtomicU64,
+    retry: RwLock<RetryPolicy>,
 }
 
 impl std::fmt::Debug for DriveEndpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DriveEndpoint").field("id", &self.id).finish()
+        f.debug_struct("DriveEndpoint")
+            .field("id", &self.id)
+            .finish()
     }
 }
 
@@ -45,10 +52,54 @@ impl DriveEndpoint {
         self.id
     }
 
-    /// Raw RPC channel (for custom requests).
+    /// A snapshot of the RPC channel (for custom or pipelined requests).
+    /// After a drive crash/restart the endpoint is rewired, so take a
+    /// fresh snapshot per batch rather than caching one across faults.
     #[must_use]
-    pub fn rpc(&self) -> &Rpc<Request, Reply> {
-        &self.rpc
+    pub fn rpc(&self) -> Rpc<Request, Reply> {
+        self.rpc.read().clone()
+    }
+
+    /// Swap in a fresh RPC channel (drive restart). Snapshots taken
+    /// earlier keep pointing at the dead service and surface
+    /// [`nasd_net::RpcError::Disconnected`]; retried signed calls pick
+    /// up the new channel automatically.
+    pub fn reconnect(&self, rpc: Rpc<Request, Reply>) {
+        *self.rpc.write() = rpc;
+    }
+
+    /// The retry policy governing the signed call paths.
+    #[must_use]
+    pub fn retry(&self) -> RetryPolicy {
+        *self.retry.read()
+    }
+
+    /// Replace the retry policy (e.g. a more patient one while a chaos
+    /// test holds a drive down across a restart).
+    pub fn set_retry(&self, policy: RetryPolicy) {
+        *self.retry.write() = policy;
+    }
+
+    /// Run one signed exchange with retries. Every attempt is re-signed
+    /// by `sign` with a fresh nonce, so a duplicate of an old attempt
+    /// dies in the drive's replay window while the fresh one is
+    /// accepted. Timeouts, disconnections (the drive may be restarting)
+    /// and transient [`NasdStatus::Busy`] bounces back off and retry.
+    fn call_signed(&self, mut sign: impl FnMut() -> Request) -> Result<Reply, FmError> {
+        let policy = self.retry();
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let pause = policy.backoff(attempt);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+            match self.rpc().call_timeout(sign(), policy.timeout) {
+                Ok(reply) if reply.status.is_transient() => {}
+                Ok(reply) => return Ok(reply),
+                Err(RpcError::TimedOut | RpcError::Disconnected) => {}
+            }
+        }
+        Err(FmError::Unavailable { attempts })
     }
 
     fn next_nonce(&self) -> Nonce {
@@ -79,19 +130,20 @@ impl DriveEndpoint {
         }
     }
 
-    /// Sign `body` + `data` under `cap` and call the drive.
+    /// Sign `body` + `data` under `cap` and call the drive, retrying
+    /// transient failures per the endpoint's [`RetryPolicy`].
     ///
     /// # Errors
     ///
-    /// Transport failures and drive statuses.
+    /// Drive statuses ([`FmError::Drive`]) and, after retries exhaust,
+    /// [`FmError::Unavailable`].
     pub fn call(
         &self,
         cap: &Capability,
         body: RequestBody,
         data: Bytes,
     ) -> Result<ReplyBody, FmError> {
-        let req = self.sign(cap, body, data);
-        let reply = self.rpc.call(req)?;
+        let reply = self.call_signed(|| self.sign(cap, body.clone(), data.clone()))?;
         if reply.status.is_ok() {
             Ok(reply.body)
         } else {
@@ -145,31 +197,33 @@ impl DriveEndpoint {
         )
     }
 
-    /// Administrative call authorized by the drive key.
+    /// Administrative call authorized by the drive key, with the same
+    /// retry behaviour as [`DriveEndpoint::call`].
     ///
     /// # Errors
     ///
-    /// Transport failures and drive statuses.
+    /// Drive statuses and, after retries exhaust, [`FmError::Unavailable`].
     pub fn admin(&self, body: RequestBody) -> Result<ReplyBody, FmError> {
-        let nonce = self.next_nonce();
-        let digest = DriveSecurity::request_digest(
-            self.hierarchy.drive().as_bytes(),
-            nonce,
-            &body.to_wire(),
-            &[],
-            ProtectionLevel::ArgsIntegrity,
-        );
-        let req = Request {
-            header: SecurityHeader {
-                protection: ProtectionLevel::ArgsIntegrity,
+        let reply = self.call_signed(|| {
+            let nonce = self.next_nonce();
+            let digest = DriveSecurity::request_digest(
+                self.hierarchy.drive().as_bytes(),
                 nonce,
-            },
-            capability: None,
-            body,
-            digest,
-            data: Bytes::new(),
-        };
-        let reply = self.rpc.call(req)?;
+                &body.to_wire(),
+                &[],
+                ProtectionLevel::ArgsIntegrity,
+            );
+            Request {
+                header: SecurityHeader {
+                    protection: ProtectionLevel::ArgsIntegrity,
+                    nonce,
+                },
+                capability: None,
+                body: body.clone(),
+                digest,
+                data: Bytes::new(),
+            }
+        })?;
         if reply.status.is_ok() {
             Ok(reply.body)
         } else {
@@ -209,12 +263,7 @@ impl DriveEndpoint {
     /// # Errors
     ///
     /// Drive statuses and transport failures.
-    pub fn read(
-        &self,
-        cap: &Capability,
-        offset: u64,
-        len: u64,
-    ) -> Result<Bytes, FmError> {
+    pub fn read(&self, cap: &Capability, offset: u64, len: u64) -> Result<Bytes, FmError> {
         let (partition, object) = (cap.public.partition, cap.public.object);
         match self.call(
             cap,
@@ -261,7 +310,11 @@ impl DriveEndpoint {
     /// Drive statuses and transport failures.
     pub fn get_attr(&self, cap: &Capability) -> Result<ObjectAttributes, FmError> {
         let (partition, object) = (cap.public.partition, cap.public.object);
-        match self.call(cap, RequestBody::GetAttr { partition, object }, Bytes::new())? {
+        match self.call(
+            cap,
+            RequestBody::GetAttr { partition, object },
+            Bytes::new(),
+        )? {
             ReplyBody::Attr(a) => Ok(a),
             _ => Err(FmError::Drive(NasdStatus::DriveError)),
         }
@@ -328,38 +381,61 @@ impl DriveEndpoint {
     }
 }
 
+/// Service loop for a drive: the shared `clock` is applied before every
+/// request (modelling loosely synchronized drive clocks).
+fn spawn_rpc<D: nasd_disk::BlockDevice + 'static>(
+    mut drive: NasdDrive<D>,
+    clock: Arc<AtomicU64>,
+) -> (Rpc<Request, Reply>, ServiceHandle) {
+    spawn_service(move |req: Request| {
+        drive.set_clock(clock.load(Ordering::Relaxed));
+        let (reply, _report) = drive.handle(&req);
+        reply
+    })
+}
+
 /// Spawn `drive` as a threaded service; the shared `clock` is applied to
 /// the drive before every request (modelling loosely synchronized drive
 /// clocks).
 pub fn spawn_drive<D: nasd_disk::BlockDevice + 'static>(
-    mut drive: NasdDrive<D>,
+    drive: NasdDrive<D>,
     clock: Arc<AtomicU64>,
 ) -> (DriveEndpoint, ServiceHandle) {
     let id = drive.id();
     let hierarchy = drive.hierarchy().clone();
-    let clock_for_service = Arc::clone(&clock);
-    let (rpc, handle) = spawn_service(move |req: Request| {
-        drive.set_clock(clock_for_service.load(Ordering::Relaxed));
-        let (reply, _report) = drive.handle(&req);
-        reply
-    });
+    let (rpc, handle) = spawn_rpc(drive, clock);
     (
         DriveEndpoint {
             id,
-            rpc,
+            rpc: RwLock::new(rpc),
             hierarchy,
             signer: NEXT_SIGNER.fetch_add(1, Ordering::Relaxed),
             counter: AtomicU64::new(1),
+            retry: RwLock::new(RetryPolicy::standard()),
         },
         handle,
     )
+}
+
+/// Master secret rooting every fleet drive's key hierarchy (matches
+/// [`NasdDrive::with_memory`], so endpoints survive a drive restart:
+/// reopening with the same seed re-derives the same partition keys).
+const FLEET_MASTER_SEED: [u8; 32] = [7u8; 32];
+
+/// Everything needed to rebuild one fleet drive after a crash.
+struct DriveSlot {
+    device: SharedDisk,
+    config: DriveConfig,
+    handle: Option<ServiceHandle>,
+    net_faults: Option<Arc<ChannelFaults>>,
+    drive_faults: Option<(u64, DriveFaultConfig)>,
 }
 
 /// A set of spawned drives sharing a clock — the storage side of a NASD
 /// installation.
 pub struct DriveFleet {
     endpoints: Vec<Arc<DriveEndpoint>>,
-    handles: Vec<ServiceHandle>,
+    slots: Vec<Mutex<DriveSlot>>,
     clock: Arc<AtomicU64>,
     partition: PartitionId,
 }
@@ -386,22 +462,115 @@ impl DriveFleet {
         partition: PartitionId,
         quota: u64,
     ) -> Result<Self, FmError> {
+        Self::spawn_faulty(n, config, partition, quota, None)
+    }
+
+    /// Spawn `n` drives over crash-surviving [`SharedDisk`] media, with
+    /// optional deterministic drive-level fault injection: each drive
+    /// `i` gets its injector seeded with `seed ^ drive_id` so the
+    /// drives' fault streams differ but remain reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates drive failures during partition creation.
+    pub fn spawn_faulty(
+        n: usize,
+        config: DriveConfig,
+        partition: PartitionId,
+        quota: u64,
+        drive_faults: Option<(u64, DriveFaultConfig)>,
+    ) -> Result<Self, FmError> {
         let clock = Arc::new(AtomicU64::new(1));
         let mut endpoints = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(n);
         for i in 0..n {
-            let drive = NasdDrive::with_memory(config.clone(), i as u64 + 1);
+            let id = DriveId(i as u64 + 1);
+            let device = SharedDisk::new(MemDisk::new(config.block_size, config.capacity_blocks));
+            let mut drive = NasdDrive::new(device.clone(), config.clone(), id, FLEET_MASTER_SEED);
+            let drive_faults = drive_faults.map(|(seed, cfg)| (seed ^ id.0, cfg));
+            if let Some((seed, cfg)) = drive_faults {
+                drive.set_faults(seed, cfg);
+            }
             let (ep, handle) = spawn_drive(drive, Arc::clone(&clock));
             ep.admin(RequestBody::CreatePartition { partition, quota })?;
             endpoints.push(Arc::new(ep));
-            handles.push(handle);
+            slots.push(Mutex::new(DriveSlot {
+                device,
+                config: config.clone(),
+                handle: Some(handle),
+                net_faults: None,
+                drive_faults,
+            }));
         }
         Ok(DriveFleet {
             endpoints,
-            handles,
+            slots,
             clock,
             partition,
         })
+    }
+
+    /// Attach seeded message-level fault injection to every drive
+    /// channel (channel target ids are the drive ids, so the injected
+    /// schedule is stable across runs and survives drive restarts).
+    pub fn set_faults(&self, plan: &Arc<FaultPlan>, config: FaultConfig) {
+        for (ep, slot) in self.endpoints.iter().zip(self.slots.iter()) {
+            let ch = plan.channel(ep.id().0, config);
+            ep.reconnect(ep.rpc().with_faults(Arc::clone(&ch)));
+            slot.lock().net_faults = Some(ch);
+        }
+    }
+
+    /// Hard-stop drive `idx`'s service thread, as a power cut would:
+    /// unpersisted drive state dies with it, while the media (a
+    /// [`SharedDisk`]) survives for [`DriveFleet::restart`]. Clients
+    /// observe disconnections/timeouts until the restart.
+    pub fn crash(&self, idx: usize) {
+        let handle = self.slots[idx].lock().handle.take();
+        if let Some(h) = handle {
+            h.shutdown();
+        }
+    }
+
+    /// Whether drive `idx` currently has a live service thread.
+    #[must_use]
+    pub fn is_up(&self, idx: usize) -> bool {
+        self.slots[idx].lock().handle.is_some()
+    }
+
+    /// Restart a crashed drive from its persisted media and rewire its
+    /// endpoint (and fault injectors); clients mid-retry pick up the
+    /// new channel transparently. No-op if the drive is up.
+    ///
+    /// # Errors
+    ///
+    /// [`FmError::Drive`] with [`NasdStatus::DriveError`] when the
+    /// media holds no usable checkpoint (the drive never persisted —
+    /// see [`DriveConfig::durable`]).
+    pub fn restart(&self, idx: usize) -> Result<(), FmError> {
+        let mut slot = self.slots[idx].lock();
+        if slot.handle.is_some() {
+            return Ok(());
+        }
+        let ep = &self.endpoints[idx];
+        let mut drive = NasdDrive::open(
+            slot.device.clone(),
+            slot.config.clone(),
+            ep.id(),
+            FLEET_MASTER_SEED,
+        )
+        .map_err(|_| FmError::Drive(NasdStatus::DriveError))?;
+        if let Some((seed, cfg)) = slot.drive_faults {
+            drive.set_faults(seed, cfg);
+        }
+        let (rpc, handle) = spawn_rpc(drive, Arc::clone(&self.clock));
+        let rpc = match &slot.net_faults {
+            Some(ch) => rpc.with_faults(Arc::clone(ch)),
+            None => rpc,
+        };
+        ep.reconnect(rpc);
+        slot.handle = Some(handle);
+        Ok(())
     }
 
     /// Number of drives.
@@ -464,8 +633,10 @@ impl DriveFleet {
     /// Shut down all drive threads (drop RPC handles first).
     pub fn shutdown(self) {
         drop(self.endpoints);
-        for h in self.handles {
-            h.shutdown();
+        for slot in self.slots {
+            if let Some(h) = slot.into_inner().handle.take() {
+                h.shutdown();
+            }
         }
     }
 }
@@ -492,7 +663,8 @@ mod tests {
             ByteRange::FULL,
             f.now() + 100,
         );
-        ep.write(&cap, 0, Bytes::from_static(b"over the wire")).unwrap();
+        ep.write(&cap, 0, Bytes::from_static(b"over the wire"))
+            .unwrap();
         assert_eq!(&ep.read(&cap, 5, 3).unwrap()[..], b"the");
         let attrs = ep.get_attr(&cap).unwrap();
         assert_eq!(attrs.size, 13);
@@ -505,14 +677,9 @@ mod tests {
         let p = f.partition();
         let o0 = f.endpoint(0).create_object(p, 0, None, 100).unwrap();
         // Same numeric object id does not exist on drive 1.
-        let cap_wrong = f.endpoint(1).mint(
-            p,
-            o0,
-            Version(0),
-            Rights::READ,
-            ByteRange::FULL,
-            100,
-        );
+        let cap_wrong = f
+            .endpoint(1)
+            .mint(p, o0, Version(0), Rights::READ, ByteRange::FULL, 100);
         assert!(matches!(
             f.endpoint(1).read(&cap_wrong, 0, 1),
             Err(FmError::Drive(NasdStatus::NoSuchObject))
@@ -544,7 +711,14 @@ mod tests {
         let ep = f.endpoint(0);
         let p = f.partition();
         let obj = ep.create_object(p, 0, None, f.now() + 5).unwrap();
-        let cap = ep.mint(p, obj, Version(0), Rights::READ, ByteRange::FULL, f.now() + 5);
+        let cap = ep.mint(
+            p,
+            obj,
+            Version(0),
+            Rights::READ,
+            ByteRange::FULL,
+            f.now() + 5,
+        );
         assert!(ep.read(&cap, 0, 0).is_ok());
         f.advance_clock(100);
         assert!(matches!(

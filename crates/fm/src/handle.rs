@@ -95,6 +95,12 @@ pub enum FmError {
     Drive(NasdStatus),
     /// Transport failure.
     Transport,
+    /// The drive stayed unreachable (timeouts, disconnections or
+    /// transient busy bounces) for every one of `attempts` retries.
+    Unavailable {
+        /// How many attempts were made before giving up.
+        attempts: u32,
+    },
     /// Caller lacks permission (mode bits).
     Permission,
 }
@@ -109,6 +115,9 @@ impl fmt::Display for FmError {
             FmError::QuotaExceeded => f.write_str("quota exceeded"),
             FmError::Drive(s) => write!(f, "drive error: {s}"),
             FmError::Transport => f.write_str("transport failure"),
+            FmError::Unavailable { attempts } => {
+                write!(f, "drive unavailable after {attempts} attempts")
+            }
             FmError::Permission => f.write_str("permission denied"),
         }
     }

@@ -35,6 +35,6 @@ mod server;
 pub use afs::{AfsClient, CallbackEvent, NasdAfs};
 pub use dirfmt::{decode_dir, encode_dir, DirRecord};
 pub use drives::{spawn_drive, DriveEndpoint, DriveFleet};
-pub use handle::{FileHandle, FmError, FileType, FmAttrs};
+pub use handle::{FileHandle, FileType, FmAttrs, FmError};
 pub use nfs::{NasdNfs, NfsClient, NfsFile, NfsRequest, NfsResponse};
 pub use server::{NfsServer, ServerRequest, ServerResponse};

@@ -11,7 +11,7 @@ use crate::dirfmt::{decode_dir, encode_dir, DirRecord};
 use crate::drives::{DriveEndpoint, DriveFleet};
 use crate::handle::{FileHandle, FileType, FmAttrs, FmError};
 use bytes::Bytes;
-use nasd_net::{spawn_service, Rpc, ServiceHandle};
+use nasd_net::{spawn_service, RetryPolicy, Rpc, RpcError, ServiceHandle};
 use nasd_proto::{
     ByteRange, Capability, NasdStatus, ObjectAttributes, RequestBody, Rights, Version,
 };
@@ -172,11 +172,7 @@ impl NasdNfs {
     }
 
     fn version_of(&self, fh: FileHandle) -> Version {
-        self.versions
-            .lock()
-            .get(&fh)
-            .copied()
-            .unwrap_or(Version(0))
+        self.versions.lock().get(&fh).copied().unwrap_or(Version(0))
     }
 
     /// Mint the manager's own full-rights capability for `fh`.
@@ -488,6 +484,7 @@ pub struct NfsClient {
     fm: Rpc<NfsRequest, NfsResponse>,
     fleet: Arc<DriveFleet>,
     root: FileHandle,
+    retry: RetryPolicy,
 }
 
 impl NfsClient {
@@ -505,7 +502,12 @@ impl NfsClient {
             NfsResponse::Err(e) => return Err(e),
             _ => return Err(FmError::Transport),
         };
-        Ok(NfsClient { fm, fleet, root })
+        Ok(NfsClient {
+            fm,
+            fleet,
+            root,
+            retry: RetryPolicy::control(),
+        })
     }
 
     /// The root directory handle.
@@ -514,11 +516,27 @@ impl NfsClient {
         self.root
     }
 
+    /// Replace the control-path retry policy.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
     fn call(&self, req: NfsRequest) -> Result<NfsResponse, FmError> {
-        match self.fm.call(req)? {
-            NfsResponse::Err(e) => Err(e),
-            other => Ok(other),
+        let attempts = self.retry.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let pause = self.retry.backoff(attempt);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+            match self.fm.call_timeout(req.clone(), self.retry.timeout) {
+                Ok(NfsResponse::Err(e)) => return Err(e),
+                Ok(other) => return Ok(other),
+                Err(RpcError::TimedOut) => {}
+                // A manager, unlike a drive, does not restart: fail fast.
+                Err(RpcError::Disconnected) => return Err(FmError::Transport),
+            }
         }
+        Err(FmError::Unavailable { attempts })
     }
 
     /// Walk `path` (absolute, `/`-separated) to a directory handle.
@@ -548,7 +566,9 @@ impl NfsClient {
 
     fn split_parent(path: &str) -> Result<(&str, &str), FmError> {
         let path = path.trim_end_matches('/');
-        let idx = path.rfind('/').ok_or_else(|| FmError::NotFound(path.to_string()))?;
+        let idx = path
+            .rfind('/')
+            .ok_or_else(|| FmError::NotFound(path.to_string()))?;
         let (parent, name) = path.split_at(idx);
         let name = &name[1..];
         if name.is_empty() {
@@ -769,7 +789,9 @@ impl NfsClient {
 
 impl std::fmt::Debug for NfsClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NfsClient").field("root", &self.root).finish()
+        f.debug_struct("NfsClient")
+            .field("root", &self.root)
+            .finish()
     }
 }
 
@@ -852,10 +874,7 @@ mod tests {
             client.open("/gone", false),
             Err(FmError::NotFound(_))
         ));
-        assert!(matches!(
-            client.remove("/gone"),
-            Err(FmError::NotFound(_))
-        ));
+        assert!(matches!(client.remove("/gone"), Err(FmError::NotFound(_))));
     }
 
     #[test]
@@ -883,10 +902,7 @@ mod tests {
         let (client, _fleet) = setup(1);
         let mut f = client.create("/ro", 0o444, 1).unwrap();
         client.write(&mut f, 0, b"seed").unwrap(); // creator's cap still valid
-        assert!(matches!(
-            client.open("/ro", true),
-            Err(FmError::Permission)
-        ));
+        assert!(matches!(client.open("/ro", true), Err(FmError::Permission)));
         // Read-only open works.
         assert!(client.open("/ro", false).is_ok());
     }
@@ -908,12 +924,17 @@ mod tests {
         client.mkdir("/a", 0o755, 0).unwrap();
         client.mkdir("/b", 0o755, 0).unwrap();
         let mut f = client.create("/a/old", 0o644, 0).unwrap();
-        client.write(&mut f, 0, b"contents travel by name only").unwrap();
+        client
+            .write(&mut f, 0, b"contents travel by name only")
+            .unwrap();
         let backing = f.fh;
 
         // In-place rename.
         client.rename("/a/old", "/a/new").unwrap();
-        assert!(matches!(client.open("/a/old", false), Err(FmError::NotFound(_))));
+        assert!(matches!(
+            client.open("/a/old", false),
+            Err(FmError::NotFound(_))
+        ));
         let g = client.open("/a/new", false).unwrap();
         assert_eq!(g.fh, backing, "the object did not move");
 
@@ -941,7 +962,10 @@ mod tests {
         let mut f = client.create("/m", 0o644, 0).unwrap();
         client.write(&mut f, 0, b"v1").unwrap();
         // Policy change bumps the object version, revoking f's cap.
-        match client.call(NfsRequest::SetMode { fh: f.fh, mode: 0o600 }) {
+        match client.call(NfsRequest::SetMode {
+            fh: f.fh,
+            mode: 0o600,
+        }) {
             Ok(NfsResponse::Ok) => {}
             other => panic!("setmode failed: {other:?}"),
         }

@@ -195,8 +195,7 @@ mod tests {
     #[test]
     fn files_through_the_server() {
         let rpc = server();
-        let ServerResponse::Ino(ino) = rpc.call(ServerRequest::Create("/f".into())).unwrap()
-        else {
+        let ServerResponse::Ino(ino) = rpc.call(ServerRequest::Create("/f".into())).unwrap() else {
             panic!("create failed");
         };
         rpc.call(ServerRequest::Write {
@@ -224,15 +223,13 @@ mod tests {
         rpc.call(ServerRequest::Mkdir("/d".into())).unwrap();
         rpc.call(ServerRequest::Create("/d/a".into())).unwrap();
         rpc.call(ServerRequest::Create("/d/b".into())).unwrap();
-        let ServerResponse::Names(names) =
-            rpc.call(ServerRequest::Readdir("/d".into())).unwrap()
+        let ServerResponse::Names(names) = rpc.call(ServerRequest::Readdir("/d".into())).unwrap()
         else {
             panic!("readdir failed");
         };
         assert_eq!(names.len(), 2);
         rpc.call(ServerRequest::Remove("/d/a".into())).unwrap();
-        let ServerResponse::Err(e) = rpc.call(ServerRequest::Lookup("/d/a".into())).unwrap()
-        else {
+        let ServerResponse::Err(e) = rpc.call(ServerRequest::Lookup("/d/a".into())).unwrap() else {
             panic!("lookup should fail");
         };
         assert!(matches!(e, FmError::NotFound(_)));
@@ -245,9 +242,8 @@ mod tests {
         for c in 0..4u64 {
             let rpc = rpc.clone();
             joins.push(std::thread::spawn(move || {
-                let ServerResponse::Ino(ino) = rpc
-                    .call(ServerRequest::Create(format!("/c{c}")))
-                    .unwrap()
+                let ServerResponse::Ino(ino) =
+                    rpc.call(ServerRequest::Create(format!("/c{c}"))).unwrap()
                 else {
                     panic!("create failed");
                 };
@@ -278,8 +274,7 @@ mod tests {
     #[test]
     fn sync_and_getattr() {
         let rpc = server();
-        let ServerResponse::Ino(ino) = rpc.call(ServerRequest::Create("/s".into())).unwrap()
-        else {
+        let ServerResponse::Ino(ino) = rpc.call(ServerRequest::Create("/s".into())).unwrap() else {
             panic!();
         };
         rpc.call(ServerRequest::Write {

@@ -22,7 +22,10 @@ impl FrequentSets {
     pub fn support(&self, set: &[u32]) -> Option<u64> {
         let mut key = set.to_vec();
         key.sort_unstable();
-        self.levels.get(key.len().checked_sub(1)?)?.get(&key).copied()
+        self.levels
+            .get(key.len().checked_sub(1)?)?
+            .get(&key)
+            .copied()
     }
 
     /// Number of frequent k-itemsets.
@@ -96,16 +99,12 @@ pub fn count_candidates<'a, I>(candidates: &[ItemSet], transactions: I) -> HashM
 where
     I: IntoIterator<Item = &'a Transaction>,
 {
-    let mut counts: HashMap<ItemSet, u64> =
-        candidates.iter().map(|c| (c.clone(), 0)).collect();
+    let mut counts: HashMap<ItemSet, u64> = candidates.iter().map(|c| (c.clone(), 0)).collect();
     for t in transactions {
         let mut sorted = t.items.clone();
         sorted.sort_unstable();
         for cand in candidates {
-            if cand
-                .iter()
-                .all(|item| sorted.binary_search(item).is_ok())
-            {
+            if cand.iter().all(|item| sorted.binary_search(item).is_ok()) {
                 *counts.get_mut(cand).expect("candidate present") += 1;
             }
         }

@@ -173,8 +173,7 @@ impl Iterator for TransactionReader<'_> {
             if self.pos + 2 > self.data.len() {
                 return None;
             }
-            let n = u16::from_le_bytes(self.data[self.pos..self.pos + 2].try_into().ok()?)
-                as usize;
+            let n = u16::from_le_bytes(self.data[self.pos..self.pos + 2].try_into().ok()?) as usize;
             if n == 0 {
                 // Padding: skip to the next chunk boundary.
                 let next = (self.pos / self.chunk_size + 1) * self.chunk_size;
@@ -191,9 +190,7 @@ impl Iterator for TransactionReader<'_> {
             let mut items = Vec::with_capacity(n);
             for i in 0..n {
                 let off = self.pos + 2 + 4 * i;
-                items.push(u32::from_le_bytes(
-                    self.data[off..off + 4].try_into().ok()?,
-                ));
+                items.push(u32::from_le_bytes(self.data[off..off + 4].try_into().ok()?));
             }
             self.pos += need;
             return Some(Transaction { items });

@@ -130,8 +130,8 @@ pub fn parallel_frequent_items(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen::TransactionGenerator;
     use crate::apriori::count_1_itemsets;
+    use crate::gen::TransactionGenerator;
     use nasd_object::DriveConfig;
 
     #[test]
@@ -141,11 +141,9 @@ mod tests {
         let request = 64 * 1024u64;
         let chunk = 256 * 1024u64;
         let total = 2 << 20;
-        let cluster = Arc::new(
-            PfsCluster::spawn_with_config(4, request, DriveConfig::small()).unwrap(),
-        );
-        let data =
-            TransactionGenerator::new(77).generate_bytes(total, request as usize);
+        let cluster =
+            Arc::new(PfsCluster::spawn_with_config(4, request, DriveConfig::small()).unwrap());
+        let data = TransactionGenerator::new(77).generate_bytes(total, request as usize);
         let writer = cluster.client(0);
         let file = writer.create("/sales", 4).unwrap();
         writer.write_at(&file, 0, &data).unwrap();

@@ -15,8 +15,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod model;
 mod rpc;
 
+pub use fault::{
+    splitmix64, ChannelFaults, FaultAction, FaultConfig, FaultEvent, FaultPlan, RetryPolicy,
+};
 pub use model::{LinkSpec, NetworkModel, NodeId, RpcCostModel};
 pub use rpc::{spawn_service, Rpc, RpcError, ServiceHandle};

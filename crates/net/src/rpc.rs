@@ -6,39 +6,58 @@
 //! same role; an in-process channel transport exercises the identical
 //! message flow (every byte still crosses a serialized channel as a
 //! `Request`/`Reply` value) without the 1998 protocol stack.
+//!
+//! The transport is fault-aware: an [`Rpc`] handle built with
+//! [`Rpc::with_faults`] consults its [`ChannelFaults`] injector on every
+//! call and can lose, duplicate, or delay messages per the seeded
+//! [`crate::FaultPlan`]. A lost message surfaces as
+//! [`RpcError::TimedOut`] — the client cannot distinguish a dropped
+//! request from a dropped reply, exactly as on a real network.
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crate::fault::{ChannelFaults, FaultAction, RetryPolicy};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::fmt;
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Transport-level errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RpcError {
     /// The service thread has shut down.
     Disconnected,
+    /// No reply arrived in time — the request or its reply may have been
+    /// lost, or the service is too slow. The caller cannot tell which.
+    TimedOut,
 }
 
 impl fmt::Display for RpcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RpcError::Disconnected => f.write_str("service disconnected"),
+            RpcError::TimedOut => f.write_str("service call timed out"),
         }
     }
 }
 
 impl std::error::Error for RpcError {}
 
-type Envelope<Req, Resp> = (Req, Sender<Resp>);
+enum Envelope<Req, Resp> {
+    Call(Req, Sender<Resp>),
+    Stop,
+}
 
 /// Client handle to a threaded service. Cloneable; calls from any thread.
 pub struct Rpc<Req, Resp> {
     tx: Sender<Envelope<Req, Resp>>,
+    faults: Option<Arc<ChannelFaults>>,
 }
 
 impl<Req, Resp> Clone for Rpc<Req, Resp> {
     fn clone(&self) -> Self {
         Rpc {
             tx: self.tx.clone(),
+            faults: self.faults.clone(),
         }
     }
 }
@@ -49,50 +68,192 @@ impl<Req, Resp> fmt::Debug for Rpc<Req, Resp> {
     }
 }
 
-impl<Req: Send + 'static, Resp: Send + 'static> Rpc<Req, Resp> {
+/// Fate of a dispatched request, after fault injection.
+enum Ticket<Resp> {
+    /// Request delivered; wait on this receiver.
+    Wait(Receiver<Resp>),
+    /// Request delivered but the reply will be discarded (lost on the
+    /// way back); wait so the service finishes, then report a timeout.
+    WaitDiscard(Receiver<Resp>),
+    /// Request lost before delivery.
+    Lost,
+}
+
+impl<Req, Resp> Rpc<Req, Resp> {
+    /// A handle that consults `faults` on every call. The underlying
+    /// service is shared with `self`; only this handle's traffic is
+    /// subject to injection.
+    #[must_use]
+    pub fn with_faults(&self, faults: Arc<ChannelFaults>) -> Rpc<Req, Resp> {
+        Rpc {
+            tx: self.tx.clone(),
+            faults: Some(faults),
+        }
+    }
+}
+
+impl<Req: Send + Clone + 'static, Resp: Send + 'static> Rpc<Req, Resp> {
+    fn dispatch(&self, req: Req) -> Result<Ticket<Resp>, RpcError> {
+        let action = match &self.faults {
+            Some(f) => f.next_action(),
+            None => FaultAction::Deliver,
+        };
+        match action {
+            FaultAction::DropRequest => Ok(Ticket::Lost),
+            FaultAction::DelayMicros(us) => {
+                std::thread::sleep(Duration::from_micros(us));
+                self.send_one(req).map(Ticket::Wait)
+            }
+            FaultAction::Duplicate => {
+                // Two independent deliveries of the same message; the
+                // caller listens to the first. For signed drive traffic
+                // the second delivery trips the replay window.
+                let rx = self.send_one(req.clone())?;
+                let _ = self.send_one(req);
+                Ok(Ticket::Wait(rx))
+            }
+            FaultAction::DropReply => self.send_one(req).map(Ticket::WaitDiscard),
+            FaultAction::Deliver => self.send_one(req).map(Ticket::Wait),
+        }
+    }
+
+    fn send_one(&self, req: Req) -> Result<Receiver<Resp>, RpcError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Envelope::Call(req, reply_tx))
+            .map_err(|_| RpcError::Disconnected)?;
+        Ok(reply_rx)
+    }
+
     /// Synchronous call: send `req`, wait for the reply.
     ///
     /// # Errors
     ///
-    /// [`RpcError::Disconnected`] if the service has stopped.
+    /// [`RpcError::Disconnected`] if the service has stopped;
+    /// [`RpcError::TimedOut`] if injected faults lost the message.
     pub fn call(&self, req: Req) -> Result<Resp, RpcError> {
-        let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send((req, reply_tx))
-            .map_err(|_| RpcError::Disconnected)?;
-        reply_rx.recv().map_err(|_| RpcError::Disconnected)
+        match self.dispatch(req)? {
+            Ticket::Wait(rx) => rx.recv().map_err(|_| RpcError::Disconnected),
+            Ticket::WaitDiscard(rx) => {
+                let _ = rx.recv();
+                Err(RpcError::TimedOut)
+            }
+            Ticket::Lost => Err(RpcError::TimedOut),
+        }
+    }
+
+    /// Synchronous call that gives up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::TimedOut`] when no reply arrives in time (including
+    /// when a fault lost the message); [`RpcError::Disconnected`] when
+    /// the service has stopped.
+    pub fn call_timeout(&self, req: Req, timeout: Duration) -> Result<Resp, RpcError> {
+        match self.dispatch(req)? {
+            Ticket::Wait(rx) => rx.recv_timeout(timeout).map_err(|e| match e {
+                RecvTimeoutError::Timeout => RpcError::TimedOut,
+                RecvTimeoutError::Disconnected => RpcError::Disconnected,
+            }),
+            Ticket::WaitDiscard(rx) => {
+                let _ = rx.recv_timeout(timeout);
+                Err(RpcError::TimedOut)
+            }
+            Ticket::Lost => Err(RpcError::TimedOut),
+        }
+    }
+
+    /// Retrying call with capped exponential backoff per `policy`.
+    /// Timeouts are retried; [`RpcError::Disconnected`] is permanent on
+    /// a fixed channel and returned immediately.
+    ///
+    /// Only safe for requests that are idempotent or independently
+    /// signed (drive traffic: each attempt carries a fresh nonce).
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::TimedOut`] when every attempt timed out;
+    /// [`RpcError::Disconnected`] as soon as the service is gone.
+    pub fn call_retry(&self, req: Req, policy: RetryPolicy) -> Result<Resp, RpcError> {
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let pause = policy.backoff(attempt);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+            match self.call_timeout(req.clone(), policy.timeout) {
+                Ok(resp) => return Ok(resp),
+                Err(RpcError::TimedOut) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Err(RpcError::TimedOut)
     }
 
     /// Fire a request without waiting; returns a receiver for the reply
     /// (lets a client pipeline requests to many services — how the PFS
     /// client reads all stripe units of a request in parallel).
     ///
+    /// Under fault injection a lost message yields a receiver whose
+    /// reply never arrives (its sender is gone) — receive with a timeout
+    /// when faults may be active.
+    ///
     /// # Errors
     ///
     /// [`RpcError::Disconnected`] if the service has stopped.
     pub fn call_async(&self, req: Req) -> Result<Receiver<Resp>, RpcError> {
-        let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send((req, reply_tx))
-            .map_err(|_| RpcError::Disconnected)?;
-        Ok(reply_rx)
+        let action = match &self.faults {
+            Some(f) => f.next_action(),
+            None => FaultAction::Deliver,
+        };
+        match action {
+            FaultAction::Deliver => self.send_one(req),
+            FaultAction::DelayMicros(us) => {
+                std::thread::sleep(Duration::from_micros(us));
+                self.send_one(req)
+            }
+            FaultAction::Duplicate => {
+                let rx = self.send_one(req.clone())?;
+                let _ = self.send_one(req);
+                Ok(rx)
+            }
+            FaultAction::DropRequest => {
+                // Never sent: hand back a receiver whose sender is gone.
+                let (_, rx) = bounded(1);
+                Ok(rx)
+            }
+            FaultAction::DropReply => {
+                // Delivered and processed, but the reply channel the
+                // caller holds is not the one the service answers on.
+                let (reply_tx, _) = bounded(1);
+                self.tx
+                    .send(Envelope::Call(req, reply_tx))
+                    .map_err(|_| RpcError::Disconnected)?;
+                let (_, rx) = bounded(1);
+                Ok(rx)
+            }
+        }
     }
 }
 
-/// Owner handle for a spawned service: keeps the thread alive and joins
-/// it on [`ServiceHandle::shutdown`].
+/// Owner handle for a spawned service: stops the service loop and joins
+/// the thread on [`ServiceHandle::shutdown`].
 pub struct ServiceHandle {
+    stop: Option<Box<dyn FnOnce() + Send + Sync>>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl ServiceHandle {
-    /// Stop accepting calls and join the service thread. Safe to call
-    /// once; dropping without calling detaches the thread (it exits when
-    /// the last [`Rpc`] clone drops).
+    /// Stop the service loop and join its thread. Clients holding [`Rpc`]
+    /// clones are not required to drop first: the loop exits on the stop
+    /// message, and later calls return [`RpcError::Disconnected`].
+    /// Dropping the handle without calling this detaches the thread (it
+    /// exits when the last [`Rpc`] clone drops).
     pub fn shutdown(mut self) {
+        if let Some(stop) = self.stop.take() {
+            stop();
+        }
         if let Some(t) = self.thread.take() {
-            // Joining blocks until the last Rpc handle drops; the caller
-            // is expected to drop its handles first.
             let _ = t.join();
         }
     }
@@ -107,6 +268,7 @@ impl fmt::Debug for ServiceHandle {
 impl Drop for ServiceHandle {
     fn drop(&mut self) {
         // Detach: the thread exits when all Rpc senders drop.
+        let _ = self.stop.take();
         let _ = self.thread.take();
     }
 }
@@ -128,15 +290,24 @@ where
 {
     let (tx, rx) = unbounded::<Envelope<Req, Resp>>();
     let thread = std::thread::spawn(move || {
-        while let Ok((req, reply_tx)) = rx.recv() {
-            let resp = service(req);
-            // The caller may have given up; that is its business.
-            let _ = reply_tx.send(resp);
+        while let Ok(env) = rx.recv() {
+            match env {
+                Envelope::Call(req, reply_tx) => {
+                    let resp = service(req);
+                    // The caller may have given up; that is its business.
+                    let _ = reply_tx.send(resp);
+                }
+                Envelope::Stop => break,
+            }
         }
     });
+    let stop_tx = tx.clone();
     (
-        Rpc { tx },
+        Rpc { tx, faults: None },
         ServiceHandle {
+            stop: Some(Box::new(move || {
+                let _ = stop_tx.send(Envelope::Stop);
+            })),
             thread: Some(thread),
         },
     )
@@ -145,6 +316,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultConfig, FaultPlan};
 
     #[test]
     fn call_roundtrip() {
@@ -188,21 +360,101 @@ mod tests {
     }
 
     #[test]
-    fn disconnected_after_shutdown() {
+    fn disconnected_after_shutdown_with_live_clients() {
         let (rpc, handle) = spawn_service(|(): ()| ());
         let rpc2 = rpc.clone();
-        drop(rpc);
-        drop(rpc2);
+        assert!(rpc.call(()).is_ok());
+        // Clients still hold handles; shutdown must not block on them.
         handle.shutdown();
-        // Spawning a new channel to the dead service is impossible; a
-        // fresh handle to the dropped sender errors:
+        assert_eq!(rpc.call(()), Err(RpcError::Disconnected));
+        assert_eq!(rpc2.call(()), Err(RpcError::Disconnected));
+    }
+
+    #[test]
+    fn dropping_the_handle_detaches() {
         let (rpc, handle) = spawn_service(|(): ()| ());
         drop(handle); // detached; still serving
         assert!(rpc.call(()).is_ok());
     }
 
     #[test]
+    fn call_timeout_expires_on_slow_service() {
+        let (rpc, _h) = spawn_service(|(): ()| {
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        assert_eq!(
+            rpc.call_timeout((), Duration::from_millis(5)),
+            Err(RpcError::TimedOut)
+        );
+    }
+
+    #[test]
+    fn dropped_requests_surface_as_timeouts_and_retry_recovers() {
+        let plan = FaultPlan::new(42);
+        let config = FaultConfig {
+            drop: 0.5,
+            ..FaultConfig::none()
+        };
+        let (rpc, _h) = spawn_service(|x: u64| x + 1);
+        let faulty = rpc.with_faults(plan.channel(1, config));
+        let policy = RetryPolicy {
+            max_attempts: 32,
+            timeout: Duration::from_millis(100),
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        };
+        let mut timeouts = 0;
+        for i in 0..50 {
+            // Every individual call either succeeds or times out...
+            match faulty.call(i) {
+                Ok(v) => assert_eq!(v, i + 1),
+                Err(RpcError::TimedOut) => timeouts += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            // ...and the retry wrapper always gets through at 50% loss.
+            assert_eq!(faulty.call_retry(i, policy).unwrap(), i + 1);
+        }
+        assert!(timeouts > 0, "the seed should drop some of 50 calls");
+        assert!(!plan.trace().is_empty());
+    }
+
+    #[test]
+    fn retry_does_not_mask_disconnection() {
+        let (rpc, handle) = spawn_service(|x: u64| x);
+        handle.shutdown();
+        assert_eq!(
+            rpc.call_retry(1, RetryPolicy::standard()),
+            Err(RpcError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn duplicated_calls_still_answer_the_caller() {
+        let plan = FaultPlan::new(7);
+        let config = FaultConfig {
+            duplicate: 1.0,
+            ..FaultConfig::none()
+        };
+        let (rpc, _h) = spawn_service({
+            let mut hits = 0u64;
+            move |(): ()| {
+                hits += 1;
+                hits
+            }
+        });
+        let faulty = rpc.with_faults(plan.channel(1, config));
+        // Every call is duplicated: the service sees two deliveries but
+        // the caller gets exactly one answer.
+        let first = faulty.call(()).unwrap();
+        assert_eq!(first, 1);
+        // Drain: by the next exchange the duplicate has also run.
+        let second = rpc.call(()).unwrap();
+        assert!(second >= 3, "duplicate delivery should have run: {second}");
+    }
+
+    #[test]
     fn rpc_error_display() {
         assert_eq!(RpcError::Disconnected.to_string(), "service disconnected");
+        assert_eq!(RpcError::TimedOut.to_string(), "service call timed out");
     }
 }

@@ -204,10 +204,16 @@ impl Allocator {
             .map(|(&s, &l)| (s, l));
 
         if let Some((ps, pl)) = prev {
-            assert!(ps + pl <= extent.start, "double free: {extent:?} overlaps free run");
+            assert!(
+                ps + pl <= extent.start,
+                "double free: {extent:?} overlaps free run"
+            );
         }
         if let Some((ns, _)) = next {
-            assert!(extent.end() <= ns, "double free: {extent:?} overlaps free run");
+            assert!(
+                extent.end() <= ns,
+                "double free: {extent:?} overlaps free run"
+            );
         }
 
         let mut start = extent.start;
@@ -290,7 +296,7 @@ mod tests {
         let mut a = Allocator::new(100);
         let keep: Vec<Extent> = (0..5).map(|_| a.allocate(10, None).unwrap()).collect();
         let _tail = a.allocate(50, None).unwrap(); // pool exhausted
-        // Free alternating runs: 0..10, 20..30, 40..50 free (30 blocks, fragmented)
+                                                   // Free alternating runs: 0..10, 20..30, 40..50 free (30 blocks, fragmented)
         a.free(keep[0]);
         a.free(keep[2]);
         a.free(keep[4]);

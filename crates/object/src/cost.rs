@@ -196,7 +196,11 @@ mod tests {
             (OpKind::Write, 524_288, false, 1_871_000.0, 97.0),
         ];
         for &(kind, bytes, cold, paper_total, paper_pct) in cells {
-            let cold_blocks = if cold { meter.cold_blocks_for(bytes) } else { 0 };
+            let cold_blocks = if cold {
+                meter.cold_blocks_for(bytes)
+            } else {
+                0
+            };
             let cost = meter.estimate(kind, bytes, cold_blocks);
             let rel = (cost.total() - paper_total).abs() / paper_total;
             assert!(

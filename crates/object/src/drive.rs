@@ -32,6 +32,12 @@ pub struct DriveConfig {
     pub cache_blocks: usize,
     /// Whether capability verification is enforced.
     pub security_enabled: bool,
+    /// Write-through durability: checkpoint drive metadata and flush the
+    /// cache after every successful mutating request, so an acknowledged
+    /// write survives a power cycle ([`NasdDrive::open`] recovers it).
+    /// Costs a metadata write per mutation; meant for crash testing and
+    /// durability-critical deployments, not throughput runs.
+    pub durable_writes: bool,
 }
 
 impl DriveConfig {
@@ -43,6 +49,7 @@ impl DriveConfig {
             capacity_blocks: 4_096,
             cache_blocks: 128,
             security_enabled: true,
+            durable_writes: false,
         }
     }
 
@@ -55,13 +62,92 @@ impl DriveConfig {
             capacity_blocks: 512 * 1024,
             cache_blocks: 2_048,
             security_enabled: true,
+            durable_writes: false,
         }
+    }
+
+    /// This configuration with write-through durability enabled.
+    #[must_use]
+    pub fn durable(mut self) -> Self {
+        self.durable_writes = true;
+        self
     }
 }
 
 impl Default for DriveConfig {
     fn default() -> Self {
         DriveConfig::small()
+    }
+}
+
+/// Drive-level fault injection: transient overload bounces and slow I/O.
+///
+/// Decisions are a pure function of `(seed, request sequence number)`,
+/// so a seeded drive injects the identical fault schedule on every run.
+/// A `Busy` bounce happens *before* any state changes or nonce
+/// consumption — the client may freely re-sign and retry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriveFaultConfig {
+    /// Probability a request is bounced with [`NasdStatus::Busy`]
+    /// without being executed.
+    pub busy: f64,
+    /// Probability the request is served after an injected stall.
+    pub slow_io: f64,
+    /// Upper bound of the injected stall, in microseconds.
+    pub max_slow_micros: u64,
+}
+
+impl DriveFaultConfig {
+    /// A moderate chaos profile: 5% busy bounces, 10% stalls up to 300µs.
+    #[must_use]
+    pub fn moderate() -> Self {
+        DriveFaultConfig {
+            busy: 0.05,
+            slow_io: 0.10,
+            max_slow_micros: 300,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct DriveFaultState {
+    config: DriveFaultConfig,
+    seed: u64,
+    seq: u64,
+    injected: u64,
+}
+
+enum DriveFault {
+    Busy,
+    SlowMicros(u64),
+}
+
+fn fault_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl DriveFaultState {
+    fn next(&mut self) -> Option<DriveFault> {
+        let seq = self.seq;
+        self.seq += 1;
+        let base = fault_mix(self.seed ^ seq.wrapping_mul(0xa076_1d64_78bd_642f));
+        let roll = (base >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let fault = if roll < self.config.busy {
+            Some(DriveFault::Busy)
+        } else if roll < self.config.busy + self.config.slow_io && self.config.max_slow_micros > 0 {
+            Some(DriveFault::SlowMicros(
+                fault_mix(base) % self.config.max_slow_micros + 1,
+            ))
+        } else {
+            None
+        };
+        if fault.is_some() {
+            self.injected += 1;
+        }
+        fault
     }
 }
 
@@ -87,6 +173,8 @@ pub struct NasdDrive<D = MemDisk> {
     clock: u64,
     next_client: u64,
     issue_nonce: Cell<u64>,
+    durable_writes: bool,
+    faults: Option<DriveFaultState>,
 }
 
 impl NasdDrive<MemDisk> {
@@ -104,8 +192,7 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
     #[must_use]
     pub fn new(device: D, config: DriveConfig, id: DriveId, master_seed: [u8; 32]) -> Self {
         let hierarchy = KeyHierarchy::new(SecretKey::from_bytes(master_seed), id.0);
-        let security =
-            DriveSecurity::new(id, hierarchy.drive().clone(), config.security_enabled);
+        let security = DriveSecurity::new(id, hierarchy.drive().clone(), config.security_enabled);
         NasdDrive {
             id,
             store: ObjectStore::new(device, config.cache_blocks),
@@ -115,6 +202,8 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
             clock: 1,
             next_client: 1,
             issue_nonce: Cell::new(1),
+            durable_writes: config.durable_writes,
+            faults: None,
         }
     }
 
@@ -148,6 +237,8 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
             clock: 1,
             next_client: 1,
             issue_nonce: Cell::new(1),
+            durable_writes: config.durable_writes,
+            faults: None,
         })
     }
 
@@ -216,20 +307,74 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
         }
     }
 
+    /// Install a seeded drive-level fault injector (see
+    /// [`DriveFaultConfig`]). Replaces any previous injector.
+    pub fn set_faults(&mut self, seed: u64, config: DriveFaultConfig) {
+        self.faults = Some(DriveFaultState {
+            config,
+            seed,
+            seq: 0,
+            injected: 0,
+        });
+    }
+
+    /// Remove the fault injector; subsequent requests run clean.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// How many faults the injector has realized so far (diagnostic).
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.injected)
+    }
+
+    /// Whether `body` changes drive state (used for write-through
+    /// durability; unknown future operations are treated as mutating).
+    fn is_mutating(body: &RequestBody) -> bool {
+        !matches!(
+            body,
+            RequestBody::Read { .. }
+                | RequestBody::GetAttr { .. }
+                | RequestBody::ListObjects { .. }
+        )
+    }
+
     /// Handle one wire request — the drive's single entry point.
     pub fn handle(&mut self, req: &Request) -> (Reply, ServiceReport) {
+        if let Some(state) = &mut self.faults {
+            match state.next() {
+                Some(DriveFault::Busy) => {
+                    // Bounced before verification: no nonce consumed, no
+                    // state touched; the client may re-sign and retry.
+                    let cost = self.meter.estimate(OpKind::Control, 0, 0);
+                    return (
+                        Reply::error(NasdStatus::Busy),
+                        ServiceReport {
+                            kind: OpKind::Control,
+                            cost,
+                            trace: IoTrace::default(),
+                        },
+                    );
+                }
+                Some(DriveFault::SlowMicros(us)) => {
+                    std::thread::sleep(std::time::Duration::from_micros(us));
+                }
+                None => {}
+            }
+        }
         let mut trace = IoTrace::default();
-        let (reply, kind, bytes) = self.dispatch(req, &mut trace);
+        let (mut reply, kind, bytes) = self.dispatch(req, &mut trace);
+        if self.durable_writes && reply.status.is_ok() && Self::is_mutating(&req.body) {
+            // Ack implies durable: persist metadata and data before the
+            // reply leaves the drive. A failed checkpoint voids the ack.
+            if self.store.checkpoint(&mut trace).is_err() {
+                reply = Reply::error(NasdStatus::DriveError);
+            }
+        }
         let cold_blocks = trace.misses;
         let cost = self.meter.estimate(kind, bytes, cold_blocks);
-        (
-            reply,
-            ServiceReport {
-                kind,
-                cost,
-                trace,
-            },
-        )
+        (reply, ServiceReport { kind, cost, trace })
     }
 
     #[allow(clippy::too_many_lines)]
@@ -289,7 +434,10 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
                 }
                 let version = object_version!(*partition, *object);
                 verify!(Rights::READ, version, Some((*offset, *len)));
-                match self.store.read(*partition, *object, *offset, *len, now, trace) {
+                match self
+                    .store
+                    .read(*partition, *object, *offset, *len, now, trace)
+                {
                     Ok(data) => {
                         let n = data.len() as u64;
                         (Reply::ok(ReplyBody::Data(data)), OpKind::Read, n)
@@ -377,7 +525,10 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
             } => {
                 let version = object_version!(*partition, *object);
                 verify!(Rights::RESIZE, version, Some((0, *new_size)));
-                match self.store.resize(*partition, *object, *new_size, now, trace) {
+                match self
+                    .store
+                    .resize(*partition, *object, *new_size, now, trace)
+                {
                     Ok(()) => (Reply::ok(ReplyBody::Empty), OpKind::Control, 0),
                     Err(e) => (Reply::error(Self::status_of(&e)), OpKind::Control, 0),
                 }
@@ -476,11 +627,7 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
     /// # Errors
     ///
     /// Propagates the drive status on failure.
-    pub fn admin_create_partition(
-        &mut self,
-        p: PartitionId,
-        quota: u64,
-    ) -> Result<(), NasdStatus> {
+    pub fn admin_create_partition(&mut self, p: PartitionId, quota: u64) -> Result<(), NasdStatus> {
         let req = self.admin_request(RequestBody::CreatePartition {
             partition: p,
             quota,
@@ -720,7 +867,10 @@ impl ClientHandle {
     }
 
     fn target(&self) -> (PartitionId, ObjectId) {
-        (self.capability.public.partition, self.capability.public.object)
+        (
+            self.capability.public.partition,
+            self.capability.public.object,
+        )
     }
 
     /// Read object data through the drive's full request path.
@@ -842,20 +992,18 @@ mod tests {
         let full = d.issue_capability(P, obj, Rights::WRITE, 100);
         d.client(full).write(&mut d, 0, &[0u8; 1000]).unwrap();
 
-        let windowed = d.issue_capability_region(
-            P,
-            obj,
-            Rights::READ,
-            ByteRange::new(100, 200),
-            100,
-        );
+        let windowed =
+            d.issue_capability_region(P, obj, Rights::READ, ByteRange::new(100, 200), 100);
         let c = d.client(windowed);
         assert!(c.read(&mut d, 100, 100).is_ok());
         assert_eq!(
             c.read(&mut d, 100, 101).unwrap_err(),
             NasdStatus::RangeViolation
         );
-        assert_eq!(c.read(&mut d, 0, 10).unwrap_err(), NasdStatus::RangeViolation);
+        assert_eq!(
+            c.read(&mut d, 0, 10).unwrap_err(),
+            NasdStatus::RangeViolation
+        );
     }
 
     #[test]
@@ -1071,12 +1219,7 @@ mod tests {
     fn snapshot_via_wire() {
         let mut d = drive();
         let obj = d.admin_create_object(P, 0).unwrap();
-        let cap = d.issue_capability(
-            P,
-            obj,
-            Rights::READ | Rights::WRITE | Rights::SNAPSHOT,
-            100,
-        );
+        let cap = d.issue_capability(P, obj, Rights::READ | Rights::WRITE | Rights::SNAPSHOT, 100);
         let c = d.client(cap);
         c.write(&mut d, 0, b"before").unwrap();
         let req = c.build(
@@ -1114,12 +1257,7 @@ mod tests {
         let a = d.admin_create_object(P, 0).unwrap();
         let b = d.admin_create_object(P, 0).unwrap();
         // A capability for the well-known object-list object.
-        let cap = d.issue_capability(
-            P,
-            nasd_proto::WELL_KNOWN_OBJECT_LIST,
-            Rights::READ,
-            100,
-        );
+        let cap = d.issue_capability(P, nasd_proto::WELL_KNOWN_OBJECT_LIST, Rights::READ, 100);
         let c = d.client(cap);
         let data = c.read(&mut d, 0, 1 << 16).unwrap();
         // Decode: count + ids.
@@ -1144,8 +1282,8 @@ mod tests {
         // "Power off": recover the device, reopen the drive.
         let device = d.store().cache().device().clone();
         drop(d);
-        let mut d2 = NasdDrive::open(device, DriveConfig::small(), DriveId(1), [7u8; 32])
-            .expect("remount");
+        let mut d2 =
+            NasdDrive::open(device, DriveConfig::small(), DriveId(1), [7u8; 32]).expect("remount");
 
         // The pre-reboot capability still verifies (keys re-derived) and
         // the data is intact.

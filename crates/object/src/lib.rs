@@ -48,6 +48,6 @@ mod store;
 pub use alloc::{Allocator, Extent};
 pub use cache::{BlockCache, CacheStats, IoRecord, IoTrace};
 pub use cost::{CostMeter, OpCost, OpKind};
-pub use drive::{ClientHandle, DriveConfig, NasdDrive, ServiceReport};
+pub use drive::{ClientHandle, DriveConfig, DriveFaultConfig, NasdDrive, ServiceReport};
 pub use security::{DriveSecurity, ReplayWindow};
 pub use store::{ObjectStore, PartitionStats, StoreError, FIRST_DYNAMIC_OBJECT};

@@ -263,14 +263,27 @@ mod tests {
         let mut store = ObjectStore::new(MemDisk::new(BS, 4_096), 64);
         store.create_partition(P, 64 << 20).unwrap();
         let a = store.create_object(P, 0, None, 10, &mut t()).unwrap();
-        let b = store.create_object(P, 4 * BS as u64, Some(a), 11, &mut t()).unwrap();
+        let b = store
+            .create_object(P, 4 * BS as u64, Some(a), 11, &mut t())
+            .unwrap();
         let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
         store.write(P, a, 0, &data, 12, &mut t()).unwrap();
-        store.write(P, b, 7, b"clustered neighbour", 13, &mut t()).unwrap();
+        store
+            .write(P, b, 7, b"clustered neighbour", 13, &mut t())
+            .unwrap();
         let mut fs = [0u8; nasd_proto::FS_SPECIFIC_ATTR_LEN];
         fs[0] = 0xcd;
         store
-            .set_attr(P, a, SetAttrMask::fs_specific_only(), &fs, 0, None, 14, &mut t())
+            .set_attr(
+                P,
+                a,
+                SetAttrMask::fs_specific_only(),
+                &fs,
+                0,
+                None,
+                14,
+                &mut t(),
+            )
             .unwrap();
         let free_before = store.free_blocks();
 
@@ -301,7 +314,9 @@ mod tests {
         let mut store = ObjectStore::new(MemDisk::new(BS, 4_096), 64);
         store.create_partition(P, 64 << 20).unwrap();
         let o = store.create_object(P, 0, None, 0, &mut t()).unwrap();
-        store.write(P, o, 0, &vec![7u8; 3 * BS], 0, &mut t()).unwrap();
+        store
+            .write(P, o, 0, &vec![7u8; 3 * BS], 0, &mut t())
+            .unwrap();
         let snap = store.snapshot(P, o, 1, &mut t()).unwrap();
         store.checkpoint(&mut t()).unwrap();
         let device = store.cache().device().clone();
@@ -310,7 +325,7 @@ mod tests {
         let mut re = ObjectStore::open(device, 64).unwrap();
         // COW still works after remount: write to the original, snapshot
         // unchanged.
-        re.write(P, o, 0, &vec![9u8; 10], 2, &mut t()).unwrap();
+        re.write(P, o, 0, &[9u8; 10], 2, &mut t()).unwrap();
         let frozen = re.read(P, snap, 0, 10, 3, &mut t()).unwrap();
         assert!(frozen.iter().all(|&x| x == 7));
         let fresh = re.read(P, o, 0, 10, 3, &mut t()).unwrap();

@@ -8,11 +8,11 @@
 //! the file manager." No per-capability state is stored.
 
 use nasd_crypto::{DriveKeys, KeyKind, SecretKey};
+use nasd_proto::wire::WireEncode;
 use nasd_proto::{
     DriveId, NasdStatus, Nonce, PartitionId, ProtectionLevel, Request, RequestDigest, Rights,
     Version,
 };
-use nasd_proto::wire::WireEncode;
 use std::collections::HashMap;
 
 /// Anti-replay window for one client, IPsec-style: a high-water counter

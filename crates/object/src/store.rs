@@ -257,7 +257,9 @@ impl<D: BlockDevice> ObjectStore<D> {
     }
 
     fn partition(&self, p: PartitionId) -> Result<&Partition, StoreError> {
-        self.partitions.get(&p).ok_or(StoreError::NoSuchPartition(p))
+        self.partitions
+            .get(&p)
+            .ok_or(StoreError::NoSuchPartition(p))
     }
 
     fn partition_mut(&mut self, p: PartitionId) -> Result<&mut Partition, StoreError> {
@@ -805,7 +807,8 @@ mod tests {
     fn write_creates_zero_filled_gap() {
         let mut s = store();
         let o = s.create_object(P, 0, None, 0, &mut t()).unwrap();
-        s.write(P, o, 2 * BS as u64 + 17, b"x", 0, &mut t()).unwrap();
+        s.write(P, o, 2 * BS as u64 + 17, b"x", 0, &mut t())
+            .unwrap();
         let back = s.read(P, o, 0, 2 * BS as u64 + 18, 0, &mut t()).unwrap();
         assert!(back[..2 * BS + 17].iter().all(|&b| b == 0));
         assert_eq!(back[2 * BS + 17], b'x');
@@ -821,7 +824,8 @@ mod tests {
         assert_eq!(err, StoreError::NoSpace);
         // Creation with preallocation also respects the quota.
         assert_eq!(
-            s.create_object(P, BS as u64, None, 0, &mut t()).unwrap_err(),
+            s.create_object(P, BS as u64, None, 0, &mut t())
+                .unwrap_err(),
             StoreError::NoSpace
         );
         let stats = s.partition_stats(P).unwrap();
@@ -849,7 +853,9 @@ mod tests {
     fn preallocation_reserves_blocks() {
         let mut s = store();
         let free0 = s.free_blocks();
-        let o = s.create_object(P, 5 * BS as u64, None, 0, &mut t()).unwrap();
+        let o = s
+            .create_object(P, 5 * BS as u64, None, 0, &mut t())
+            .unwrap();
         assert_eq!(s.free_blocks(), free0 - 5);
         let attrs = s.get_attr(P, o, 0).unwrap();
         assert_eq!(attrs.preallocated, 5 * BS as u64);
@@ -862,12 +868,16 @@ mod tests {
     #[test]
     fn clustering_hint_places_neighbours_near() {
         let mut s = store();
-        let a = s.create_object(P, 4 * BS as u64, None, 0, &mut t()).unwrap();
+        let a = s
+            .create_object(P, 4 * BS as u64, None, 0, &mut t())
+            .unwrap();
         // Create unrelated far object to move the allocator cursor.
         let _mid = s
             .create_object(P, 64 * BS as u64, None, 0, &mut t())
             .unwrap();
-        let b = s.create_object(P, 4 * BS as u64, Some(a), 0, &mut t()).unwrap();
+        let b = s
+            .create_object(P, 4 * BS as u64, Some(a), 0, &mut t())
+            .unwrap();
         let a_first = {
             let part = s.partition(P).unwrap();
             part.objects[&a].blocks[0]
@@ -942,7 +952,9 @@ mod tests {
     #[test]
     fn truncate_respects_preallocation() {
         let mut s = store();
-        let o = s.create_object(P, 3 * BS as u64, None, 0, &mut t()).unwrap();
+        let o = s
+            .create_object(P, 3 * BS as u64, None, 0, &mut t())
+            .unwrap();
         s.write(P, o, 0, &vec![1u8; 3 * BS], 0, &mut t()).unwrap();
         let free0 = s.free_blocks();
         s.resize(P, o, 0, 1, &mut t()).unwrap();

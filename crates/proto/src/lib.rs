@@ -37,7 +37,9 @@ mod status;
 pub mod wire;
 
 pub use attr::{ObjectAttributes, SetAttrMask, FS_SPECIFIC_ATTR_LEN};
-pub use capability::{Capability, CapabilityPublic, ProtectionLevel, RequestDigest, SecurityHeader};
+pub use capability::{
+    Capability, CapabilityPublic, ProtectionLevel, RequestDigest, SecurityHeader,
+};
 pub use ids::{ByteRange, DriveId, Nonce, ObjectId, PartitionId, Version};
 pub use message::{Reply, ReplyBody, Request, RequestBody, WELL_KNOWN_OBJECT_LIST};
 pub use rights::Rights;

@@ -281,8 +281,7 @@ impl WireEncode for RequestBody {
                 partition.encode(w);
                 w.u64(*quota);
             }
-            RequestBody::RemovePartition { partition }
-            | RequestBody::ListObjects { partition } => {
+            RequestBody::RemovePartition { partition } | RequestBody::ListObjects { partition } => {
                 partition.encode(w);
             }
             RequestBody::SetKey {
@@ -463,6 +462,50 @@ impl Request {
     }
 }
 
+impl WireEncode for Request {
+    fn encode(&self, w: &mut WireWriter) {
+        self.header.encode(w);
+        match &self.capability {
+            Some(c) => {
+                w.u8(1);
+                c.encode(w);
+            }
+            None => {
+                w.u8(0);
+            }
+        }
+        self.body.encode(w);
+        self.digest.encode(w);
+        w.bytes(&self.data);
+    }
+}
+
+impl WireDecode for Request {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let header = SecurityHeader::decode(r)?;
+        let capability = match r.u8()? {
+            0 => None,
+            1 => Some(CapabilityPublic::decode(r)?),
+            v => {
+                return Err(DecodeError::BadTag {
+                    context: "capability option",
+                    value: u64::from(v),
+                })
+            }
+        };
+        let body = RequestBody::decode(r)?;
+        let digest = RequestDigest::decode(r)?;
+        let data = Bytes::copy_from_slice(r.bytes()?);
+        Ok(Request {
+            header,
+            capability,
+            body,
+            digest,
+            data,
+        })
+    }
+}
+
 /// Result payload of a drive operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -521,6 +564,91 @@ impl Reply {
             ReplyBody::Objects(v) => 4 + v.len() * 8,
         };
         1 + 1 + payload
+    }
+}
+
+impl WireEncode for ReplyBody {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            ReplyBody::Empty => {
+                w.u8(0);
+            }
+            ReplyBody::Data(d) => {
+                w.u8(1);
+                w.bytes(d);
+            }
+            ReplyBody::Attr(a) => {
+                w.u8(2);
+                a.encode(w);
+            }
+            ReplyBody::Created(id) => {
+                w.u8(3);
+                id.encode(w);
+            }
+            ReplyBody::Written(n) => {
+                w.u8(4);
+                w.u64(*n);
+            }
+            ReplyBody::Objects(ids) => {
+                w.u8(5);
+                w.u32(ids.len() as u32);
+                for id in ids {
+                    id.encode(w);
+                }
+            }
+        }
+    }
+}
+
+impl WireDecode for ReplyBody {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let body = match r.u8()? {
+            0 => ReplyBody::Empty,
+            1 => ReplyBody::Data(Bytes::copy_from_slice(r.bytes()?)),
+            2 => ReplyBody::Attr(ObjectAttributes::decode(r)?),
+            3 => ReplyBody::Created(ObjectId::decode(r)?),
+            4 => ReplyBody::Written(r.u64()?),
+            5 => {
+                let count = r.u32()? as usize;
+                // Each id occupies 8 bytes: reject impossible counts
+                // before allocating, so a corrupt length prefix cannot
+                // force a huge allocation.
+                if r.remaining() < count * 8 {
+                    return Err(DecodeError::Truncated {
+                        needed: count * 8,
+                        remaining: r.remaining(),
+                    });
+                }
+                let mut ids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ids.push(ObjectId::decode(r)?);
+                }
+                ReplyBody::Objects(ids)
+            }
+            t => {
+                return Err(DecodeError::BadTag {
+                    context: "reply body",
+                    value: u64::from(t),
+                })
+            }
+        };
+        Ok(body)
+    }
+}
+
+impl WireEncode for Reply {
+    fn encode(&self, w: &mut WireWriter) {
+        self.status.encode(w);
+        self.body.encode(w);
+    }
+}
+
+impl WireDecode for Reply {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(Reply {
+            status: NasdStatus::decode(r)?,
+            body: ReplyBody::decode(r)?,
+        })
     }
 }
 

@@ -32,6 +32,9 @@ pub enum NasdStatus {
     BadRequest,
     /// The drive hit an internal error (I/O failure, corrupt metadata).
     DriveError,
+    /// The drive is transiently overloaded or mid-recovery; the request
+    /// was not executed and may safely be retried.
+    Busy,
 }
 
 impl NasdStatus {
@@ -39,6 +42,13 @@ impl NasdStatus {
     #[must_use]
     pub fn is_ok(self) -> bool {
         self == NasdStatus::Ok
+    }
+
+    /// Whether the failure is transient: the request was not executed
+    /// and resending it (re-signed, with a fresh nonce) is safe.
+    #[must_use]
+    pub fn is_transient(self) -> bool {
+        self == NasdStatus::Busy
     }
 
     fn to_byte(self) -> u8 {
@@ -53,6 +63,7 @@ impl NasdStatus {
             NasdStatus::RangeViolation => 7,
             NasdStatus::BadRequest => 8,
             NasdStatus::DriveError => 9,
+            NasdStatus::Busy => 10,
         }
     }
 
@@ -68,6 +79,7 @@ impl NasdStatus {
             7 => NasdStatus::RangeViolation,
             8 => NasdStatus::BadRequest,
             9 => NasdStatus::DriveError,
+            10 => NasdStatus::Busy,
             _ => return None,
         })
     }
@@ -86,6 +98,7 @@ impl fmt::Display for NasdStatus {
             NasdStatus::RangeViolation => "access outside permitted region",
             NasdStatus::BadRequest => "malformed request",
             NasdStatus::DriveError => "drive internal error",
+            NasdStatus::Busy => "drive busy, retry",
         };
         f.write_str(s)
     }
@@ -116,7 +129,7 @@ mod tests {
 
     #[test]
     fn roundtrip_all() {
-        for b in 0..10u8 {
+        for b in 0..11u8 {
             let s = NasdStatus::from_byte(b).unwrap();
             assert_eq!(NasdStatus::from_wire(&s.to_wire()).unwrap(), s);
         }

@@ -1,11 +1,13 @@
 //! Property tests: every protocol message round-trips through the
 //! canonical wire encoding, and capabilities sign/verify consistently.
 
-use nasd_crypto::{KeyKind, SecretKey};
+use bytes::Bytes;
+use nasd_crypto::{Digest, KeyKind, SecretKey};
 use nasd_proto::wire::{WireDecode, WireEncode};
 use nasd_proto::{
-    ByteRange, CapabilityPublic, DriveId, Nonce, ObjectId, PartitionId, ProtectionLevel,
-    RequestBody, Rights, SetAttrMask, Version, FS_SPECIFIC_ATTR_LEN,
+    ByteRange, CapabilityPublic, DriveId, NasdStatus, Nonce, ObjectAttributes, ObjectId,
+    PartitionId, ProtectionLevel, Reply, ReplyBody, Request, RequestBody, RequestDigest, Rights,
+    SecurityHeader, SetAttrMask, Version, FS_SPECIFIC_ATTR_LEN,
 };
 use proptest::prelude::*;
 
@@ -21,16 +23,34 @@ fn arb_body() -> impl Strategy<Value = RequestBody> {
     let p = any::<u16>().prop_map(PartitionId);
     let o = any::<u64>().prop_map(ObjectId);
     prop_oneof![
-        (p.clone(), o.clone(), any::<u64>(), any::<u64>()).prop_map(|(partition, object, offset, len)| {
-            RequestBody::Read { partition, object, offset, len }
-        }),
-        (p.clone(), o.clone(), any::<u64>(), any::<u64>()).prop_map(|(partition, object, offset, len)| {
-            RequestBody::Write { partition, object, offset, len }
-        }),
-        (p.clone(), o.clone()).prop_map(|(partition, object)| RequestBody::GetAttr { partition, object }),
-        (p.clone(), o.clone()).prop_map(|(partition, object)| RequestBody::Remove { partition, object }),
-        (p.clone(), o.clone()).prop_map(|(partition, object)| RequestBody::Snapshot { partition, object }),
-        (p.clone(), o.clone()).prop_map(|(partition, object)| RequestBody::Flush { partition, object }),
+        (p.clone(), o.clone(), any::<u64>(), any::<u64>()).prop_map(
+            |(partition, object, offset, len)| {
+                RequestBody::Read {
+                    partition,
+                    object,
+                    offset,
+                    len,
+                }
+            }
+        ),
+        (p.clone(), o.clone(), any::<u64>(), any::<u64>()).prop_map(
+            |(partition, object, offset, len)| {
+                RequestBody::Write {
+                    partition,
+                    object,
+                    offset,
+                    len,
+                }
+            }
+        ),
+        (p.clone(), o.clone())
+            .prop_map(|(partition, object)| RequestBody::GetAttr { partition, object }),
+        (p.clone(), o.clone())
+            .prop_map(|(partition, object)| RequestBody::Remove { partition, object }),
+        (p.clone(), o.clone())
+            .prop_map(|(partition, object)| RequestBody::Snapshot { partition, object }),
+        (p.clone(), o.clone())
+            .prop_map(|(partition, object)| RequestBody::Flush { partition, object }),
         (p.clone(), any::<u64>(), proptest::option::of(any::<u64>())).prop_map(
             |(partition, preallocate, cluster)| RequestBody::Create {
                 partition,
@@ -39,18 +59,20 @@ fn arb_body() -> impl Strategy<Value = RequestBody> {
             }
         ),
         (p.clone(), o.clone(), any::<u64>()).prop_map(|(partition, object, new_size)| {
-            RequestBody::Resize { partition, object, new_size }
+            RequestBody::Resize {
+                partition,
+                object,
+                new_size,
+            }
         }),
-        (p.clone(), any::<u64>()).prop_map(|(partition, quota)| RequestBody::CreatePartition {
-            partition,
-            quota
-        }),
-        (p.clone(), any::<u64>()).prop_map(|(partition, quota)| RequestBody::ResizePartition {
-            partition,
-            quota
-        }),
-        p.clone().prop_map(|partition| RequestBody::RemovePartition { partition }),
-        p.clone().prop_map(|partition| RequestBody::ListObjects { partition }),
+        (p.clone(), any::<u64>())
+            .prop_map(|(partition, quota)| RequestBody::CreatePartition { partition, quota }),
+        (p.clone(), any::<u64>())
+            .prop_map(|(partition, quota)| RequestBody::ResizePartition { partition, quota }),
+        p.clone()
+            .prop_map(|partition| RequestBody::RemovePartition { partition }),
+        p.clone()
+            .prop_map(|partition| RequestBody::ListObjects { partition }),
         (
             p.clone(),
             o,
@@ -117,6 +139,69 @@ fn arb_capability() -> impl Strategy<Value = CapabilityPublic> {
         )
 }
 
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u8..3,
+        (any::<u64>(), any::<u64>()),
+        proptest::option::of(arb_capability()),
+        arb_body(),
+        any::<[u8; 32]>(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(prot, nonce, capability, body, digest, data)| Request {
+            header: SecurityHeader {
+                protection: match prot {
+                    0 => ProtectionLevel::ArgsIntegrity,
+                    1 => ProtectionLevel::DataIntegrity,
+                    _ => ProtectionLevel::Privacy,
+                },
+                nonce: Nonce::new(nonce.0, nonce.1),
+            },
+            capability,
+            body,
+            digest: RequestDigest(Digest::from(digest)),
+            data: Bytes::from(data),
+        })
+}
+
+fn arb_attrs() -> impl Strategy<Value = ObjectAttributes> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        any::<u64>(),
+        proptest::option::of(any::<u64>()),
+        any::<u8>(),
+    )
+        .prop_map(
+            |(size, preallocated, times, version, cluster, fill)| ObjectAttributes {
+                size,
+                preallocated,
+                create_time: times.0,
+                data_modify_time: times.1,
+                attr_modify_time: times.2,
+                access_time: times.3,
+                version: Version(version),
+                cluster_with: cluster.map(ObjectId),
+                fs_specific: Box::new([fill; FS_SPECIFIC_ATTR_LEN]),
+            },
+        )
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    let status = (0u8..11).prop_map(|b| NasdStatus::from_wire(&[b]).expect("valid status byte"));
+    let body = prop_oneof![
+        Just(ReplyBody::Empty),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|v| ReplyBody::Data(Bytes::from(v))),
+        arb_attrs().prop_map(ReplyBody::Attr),
+        any::<u64>().prop_map(|o| ReplyBody::Created(ObjectId(o))),
+        any::<u64>().prop_map(ReplyBody::Written),
+        proptest::collection::vec(any::<u64>(), 0..20)
+            .prop_map(|v| ReplyBody::Objects(v.into_iter().map(ObjectId).collect())),
+    ];
+    (status, body).prop_map(|(status, body)| Reply { status, body })
+}
+
 proptest! {
     #[test]
     fn request_bodies_roundtrip(body in arb_body()) {
@@ -153,5 +238,67 @@ proptest! {
 
         let other = Nonce::new(nonce.0, nonce.1.wrapping_add(1));
         prop_assert!(!d1.verify(&revalidated.sign_request(other, &args)));
+    }
+
+    /// Full request messages round-trip, and every strict prefix of the
+    /// encoding fails to decode — cleanly, never by panicking.
+    #[test]
+    fn truncated_requests_error_cleanly(req in arb_request(), cut in any::<u64>()) {
+        let wire = req.to_wire();
+        prop_assert_eq!(Request::from_wire(&wire).unwrap(), req);
+        let cut = (cut % wire.len() as u64) as usize;
+        prop_assert!(Request::from_wire(&wire[..cut]).is_err());
+    }
+
+    /// Same for replies: round-trip plus clean truncation failures.
+    #[test]
+    fn truncated_replies_error_cleanly(reply in arb_reply(), cut in any::<u64>()) {
+        let wire = reply.to_wire();
+        prop_assert_eq!(Reply::from_wire(&wire).unwrap(), reply);
+        let cut = (cut % wire.len() as u64) as usize;
+        prop_assert!(Reply::from_wire(&wire[..cut]).is_err());
+    }
+
+    /// A single flipped bit anywhere in a request either fails to decode
+    /// or decodes to a message that re-encodes to exactly the corrupted
+    /// bytes (every byte is load-bearing; nothing is silently ignored).
+    /// Either way, no panic.
+    #[test]
+    fn bitflipped_requests_never_panic(
+        req in arb_request(),
+        byte in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut wire = req.to_wire();
+        let i = (byte % wire.len() as u64) as usize;
+        wire[i] ^= 1 << bit;
+        if let Ok(decoded) = Request::from_wire(&wire) {
+            prop_assert_eq!(decoded.to_wire(), wire);
+        }
+    }
+
+    /// Same single-bit-flip contract for replies.
+    #[test]
+    fn bitflipped_replies_never_panic(
+        reply in arb_reply(),
+        byte in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut wire = reply.to_wire();
+        let i = (byte % wire.len() as u64) as usize;
+        wire[i] ^= 1 << bit;
+        if let Ok(decoded) = Reply::from_wire(&wire) {
+            prop_assert_eq!(decoded.to_wire(), wire);
+        }
+    }
+
+    /// Arbitrary garbage fed to the decoders must error, not panic (and
+    /// corrupt length prefixes must not force huge allocations).
+    #[test]
+    fn garbage_bytes_never_panic(buf in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::from_wire(&buf);
+        let _ = Reply::from_wire(&buf);
+        let _ = RequestBody::from_wire(&buf);
+        let _ = CapabilityPublic::from_wire(&buf);
     }
 }

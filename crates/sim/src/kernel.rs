@@ -155,21 +155,32 @@ impl Simulator {
         self.cancelled.insert(id);
     }
 
+    /// Drop cancelled events sitting at the head of the queue, so a
+    /// `peek` afterwards sees the next event that will actually run.
+    fn reap_cancelled(&mut self) {
+        while let Some(ev) = self.heap.peek() {
+            if !self.cancelled.contains(&ev.id) {
+                break;
+            }
+            let ev = self.heap.pop().expect("peeked event present");
+            self.cancelled.remove(&ev.id);
+        }
+    }
+
     /// Run a single event if any is pending. Returns `false` when the
     /// event queue is empty.
     pub fn step(&mut self) -> bool {
-        while let Some(mut ev) = self.heap.pop() {
-            if self.cancelled.remove(&ev.id) {
-                continue;
-            }
+        self.reap_cancelled();
+        if let Some(mut ev) = self.heap.pop() {
             debug_assert!(ev.at >= self.now, "event queue went backwards");
             self.now = ev.at;
             self.events_run += 1;
             let run = ev.run.take().expect("event closure present");
             run(self);
-            return true;
+            true
+        } else {
+            false
         }
-        false
     }
 
     /// Run until the event queue is empty.
@@ -178,9 +189,14 @@ impl Simulator {
     }
 
     /// Run until the queue is empty or the clock passes `deadline`,
-    /// whichever comes first. Events scheduled exactly at the deadline run.
+    /// whichever comes first. Events scheduled exactly at the deadline
+    /// run. A deadline at or before the current time runs nothing and
+    /// leaves the clock where it is (time never goes backwards).
     pub fn run_until(&mut self, deadline: SimTime) {
         loop {
+            // Reap cancelled heads first: a cancelled event inside the
+            // window must not cause the event *after* the deadline to run.
+            self.reap_cancelled();
             match self.heap.peek() {
                 Some(ev) if ev.at <= deadline => {
                     self.step();
@@ -286,6 +302,101 @@ mod tests {
             sim.schedule_at(SimTime::from_millis(1), |_| {});
         });
         sim.run();
+    }
+
+    #[test]
+    fn run_until_does_not_overshoot_past_cancelled_head() {
+        // A cancelled event inside the window must not drag an event
+        // from beyond the deadline into the run.
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        let id = sim.schedule_at(SimTime::from_millis(1), move |_| h.borrow_mut().push(1u64));
+        let h = hits.clone();
+        sim.schedule_at(SimTime::from_millis(100), move |_| h.borrow_mut().push(100));
+        sim.cancel(id);
+        sim.run_until(SimTime::from_millis(50));
+        assert!(hits.borrow().is_empty(), "nothing in the window should run");
+        assert_eq!(
+            sim.now(),
+            SimTime::from_millis(50),
+            "clock overshot deadline"
+        );
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![100]);
+    }
+
+    #[test]
+    fn run_until_with_past_deadline_keeps_clock_monotonic() {
+        let mut sim = Simulator::new();
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+        sim.run_until(SimTime::from_millis(3));
+        assert_eq!(sim.now(), SimTime::from_millis(5), "clock went backwards");
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn run_until_runs_cascades_scheduled_at_the_deadline() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        sim.schedule_at(SimTime::from_millis(10), move |sim| {
+            h.borrow_mut().push("first");
+            let h2 = h.clone();
+            // Scheduled *at* the deadline from within a deadline event.
+            sim.schedule_at(SimTime::from_millis(10), move |_| {
+                h2.borrow_mut().push("second");
+            });
+        });
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(*hits.borrow(), vec!["first", "second"]);
+    }
+
+    #[test]
+    fn event_can_cancel_a_later_event() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = hits.clone();
+        let victim = sim.schedule_at(SimTime::from_millis(2), move |_| *h.borrow_mut() += 1);
+        sim.schedule_at(SimTime::from_millis(1), move |sim| sim.cancel(victim));
+        sim.run();
+        assert_eq!(*hits.borrow(), 0, "cancelled-from-an-event still ran");
+        assert_eq!(sim.events_run(), 1, "only the cancelling event ran");
+    }
+
+    #[test]
+    fn event_can_cancel_a_tied_later_event() {
+        // Cancellation works even when victim and canceller share a
+        // timestamp: ties run in schedule order, the canceller first.
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        let t = SimTime::from_millis(3);
+        let slot: Rc<RefCell<Option<EventId>>> = Rc::new(RefCell::new(None));
+        let s = slot.clone();
+        sim.schedule_at(t, move |sim| {
+            let victim = s.borrow().expect("victim id recorded");
+            sim.cancel(victim);
+        });
+        let h = hits.clone();
+        let victim = sim.schedule_at(t, move |_| *h.borrow_mut() += 1);
+        *slot.borrow_mut() = Some(victim);
+        sim.run();
+        assert_eq!(*hits.borrow(), 0);
+    }
+
+    #[test]
+    fn cancelled_events_are_reaped_from_pending_count() {
+        let mut sim = Simulator::new();
+        let a = sim.schedule_at(SimTime::from_millis(1), |_| {});
+        sim.schedule_at(SimTime::from_millis(2), |_| {});
+        sim.cancel(a);
+        assert_eq!(sim.pending(), 2, "cancelled but not yet reaped");
+        assert!(sim.step(), "one live event remains");
+        assert_eq!(sim.now(), SimTime::from_millis(2));
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.events_run(), 1);
     }
 
     #[test]

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let content = nfs.read(&mut reopened, 0, 64)?;
     println!("read back: {:?}", String::from_utf8_lossy(&content));
     let attrs = nfs.getattr(&mut reopened)?;
-    println!("getattr (drive-direct): size={} uid={}", attrs.size, attrs.uid);
+    println!(
+        "getattr (drive-direct): size={} uid={}",
+        attrs.size, attrs.uid
+    );
 
     // --- NASD-AFS ------------------------------------------------------
     println!("\n== NASD-AFS: explicit capabilities, callbacks, quota escrow ==");
@@ -53,14 +56,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     alice.write_file(fh, b"version 1")?;
 
     // Bob caches the file under a callback promise.
-    println!("bob reads: {:?}", String::from_utf8_lossy(&bob.read_file(fh)?));
+    println!(
+        "bob reads: {:?}",
+        String::from_utf8_lossy(&bob.read_file(fh)?)
+    );
 
     // Alice writes: the file manager breaks Bob's callback at
     // write-capability issue time.
     alice.write_file(fh, b"version 2")?;
     let events = bob.poll_callbacks();
     println!("bob's callbacks broken: {events:?}");
-    println!("bob re-reads: {:?}", String::from_utf8_lossy(&bob.read_file(fh)?));
+    println!(
+        "bob re-reads: {:?}",
+        String::from_utf8_lossy(&bob.read_file(fh)?)
+    );
 
     // Quota escrow: a write capability reserves room to grow; the books
     // settle to actual size on relinquish.

@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         STRIPE_UNIT,
         DriveConfig::prototype(),
     )?);
-    println!("PFS cluster: {} NASD drives, {} KB stripe unit", DRIVES, STRIPE_UNIT / 1024);
+    println!(
+        "PFS cluster: {} NASD drives, {} KB stripe unit",
+        DRIVES,
+        STRIPE_UNIT / 1024
+    );
 
     // Generate and load the sales file (records aligned so none straddles
     // a request boundary, as in the paper).

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         file.layout.width(),
         file.layout.stripe_unit / 1024
     );
-    assert_eq!(&client.read(&file, 0, payload.len() as u64)?[..], &payload[..]);
+    assert_eq!(
+        &client.read(&file, 0, payload.len() as u64)?[..],
+        &payload[..]
+    );
 
     // Concurrency control for multi-disk accesses: leases.
     client.lease(striped, LeaseKind::Exclusive, 60)?;
@@ -86,6 +89,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ep.remove(&kill)?;
     let rebuilt = client.read(&pfile, 0, payload.len() as u64)?;
     assert_eq!(&rebuilt[..], &payload[..]);
-    println!("parity object: column 2 destroyed, {} bytes reconstructed by XOR", rebuilt.len());
+    println!(
+        "parity object: column 2 destroyed, {} bytes reconstructed by XOR",
+        rebuilt.len()
+    );
     Ok(())
 }

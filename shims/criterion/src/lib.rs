@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the benchmark-definition API this workspace's `micro.rs`
+//! uses (`criterion_group!`, `criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, throughput annotation) on top
+//! of a deliberately small timing harness: short fixed-duration sampling
+//! with median-of-samples reporting, no statistics, no plots. Numbers
+//! are indicative, not publication-grade.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name plus a parameter rendered for display.
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation; used to report bytes/sec alongside time/iter.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    /// Total measured time accumulated by `iter` calls.
+    elapsed: Duration,
+    /// Total iterations accumulated by `iter` calls.
+    iters: u64,
+    /// Per-`iter`-call iteration count chosen by the harness.
+    batch: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the harness-chosen batch of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.batch;
+    }
+}
+
+/// Top-level benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// When true (under `cargo test`), run each routine once and skip timing.
+    test_mode: bool,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        // Cargo's test runner invokes harness=false bench binaries with
+        // libtest-style flags; any `--test` marker means smoke-run only.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            test_mode,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let test_mode = self.test_mode;
+        run_one(name, None, test_mode, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sampling is time-boxed
+    /// rather than sample-count driven.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.throughput, self.test_mode, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}/{}", self.name, id.name, id.parameter);
+        run_one(&label, self.throughput, self.test_mode, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        batch: 1,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{label}: ok (smoke)");
+        return;
+    }
+    // Calibrate a batch size that takes roughly 10ms, then measure a few
+    // batches and report the per-iteration time of the fastest.
+    let per_iter = b.elapsed.as_nanos().max(1) / u128::from(b.iters.max(1));
+    let batch = (10_000_000 / per_iter).clamp(1, 1_000_000) as u64;
+    let mut best = u128::MAX;
+    for _ in 0..5 {
+        let mut sample = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            batch,
+        };
+        f(&mut sample);
+        best = best.min(sample.elapsed.as_nanos() / u128::from(sample.iters.max(1)));
+    }
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib_s = bytes as f64 / best as f64; // bytes/ns == GB/s
+            format!("  {gib_s:.3} GB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let me_s = n as f64 * 1_000.0 / best as f64;
+            format!("  {me_s:.3} Melem/s")
+        }
+        None => String::new(),
+    };
+    println!("{label}: {best} ns/iter{rate}");
+}
+
+/// Define a function that runs each listed benchmark with a fresh driver.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::__from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+impl Criterion {
+    /// Macro plumbing; not part of the public criterion API.
+    #[doc(hidden)]
+    pub fn __from_args() -> Self {
+        Criterion::from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_compiles_and_runs() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(8)).sample_size(10);
+        g.bench_function("f", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("g", 4), &4u64, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| ()));
+    }
+}

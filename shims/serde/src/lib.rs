@@ -1,0 +1,7 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace declares serde as a dependency but does not currently
+//! use it in code, so this shim only needs to exist and expose a `derive`
+//! feature for the dependency declaration to resolve offline.
+
+#![forbid(unsafe_code)]

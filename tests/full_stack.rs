@@ -11,9 +11,7 @@ use nasd::proto::{PartitionId, Rights};
 use std::sync::Arc;
 
 fn fleet(n: usize) -> Arc<DriveFleet> {
-    Arc::new(
-        DriveFleet::spawn_memory(n, DriveConfig::small(), PartitionId(1), 64 << 20).unwrap(),
-    )
+    Arc::new(DriveFleet::spawn_memory(n, DriveConfig::small(), PartitionId(1), 64 << 20).unwrap())
 }
 
 #[test]
@@ -113,9 +111,8 @@ fn cheops_object_survives_manager_restart_equivalent() {
 #[test]
 fn pfs_mining_pipeline_end_to_end() {
     let request = 64 * 1024u64;
-    let cluster = Arc::new(
-        PfsCluster::spawn_with_config(3, request, DriveConfig::small()).unwrap(),
-    );
+    let cluster =
+        Arc::new(PfsCluster::spawn_with_config(3, request, DriveConfig::small()).unwrap());
     let data = TransactionGenerator::new(5).generate_bytes(3 << 20, request as usize);
     let loader = cluster.client(0);
     let f = loader.create("/txns", 3).unwrap();

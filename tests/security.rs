@@ -5,11 +5,11 @@
 use bytes::Bytes;
 use nasd::crypto::SecretKey;
 use nasd::object::{ClientHandle, DriveConfig, DriveSecurity, NasdDrive};
+use nasd::proto::wire::WireEncode;
 use nasd::proto::{
     ByteRange, CapabilityPublic, NasdStatus, Nonce, ObjectId, PartitionId, ProtectionLevel,
     Request, RequestBody, Rights, SecurityHeader, Version,
 };
-use nasd::proto::wire::WireEncode;
 
 const P: PartitionId = PartitionId(1);
 
@@ -18,7 +18,9 @@ fn drive_with_object() -> (NasdDrive, ObjectId) {
     d.admin_create_partition(P, 16 << 20).unwrap();
     let obj = d.admin_create_object(P, 0).unwrap();
     let cap = d.issue_capability(P, obj, Rights::WRITE, 100);
-    d.client(cap).write(&mut d, 0, b"protected payload").unwrap();
+    d.client(cap)
+        .write(&mut d, 0, b"protected payload")
+        .unwrap();
     (d, obj)
 }
 
@@ -76,7 +78,10 @@ fn capability_cannot_be_minted_without_keys() {
     let guessed_key = SecretKey::from_bytes([0xeeu8; 32]);
     let forged = public.mint(&guessed_key);
     let client = ClientHandle::new(1, forged);
-    assert_eq!(client.read(&mut d, 0, 1).unwrap_err(), NasdStatus::AccessDenied);
+    assert_eq!(
+        client.read(&mut d, 0, 1).unwrap_err(),
+        NasdStatus::AccessDenied
+    );
 }
 
 /// Capturing a valid request and replaying it verbatim must fail, and
@@ -200,7 +205,10 @@ fn key_rotation_is_scoped_to_one_working_key() {
         gold_client.read(&mut d, 0, 1).unwrap_err(),
         NasdStatus::AccessDenied
     );
-    assert!(black_client.read(&mut d, 0, 1).is_ok(), "black key unaffected");
+    assert!(
+        black_client.read(&mut d, 0, 1).is_ok(),
+        "black key unaffected"
+    );
 }
 
 /// A capability for one drive is worthless at another drive, even with
@@ -218,7 +226,10 @@ fn capabilities_do_not_transfer_between_drives() {
     let cap = d1.issue_capability(P, o1, Rights::READ, 100);
     let client = ClientHandle::new(9, cap);
     assert!(client.read(&mut d1, 0, 0).is_ok());
-    assert_eq!(client.read(&mut d2, 0, 0).unwrap_err(), NasdStatus::AccessDenied);
+    assert_eq!(
+        client.read(&mut d2, 0, 0).unwrap_err(),
+        NasdStatus::AccessDenied
+    );
 }
 
 /// The byte-range restriction holds at the edges (the AFS escrow
@@ -235,8 +246,14 @@ fn region_edges_enforced_exactly() {
     );
     let c = d.client(cap);
     assert!(c.read(&mut d, 8, 8).is_ok());
-    assert_eq!(c.read(&mut d, 7, 1).unwrap_err(), NasdStatus::RangeViolation);
-    assert_eq!(c.read(&mut d, 8, 9).unwrap_err(), NasdStatus::RangeViolation);
+    assert_eq!(
+        c.read(&mut d, 7, 1).unwrap_err(),
+        NasdStatus::RangeViolation
+    );
+    assert_eq!(
+        c.read(&mut d, 8, 9).unwrap_err(),
+        NasdStatus::RangeViolation
+    );
     assert!(c.write(&mut d, 8, &[0u8; 8]).is_ok());
     assert_eq!(
         c.write(&mut d, 15, &[0u8; 2]).unwrap_err(),
