@@ -29,6 +29,30 @@ pub struct CheopsFile {
     parity_cap: Option<Capability>,
 }
 
+impl CheopsFile {
+    /// Column `i` of the layout. A run can only refer past the layout if
+    /// the manager handed out an inconsistent map, which surfaces as a
+    /// drive error instead of a client panic.
+    fn column(&self, i: usize) -> Result<&crate::map::Column, FmError> {
+        self.layout
+            .columns
+            .get(i)
+            .ok_or(FmError::Drive(NasdStatus::DriveError))
+    }
+
+    /// Capability for column `i`'s primary component.
+    fn primary_cap(&self, i: usize) -> Result<&Capability, FmError> {
+        self.primary_caps
+            .get(i)
+            .ok_or(FmError::Drive(NasdStatus::DriveError))
+    }
+
+    /// Capability for column `i`'s mirror, when mirrored.
+    fn mirror_cap(&self, i: usize) -> Option<&Capability> {
+        self.mirror_caps.get(i).and_then(|c| c.as_ref())
+    }
+}
+
 /// Client library handle.
 pub struct CheopsClient {
     id: u64,
@@ -65,10 +89,7 @@ impl CheopsClient {
     fn call_mgr(&self, req: CheopsRequest) -> Result<CheopsResponse, FmError> {
         let attempts = self.retry.max_attempts.max(1);
         for attempt in 0..attempts {
-            let pause = self.retry.backoff(attempt);
-            if !pause.is_zero() {
-                std::thread::sleep(pause);
-            }
+            nasd_net::pace(self.retry.backoff(attempt));
             match self.mgr.call_timeout(req.clone(), self.retry.timeout) {
                 Ok(resp) => return Ok(resp),
                 Err(RpcError::TimedOut) => {}
@@ -205,8 +226,8 @@ impl CheopsClient {
         // objects directly", all drives in parallel.
         let mut pending = Vec::with_capacity(runs.len());
         for run in &runs {
-            let col = &file.layout.columns[run.column];
-            let cap = &file.primary_caps[run.column];
+            let col = file.column(run.column)?;
+            let cap = file.primary_cap(run.column)?;
             let ep = self
                 .fleet
                 .by_id(col.primary.drive)
@@ -229,7 +250,8 @@ impl CheopsClient {
         let mut out = vec![0u8; len as usize];
         let mut delivered_end = 0u64;
         for (run, rx) in runs.iter().zip(pending) {
-            let col = &file.layout.columns[run.column];
+            let col = file.column(run.column)?;
+            let retry_cap = file.primary_cap(run.column)?;
             let primary = match rx.map(|rx| rx.recv()) {
                 Some(Ok(reply)) if !reply.status.is_transient() => match Self::check(reply) {
                     Ok(ReplyBody::Data(d)) => Ok(d),
@@ -245,7 +267,7 @@ impl CheopsClient {
                     .ok_or(FmError::Transport)
                     .and_then(|ep| {
                         ep.call(
-                            &file.primary_caps[run.column],
+                            retry_cap,
                             RequestBody::Read {
                                 partition: col.primary.partition,
                                 object: col.primary.object,
@@ -265,10 +287,7 @@ impl CheopsClient {
                 Err(e) => {
                     // Degraded read: mirror first, then parity
                     // reconstruction.
-                    if let (Some(m), Some(mcap)) = (
-                        file.layout.columns[run.column].mirror,
-                        file.mirror_caps[run.column].as_ref(),
-                    ) {
+                    if let (Some(m), Some(mcap)) = (col.mirror, file.mirror_cap(run.column)) {
                         let ep = self.fleet.by_id(m.drive).ok_or(FmError::Transport)?;
                         match ep.call(
                             mcap,
@@ -291,7 +310,14 @@ impl CheopsClient {
                 }
             };
             let n = data.len().min(run.len as usize);
-            out[run.buf_offset as usize..run.buf_offset as usize + n].copy_from_slice(&data[..n]);
+            let start = run.buf_offset as usize;
+            let dst = out
+                .get_mut(start..start + n)
+                .ok_or(FmError::Drive(NasdStatus::DriveError))?;
+            let src = data
+                .get(..n)
+                .ok_or(FmError::Drive(NasdStatus::DriveError))?;
+            dst.copy_from_slice(src);
             if n > 0 {
                 delivered_end = delivered_end.max(run.buf_offset + n as u64);
             }
@@ -310,21 +336,24 @@ impl CheopsClient {
         let runs = file.layout.split(offset, data.len() as u64);
         if file.layout.redundancy == Redundancy::Parity {
             for run in &runs {
-                let chunk = &data[run.buf_offset as usize..(run.buf_offset + run.len) as usize];
+                let chunk = data
+                    .get(run.buf_offset as usize..(run.buf_offset + run.len) as usize)
+                    .ok_or(FmError::Drive(NasdStatus::DriveError))?;
                 self.write_run_with_parity(file, run.column, run.local_offset, chunk)?;
             }
             return Ok(data.len() as u64);
         }
         let mut pending = Vec::new();
         for run in &runs {
-            let col = &file.layout.columns[run.column];
+            let col = file.column(run.column)?;
             let chunk = Bytes::copy_from_slice(
-                &data[run.buf_offset as usize..(run.buf_offset + run.len) as usize],
+                data.get(run.buf_offset as usize..(run.buf_offset + run.len) as usize)
+                    .ok_or(FmError::Drive(NasdStatus::DriveError))?,
             );
-            let targets = std::iter::once((col.primary, &file.primary_caps[run.column])).chain(
+            let targets = std::iter::once((col.primary, file.primary_cap(run.column)?)).chain(
                 col.mirror
                     .iter()
-                    .filter_map(|m| file.mirror_caps[run.column].as_ref().map(|c| (*m, c))),
+                    .filter_map(|m| file.mirror_cap(run.column).map(|c| (*m, c))),
             );
             for (component, cap) in targets {
                 let ep = self
@@ -410,7 +439,9 @@ impl CheopsClient {
         };
         let mut out = vec![0u8; len as usize];
         let n = data.len().min(len as usize);
-        out[..n].copy_from_slice(&data[..n]);
+        for (dst, src) in out.iter_mut().zip(data.iter().take(n)) {
+            *dst = *src;
+        }
         Ok(out)
     }
 
@@ -431,7 +462,7 @@ impl CheopsClient {
                 continue;
             }
             let survivor =
-                self.read_padded(col.primary, &file.primary_caps[column], local_offset, len)?;
+                self.read_padded(col.primary, file.primary_cap(column)?, local_offset, len)?;
             for (a, b) in acc.iter_mut().zip(survivor) {
                 *a ^= b;
             }
@@ -450,16 +481,16 @@ impl CheopsClient {
         local_offset: u64,
         new_data: &[u8],
     ) -> Result<(), FmError> {
-        let col = file.layout.columns[column].primary;
-        let cap = &file.primary_caps[column];
+        let col = file.column(column)?.primary;
+        let cap = file.primary_cap(column)?;
         let parity = file.layout.parity.ok_or(FmError::Transport)?;
         let pcap = file.parity_cap.as_ref().ok_or(FmError::Transport)?;
         let len = new_data.len() as u64;
 
         let old_data = self.read_padded(col, cap, local_offset, len)?;
         let mut new_parity = self.read_padded(parity, pcap, local_offset, len)?;
-        for i in 0..new_data.len() {
-            new_parity[i] ^= old_data[i] ^ new_data[i];
+        for ((p, o), n) in new_parity.iter_mut().zip(&old_data).zip(new_data) {
+            *p ^= o ^ n;
         }
 
         let ep = self.fleet.by_id(col.drive).ok_or(FmError::Transport)?;
@@ -501,7 +532,7 @@ impl CheopsClient {
     pub fn size(&self, file: &CheopsFile) -> Result<u64, FmError> {
         let mut pending = Vec::with_capacity(file.layout.width());
         for (column, col) in file.layout.columns.iter().enumerate() {
-            let cap = &file.primary_caps[column];
+            let cap = file.primary_cap(column)?;
             let ep = self
                 .fleet
                 .by_id(col.primary.drive)
@@ -518,7 +549,7 @@ impl CheopsClient {
         }
         let mut size = 0u64;
         for (column, rx) in pending.into_iter().enumerate() {
-            let col = &file.layout.columns[column];
+            let col = file.column(column)?;
             let body = match rx.map(|rx| rx.recv()) {
                 Some(Ok(reply)) if !reply.status.is_transient() => Self::check(reply)?,
                 // Lost or bounced: re-issue through the retrying path.
@@ -528,7 +559,7 @@ impl CheopsClient {
                         .by_id(col.primary.drive)
                         .ok_or(FmError::Transport)?;
                     ep.call(
-                        &file.primary_caps[column],
+                        file.primary_cap(column)?,
                         RequestBody::GetAttr {
                             partition: col.primary.partition,
                             object: col.primary.object,

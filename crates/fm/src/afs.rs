@@ -259,7 +259,8 @@ impl NasdAfs {
                         if w.expires > now && w.client != client {
                             return Ok(AfsResponse::Blocked { until: w.expires });
                         }
-                        let stale = state.writers.remove(&fh).expect("present");
+                    }
+                    if let Some(stale) = state.writers.remove(&fh) {
                         state.used = state.used.saturating_sub(stale.escrow);
                     }
                     if state.used + escrow > state.quota {
@@ -468,9 +469,8 @@ impl AfsClient {
         let attempts = self.retry.max_attempts.max(1);
         for attempt in 0..attempts {
             let pause = self.retry.backoff(attempt);
-            if !pause.is_zero() {
-                std::thread::sleep(pause);
-            }
+            // Backoff happens with no file-manager lock held.
+            nasd_net::pace(pause);
             match self.fm.call_timeout(req.clone(), self.retry.timeout) {
                 Ok(resp) => return Ok(resp),
                 Err(RpcError::TimedOut) => {}

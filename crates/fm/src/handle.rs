@@ -53,14 +53,13 @@ impl FmAttrs {
     /// `fs_specific` attribute block.
     #[must_use]
     pub fn pack_policy(&self) -> [u8; 8] {
-        let mut out = [0u8; 8];
-        out[0] = match self.file_type {
+        let ft = match self.file_type {
             FileType::Regular => 1,
             FileType::Directory => 2,
         };
-        out[1..3].copy_from_slice(&self.mode.to_be_bytes());
-        out[3..7].copy_from_slice(&self.uid.to_be_bytes());
-        out
+        let [m0, m1] = self.mode.to_be_bytes();
+        let [u0, u1, u2, u3] = self.uid.to_be_bytes();
+        [ft, m0, m1, u0, u1, u2, u3, 0]
     }
 
     /// Recover policy fields from an `fs_specific` block; `None` if the
@@ -72,8 +71,8 @@ impl FmAttrs {
             2 => FileType::Directory,
             _ => return None,
         };
-        let mode = u16::from_be_bytes(fs_specific[1..3].try_into().ok()?);
-        let uid = u32::from_be_bytes(fs_specific[3..7].try_into().ok()?);
+        let mode = u16::from_be_bytes(fs_specific.get(1..3)?.try_into().ok()?);
+        let uid = u32::from_be_bytes(fs_specific.get(3..7)?.try_into().ok()?);
         Some((ft, mode, uid))
     }
 }

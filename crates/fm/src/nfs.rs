@@ -192,14 +192,17 @@ impl NasdNfs {
     fn write_policy(&self, fh: FileHandle, attrs: &FmAttrs) -> Result<(), FmError> {
         let (ep, cap) = self.own_cap(fh)?;
         let mut fs_specific = [0u8; nasd_proto::FS_SPECIFIC_ATTR_LEN];
-        fs_specific[..8].copy_from_slice(&attrs.pack_policy());
+        fs_specific
+            .get_mut(..8)
+            .ok_or(FmError::Drive(NasdStatus::DriveError))?
+            .copy_from_slice(&attrs.pack_policy());
         ep.set_fs_specific(&cap, fs_specific)
     }
 
     fn attrs_of(&self, fh: FileHandle) -> Result<(FmAttrs, ObjectAttributes), FmError> {
         let (ep, cap) = self.own_cap(fh)?;
         let obj_attrs = ep.get_attr(&cap)?;
-        let (file_type, mode, uid) = FmAttrs::unpack_policy(&obj_attrs.fs_specific[..])
+        let (file_type, mode, uid) = FmAttrs::unpack_policy(obj_attrs.fs_specific.as_slice())
             .ok_or(FmError::Drive(NasdStatus::DriveError))?;
         Ok((
             FmAttrs {
@@ -391,7 +394,10 @@ impl NasdNfs {
                     .iter()
                     .position(|e| e.name == name)
                     .ok_or_else(|| FmError::NotFound(name.clone()))?;
-                let victim = entries[idx].clone();
+                let victim = entries
+                    .get(idx)
+                    .cloned()
+                    .ok_or_else(|| FmError::NotFound(name.clone()))?;
                 if victim.is_dir && !self.read_dir(victim.handle)?.is_empty() {
                     return Err(FmError::NotEmpty(name));
                 }
@@ -422,7 +428,9 @@ impl NasdNfs {
                     if src.iter().any(|e| e.name == to) {
                         return Err(FmError::Exists(to));
                     }
-                    src[idx].name = to;
+                    src.get_mut(idx)
+                        .ok_or_else(|| FmError::NotFound(from.clone()))?
+                        .name = to;
                     self.write_dir(from_dir, &src)?;
                 } else {
                     let mut dst = self.read_dir(to_dir)?;
@@ -525,9 +533,8 @@ impl NfsClient {
         let attempts = self.retry.max_attempts.max(1);
         for attempt in 0..attempts {
             let pause = self.retry.backoff(attempt);
-            if !pause.is_zero() {
-                std::thread::sleep(pause);
-            }
+            // Backoff happens with no file-manager lock held.
+            nasd_net::pace(pause);
             match self.fm.call_timeout(req.clone(), self.retry.timeout) {
                 Ok(NfsResponse::Err(e)) => return Err(e),
                 Ok(other) => return Ok(other),
@@ -570,7 +577,7 @@ impl NfsClient {
             .rfind('/')
             .ok_or_else(|| FmError::NotFound(path.to_string()))?;
         let (parent, name) = path.split_at(idx);
-        let name = &name[1..];
+        let name = name.get(1..).unwrap_or("");
         if name.is_empty() {
             return Err(FmError::NotFound(path.to_string()));
         }
@@ -752,7 +759,7 @@ impl NfsClient {
             }
             other => other?,
         };
-        let (file_type, mode, uid) = FmAttrs::unpack_policy(&obj_attrs.fs_specific[..])
+        let (file_type, mode, uid) = FmAttrs::unpack_policy(obj_attrs.fs_specific.as_slice())
             .ok_or(FmError::Drive(NasdStatus::DriveError))?;
         Ok(FmAttrs {
             file_type,

@@ -1,0 +1,11 @@
+//! Fixture: D1 violation. Wall-clock read in a sim-visible crate with no
+//! suppression — nasd-lint must report D1 and exit nonzero.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Returns a timestamp that differs between replays of the same seed.
+pub fn nondeterministic_stamp() -> Instant {
+    Instant::now()
+}

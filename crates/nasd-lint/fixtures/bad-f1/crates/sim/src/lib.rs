@@ -1,0 +1,7 @@
+//! Fixture: F1 violation. Crate root without `#![forbid(unsafe_code)]` —
+//! nasd-lint must report F1 and exit nonzero.
+
+/// Nothing unsafe here, but the guard rail attribute is missing.
+pub fn double(x: u64) -> u64 {
+    x.saturating_mul(2)
+}

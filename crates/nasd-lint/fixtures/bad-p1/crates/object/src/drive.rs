@@ -1,0 +1,9 @@
+//! Fixture: P1 violations. Panicking operators in a request-path module —
+//! nasd-lint must report P1 and exit nonzero.
+
+/// Dispatch a request; panics on malformed input instead of returning a
+/// status code.
+pub fn dispatch(buf: &[u8]) -> u8 {
+    let first = buf.first().unwrap();
+    first + buf[1]
+}

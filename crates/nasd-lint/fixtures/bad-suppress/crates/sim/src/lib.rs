@@ -1,0 +1,13 @@
+//! Fixture: S0 violation. A suppression with no reason string — the
+//! wall-clock finding itself is suppressed, but nasd-lint must report S0
+//! for the reasonless allow and exit nonzero.
+
+#![forbid(unsafe_code)]
+
+use std::time::Duration;
+
+/// Paces a real thread but does not justify why.
+pub fn lazy_pace(d: Duration) {
+    // nasd-lint: allow(wall-clock)
+    std::thread::sleep(d);
+}

@@ -1,0 +1,48 @@
+//! Fixture: W1 violation. `NasdStatus::Busy` is encoded and decoded but
+//! missing from the retry matrix — nasd-lint must report W1 and exit
+//! nonzero.
+
+#![forbid(unsafe_code)]
+
+/// Wire status codes.
+pub enum NasdStatus {
+    /// Success.
+    Ok,
+    /// Transient contention.
+    Busy,
+}
+
+/// Retry classification.
+pub enum RetryClass {
+    /// Finished.
+    Done,
+    /// Retry later.
+    Transient,
+}
+
+impl NasdStatus {
+    /// Wire encoding.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            NasdStatus::Ok => 0,
+            NasdStatus::Busy => 1,
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(NasdStatus::Ok),
+            1 => Some(NasdStatus::Busy),
+            _ => None,
+        }
+    }
+
+    /// Fault-injection retry matrix — forgot `Busy`.
+    pub fn retry_class(self) -> RetryClass {
+        match self {
+            NasdStatus::Ok => RetryClass::Done,
+            _ => RetryClass::Transient,
+        }
+    }
+}

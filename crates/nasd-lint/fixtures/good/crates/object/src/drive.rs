@@ -1,0 +1,23 @@
+//! Fixture: a clean request-path module. Errors flow out as status codes
+//! and the one deliberate panic site carries a reasoned suppression.
+
+/// Request outcome.
+pub enum Status {
+    /// Success.
+    Ok,
+    /// Malformed request.
+    BadRequest,
+}
+
+/// Parse a request tag without panicking.
+pub fn parse_tag(buf: &[u8]) -> Result<u8, Status> {
+    buf.first().copied().ok_or(Status::BadRequest)
+}
+
+/// Debug-only invariant check, deliberately suppressed.
+pub fn assert_wired(ready: bool) {
+    if !ready {
+        // nasd-lint: allow(panic, "startup wiring bug, not a request input")
+        panic!("drive used before wiring completed");
+    }
+}

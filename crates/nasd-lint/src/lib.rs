@@ -1,0 +1,292 @@
+//! nasd-lint: workspace invariant checker.
+//!
+//! Statically enforces the invariants the NASD reproduction relies on but
+//! the compiler cannot check:
+//!
+//! - **D1 determinism** — simulation-visible crates must not read wall
+//!   clocks, real entropy, or sleep real threads; all time comes from the
+//!   simulated clock so chaos runs stay replayable.
+//! - **P1 panic-free request paths** — drive / file-manager / Cheops
+//!   request handling must return [`NasdStatus`]-style errors, never
+//!   `unwrap()`, `expect()`, `panic!` or bare slice indexing.
+//! - **W1 wire exhaustiveness** — every `RequestBody`, `ReplyBody` and
+//!   `NasdStatus` variant must appear in the wire encode arms, the wire
+//!   decode arms, and the fault-injection matrices.
+//! - **L1 lock order** — nested `Mutex::lock()` acquisitions must form an
+//!   acyclic global order.
+//! - **F1 forbid-unsafe** — every crate root must carry
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Findings can be suppressed at a site with a reasoned comment:
+//!
+//! ```text
+//! // nasd-lint: allow(wall-clock, "real-thread RPC pacing, not sim-visible")
+//! ```
+//!
+//! A suppression without a reason string is itself a finding (S0), as is a
+//! suppression that no longer matches anything (S1).
+//!
+//! [`NasdStatus`]: https://www.pdl.cmu.edu/NASD/ — status codes from the
+//! NASD drive interface (Gibson et al., ASPLOS '98).
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+mod locks;
+mod rules;
+mod wire;
+
+use lexer::Lexed;
+use std::fmt;
+
+/// A single lint finding: stable rule ID plus file:line location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A finding before suppression filtering. `allow` names the suppression
+/// class that can silence it (`None` = unsuppressable).
+#[derive(Debug)]
+pub(crate) struct RawFinding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    pub allow: Option<&'static str>,
+}
+
+/// One lexed source file, with a workspace-relative path.
+pub(crate) struct Source {
+    pub path: String,
+    pub lexed: Lexed,
+}
+
+#[derive(Debug)]
+struct Suppression {
+    file_idx: usize,
+    line: u32,
+    name: String,
+    /// Line of code the suppression applies to: the comment's own line if
+    /// code shares it, otherwise the next line holding a token.
+    target_line: Option<u32>,
+    used: bool,
+}
+
+/// Run every rule over `(path, contents)` pairs and return the findings
+/// that survive suppression, plus any suppression-hygiene findings.
+pub fn check_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let sources: Vec<Source> = files
+        .iter()
+        .map(|(p, s)| Source {
+            path: p.replace('\\', "/"),
+            lexed: lexer::lex(s),
+        })
+        .collect();
+
+    let mut raw: Vec<RawFinding> = Vec::new();
+    for src in &sources {
+        rules::check_d1(src, &mut raw);
+        rules::check_p1(src, &mut raw);
+        rules::check_f1(src, &mut raw);
+    }
+    wire::check_w1(&sources, &mut raw);
+    locks::check_l1(&sources, &mut raw);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut supps: Vec<Suppression> = Vec::new();
+    for (idx, src) in sources.iter().enumerate() {
+        collect_suppressions(idx, src, &mut supps, &mut findings);
+    }
+
+    for r in raw {
+        let suppressed = r.allow.is_some_and(|class| {
+            supps.iter_mut().any(|s| {
+                let hit = sources[s.file_idx].path == r.file
+                    && s.name == class
+                    && s.target_line == Some(r.line);
+                if hit {
+                    s.used = true;
+                }
+                hit
+            })
+        });
+        if !suppressed {
+            findings.push(Finding {
+                rule: r.rule,
+                file: r.file,
+                line: r.line,
+                message: r.message,
+            });
+        }
+    }
+
+    // S1: suppressions that silence nothing are stale and must be removed
+    // (skip suppressions that target test-only code, which rules ignore).
+    for s in &supps {
+        if s.used {
+            continue;
+        }
+        let src = &sources[s.file_idx];
+        let targets_test_code = s.target_line.is_some_and(|tl| {
+            let on_line: Vec<_> = src.lexed.tokens.iter().filter(|t| t.line == tl).collect();
+            !on_line.is_empty() && on_line.iter().all(|t| t.in_test)
+        });
+        if !targets_test_code {
+            findings.push(Finding {
+                rule: "S1",
+                file: src.path.clone(),
+                line: s.line,
+                message: format!(
+                    "suppression `allow({})` does not match any finding; remove it",
+                    s.name
+                ),
+            });
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings
+}
+
+fn collect_suppressions(
+    file_idx: usize,
+    src: &Source,
+    supps: &mut Vec<Suppression>,
+    findings: &mut Vec<Finding>,
+) {
+    for c in &src.lexed.comments {
+        // Only plain `// nasd-lint: …` line comments are suppressions; doc
+        // comments (`///`, `//!`) may mention the syntax without effect.
+        let Some(rest) = c.text.strip_prefix("//") else {
+            continue;
+        };
+        if rest.starts_with('/') || rest.starts_with('!') {
+            continue;
+        }
+        if !rest.trim_start().starts_with("nasd-lint") {
+            continue;
+        }
+        match parse_suppression(&c.text) {
+            Some((name, reason)) => {
+                let has_reason = reason.is_some_and(|r| !r.trim().is_empty());
+                if !has_reason {
+                    findings.push(Finding {
+                        rule: "S0",
+                        file: src.path.clone(),
+                        line: c.line,
+                        message: format!(
+                            "suppression `allow({name})` has no reason; write \
+                             `// nasd-lint: allow({name}, \"why this is safe\")`"
+                        ),
+                    });
+                }
+                // Reason-less suppressions still suppress, so CI reports
+                // exactly one error (the S0 above) per such site.
+                supps.push(Suppression {
+                    file_idx,
+                    line: c.line,
+                    name,
+                    target_line: target_line(&src.lexed, c.line),
+                    used: false,
+                });
+            }
+            None => {
+                findings.push(Finding {
+                    rule: "S0",
+                    file: src.path.clone(),
+                    line: c.line,
+                    message: "malformed nasd-lint comment; expected \
+                              `// nasd-lint: allow(<rule-class>, \"reason\")`"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Parse `nasd-lint: allow(name)` / `nasd-lint: allow(name, "reason")` out
+/// of a comment. Returns `(name, reason)`, or `None` if malformed.
+fn parse_suppression(text: &str) -> Option<(String, Option<String>)> {
+    let rest = text.split_once("nasd-lint")?.1;
+    let rest = rest.trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start().strip_prefix("allow")?;
+    let rest = rest.trim_start().strip_prefix('(')?;
+    let end = rest.find([',', ')'])?;
+    let name = rest[..end].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+        return None;
+    }
+    let after = &rest[end..];
+    if let Some(tail) = after.strip_prefix(',') {
+        let tail = tail.trim_start();
+        let tail = tail.strip_prefix('"')?;
+        let (reason, rest) = tail.split_once('"')?;
+        rest.trim_start().strip_prefix(')')?;
+        Some((name.to_owned(), Some(reason.to_owned())))
+    } else {
+        after.strip_prefix(')')?;
+        Some((name.to_owned(), None))
+    }
+}
+
+fn target_line(lexed: &Lexed, comment_line: u32) -> Option<u32> {
+    if lexed.tokens.iter().any(|t| t.line == comment_line) {
+        return Some(comment_line);
+    }
+    lexed
+        .tokens
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| l > comment_line)
+        .min()
+}
+
+/// The crate directory name (`object` in `crates/object/src/...`), if any.
+pub(crate) fn crate_of(path: &str) -> Option<&str> {
+    let (_, rest) = path.split_once("crates/")?;
+    rest.split('/').next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_suppression_forms() {
+        assert_eq!(
+            parse_suppression("// nasd-lint: allow(wall-clock, \"rpc pacing\")"),
+            Some(("wall-clock".into(), Some("rpc pacing".into())))
+        );
+        assert_eq!(
+            parse_suppression("// nasd-lint: allow(panic)"),
+            Some(("panic".into(), None))
+        );
+        assert_eq!(parse_suppression("// nasd-lint: allow()"), None);
+        assert_eq!(parse_suppression("// nasd-lint allow(panic)"), None);
+        assert_eq!(
+            parse_suppression("// nasd-lint: allow(panic, reason)"),
+            None
+        );
+    }
+
+    #[test]
+    fn crate_of_extracts_dir() {
+        assert_eq!(crate_of("crates/object/src/store.rs"), Some("object"));
+        assert_eq!(crate_of("shims/rand/src/lib.rs"), None);
+    }
+}

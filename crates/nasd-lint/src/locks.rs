@@ -1,0 +1,254 @@
+//! L1: lock-order analysis.
+//!
+//! Scans each function body for `.lock()` call chains, names each lock by
+//! the field/variable it is called on (`self.state.lock()` → `state`),
+//! tracks which guards are still live (let-bound guards live to the end of
+//! their block unless `drop(guard)` kills them; temporaries die with their
+//! statement), and records an edge A → B whenever B is acquired while A is
+//! held. Edges are aggregated per crate into a digraph; any cycle — or a
+//! re-acquisition of a lock already held — is a finding. The sanctioned
+//! global order is documented in DESIGN.md §Static invariants.
+
+use crate::lexer::{matching, Tok, Token};
+use crate::{crate_of, RawFinding, Source};
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug)]
+struct Edge {
+    file: String,
+    line: u32,
+}
+
+pub(crate) fn check_l1(sources: &[Source], out: &mut Vec<RawFinding>) {
+    // (crate, from-lock, to-lock) -> first site observed
+    let mut edges: BTreeMap<(String, String, String), Edge> = BTreeMap::new();
+    for src in sources {
+        let Some(krate) = crate_of(&src.path) else {
+            continue;
+        };
+        let toks = &src.lexed.tokens;
+        let mut i = 0;
+        while i < toks.len() {
+            if !toks[i].in_test && toks[i].is_ident("fn") {
+                if let Some(open) =
+                    (i + 1..toks.len()).find(|&k| toks[k].is_punct('{') || toks[k].is_punct(';'))
+                {
+                    if toks[open].is_punct('{') {
+                        if let Some(close) = matching(toks, open, '{', '}') {
+                            scan_body(src, krate, toks, open, close, &mut edges, out);
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    // Detect cycles per crate.
+    let crates: BTreeSet<&str> = edges.keys().map(|(c, _, _)| c.as_str()).collect();
+    for krate in crates {
+        let adj: BTreeMap<&str, Vec<&str>> = {
+            let mut m: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+            for (c, from, to) in edges.keys() {
+                if c == krate {
+                    m.entry(from.as_str()).or_default().push(to.as_str());
+                }
+            }
+            m
+        };
+        for cycle in find_cycles(&adj) {
+            let (from, to) = (cycle[cycle.len() - 1], cycle[0]);
+            let site = &edges[&(krate.to_owned(), from.to_owned(), to.to_owned())];
+            out.push(RawFinding {
+                rule: "L1",
+                file: site.file.clone(),
+                line: site.line,
+                message: format!(
+                    "lock-order cycle in crate `{}`: {} -> {}; acquire locks in the \
+                     global order documented in DESIGN.md",
+                    krate,
+                    cycle.join(" -> "),
+                    cycle[0]
+                ),
+                allow: Some("lock-order"),
+            });
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Guard {
+    lock: String,
+    var: Option<String>,
+    depth: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_body(
+    src: &Source,
+    krate: &str,
+    toks: &[Token],
+    open: usize,
+    close: usize,
+    edges: &mut BTreeMap<(String, String, String), Edge>,
+    out: &mut Vec<RawFinding>,
+) {
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 1usize;
+    let mut stmt_start = open + 1;
+    let mut k = open + 1;
+    while k < close {
+        let t = &toks[k];
+        match &t.tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                stmt_start = k + 1;
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                stmt_start = k + 1;
+            }
+            Tok::Punct(';') => {
+                stmt_start = k + 1;
+            }
+            // drop(guard) releases a named guard early.
+            Tok::Ident(name)
+                if name == "drop"
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+                    && toks.get(k + 3).is_some_and(|t| t.is_punct(')')) =>
+            {
+                if let Some(var) = toks.get(k + 2).and_then(|t| t.ident()) {
+                    guards.retain(|g| g.var.as_deref() != Some(var));
+                }
+            }
+            Tok::Punct('.')
+                if toks.get(k + 1).is_some_and(|t| t.is_ident("lock"))
+                    && toks.get(k + 2).is_some_and(|t| t.is_punct('('))
+                    && toks.get(k + 3).is_some_and(|t| t.is_punct(')')) =>
+            {
+                let line = toks[k + 1].line;
+                if let Some(lock) = lock_name(toks, k) {
+                    for g in &guards {
+                        if g.lock == lock {
+                            out.push(RawFinding {
+                                rule: "L1",
+                                file: src.path.clone(),
+                                line,
+                                message: format!(
+                                    "`{lock}` acquired while a guard on `{lock}` is \
+                                     still live (self-deadlock)"
+                                ),
+                                allow: Some("lock-order"),
+                            });
+                        } else {
+                            edges
+                                .entry((krate.to_owned(), g.lock.clone(), lock.clone()))
+                                .or_insert(Edge {
+                                    file: src.path.clone(),
+                                    line,
+                                });
+                        }
+                    }
+                    // Let-bound guards stay live; temporaries die with the
+                    // statement and contribute only outgoing edges above.
+                    if let Some(var) = binding_of(toks, stmt_start, k) {
+                        guards.push(Guard { lock, var, depth });
+                    }
+                }
+                k += 3;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+}
+
+/// The lock's name: walk back from the `.` over index/call groups to the
+/// nearest identifier (`self.slots[idx].lock()` → `slots`).
+fn lock_name(toks: &[Token], dot: usize) -> Option<String> {
+    let mut j = dot.checked_sub(1)?;
+    loop {
+        match &toks[j].tok {
+            Tok::Punct(']') => j = matching_back(toks, j, '[', ']')?.checked_sub(1)?,
+            Tok::Punct(')') => j = matching_back(toks, j, '(', ')')?.checked_sub(1)?,
+            Tok::Ident(s) => return Some(s.clone()),
+            Tok::Punct('.') => j = j.checked_sub(1)?,
+            _ => return None,
+        }
+    }
+}
+
+fn matching_back(toks: &[Token], close_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for k in (0..=close_idx).rev() {
+        if toks[k].is_punct(close) {
+            depth += 1;
+        } else if toks[k].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// If the statement is `let [mut] <var> = … .lock()`, return `Some(Some(var))`;
+/// `let <pattern> = …` returns `Some(None)` (guard live, unnamed); a bare
+/// expression returns `None` (temporary).
+fn binding_of(toks: &[Token], stmt_start: usize, lock_dot: usize) -> Option<Option<String>> {
+    let first = toks.get(stmt_start)?;
+    if !first.is_ident("let") {
+        return None;
+    }
+    let mut j = stmt_start + 1;
+    while j < lock_dot && toks[j].is_ident("mut") {
+        j += 1;
+    }
+    match toks.get(j).map(|t| &t.tok) {
+        Some(Tok::Ident(v)) => Some(Some(v.clone())),
+        _ => Some(None),
+    }
+}
+
+/// All elementary cycles' node lists (deduplicated by node set); simple DFS,
+/// fine for the handful of locks per crate.
+fn find_cycles<'a>(adj: &BTreeMap<&'a str, Vec<&'a str>>) -> Vec<Vec<&'a str>> {
+    let mut cycles: Vec<Vec<&str>> = Vec::new();
+    let mut seen_sets: BTreeSet<Vec<&str>> = BTreeSet::new();
+    for &start in adj.keys() {
+        let mut path: Vec<&str> = vec![start];
+        dfs(start, start, adj, &mut path, &mut cycles, &mut seen_sets, 0);
+    }
+    cycles
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs<'a>(
+    start: &'a str,
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    path: &mut Vec<&'a str>,
+    cycles: &mut Vec<Vec<&'a str>>,
+    seen: &mut BTreeSet<Vec<&'a str>>,
+    depth: usize,
+) {
+    if depth > 16 {
+        return;
+    }
+    let Some(nexts) = adj.get(node) else { return };
+    for &next in nexts {
+        if next == start && path.len() > 1 {
+            let mut key = path.clone();
+            key.sort_unstable();
+            if seen.insert(key) {
+                cycles.push(path.clone());
+            }
+        } else if !path.contains(&next) {
+            path.push(next);
+            dfs(start, next, adj, path, cycles, seen, depth + 1);
+            path.pop();
+        }
+    }
+}

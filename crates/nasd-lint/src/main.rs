@@ -1,0 +1,126 @@
+//! nasd-lint CLI.
+//!
+//! Usage: `cargo run -p nasd-lint -- check [--root <workspace-dir>]`
+//!
+//! Scans `crates/*/src/**/*.rs`, every shim crate root and the umbrella
+//! `src/lib.rs`, prints findings as `file:line: [RULE] message`, and exits
+//! nonzero if any finding survives suppression.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut cmd = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" => cmd = Some("check"),
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if cmd != Some("check") {
+        return usage("expected the `check` subcommand");
+    }
+
+    // When invoked via `cargo run -p nasd-lint` the cwd is already the
+    // workspace root; honour --root for out-of-tree invocation.
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect_crate_sources(&root, &mut paths);
+    if paths.is_empty() {
+        eprintln!(
+            "nasd-lint: no crates/*/src/**/*.rs under {} (wrong --root?)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    for shim in list_dir(&root.join("shims")) {
+        let lib = shim.join("src").join("lib.rs");
+        if lib.is_file() {
+            paths.push(lib);
+        }
+    }
+    let umbrella = root.join("src").join("lib.rs");
+    if umbrella.is_file() {
+        paths.push(umbrella);
+    }
+    paths.sort();
+
+    let mut files: Vec<(String, String)> = Vec::new();
+    for p in &paths {
+        match std::fs::read_to_string(p) {
+            Ok(contents) => files.push((relative(&root, p), contents)),
+            Err(e) => {
+                eprintln!("nasd-lint: cannot read {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let findings = nasd_lint::check_sources(&files);
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "nasd-lint: {} files checked, {} finding{}",
+        files.len(),
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("nasd-lint: {err}");
+    eprintln!("usage: cargo run -p nasd-lint -- check [--root <workspace-dir>]");
+    ExitCode::FAILURE
+}
+
+fn collect_crate_sources(root: &Path, out: &mut Vec<PathBuf>) {
+    for krate in list_dir(&root.join("crates")) {
+        walk_rs(&krate.join("src"), out);
+    }
+}
+
+fn list_dir(dir: &Path) -> Vec<PathBuf> {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut v: Vec<PathBuf> = rd
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    v.sort();
+    v
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in rd.filter_map(Result::ok) {
+        let p = entry.path();
+        if p.is_dir() {
+            walk_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn relative(root: &Path, p: &Path) -> String {
+    let rel = p.strip_prefix(root).unwrap_or(p);
+    rel.to_string_lossy().replace('\\', "/")
+}

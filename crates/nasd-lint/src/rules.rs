@@ -1,0 +1,169 @@
+//! Token-scan rules: D1 determinism, P1 panic-free request paths, and
+//! F1 forbid-unsafe.
+
+use crate::lexer::{Tok, Token};
+use crate::{crate_of, RawFinding, Source};
+
+/// Crates whose behaviour is visible to the simulation. Wall-clock time,
+/// OS entropy and real-thread sleeps in these crates would make chaos-test
+/// replays diverge. `net` is included: its single legitimate pacing sleep
+/// carries an explicit suppression.
+pub(crate) const D1_CRATES: &[&str] = &[
+    "sim", "disk", "object", "proto", "cheops", "fm", "pfs", "net",
+];
+
+/// Request-path modules that must return `NasdStatus` errors rather than
+/// panic: a drive that panics mid-request breaks the acknowledgement
+/// promise the chaos suite verifies dynamically.
+pub(crate) const P1_FILES: &[&str] = &[
+    "crates/object/src/drive.rs",
+    "crates/object/src/store.rs",
+    "crates/object/src/persist.rs",
+    "crates/object/src/cache.rs",
+    "crates/object/src/security.rs",
+    "crates/fm/src/server.rs",
+    "crates/fm/src/drives.rs",
+    "crates/fm/src/nfs.rs",
+    "crates/fm/src/afs.rs",
+    "crates/fm/src/handle.rs",
+    "crates/fm/src/dirfmt.rs",
+    "crates/cheops/src/manager.rs",
+    "crates/cheops/src/client.rs",
+];
+
+/// Keywords that can legitimately precede `[` without it being an index
+/// expression (slice patterns, array literals in returns, etc.).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "return", "break", "else", "match", "if", "while", "for", "loop",
+    "move", "box", "yield", "dyn", "as", "const", "static", "pub", "use", "where", "unsafe",
+    "async", "await", "impl", "fn", "enum", "struct", "trait", "type", "mod", "crate",
+];
+
+fn seq_path(toks: &[Token], i: usize, a: &str, b: &str) -> bool {
+    toks[i].is_ident(a)
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident(b))
+}
+
+/// D1: no wall-clock, OS entropy or real-thread sleeps in sim-visible crates.
+pub(crate) fn check_d1(src: &Source, out: &mut Vec<RawFinding>) {
+    let Some(krate) = crate_of(&src.path) else {
+        return;
+    };
+    if !D1_CRATES.contains(&krate) {
+        return;
+    }
+    let toks = &src.lexed.tokens;
+    let mut push = |line: u32, what: &str| {
+        out.push(RawFinding {
+            rule: "D1",
+            file: src.path.clone(),
+            line,
+            message: format!(
+                "`{what}` in sim-visible crate `{krate}`; use the simulated \
+                 clock/rng (nasd-sim) or nasd_net::pace for real-thread pacing"
+            ),
+            allow: Some("wall-clock"),
+        });
+    };
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        if seq_path(toks, i, "Instant", "now") {
+            push(toks[i].line, "Instant::now");
+        } else if toks[i].is_ident("SystemTime") {
+            push(toks[i].line, "SystemTime");
+        } else if toks[i].is_ident("thread_rng") {
+            push(toks[i].line, "thread_rng");
+        } else if seq_path(toks, i, "thread", "sleep") {
+            push(toks[i].line, "thread::sleep");
+        }
+    }
+}
+
+/// P1: no panics or bare indexing in request-path modules.
+pub(crate) fn check_p1(src: &Source, out: &mut Vec<RawFinding>) {
+    if !P1_FILES.iter().any(|f| src.path.ends_with(f)) {
+        return;
+    }
+    let toks = &src.lexed.tokens;
+    let mut push = |line: u32, msg: String| {
+        out.push(RawFinding {
+            rule: "P1",
+            file: src.path.clone(),
+            line,
+            message: msg,
+            allow: Some("panic"),
+        });
+    };
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        if toks[i].is_punct('.') && toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
+                if name == "unwrap" || name == "expect" {
+                    push(
+                        toks[i + 1].line,
+                        format!(
+                            "`.{name}()` in request path; return a NasdStatus \
+                             error instead"
+                        ),
+                    );
+                }
+            }
+        } else if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            if let Some(name) = toks[i].ident() {
+                if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented") {
+                    push(
+                        toks[i].line,
+                        format!("`{name}!` in request path; return a NasdStatus error instead"),
+                    );
+                }
+            }
+        } else if toks[i].is_punct('[') && i > 0 {
+            let indexes = match &toks[i - 1].tok {
+                Tok::Ident(s) => !NON_INDEX_KEYWORDS.contains(&s.as_str()),
+                Tok::Punct(')') | Tok::Punct(']') => true,
+                _ => false,
+            };
+            if indexes {
+                push(
+                    toks[i].line,
+                    "bare indexing may panic on out-of-range; use .get()/.get_mut() \
+                     and map None to a NasdStatus error"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+}
+
+/// F1: every crate root keeps `#![forbid(unsafe_code)]`.
+pub(crate) fn check_f1(src: &Source, out: &mut Vec<RawFinding>) {
+    if !src.path.ends_with("src/lib.rs") {
+        return;
+    }
+    let toks = &src.lexed.tokens;
+    let found = (0..toks.len()).any(|i| {
+        toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('['))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("forbid"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 5).is_some_and(|t| t.is_ident("unsafe_code"))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 7).is_some_and(|t| t.is_punct(']'))
+    });
+    if !found {
+        out.push(RawFinding {
+            rule: "F1",
+            file: src.path.clone(),
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+            allow: None,
+        });
+    }
+}

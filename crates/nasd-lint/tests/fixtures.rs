@@ -1,0 +1,86 @@
+//! Runs the nasd-lint binary against the fixture corpus: the good tree
+//! must exit 0, and every known-bad tree must exit nonzero with the
+//! expected rule ID in its report.
+
+use std::path::PathBuf;
+use std::process::Output;
+
+fn run_on(fixture: &str) -> Output {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(fixture);
+    std::process::Command::new(env!("CARGO_BIN_EXE_nasd-lint"))
+        .args(["check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("spawn nasd-lint")
+}
+
+fn expect_bad(fixture: &str, rule: &str) {
+    let out = run_on(fixture);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "{fixture}: expected nonzero exit, got success\n{stdout}"
+    );
+    assert!(
+        stdout.contains(&format!("[{rule}]")),
+        "{fixture}: expected a [{rule}] finding\n{stdout}"
+    );
+}
+
+#[test]
+fn good_tree_is_clean() {
+    let out = run_on("good");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "good: expected exit 0\n{stdout}");
+    assert!(stdout.contains("0 findings"), "good: {stdout}");
+}
+
+#[test]
+fn d1_wall_clock_is_reported() {
+    expect_bad("bad-d1", "D1");
+}
+
+#[test]
+fn p1_panic_sites_are_reported() {
+    expect_bad("bad-p1", "P1");
+    let out = run_on("bad-p1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(".unwrap()") && stdout.contains("bare indexing"),
+        "bad-p1 should flag both the unwrap and the slice index\n{stdout}"
+    );
+}
+
+#[test]
+fn w1_missing_matrix_arm_is_reported() {
+    expect_bad("bad-w1", "W1");
+    let out = run_on("bad-w1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("NasdStatus::Busy") && stdout.contains("retry"),
+        "bad-w1 should name the variant missing from the retry matrix\n{stdout}"
+    );
+}
+
+#[test]
+fn l1_lock_order_cycle_is_reported() {
+    expect_bad("bad-l1", "L1");
+}
+
+#[test]
+fn f1_missing_forbid_is_reported() {
+    expect_bad("bad-f1", "F1");
+}
+
+#[test]
+fn suppressions_require_a_reason() {
+    expect_bad("bad-suppress", "S0");
+    let out = run_on("bad-suppress");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("[D1]"),
+        "the reasonless allow still suppresses the D1 finding itself\n{stdout}"
+    );
+}

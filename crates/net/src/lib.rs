@@ -17,10 +17,12 @@
 
 mod fault;
 mod model;
+mod pacing;
 mod rpc;
 
 pub use fault::{
     splitmix64, ChannelFaults, FaultAction, FaultConfig, FaultEvent, FaultPlan, RetryPolicy,
 };
 pub use model::{LinkSpec, NetworkModel, NodeId, RpcCostModel};
+pub use pacing::pace;
 pub use rpc::{spawn_service, Rpc, RpcError, ServiceHandle};

@@ -1,0 +1,24 @@
+//! Real-thread pacing.
+//!
+//! The one sanctioned wall-clock sleep in the workspace. Fault-injected
+//! delays and retry backoff pause the *calling* thread — they model wire
+//! and scheduling latency, not simulated time — and every such pause must
+//! go through [`pace`] so the D1 determinism lint can keep
+//! `std::thread::sleep` out of sim-visible code, and so no caller ever
+//! sleeps while holding a drive or store lock (callers pace before
+//! acquiring, never inside a critical section).
+
+use std::time::Duration;
+
+/// Pause the calling OS thread for `d`. No-op for a zero duration.
+///
+/// Must be called without any drive/store lock held: pacing is a
+/// transport-layer concern and a held lock would turn an injected delay
+/// into a cross-request stall.
+pub fn pace(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    // nasd-lint: allow(wall-clock, "single sanctioned real-thread pacing site; models wire latency and retry backoff, never sim-visible time")
+    std::thread::sleep(d);
+}

@@ -101,7 +101,7 @@ impl<Req: Send + Clone + 'static, Resp: Send + 'static> Rpc<Req, Resp> {
         match action {
             FaultAction::DropRequest => Ok(Ticket::Lost),
             FaultAction::DelayMicros(us) => {
-                std::thread::sleep(Duration::from_micros(us));
+                crate::pacing::pace(Duration::from_micros(us));
                 self.send_one(req).map(Ticket::Wait)
             }
             FaultAction::Duplicate => {
@@ -178,9 +178,7 @@ impl<Req: Send + Clone + 'static, Resp: Send + 'static> Rpc<Req, Resp> {
         let attempts = policy.max_attempts.max(1);
         for attempt in 0..attempts {
             let pause = policy.backoff(attempt);
-            if !pause.is_zero() {
-                std::thread::sleep(pause);
-            }
+            crate::pacing::pace(pause);
             match self.call_timeout(req.clone(), policy.timeout) {
                 Ok(resp) => return Ok(resp),
                 Err(RpcError::TimedOut) => {}
@@ -209,7 +207,7 @@ impl<Req: Send + Clone + 'static, Resp: Send + 'static> Rpc<Req, Resp> {
         match action {
             FaultAction::Deliver => self.send_one(req),
             FaultAction::DelayMicros(us) => {
-                std::thread::sleep(Duration::from_micros(us));
+                crate::pacing::pace(Duration::from_micros(us));
                 self.send_one(req)
             }
             FaultAction::Duplicate => {

@@ -210,13 +210,19 @@ impl<D: BlockDevice> BlockCache<D> {
     /// Make room for one more entry, evicting the LRU entry if full.
     fn evict_if_full(&mut self, trace: &mut IoTrace) -> Result<(), DiskError> {
         while self.entries.len() >= self.capacity_blocks {
-            let victim = self
+            // An empty cache can only be "full" at capacity zero; there is
+            // nothing to evict then.
+            let Some(victim) = self
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.used)
                 .map(|(&b, _)| b)
-                .expect("cache non-empty when full");
-            let entry = self.entries.remove(&victim).expect("victim present");
+            else {
+                break;
+            };
+            let Some(entry) = self.entries.remove(&victim) else {
+                break;
+            };
             self.stats.evictions += 1;
             if entry.dirty {
                 self.device.write_block(victim, &entry.data)?;
@@ -254,7 +260,15 @@ impl<D: BlockDevice> BlockCache<D> {
                 },
             );
         }
-        Ok(&self.entries[&block].data)
+        match self.entries.get(&block) {
+            Some(e) => Ok(&e.data),
+            // Unreachable in practice: the block was resident or was just
+            // inserted above; report rather than panic mid-request.
+            None => Err(DiskError::OutOfRange {
+                block,
+                device_blocks: self.device.num_blocks(),
+            }),
+        }
     }
 
     /// Write one full block through the cache (write-behind: the device
@@ -318,8 +332,17 @@ impl<D: BlockDevice> BlockCache<D> {
         }
         // Bring the block in (read-modify-write).
         self.read(block, trace)?;
-        let e = self.entries.get_mut(&block).expect("just read");
-        e.data[offset..offset + data.len()].copy_from_slice(data);
+        let e = self.entries.get_mut(&block).ok_or(DiskError::OutOfRange {
+            block,
+            device_blocks: self.device.num_blocks(),
+        })?;
+        e.data
+            .get_mut(offset..offset + data.len())
+            .ok_or(DiskError::BadBufferSize {
+                expected: bs,
+                got: offset + data.len(),
+            })?
+            .copy_from_slice(data);
         e.dirty = true;
         Ok(())
     }
@@ -345,7 +368,11 @@ impl<D: BlockDevice> BlockCache<D> {
             .collect();
         dirty.sort_unstable(); // elevator order
         for block in dirty {
-            let e = self.entries.get_mut(&block).expect("listed dirty block");
+            // A block listed dirty a moment ago but now gone has nothing
+            // left to write back.
+            let Some(e) = self.entries.get_mut(&block) else {
+                continue;
+            };
             self.device.write_block(block, &e.data)?;
             e.dirty = false;
             trace.push_write(block);

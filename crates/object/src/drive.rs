@@ -304,6 +304,7 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
             StoreError::NoSpace | StoreError::QuotaBelowUsage { .. } => NasdStatus::NoSpace,
             StoreError::NotFormatted => NasdStatus::DriveError,
             StoreError::Disk(_) => NasdStatus::DriveError,
+            StoreError::Internal(_) => NasdStatus::DriveError,
         }
     }
 
@@ -330,14 +331,10 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
     }
 
     /// Whether `body` changes drive state (used for write-through
-    /// durability; unknown future operations are treated as mutating).
+    /// durability). Delegates to the protocol-level mutation matrix,
+    /// which nasd-lint keeps exhaustive per variant.
     fn is_mutating(body: &RequestBody) -> bool {
-        !matches!(
-            body,
-            RequestBody::Read { .. }
-                | RequestBody::GetAttr { .. }
-                | RequestBody::ListObjects { .. }
-        )
+        body.mutates()
     }
 
     /// Handle one wire request — the drive's single entry point.
@@ -358,7 +355,9 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
                     );
                 }
                 Some(DriveFault::SlowMicros(us)) => {
-                    std::thread::sleep(std::time::Duration::from_micros(us));
+                    // Pacing happens before any store lock is taken, so an
+                    // injected stall never extends a critical section.
+                    nasd_net::pace(std::time::Duration::from_micros(us));
                 }
                 None => {}
             }
@@ -420,13 +419,11 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
                             let encoded = w.into_vec();
                             let start = (*offset as usize).min(encoded.len());
                             let end = (*offset + *len).min(encoded.len() as u64) as usize;
-                            let n = (end - start) as u64;
+                            let window = encoded.get(start..end).unwrap_or(&[]);
                             (
-                                Reply::ok(ReplyBody::Data(Bytes::copy_from_slice(
-                                    &encoded[start..end],
-                                ))),
+                                Reply::ok(ReplyBody::Data(Bytes::copy_from_slice(window))),
                                 OpKind::Read,
-                                n,
+                                window.len() as u64,
                             )
                         }
                         Err(e) => (Reply::error(Self::status_of(&e)), OpKind::Read, 0),

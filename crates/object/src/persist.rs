@@ -66,21 +66,29 @@ fn decode_blocks(r: &mut WireReader<'_>) -> Result<Vec<u64>, DecodeError> {
     Ok(blocks)
 }
 
+/// Big-endian u64 at `at`; a short buffer means the checkpoint frame is
+/// truncated, which surfaces as [`StoreError::NotFormatted`].
+fn be_u64(buf: &[u8], at: usize) -> Result<u64, StoreError> {
+    let bytes = buf
+        .get(at..at + 8)
+        .and_then(|s| <[u8; 8]>::try_from(s).ok())
+        .ok_or(StoreError::NotFormatted)?;
+    Ok(u64::from_be_bytes(bytes))
+}
+
 fn encode_store<D: BlockDevice>(store: &ObjectStore<D>) -> Vec<u8> {
     let mut w = WireWriter::new();
     // Partitions.
-    let mut pids: Vec<PartitionId> = store.partitions.keys().copied().collect();
-    pids.sort();
-    w.u32(pids.len() as u32);
-    for pid in pids {
-        let part = &store.partitions[&pid];
+    let mut parts: Vec<_> = store.partitions.iter().collect();
+    parts.sort_by_key(|(pid, _)| **pid);
+    w.u32(parts.len() as u32);
+    for (pid, part) in parts {
         pid.encode(&mut w);
         w.u64(part.quota).u64(part.used).u64(part.next_object);
-        let mut oids: Vec<ObjectId> = part.objects.keys().copied().collect();
-        oids.sort();
-        w.u32(oids.len() as u32);
-        for oid in oids {
-            let meta = &part.objects[&oid];
+        let mut objs: Vec<_> = part.objects.iter().collect();
+        objs.sort_by_key(|(oid, _)| **oid);
+        w.u32(objs.len() as u32);
+        for (oid, meta) in objs {
             oid.encode(&mut w);
             meta.attrs.encode(&mut w);
             encode_blocks(&mut w, &meta.blocks);
@@ -173,7 +181,10 @@ impl<D: BlockDevice> ObjectStore<D> {
                 self.cache.write(i as u64, chunk, trace)?;
             } else {
                 let mut padded = vec![0u8; bs];
-                padded[..chunk.len()].copy_from_slice(chunk);
+                padded
+                    .get_mut(..chunk.len())
+                    .ok_or(StoreError::Internal("checkpoint chunk longer than block"))?
+                    .copy_from_slice(chunk);
                 self.cache.write(i as u64, &padded, trace)?;
             }
         }
@@ -194,11 +205,11 @@ impl<D: BlockDevice> ObjectStore<D> {
         let total_blocks = device.num_blocks();
         let mut buf = vec![0u8; bs];
         device.read_block(0, &mut buf)?;
-        let magic = u64::from_be_bytes(buf[..8].try_into().expect("8 bytes"));
+        let magic = be_u64(&buf, 0)?;
         if magic != META_MAGIC {
             return Err(StoreError::NotFormatted);
         }
-        let payload_len = u64::from_be_bytes(buf[8..16].try_into().expect("8 bytes")) as usize;
+        let payload_len = be_u64(&buf, 8)? as usize;
         let mut framed = Vec::with_capacity(16 + payload_len);
         framed.extend_from_slice(&buf);
         let mut block = 1u64;
@@ -207,8 +218,10 @@ impl<D: BlockDevice> ObjectStore<D> {
             framed.extend_from_slice(&buf);
             block += 1;
         }
-        let state =
-            decode_store(&framed[16..16 + payload_len]).map_err(|_| StoreError::NotFormatted)?;
+        let payload = framed
+            .get(16..16 + payload_len)
+            .ok_or(StoreError::NotFormatted)?;
+        let state = decode_store(payload).map_err(|_| StoreError::NotFormatted)?;
 
         // Rebuild the allocator: reserve the metadata area, then every
         // block referenced by any object (shared blocks once).

@@ -44,6 +44,13 @@ pub enum StoreError {
     NotFormatted,
     /// Underlying device error.
     Disk(DiskError),
+    /// An internal invariant did not hold (metadata out of step with
+    /// allocation state). Maps to [`NasdStatus::DriveError`] at the wire:
+    /// the request path reports instead of panicking, so the durability
+    /// promise survives even a store bug.
+    ///
+    /// [`NasdStatus::DriveError`]: nasd_proto::NasdStatus
+    Internal(&'static str),
 }
 
 impl fmt::Display for StoreError {
@@ -59,6 +66,7 @@ impl fmt::Display for StoreError {
             }
             StoreError::NotFormatted => f.write_str("no valid metadata checkpoint"),
             StoreError::Disk(e) => write!(f, "device error: {e}"),
+            StoreError::Internal(what) => write!(f, "internal store invariant violated: {what}"),
         }
     }
 }
@@ -147,10 +155,11 @@ impl<D: BlockDevice> ObjectStore<D> {
         let meta = crate::persist::meta_blocks(total_blocks);
         let mut allocator = Allocator::new(total_blocks);
         if meta > 0 {
-            let reserved = allocator
-                .allocate(meta, Some(0))
-                .expect("metadata reservation fits any nonempty device");
-            debug_assert_eq!(reserved.start, 0, "metadata area is the device head");
+            // The reservation fits any nonempty device; if it ever did
+            // not, the store simply starts unformatted rather than panic.
+            if let Some(reserved) = allocator.allocate(meta, Some(0)) {
+                debug_assert_eq!(reserved.start, 0, "metadata area is the device head");
+            }
         }
         ObjectStore {
             cache: BlockCache::new(device, cache_blocks),
@@ -468,9 +477,14 @@ impl<D: BlockDevice> ObjectStore<D> {
             let lblock = (pos / bs as u64) as usize;
             let within = (pos % bs as u64) as usize;
             let take = (bs - within).min((end - pos) as usize);
-            let dev_block = blocks[lblock];
+            let dev_block = *blocks
+                .get(lblock)
+                .ok_or(StoreError::Internal("object block map shorter than size"))?;
             let data = self.cache.read(dev_block, trace)?;
-            out.extend_from_slice(&data[within..within + take]);
+            let chunk = data
+                .get(within..within + take)
+                .ok_or(StoreError::Internal("cached block shorter than block size"))?;
+            out.extend_from_slice(chunk);
             pos += take as u64;
         }
         Ok(Bytes::from(out))
@@ -504,7 +518,9 @@ impl<D: BlockDevice> ObjectStore<D> {
         let new_blocks = self.allocate_blocks(grow, hint)?;
         let part = self.partition_mut(p)?;
         part.used += grow * bs;
-        let meta = part.objects.get_mut(&o).expect("checked above");
+        let meta = part.objects.get_mut(&o).ok_or(StoreError::Internal(
+            "object vanished during ensure_capacity",
+        ))?;
         meta.blocks.extend(new_blocks);
         Ok(())
     }
@@ -550,12 +566,16 @@ impl<D: BlockDevice> ObjectStore<D> {
             let lblock = (pos / bs as u64) as usize;
             let within = (pos % bs as u64) as usize;
             let take = (bs - within).min((end - pos) as usize);
-            let dev_block = blocks[lblock];
+            let dev_block = *blocks
+                .get(lblock)
+                .ok_or(StoreError::Internal("object block map shorter than size"))?;
+            let chunk = data
+                .get(src..src + take)
+                .ok_or(StoreError::Internal("write source shorter than extent"))?;
             if within == 0 && take == bs {
-                self.cache.write(dev_block, &data[src..src + take], trace)?;
+                self.cache.write(dev_block, chunk, trace)?;
             } else {
-                self.cache
-                    .write_partial(dev_block, within, &data[src..src + take], trace)?;
+                self.cache.write_partial(dev_block, within, chunk, trace)?;
             }
             pos += take as u64;
             src += take;
@@ -579,7 +599,10 @@ impl<D: BlockDevice> ObjectStore<D> {
         let dev_block = {
             let part = self.partition(p)?;
             let meta = part.objects.get(&o).ok_or(StoreError::NoSuchObject(o))?;
-            meta.blocks[l]
+            *meta
+                .blocks
+                .get(l)
+                .ok_or(StoreError::Internal("cow target past object block map"))?
         };
         let shared = self.refcounts.get(&dev_block).copied().unwrap_or(1) > 1;
         if !shared {
@@ -587,7 +610,9 @@ impl<D: BlockDevice> ObjectStore<D> {
         }
         // Allocate a fresh block, copy old contents, swap the mapping.
         let new_blocks = self.allocate_blocks(1, Some(dev_block))?;
-        let new_block = new_blocks[0];
+        let new_block = *new_blocks
+            .first()
+            .ok_or(StoreError::Internal("allocate_blocks(1) returned nothing"))?;
         let old = self.cache.read(dev_block, trace)?.to_vec();
         self.cache.write(new_block, &old, trace)?;
         // Drop one reference from the old block.
@@ -598,10 +623,13 @@ impl<D: BlockDevice> ObjectStore<D> {
                     self.refcounts.remove(&dev_block);
                 }
             }
-            None => unreachable!("shared block must have a refcount"),
+            None => return Err(StoreError::Internal("shared block missing its refcount")),
         }
         let meta = self.object_mut(p, o)?;
-        meta.blocks[l] = new_block;
+        *meta
+            .blocks
+            .get_mut(l)
+            .ok_or(StoreError::Internal("cow target past object block map"))? = new_block;
         Ok(())
     }
 

@@ -43,4 +43,4 @@ pub use capability::{
 pub use ids::{ByteRange, DriveId, Nonce, ObjectId, PartitionId, Version};
 pub use message::{Reply, ReplyBody, Request, RequestBody, WELL_KNOWN_OBJECT_LIST};
 pub use rights::Rights;
-pub use status::NasdStatus;
+pub use status::{NasdStatus, RetryClass};

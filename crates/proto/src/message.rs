@@ -180,6 +180,34 @@ impl RequestBody {
         }
     }
 
+    /// Whether the request mutates drive state.
+    ///
+    /// This is the mutation matrix the fault-injection layer keys on: a
+    /// mutating request that was acknowledged must survive a crash
+    /// (durable write-behind), while a non-mutating one may always be
+    /// re-issued. nasd-lint (rule W1) verifies every variant is listed
+    /// here, so a new request kind cannot silently default to either
+    /// behaviour.
+    #[must_use]
+    pub fn mutates(&self) -> bool {
+        match self {
+            RequestBody::Read { .. }
+            | RequestBody::GetAttr { .. }
+            | RequestBody::ListObjects { .. } => false,
+            RequestBody::Write { .. }
+            | RequestBody::SetAttr { .. }
+            | RequestBody::Create { .. }
+            | RequestBody::Remove { .. }
+            | RequestBody::Resize { .. }
+            | RequestBody::Snapshot { .. }
+            | RequestBody::Flush { .. }
+            | RequestBody::CreatePartition { .. }
+            | RequestBody::ResizePartition { .. }
+            | RequestBody::RemovePartition { .. }
+            | RequestBody::SetKey { .. } => true,
+        }
+    }
+
     fn tag(&self) -> u8 {
         match self {
             RequestBody::Read { .. } => 0,

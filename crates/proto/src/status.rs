@@ -37,6 +37,24 @@ pub enum NasdStatus {
     Busy,
 }
 
+/// How a client should react to a status — the fault-injection retry
+/// matrix. nasd-lint (rule W1) verifies every [`NasdStatus`] variant is
+/// mapped in [`NasdStatus::retry_class`], so a new status cannot silently
+/// inherit retry behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RetryClass {
+    /// The operation succeeded; nothing to retry.
+    Done,
+    /// The request was not executed; resending it (re-signed, with a
+    /// fresh nonce) is safe and likely to succeed.
+    Transient,
+    /// The drive rejected the credentials; go back to the file manager
+    /// for a fresh capability before retrying.
+    Refresh,
+    /// Retrying the same request cannot succeed; surface the error.
+    Permanent,
+}
+
 impl NasdStatus {
     /// Whether this status indicates success.
     #[must_use]
@@ -48,7 +66,26 @@ impl NasdStatus {
     /// and resending it (re-signed, with a fresh nonce) is safe.
     #[must_use]
     pub fn is_transient(self) -> bool {
-        self == NasdStatus::Busy
+        self.retry_class() == RetryClass::Transient
+    }
+
+    /// The fault-injection retry matrix: what a client holding this
+    /// status should do next (§4.1 — security failures send the client
+    /// "back to the file manager").
+    #[must_use]
+    pub fn retry_class(self) -> RetryClass {
+        match self {
+            NasdStatus::Ok => RetryClass::Done,
+            NasdStatus::Busy => RetryClass::Transient,
+            NasdStatus::AccessDenied | NasdStatus::Replay => RetryClass::Refresh,
+            NasdStatus::NoSuchPartition
+            | NasdStatus::NoSuchObject
+            | NasdStatus::ObjectExists
+            | NasdStatus::NoSpace
+            | NasdStatus::RangeViolation
+            | NasdStatus::BadRequest
+            | NasdStatus::DriveError => RetryClass::Permanent,
+        }
     }
 
     fn to_byte(self) -> u8 {

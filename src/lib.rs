@@ -5,4 +5,6 @@
 //! hosts the repository-level integration tests (`tests/`) and runnable
 //! examples (`examples/`).
 
+#![forbid(unsafe_code)]
+
 pub use nasd::*;
