@@ -16,10 +16,10 @@
 //!
 //! ```
 //! use nasd_active::{ActiveDrive, on_drive::FrequentItemsCounter};
-//! use nasd_object::{DriveConfig, NasdDrive};
+//! use nasd_object::NasdDrive;
 //! use nasd_proto::{PartitionId, Rights};
 //!
-//! let mut drive = NasdDrive::with_memory(DriveConfig::small(), 1);
+//! let mut drive = NasdDrive::builder(1).build();
 //! let p = PartitionId(1);
 //! drive.admin_create_partition(p, 1 << 20)?;
 //! let obj = drive.admin_create_object(p, 0)?;
@@ -167,7 +167,6 @@ impl<D: BlockDevice> fmt::Debug for ActiveDrive<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nasd_object::DriveConfig;
     use nasd_proto::{PartitionId, Rights};
 
     struct ByteSum {
@@ -189,7 +188,7 @@ mod tests {
     }
 
     fn setup(len: usize) -> (ActiveDrive, Capability) {
-        let mut drive = NasdDrive::with_memory(DriveConfig::small(), 1);
+        let mut drive = NasdDrive::builder(1).build();
         let p = PartitionId(1);
         drive.admin_create_partition(p, 16 << 20).unwrap();
         let obj = drive.admin_create_object(p, 0).unwrap();
@@ -242,7 +241,7 @@ mod tests {
 
     #[test]
     fn empty_object_scans_zero() {
-        let mut drive = NasdDrive::with_memory(DriveConfig::small(), 1);
+        let mut drive = NasdDrive::builder(1).build();
         let p = PartitionId(1);
         drive.admin_create_partition(p, 1 << 20).unwrap();
         let obj = drive.admin_create_object(p, 0).unwrap();

@@ -108,7 +108,9 @@ mod tests {
         let (want, want_n) = apriori::count_1_itemsets(&txns);
 
         // Ship the data to a drive and run the counter *there*.
-        let mut drive = NasdDrive::with_memory(DriveConfig::prototype(), 1);
+        let mut drive = NasdDrive::builder(1)
+            .config(DriveConfig::prototype())
+            .build();
         let p = PartitionId(1);
         drive.admin_create_partition(p, 8 << 20).unwrap();
         let obj = drive.admin_create_object(p, 0).unwrap();

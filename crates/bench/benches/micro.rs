@@ -65,7 +65,7 @@ fn bench_capability(c: &mut Criterion) {
 fn drive_with_object(security: bool) -> (NasdDrive, nasd::object::ClientHandle) {
     let mut config = DriveConfig::prototype();
     config.security_enabled = security;
-    let mut drive = NasdDrive::with_memory(config, 1);
+    let mut drive = NasdDrive::builder(1).config(config).build();
     let p = PartitionId(1);
     drive.admin_create_partition(p, 64 << 20).unwrap();
     let obj = drive.admin_create_object(p, 0).unwrap();

@@ -78,13 +78,12 @@ pub fn run() -> Vec<ActiveRow> {
 pub fn demonstrate(bytes: usize) -> (u64, u64) {
     let chunk = 512 * 1024usize;
     let data = TransactionGenerator::new(1998).generate_bytes(bytes, chunk);
-    let mut drive = NasdDrive::with_memory(
-        DriveConfig {
+    let mut drive = NasdDrive::builder(1)
+        .config(DriveConfig {
             capacity_blocks: (bytes / 8192 + 1024) as u64,
             ..DriveConfig::prototype()
-        },
-        1,
-    );
+        })
+        .build();
     let p = PartitionId(1);
     drive
         .admin_create_partition(p, bytes as u64 + (8 << 20))

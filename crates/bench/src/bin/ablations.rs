@@ -1,7 +1,7 @@
 //! Ablation studies: quantify the design arguments §4.1, §4.3, §4.4 and
 //! §5.2 make in prose.
 
-use nasd_bench::{ablations, table};
+use nasd_bench::{ablations, report, table};
 
 fn main() {
     println!("Ablation 1: RPC stack cost vs per-client bandwidth (§4.3, §7)\n");
@@ -68,4 +68,5 @@ fn main() {
         "{}",
         table::render(&["controller", "512 KB service ms", "drive MB/s"], &rows)
     );
+    report::emit(&report::ablations_report());
 }

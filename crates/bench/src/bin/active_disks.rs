@@ -1,11 +1,12 @@
 //! Regenerate the §6 Active Disks comparison.
 
-use nasd_bench::{active, table};
+use nasd_bench::{active, report, table};
 
 fn main() {
     println!("Active Disks (§6): frequent-sets counting at the drives\n");
-    let rows: Vec<Vec<String>> = active::run()
-        .into_iter()
+    let data = active::run();
+    let rows: Vec<Vec<String>> = data
+        .iter()
         .map(|r| {
             vec![
                 r.config.to_string(),
@@ -25,4 +26,5 @@ fn main() {
     let (scanned, shipped) = active::demonstrate(2 << 20);
     println!("functional proof: scanned {scanned} bytes on-drive, shipped {shipped} bytes");
     println!("paper: 45 MB/s with 10 Mb/s ethernet and 1/3 of the hardware.");
+    report::emit(&report::active_report(&data));
 }

@@ -1,12 +1,13 @@
 //! Regenerate the §5.1 Andrew-benchmark comparison.
 
-use nasd_bench::{andrew, table};
+use nasd_bench::{andrew, report, table};
 
 fn main() {
     println!("Andrew-style benchmark: NASD-NFS vs traditional NFS");
     println!("(operation counts from live runs; times from the per-op cost models)\n");
-    let rows: Vec<Vec<String>> = andrew::run()
-        .into_iter()
+    let data = andrew::run();
+    let rows: Vec<Vec<String>> = data
+        .iter()
         .map(|r| {
             vec![
                 format!("{} drive(s)", r.ndrives),
@@ -35,4 +36,5 @@ fn main() {
         )
     );
     println!("paper: benchmark times within 5% of each other at 1 and 8 drives.");
+    report::emit(&report::andrew_report(&data));
 }

@@ -1,7 +1,7 @@
 //! Regenerate Figure 4 (and, with `--asic`, the Figure 3 gate budget).
 
 use nasd::cost::asic::{trident_total_gates, AsicBudget, TRIDENT_UNITS};
-use nasd_bench::{fig4, table};
+use nasd_bench::{fig4, report, table};
 
 fn main() {
     if std::env::args().any(|a| a == "--asic") {
@@ -49,6 +49,7 @@ fn main() {
             table::deviation(measured, paper)
         );
     }
+    report::emit(&report::fig4_report(&fig4::run()));
 }
 
 fn print_asic() {

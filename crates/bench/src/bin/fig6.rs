@@ -1,6 +1,6 @@
 //! Regenerate Figure 6: NASD vs FFS vs raw device sequential bandwidth.
 
-use nasd_bench::{fig6, table};
+use nasd_bench::{fig6, report, table};
 
 fn main() {
     println!("Figure 6: sequential apparent bandwidth (MB/s) vs request size");
@@ -58,4 +58,5 @@ fn main() {
     );
     println!("paper: raw write (~7 MB/s) appears faster than raw read (~5 MB/s);");
     println!("FFS acknowledges writes <= 64 KB immediately, then waits for media.");
+    report::emit(&report::fig6_report(&rows));
 }

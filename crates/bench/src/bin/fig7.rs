@@ -1,12 +1,13 @@
 //! Regenerate Figure 7: prototype NASD cache-read bandwidth scaling.
 
-use nasd_bench::{fig7, table};
+use nasd_bench::{fig7, report, table};
 
 fn main() {
     println!("Figure 7: cached-read scaling, 13 NASD drives, OC-3 ATM links");
     println!("each client: sequential 2 MB reads striped over 4 NASDs\n");
-    let rows: Vec<Vec<String>> = fig7::run()
-        .into_iter()
+    let data = fig7::run();
+    let rows: Vec<Vec<String>> = data
+        .iter()
         .map(|r| {
             vec![
                 r.clients.to_string(),
@@ -25,4 +26,5 @@ fn main() {
     );
     println!("paper: aggregate grows roughly linearly toward ~55 MB/s at 10 clients;");
     println!("clients saturate (the DCE RPC receive path) while drive CPUs stay idle.");
+    report::emit(&report::fig7_report(&data));
 }

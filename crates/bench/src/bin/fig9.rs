@@ -1,12 +1,13 @@
 //! Regenerate Figure 9: scaling of the parallel data-mining application.
 
-use nasd_bench::{fig9, table};
+use nasd_bench::{fig9, report, table};
 
 fn main() {
     println!("Figure 9: parallel data mining over 300 MB of sales transactions");
     println!("NASD: n clients x n drives; NFS: AlphaStation 500/500 + n Cheetahs\n");
-    let rows: Vec<Vec<String>> = fig9::run()
-        .into_iter()
+    let data = fig9::run();
+    let rows: Vec<Vec<String>> = data
+        .iter()
         .map(|r| {
             vec![
                 r.ndisks.to_string(),
@@ -32,4 +33,5 @@ fn main() {
     );
     println!("paper: NASD scales linearly at 6.2 MB/s per client-drive pair to 45 MB/s;");
     println!("NFS bottlenecks at ~20.2 MB/s, NFS-parallel at ~22.5 MB/s.");
+    report::emit(&report::fig9_report(&data));
 }

@@ -1,12 +1,14 @@
 //! Regenerate Table 1: instruction costs and estimated request timings.
 
-use nasd_bench::{table, table1};
+use nasd_bench::{report, table, table1};
 
 fn main() {
     println!("Table 1: measured cost and estimated performance of drive requests");
     println!("(live request path through the drive; 200 MHz / CPI 2.2 controller)\n");
-    let rows: Vec<Vec<String>> = table1::run()
-        .into_iter()
+    let registry = nasd::obs::Registry::new();
+    let data = table1::run_observed(&registry);
+    let rows: Vec<Vec<String>> = data
+        .iter()
         .map(|r| {
             vec![
                 format!("{} - {} cache", r.op, r.cache),
@@ -59,4 +61,5 @@ fn main() {
         "{}",
         table::render(&["operation", "model", "paper", "dev"], &rows)
     );
+    report::emit(&report::table1_report_from(&data, &registry));
 }

@@ -18,7 +18,7 @@
 use nasd::net::RpcCostModel;
 use nasd::object::{CostMeter, OpKind};
 use nasd::sim::{BandwidthShare, CpuModel};
-use nasd::sim::{FifoResource, SimTime, Simulator};
+use nasd::sim::{FifoResource, SimTime, Simulator, Throughput};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -65,7 +65,7 @@ struct World {
     drive_up: Vec<BandwidthShare>,
     client_down: Vec<BandwidthShare>,
     client_cpu: Vec<FifoResource>,
-    bytes: u64,
+    delivered: Throughput,
     drive_service: SimTime,
     client_service_per_piece: SimTime,
 }
@@ -96,7 +96,7 @@ fn simulate(nclients: usize) -> Fig7Row {
         client_cpu: (0..nclients)
             .map(|i| FifoResource::new(format!("client-cpu-{i}")))
             .collect(),
-        bytes: 0,
+        delivered: Throughput::new(),
         drive_service,
         client_service_per_piece: client_service,
     }));
@@ -126,7 +126,8 @@ fn simulate(nclients: usize) -> Fig7Row {
         let world2 = Rc::clone(world);
         sim.schedule_at(completion, move |sim| {
             if sim.now() <= window() {
-                world2.borrow_mut().bytes += REQUEST;
+                let now = sim.now();
+                world2.borrow_mut().delivered.record(now, REQUEST);
                 issue(sim, &world2, client, request_no + 1);
             }
         });
@@ -154,7 +155,7 @@ fn simulate(nclients: usize) -> Fig7Row {
         / NDRIVES as f64;
     Fig7Row {
         clients: nclients,
-        aggregate_mb_s: w.bytes as f64 / 1e6 / elapsed.as_secs_f64(),
+        aggregate_mb_s: w.delivered.mbytes_per_sec(elapsed),
         client_idle_pct: (1.0 - client_busy) * 100.0,
         drive_idle_pct: (1.0 - drive_busy) * 100.0,
     }

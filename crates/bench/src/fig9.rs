@@ -21,7 +21,7 @@
 
 use nasd::disk::{specs, DiskModel, StripedModel};
 use nasd::object::{CostMeter, OpKind};
-use nasd::sim::{BandwidthShare, CpuModel, FifoResource, SimTime, Simulator};
+use nasd::sim::{BandwidthShare, CpuModel, FifoResource, SimTime, Simulator, Throughput};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -84,7 +84,7 @@ struct NasdWorld {
     drive_up: Vec<BandwidthShare>,
     client_down: Vec<BandwidthShare>,
     client_cpu: Vec<FifoResource>,
-    bytes: u64,
+    delivered: Throughput,
 }
 
 /// Piece index → (drive, local offset) for a file striped over `n`
@@ -119,7 +119,7 @@ fn simulate_nasd(n: usize) -> f64 {
         client_cpu: (0..n)
             .map(|i| FifoResource::new(format!("ccpu{i}")))
             .collect(),
-        bytes: 0,
+        delivered: Throughput::new(),
     }));
 
     let total_units = DATASET / PIECE;
@@ -158,7 +158,8 @@ fn simulate_nasd(n: usize) -> f64 {
         let world2 = Rc::clone(world);
         sim.schedule_at(completion, move |sim| {
             if sim.now() <= measurement_window() {
-                world2.borrow_mut().bytes += PIECE;
+                let now = sim.now();
+                world2.borrow_mut().delivered.record(now, PIECE);
                 issue(sim, &world2, n, client, producer, seq + 1);
             }
         });
@@ -173,8 +174,11 @@ fn simulate_nasd(n: usize) -> f64 {
         }
     }
     sim.run_until(measurement_window());
-    let bytes = world.borrow().bytes;
-    bytes as f64 / 1e6 / measurement_window().as_secs_f64()
+    let mb_s = world
+        .borrow()
+        .delivered
+        .mbytes_per_sec(measurement_window());
+    mb_s
 }
 
 // ----------------------------------------------------------------- NFS
@@ -187,7 +191,7 @@ struct NfsWorld {
     server_links: Vec<BandwidthShare>,
     client_down: Vec<BandwidthShare>,
     client_cpu: Vec<FifoResource>,
-    bytes: u64,
+    delivered: Throughput,
     disk_service: SimTime,
 }
 
@@ -226,7 +230,7 @@ fn simulate_nfs(ndisks: usize, single_file: bool) -> f64 {
         client_cpu: (0..nclients)
             .map(|i| FifoResource::new(format!("ccpu{i}")))
             .collect(),
-        bytes: 0,
+        delivered: Throughput::new(),
         disk_service: if single_file {
             disk_service_thrashed()
         } else {
@@ -280,7 +284,8 @@ fn simulate_nfs(ndisks: usize, single_file: bool) -> f64 {
         let world2 = Rc::clone(world);
         sim.schedule_at(completion, move |sim| {
             if sim.now() <= measurement_window() {
-                world2.borrow_mut().bytes += PIECE;
+                let now = sim.now();
+                world2.borrow_mut().delivered.record(now, PIECE);
                 issue(sim, &world2, ndisks, single_file, client, producer, seq + 1);
             }
         });
@@ -296,8 +301,11 @@ fn simulate_nfs(ndisks: usize, single_file: bool) -> f64 {
         }
     }
     sim.run_until(measurement_window());
-    let bytes = world.borrow().bytes;
-    bytes as f64 / 1e6 / measurement_window().as_secs_f64()
+    let mb_s = world
+        .borrow()
+        .delivered
+        .mbytes_per_sec(measurement_window());
+    mb_s
 }
 
 /// Run the 1–8 disk sweep for all three lines.

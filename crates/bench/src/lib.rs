@@ -16,6 +16,11 @@
 //! | [`andrew`] | Andrew-benchmark parity of NASD-NFS vs NFS |
 //! | [`active`] | Active Disks frequent-sets vs the client-based run |
 //! | [`ablations`] | design-choice sweeps: RPC cost, stripe unit, crypto, CPU |
+//!
+//! Every binary also accepts `--json <path>` and writes a versioned
+//! [`nasd::obs::BenchReport`](nasd::obs) built by the [`report`] module;
+//! the `benchjson` binary regenerates and validates the checked-in
+//! `BENCH_baseline.json` suite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,5 +32,6 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod fig9;
+pub mod report;
 pub mod table;
 pub mod table1;

@@ -1,0 +1,265 @@
+//! Machine-readable bench output.
+//!
+//! Every `src/bin/*` figure binary accepts `--json <path>` and writes a
+//! versioned [`BenchReport`] alongside its human-readable table; this
+//! module owns the CLI convention and one report builder per experiment
+//! so the JSON shape lives in exactly one place. The `benchjson` binary
+//! bundles all of them into the checked-in `BENCH_baseline.json` suite
+//! and re-validates such files against the schema.
+
+use nasd::obs::{BenchReport, Json, Registry};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::{ablations, active, andrew, fig4, fig6, fig7, fig9, table1};
+
+/// Parse `--json <path>` from the process arguments.
+#[must_use]
+pub fn json_arg() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Write `report` to the `--json <path>` destination when one was given.
+///
+/// # Panics
+///
+/// When the destination cannot be written (a bench CLI failing to
+/// produce its requested artifact should abort loudly, not quietly
+/// print tables).
+pub fn emit(report: &BenchReport) {
+    if let Some(path) = json_arg() {
+        report
+            .write_to(&path)
+            .unwrap_or_else(|e| panic!("--json {}: {e}", path.display()));
+        eprintln!("wrote {} ({})", path.display(), report.bench);
+    }
+}
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+/// Figure 6 rows as a report.
+#[must_use]
+pub fn fig6_report(rows: &[fig6::Fig6Row]) -> BenchReport {
+    let mut r = BenchReport::new("fig6")
+        .with_config("unit", Json::str("MB/s"))
+        .with_config("drive", Json::str("2 x Seagate Medallist striped at 32 KB"));
+    for row in rows {
+        r.push_row(vec![
+            ("size", Json::num_u64(row.size)),
+            ("ffs_hit", num(row.ffs_hit)),
+            ("nasd_hit", num(row.nasd_hit)),
+            ("raw_read", num(row.raw_read)),
+            ("nasd_miss", num(row.nasd_miss)),
+            ("ffs_miss", num(row.ffs_miss)),
+            ("ffs_write", num(row.ffs_write)),
+            ("nasd_write", num(row.nasd_write)),
+            ("raw_write", num(row.raw_write)),
+        ]);
+    }
+    r
+}
+
+/// Figure 7 rows as a report.
+#[must_use]
+pub fn fig7_report(rows: &[fig7::Fig7Row]) -> BenchReport {
+    let mut r = BenchReport::new("fig7")
+        .with_config("ndrives", Json::num_u64(fig7::NDRIVES as u64))
+        .with_config("request", Json::num_u64(fig7::REQUEST))
+        .with_config("piece", Json::num_u64(fig7::PIECE));
+    for row in rows {
+        r.push_row(vec![
+            ("clients", Json::num_u64(row.clients as u64)),
+            ("aggregate_mb_s", num(row.aggregate_mb_s)),
+            ("client_idle_pct", num(row.client_idle_pct)),
+            ("drive_idle_pct", num(row.drive_idle_pct)),
+        ]);
+    }
+    if let Some(last) = rows.last() {
+        r = r.with_derived("max_aggregate_mb_s", last.aggregate_mb_s);
+    }
+    r
+}
+
+/// Figure 9 rows as a report.
+#[must_use]
+pub fn fig9_report(rows: &[fig9::Fig9Row]) -> BenchReport {
+    let mut r = BenchReport::new("fig9");
+    for row in rows {
+        r.push_row(vec![
+            ("ndisks", Json::num_u64(row.ndisks as u64)),
+            ("nasd_mb_s", num(row.nasd_mb_s)),
+            ("nfs_mb_s", num(row.nfs_mb_s)),
+            ("nfs_parallel_mb_s", num(row.nfs_parallel_mb_s)),
+        ]);
+    }
+    r
+}
+
+/// Figure 4 rows as a report.
+#[must_use]
+pub fn fig4_report(rows: &[fig4::Fig4Row]) -> BenchReport {
+    let mut r = BenchReport::new("fig4");
+    for row in rows {
+        r.push_row(vec![
+            ("config", Json::str(row.config)),
+            ("ndisks", Json::num_u64(row.ndisks as u64)),
+            ("bandwidth_mb_s", num(row.bandwidth_mb_s)),
+            ("server_cost", num(row.server_cost)),
+            ("overhead_percent", num(row.overhead_percent)),
+            ("nasd_overhead_percent", num(row.nasd_overhead_percent)),
+        ]);
+    }
+    r
+}
+
+/// Table 1 cells as a report, with the measurement drives' own counters
+/// embedded as a metrics snapshot.
+#[must_use]
+pub fn table1_report() -> BenchReport {
+    let registry = Registry::new();
+    let rows = table1::run_observed(&registry);
+    table1_report_from(&rows, &registry)
+}
+
+/// Build the Table 1 report from rows already measured against
+/// `registry` (lets the binary print and report one run).
+#[must_use]
+pub fn table1_report_from(rows: &[table1::Table1Row], registry: &Arc<Registry>) -> BenchReport {
+    let mut r = BenchReport::new("table1")
+        .with_config("cpu_mhz", num(200.0))
+        .with_config("cpi", num(2.2));
+    for row in rows {
+        r.push_row(vec![
+            ("op", Json::str(row.op)),
+            ("cache", Json::str(row.cache)),
+            ("size", Json::num_u64(row.size)),
+            ("instructions", num(row.instructions)),
+            ("pct_comm", num(row.pct_comm)),
+            ("time_ms", num(row.time_ms)),
+            ("paper_instructions", num(row.paper_instructions)),
+            ("paper_pct", num(row.paper_pct)),
+            ("paper_time_ms", num(row.paper_time_ms)),
+        ]);
+    }
+    r.with_metrics(registry.snapshot().to_json())
+}
+
+/// Andrew rows as a report.
+#[must_use]
+pub fn andrew_report(rows: &[andrew::AndrewRow]) -> BenchReport {
+    let mut r = BenchReport::new("andrew");
+    for row in rows {
+        r.push_row(vec![
+            ("ndrives", Json::num_u64(row.ndrives as u64)),
+            ("nasd_ms", num(row.nasd_ms)),
+            ("nfs_ms", num(row.nfs_ms)),
+            ("nasd_data_bytes", Json::num_u64(row.nasd.data_bytes)),
+            ("server_data_bytes", Json::num_u64(row.server.data_bytes)),
+        ]);
+    }
+    r
+}
+
+/// Active Disks rows as a report.
+#[must_use]
+pub fn active_report(rows: &[active::ActiveRow]) -> BenchReport {
+    let mut r = BenchReport::new("active_disks");
+    for row in rows {
+        r.push_row(vec![
+            ("config", Json::str(row.config)),
+            ("scan_mb_s", num(row.scan_mb_s)),
+            ("network_mbits", num(row.network_mbits)),
+            ("machines", Json::num_u64(row.machines as u64)),
+        ]);
+    }
+    let (scanned, shipped) = active::demonstrate(2 << 20);
+    r.with_derived("demo_bytes_scanned", scanned as f64)
+        .with_derived("demo_bytes_shipped", shipped as f64)
+}
+
+/// The four ablation sweeps flattened into one report (a `sweep` column
+/// tags which study each row belongs to).
+#[must_use]
+pub fn ablations_report() -> BenchReport {
+    let mut r = BenchReport::new("ablations");
+    for row in ablations::rpc_sweep() {
+        r.push_row(vec![
+            ("sweep", Json::str("rpc")),
+            ("stack", Json::str(row.stack)),
+            ("per_byte", num(row.per_byte)),
+            ("client_ceiling_mb_s", num(row.client_ceiling_mb_s)),
+            ("limiter", Json::str(row.limiter)),
+        ]);
+    }
+    for row in ablations::stripe_sweep() {
+        r.push_row(vec![
+            ("sweep", Json::str("stripe")),
+            ("unit", Json::num_u64(row.unit)),
+            ("per_pair_mb_s", num(row.per_pair_mb_s)),
+        ]);
+    }
+    for row in ablations::security_sweep() {
+        r.push_row(vec![
+            ("sweep", Json::str("security")),
+            ("config", Json::str(row.config)),
+            ("added_ms", num(row.added_ms)),
+            ("effective_mb_s", num(row.effective_mb_s)),
+        ]);
+    }
+    for row in ablations::cpu_sweep() {
+        r.push_row(vec![
+            ("sweep", Json::str("cpu")),
+            ("mhz", num(row.mhz)),
+            ("service_ms", num(row.service_ms)),
+            ("drive_mb_s", num(row.drive_mb_s)),
+        ]);
+    }
+    r
+}
+
+/// Run every experiment and return all eight reports — the payload of
+/// `BENCH_baseline.json`.
+#[must_use]
+pub fn suite() -> Vec<BenchReport> {
+    vec![
+        fig4_report(&fig4::run()),
+        fig6_report(&fig6::run()),
+        fig7_report(&fig7::run()),
+        fig9_report(&fig9::run()),
+        table1_report(),
+        andrew_report(&andrew::run()),
+        active_report(&active::run()),
+        ablations_report(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_report_round_trips() {
+        let report = fig4_report(&fig4::run());
+        let back = BenchReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(back.bench, "fig4");
+        assert_eq!(back.rows.len(), report.rows.len());
+    }
+
+    #[test]
+    fn ablations_rows_carry_sweep_tags() {
+        let report = ablations_report();
+        assert!(report.rows.len() >= 4);
+        for row in &report.rows {
+            let tag = row.iter().find(|(k, _)| k == "sweep");
+            assert!(tag.is_some(), "row missing sweep tag");
+        }
+    }
+}

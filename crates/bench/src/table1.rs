@@ -8,8 +8,10 @@
 
 use bytes::Bytes;
 use nasd::object::{DriveConfig, NasdDrive, OpKind};
+use nasd::obs::Registry;
 use nasd::proto::{PartitionId, RequestBody, Rights};
 use nasd::sim::CpuModel;
+use std::sync::Arc;
 
 /// One Table 1 cell, model vs paper.
 #[derive(Clone, Debug)]
@@ -58,15 +60,15 @@ pub fn paper_cells() -> Vec<(&'static str, &'static str, u64, f64, f64, f64)> {
 }
 
 /// Drive one request through a live drive and return its cost report.
-fn measure(op: &str, cache: &str, size: u64) -> (f64, f64) {
-    let mut drive = NasdDrive::with_memory(
-        DriveConfig {
+fn measure(op: &str, cache: &str, size: u64, registry: &Arc<Registry>) -> (f64, f64) {
+    let mut drive = NasdDrive::builder(1)
+        .config(DriveConfig {
             // A small cache so "cold" runs genuinely miss.
             cache_blocks: 256,
             ..DriveConfig::prototype()
-        },
-        1,
-    );
+        })
+        .metrics(Arc::clone(registry))
+        .build();
     let p = PartitionId(1);
     drive.admin_create_partition(p, 16 << 20).unwrap();
     let obj = drive.admin_create_object(p, 0).unwrap();
@@ -139,11 +141,18 @@ fn measure(op: &str, cache: &str, size: u64) -> (f64, f64) {
 /// Run every Table 1 cell through the live drive.
 #[must_use]
 pub fn run() -> Vec<Table1Row> {
+    run_observed(&Registry::new())
+}
+
+/// Like [`run`], but wire every measurement drive into `registry` so the
+/// caller can inspect (or report) the drive-side counters afterwards.
+#[must_use]
+pub fn run_observed(registry: &Arc<Registry>) -> Vec<Table1Row> {
     let cpu = CpuModel::new(200.0, 2.2);
     paper_cells()
         .into_iter()
         .map(|(op, cache, size, paper_instr, paper_pct, paper_ms)| {
-            let (instructions, pct_comm) = measure(op, cache, size);
+            let (instructions, pct_comm) = measure(op, cache, size, registry);
             let time_ms = cpu
                 .time_for_instructions(instructions.round() as u64)
                 .as_millis_f64();

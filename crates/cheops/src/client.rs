@@ -10,7 +10,7 @@ use crate::manager::{CheopsRequest, CheopsResponse, LeaseKind};
 use crate::map::{Layout, LogicalObjectId, Redundancy};
 use bytes::Bytes;
 use nasd_fm::{DriveFleet, FmError};
-use nasd_net::{RetryPolicy, Rpc, RpcError};
+use nasd_net::{CallOptions, RetryPolicy, Rpc, RpcError};
 use nasd_proto::{Capability, NasdStatus, Reply, ReplyBody, RequestBody, Rights};
 use std::sync::Arc;
 
@@ -58,7 +58,7 @@ pub struct CheopsClient {
     id: u64,
     mgr: Rpc<CheopsRequest, CheopsResponse>,
     fleet: Arc<DriveFleet>,
-    retry: RetryPolicy,
+    opts: CallOptions,
 }
 
 impl CheopsClient {
@@ -69,7 +69,7 @@ impl CheopsClient {
             id,
             mgr,
             fleet,
-            retry: RetryPolicy::control(),
+            opts: CallOptions::retry(RetryPolicy::control()),
         }
     }
 
@@ -79,24 +79,30 @@ impl CheopsClient {
         &self.fleet
     }
 
-    /// Replace the manager-path retry policy.
+    /// Replace the manager-path retry policy (any attached call stats
+    /// are kept).
     pub fn set_retry(&mut self, policy: RetryPolicy) {
-        self.retry = policy;
+        let stats = self.opts.stats.take();
+        self.opts = CallOptions::retry(policy);
+        self.opts.stats = stats;
     }
 
-    /// Call the manager with per-attempt timeouts and capped backoff;
-    /// disconnection fails fast (managers do not restart).
+    /// Replace the full manager-path call options (policy, per-attempt
+    /// timeout and stats) in one shot.
+    pub fn set_call_options(&mut self, opts: CallOptions) {
+        self.opts = opts;
+    }
+
+    /// Call the manager per the client's [`CallOptions`]; disconnection
+    /// fails fast (managers do not restart).
     fn call_mgr(&self, req: CheopsRequest) -> Result<CheopsResponse, FmError> {
-        let attempts = self.retry.max_attempts.max(1);
-        for attempt in 0..attempts {
-            nasd_net::pace(self.retry.backoff(attempt));
-            match self.mgr.call_timeout(req.clone(), self.retry.timeout) {
-                Ok(resp) => return Ok(resp),
-                Err(RpcError::TimedOut) => {}
-                Err(RpcError::Disconnected) => return Err(FmError::Transport),
-            }
+        match self.mgr.call_with(req, &self.opts) {
+            Ok(resp) => Ok(resp),
+            Err(RpcError::TimedOut) => Err(FmError::Unavailable {
+                attempts: self.opts.policy.max_attempts.max(1),
+            }),
+            Err(RpcError::Disconnected) => Err(FmError::Transport),
         }
-        Err(FmError::Unavailable { attempts })
     }
 
     /// Create a logical object.

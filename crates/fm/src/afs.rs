@@ -21,7 +21,7 @@ use crate::handle::{FileHandle, FmAttrs, FmError};
 use crate::nfs::DEFAULT_TTL;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use nasd_net::{spawn_service, RetryPolicy, Rpc, RpcError, ServiceHandle};
+use nasd_net::{spawn_service, CallOptions, RetryPolicy, Rpc, RpcError, ServiceHandle};
 use nasd_proto::{ByteRange, Capability, Rights, Version};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -412,7 +412,7 @@ pub struct AfsClient {
     callbacks: Receiver<CallbackEvent>,
     /// Local whole-file cache, validity guarded by callbacks (AFS-style).
     cache: Mutex<HashMap<FileHandle, Bytes>>,
-    retry: RetryPolicy,
+    opts: CallOptions,
 }
 
 impl AfsClient {
@@ -448,7 +448,7 @@ impl AfsClient {
             root,
             callbacks: rx,
             cache: Mutex::new(HashMap::new()),
-            retry: RetryPolicy::control(),
+            opts: CallOptions::retry(RetryPolicy::control()),
         })
     }
 
@@ -458,26 +458,30 @@ impl AfsClient {
         self.root
     }
 
-    /// Replace the control-path retry policy.
+    /// Replace the control-path retry policy (any attached call stats
+    /// are kept).
     pub fn set_retry(&mut self, policy: RetryPolicy) {
-        self.retry = policy;
+        let stats = self.opts.stats.take();
+        self.opts = CallOptions::retry(policy);
+        self.opts.stats = stats;
     }
 
-    /// Call the file manager with per-attempt timeouts and capped
-    /// backoff; disconnection fails fast (managers do not restart).
+    /// Replace the full control-path call options (policy, per-attempt
+    /// timeout and stats) in one shot.
+    pub fn set_call_options(&mut self, opts: CallOptions) {
+        self.opts = opts;
+    }
+
+    /// Call the file manager per the client's [`CallOptions`];
+    /// disconnection fails fast (managers do not restart).
     fn call_fm(&self, req: AfsRequest) -> Result<AfsResponse, FmError> {
-        let attempts = self.retry.max_attempts.max(1);
-        for attempt in 0..attempts {
-            let pause = self.retry.backoff(attempt);
-            // Backoff happens with no file-manager lock held.
-            nasd_net::pace(pause);
-            match self.fm.call_timeout(req.clone(), self.retry.timeout) {
-                Ok(resp) => return Ok(resp),
-                Err(RpcError::TimedOut) => {}
-                Err(RpcError::Disconnected) => return Err(FmError::Transport),
-            }
+        match self.fm.call_with(req, &self.opts) {
+            Ok(resp) => Ok(resp),
+            Err(RpcError::TimedOut) => Err(FmError::Unavailable {
+                attempts: self.opts.policy.max_attempts.max(1),
+            }),
+            Err(RpcError::Disconnected) => Err(FmError::Transport),
         }
-        Err(FmError::Unavailable { attempts })
     }
 
     /// Drain pending callback breaks, invalidating cached copies.

@@ -416,9 +416,10 @@ pub fn spawn_drive<D: nasd_disk::BlockDevice + 'static>(
     )
 }
 
-/// Master secret rooting every fleet drive's key hierarchy (matches
-/// [`NasdDrive::with_memory`], so endpoints survive a drive restart:
-/// reopening with the same seed re-derives the same partition keys).
+/// Master secret rooting every fleet drive's key hierarchy (matches the
+/// [`nasd_object::DriveBuilder`] default, so endpoints survive a drive
+/// restart: reopening with the same seed re-derives the same partition
+/// keys).
 const FLEET_MASTER_SEED: [u8; 32] = [7u8; 32];
 
 /// Everything needed to rebuild one fleet drive after a crash.
@@ -485,11 +486,14 @@ impl DriveFleet {
         for i in 0..n {
             let id = DriveId(i as u64 + 1);
             let device = SharedDisk::new(MemDisk::new(config.block_size, config.capacity_blocks));
-            let mut drive = NasdDrive::new(device.clone(), config.clone(), id, FLEET_MASTER_SEED);
             let drive_faults = drive_faults.map(|(seed, cfg)| (seed ^ id.0, cfg));
+            let mut builder = NasdDrive::builder(id.0)
+                .config(config.clone())
+                .master_seed(FLEET_MASTER_SEED);
             if let Some((seed, cfg)) = drive_faults {
-                drive.set_faults(seed, cfg);
+                builder = builder.faults(seed, cfg);
             }
+            let drive = builder.build_on(device.clone());
             let (ep, handle) = spawn_drive(drive, Arc::clone(&clock));
             ep.admin(RequestBody::CreatePartition { partition, quota })?;
             endpoints.push(Arc::new(ep));
@@ -556,16 +560,15 @@ impl DriveFleet {
         }
         // nasd-lint: allow(panic, "chaos-harness API: a bogus drive index is a test bug, not a request-path input")
         let ep = &self.endpoints[idx];
-        let mut drive = NasdDrive::open(
-            slot.device.clone(),
-            slot.config.clone(),
-            ep.id(),
-            FLEET_MASTER_SEED,
-        )
-        .map_err(|_| FmError::Drive(NasdStatus::DriveError))?;
+        let mut builder = NasdDrive::builder(ep.id().0)
+            .config(slot.config.clone())
+            .master_seed(FLEET_MASTER_SEED);
         if let Some((seed, cfg)) = slot.drive_faults {
-            drive.set_faults(seed, cfg);
+            builder = builder.faults(seed, cfg);
         }
+        let drive = builder
+            .open(slot.device.clone())
+            .map_err(|_| FmError::Drive(NasdStatus::DriveError))?;
         let (rpc, handle) = spawn_rpc(drive, Arc::clone(&self.clock));
         let rpc = match &slot.net_faults {
             Some(ch) => rpc.with_faults(Arc::clone(ch)),

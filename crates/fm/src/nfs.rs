@@ -11,7 +11,7 @@ use crate::dirfmt::{decode_dir, encode_dir, DirRecord};
 use crate::drives::{DriveEndpoint, DriveFleet};
 use crate::handle::{FileHandle, FileType, FmAttrs, FmError};
 use bytes::Bytes;
-use nasd_net::{spawn_service, RetryPolicy, Rpc, RpcError, ServiceHandle};
+use nasd_net::{spawn_service, CallOptions, RetryPolicy, Rpc, RpcError, ServiceHandle};
 use nasd_proto::{
     ByteRange, Capability, NasdStatus, ObjectAttributes, RequestBody, Rights, Version,
 };
@@ -492,7 +492,7 @@ pub struct NfsClient {
     fm: Rpc<NfsRequest, NfsResponse>,
     fleet: Arc<DriveFleet>,
     root: FileHandle,
-    retry: RetryPolicy,
+    opts: CallOptions,
 }
 
 impl NfsClient {
@@ -514,7 +514,7 @@ impl NfsClient {
             fm,
             fleet,
             root,
-            retry: RetryPolicy::control(),
+            opts: CallOptions::retry(RetryPolicy::control()),
         })
     }
 
@@ -524,26 +524,30 @@ impl NfsClient {
         self.root
     }
 
-    /// Replace the control-path retry policy.
+    /// Replace the control-path retry policy (any attached call stats
+    /// are kept).
     pub fn set_retry(&mut self, policy: RetryPolicy) {
-        self.retry = policy;
+        let stats = self.opts.stats.take();
+        self.opts = CallOptions::retry(policy);
+        self.opts.stats = stats;
+    }
+
+    /// Replace the full control-path call options (policy, per-attempt
+    /// timeout and stats) in one shot.
+    pub fn set_call_options(&mut self, opts: CallOptions) {
+        self.opts = opts;
     }
 
     fn call(&self, req: NfsRequest) -> Result<NfsResponse, FmError> {
-        let attempts = self.retry.max_attempts.max(1);
-        for attempt in 0..attempts {
-            let pause = self.retry.backoff(attempt);
-            // Backoff happens with no file-manager lock held.
-            nasd_net::pace(pause);
-            match self.fm.call_timeout(req.clone(), self.retry.timeout) {
-                Ok(NfsResponse::Err(e)) => return Err(e),
-                Ok(other) => return Ok(other),
-                Err(RpcError::TimedOut) => {}
-                // A manager, unlike a drive, does not restart: fail fast.
-                Err(RpcError::Disconnected) => return Err(FmError::Transport),
-            }
+        match self.fm.call_with(req, &self.opts) {
+            Ok(NfsResponse::Err(e)) => Err(e),
+            Ok(other) => Ok(other),
+            Err(RpcError::TimedOut) => Err(FmError::Unavailable {
+                attempts: self.opts.policy.max_attempts.max(1),
+            }),
+            // A manager, unlike a drive, does not restart: fail fast.
+            Err(RpcError::Disconnected) => Err(FmError::Transport),
         }
-        Err(FmError::Unavailable { attempts })
     }
 
     /// Walk `path` (absolute, `/`-separated) to a directory handle.

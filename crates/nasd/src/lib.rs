@@ -17,6 +17,7 @@
 //! | [`disk`] | mechanical disk models and block devices |
 //! | [`net`] | switched-network model and the threaded RPC transport |
 //! | [`sim`] | deterministic discrete-event simulation kernel |
+//! | [`obs`] | sim-clock metrics registry, trace sink and bench reports |
 //! | [`ffs`] | the FFS-like local filesystem baseline |
 //! | [`fm`] | NASD-NFS, NASD-AFS and the store-and-forward NFS server |
 //! | [`cheops`] | striped/mirrored logical objects over drive fleets |
@@ -28,11 +29,11 @@
 //! # Quickstart
 //!
 //! ```
-//! use nasd::object::{DriveConfig, NasdDrive};
+//! use nasd::object::NasdDrive;
 //! use nasd::proto::{PartitionId, Rights};
 //!
 //! // A drive, a partition, an object, a capability, and secured I/O.
-//! let mut drive = NasdDrive::with_memory(DriveConfig::small(), 1);
+//! let mut drive = NasdDrive::builder(1).build();
 //! let p = PartitionId(1);
 //! drive.admin_create_partition(p, 1 << 20)?;
 //! let obj = drive.admin_create_object(p, 0)?;
@@ -56,6 +57,7 @@ pub use nasd_fm as fm;
 pub use nasd_mining as mining;
 pub use nasd_net as net;
 pub use nasd_object as object;
+pub use nasd_obs as obs;
 pub use nasd_pfs as pfs;
 pub use nasd_proto as proto;
 pub use nasd_sim as sim;

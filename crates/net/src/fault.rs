@@ -19,6 +19,7 @@
 //! request arrives twice (and, for signed drive requests, trips the
 //! replay window on the second delivery).
 
+use nasd_obs::{SimTime, TraceEvent, TraceSink};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -140,6 +141,7 @@ pub struct FaultPlan {
     seed: u64,
     enabled: AtomicBool,
     trace: Mutex<Vec<FaultEvent>>,
+    sink: Mutex<Option<Arc<TraceSink>>>,
 }
 
 impl FaultPlan {
@@ -150,7 +152,16 @@ impl FaultPlan {
             seed,
             enabled: AtomicBool::new(true),
             trace: Mutex::new(Vec::new()),
+            sink: Mutex::new(None),
         })
+    }
+
+    /// Mirror every realized fault into `sink` as a structured
+    /// [`TraceEvent`] (`op = "rpc"`, `phase = "fault"`, the channel id in
+    /// `drive`, the per-channel sequence number in `request`). The plan
+    /// itself is clockless, so events carry `SimTime::ZERO`.
+    pub fn set_sink(&self, sink: Arc<TraceSink>) {
+        *self.sink.lock() = Some(sink);
     }
 
     /// The seed this plan was built from.
@@ -209,6 +220,14 @@ impl FaultPlan {
 
     fn record(&self, event: FaultEvent) {
         self.trace.lock().push(event);
+        if let Some(sink) = self.sink.lock().as_ref() {
+            sink.record(
+                TraceEvent::new(SimTime::ZERO, "rpc", "fault")
+                    .with_drive(event.target)
+                    .with_request(event.seq)
+                    .with_detail(format!("{:?}", event.action)),
+            );
+        }
     }
 }
 
@@ -448,6 +467,26 @@ mod tests {
         assert_eq!(p.backoff(2), Duration::from_millis(2));
         assert_eq!(p.backoff(4), Duration::from_millis(8));
         assert_eq!(p.backoff(9), Duration::from_millis(8), "capped");
+    }
+
+    #[test]
+    fn realized_faults_mirror_into_trace_sink() {
+        let plan = FaultPlan::new(11);
+        let sink = TraceSink::new(1024);
+        plan.set_sink(Arc::clone(&sink));
+        let ch = plan.channel(9, FaultConfig::lossy(1.0));
+        for _ in 0..200 {
+            ch.next_action();
+        }
+        let trace = plan.trace();
+        let events = sink.events();
+        assert_eq!(events.len(), trace.len());
+        for (fault, event) in trace.iter().zip(&events) {
+            assert_eq!(event.drive, fault.target);
+            assert_eq!(event.request, fault.seq);
+            assert_eq!((event.op, event.phase), ("rpc", "fault"));
+            assert_eq!(event.detail, format!("{:?}", fault.action));
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 mod fault;
 mod model;
+mod options;
 mod pacing;
 mod rpc;
 
@@ -24,5 +25,6 @@ pub use fault::{
     splitmix64, ChannelFaults, FaultAction, FaultConfig, FaultEvent, FaultPlan, RetryPolicy,
 };
 pub use model::{LinkSpec, NetworkModel, NodeId, RpcCostModel};
+pub use options::{CallOptions, CallStats};
 pub use pacing::pace;
 pub use rpc::{spawn_service, Rpc, RpcError, ServiceHandle};

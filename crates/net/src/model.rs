@@ -1,7 +1,9 @@
 //! Switched-network timing model and protocol CPU costs.
 
+use nasd_obs::{Counter, Histogram, Registry};
 use nasd_sim::{BandwidthShare, SimTime};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifies a node (client, drive, or server) on the network.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -66,6 +68,12 @@ struct Duplex {
     latency: SimTime,
 }
 
+struct NetMetrics {
+    messages: Arc<Counter>,
+    bytes: Arc<Counter>,
+    sizes: Arc<Histogram>,
+}
+
 /// A switched network with per-node full-duplex links and an
 /// uncontended fabric.
 ///
@@ -87,6 +95,7 @@ struct Duplex {
 #[derive(Default)]
 pub struct NetworkModel {
     nodes: HashMap<NodeId, Duplex>,
+    metrics: Option<NetMetrics>,
 }
 
 impl NetworkModel {
@@ -120,6 +129,17 @@ impl NetworkModel {
         self.nodes.contains_key(&node)
     }
 
+    /// Record every message into `registry` under `prefix`:
+    /// `prefix/messages` and `prefix/bytes` counters plus a
+    /// `prefix/message_bytes` size histogram.
+    pub fn observe(&mut self, registry: &Registry, prefix: &str) {
+        self.metrics = Some(NetMetrics {
+            messages: registry.counter(&format!("{prefix}/messages")),
+            bytes: registry.counter(&format!("{prefix}/bytes")),
+            sizes: registry.histogram(&format!("{prefix}/message_bytes")),
+        });
+    }
+
     /// Send `bytes` from `from` to `to` starting at `now`; returns the
     /// arrival time at `to`. Serializes on the sender's uplink, crosses
     /// the switch, then serializes on the receiver's downlink.
@@ -128,6 +148,11 @@ impl NetworkModel {
     ///
     /// Panics if either node is not attached.
     pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
+        if let Some(metrics) = &self.metrics {
+            metrics.messages.inc();
+            metrics.bytes.add(bytes);
+            metrics.sizes.record(bytes);
+        }
         let (tx_end, tx_latency) = {
             let src = self.nodes.get_mut(&from).unwrap_or_else(|| {
                 panic!("{from} not attached");
@@ -280,6 +305,18 @@ mod tests {
         assert!(u_up > 0.2 && u_up <= 1.0);
         assert!(u_down > 0.2 && u_down <= 1.0);
         assert_eq!(net.uplink_utilization(NodeId(9), arrival), 0.0);
+    }
+
+    #[test]
+    fn observed_network_counts_messages() {
+        let registry = Registry::new();
+        let mut net = two_node_net();
+        net.observe(&registry, "net");
+        net.send(SimTime::ZERO, NodeId(1), NodeId(2), 4096);
+        net.send(SimTime::ZERO, NodeId(2), NodeId(1), 100);
+        assert_eq!(registry.counter("net/messages").value(), 2);
+        assert_eq!(registry.counter("net/bytes").value(), 4196);
+        assert_eq!(registry.histogram("net/message_bytes").count(), 2);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! request from a dropped reply, exactly as on a real network.
 
 use crate::fault::{ChannelFaults, FaultAction, RetryPolicy};
+use crate::options::CallOptions;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::fmt;
 use std::sync::Arc;
@@ -125,24 +126,84 @@ impl<Req: Send + Clone + 'static, Resp: Send + 'static> Rpc<Req, Resp> {
         Ok(reply_rx)
     }
 
-    /// Synchronous call: send `req`, wait for the reply.
-    ///
-    /// # Errors
-    ///
-    /// [`RpcError::Disconnected`] if the service has stopped;
-    /// [`RpcError::TimedOut`] if injected faults lost the message.
-    pub fn call(&self, req: Req) -> Result<Resp, RpcError> {
+    /// One transport attempt: dispatch through fault injection, then wait
+    /// for the reply — bounded by `timeout` when given, forever otherwise.
+    fn attempt(&self, req: Req, timeout: Option<Duration>) -> Result<Resp, RpcError> {
+        let wait = |rx: Receiver<Resp>| match timeout {
+            None => rx.recv().map_err(|_| RpcError::Disconnected),
+            Some(t) => rx.recv_timeout(t).map_err(|e| match e {
+                RecvTimeoutError::Timeout => RpcError::TimedOut,
+                RecvTimeoutError::Disconnected => RpcError::Disconnected,
+            }),
+        };
         match self.dispatch(req)? {
-            Ticket::Wait(rx) => rx.recv().map_err(|_| RpcError::Disconnected),
+            Ticket::Wait(rx) => wait(rx),
             Ticket::WaitDiscard(rx) => {
-                let _ = rx.recv();
+                let _ = wait(rx);
                 Err(RpcError::TimedOut)
             }
             Ticket::Lost => Err(RpcError::TimedOut),
         }
     }
 
-    /// Synchronous call that gives up after `timeout`.
+    /// The unified call path: attempts, backoff, per-attempt timeout and
+    /// metrics all come from `opts`. Timeouts are retried (when the
+    /// policy grants more attempts); [`RpcError::Disconnected`] is
+    /// permanent on a fixed channel and returned immediately.
+    ///
+    /// Retrying is only safe for requests that are idempotent or
+    /// independently signed (drive traffic: each attempt carries a fresh
+    /// nonce).
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::TimedOut`] when every attempt timed out (or injected
+    /// faults lost a single blocking attempt's message);
+    /// [`RpcError::Disconnected`] as soon as the service is gone.
+    pub fn call_with(&self, req: Req, opts: &CallOptions) -> Result<Resp, RpcError> {
+        if let Some(stats) = &opts.stats {
+            stats.calls.inc();
+        }
+        let attempts = opts.policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            crate::pacing::pace(opts.policy.backoff(attempt));
+            if let Some(stats) = &opts.stats {
+                stats.attempts.inc();
+            }
+            match self.attempt(req.clone(), opts.attempt_timeout) {
+                Ok(resp) => return Ok(resp),
+                Err(RpcError::TimedOut) => {
+                    if let Some(stats) = &opts.stats {
+                        stats.timeouts.inc();
+                    }
+                }
+                Err(RpcError::Disconnected) => {
+                    if let Some(stats) = &opts.stats {
+                        stats.disconnects.inc();
+                    }
+                    return Err(RpcError::Disconnected);
+                }
+            }
+        }
+        if let Some(stats) = &opts.stats {
+            stats.exhausted.inc();
+        }
+        Err(RpcError::TimedOut)
+    }
+
+    /// Synchronous call: send `req`, wait for the reply. Shim for
+    /// [`Rpc::call_with`] with [`CallOptions::blocking`].
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Disconnected`] if the service has stopped;
+    /// [`RpcError::TimedOut`] if injected faults lost the message.
+    pub fn call(&self, req: Req) -> Result<Resp, RpcError> {
+        self.call_with(req, &CallOptions::blocking())
+    }
+
+    /// Synchronous call that gives up after `timeout`. Shim for
+    /// [`Rpc::call_with`] with [`CallOptions::once`].
     ///
     /// # Errors
     ///
@@ -150,42 +211,18 @@ impl<Req: Send + Clone + 'static, Resp: Send + 'static> Rpc<Req, Resp> {
     /// when a fault lost the message); [`RpcError::Disconnected`] when
     /// the service has stopped.
     pub fn call_timeout(&self, req: Req, timeout: Duration) -> Result<Resp, RpcError> {
-        match self.dispatch(req)? {
-            Ticket::Wait(rx) => rx.recv_timeout(timeout).map_err(|e| match e {
-                RecvTimeoutError::Timeout => RpcError::TimedOut,
-                RecvTimeoutError::Disconnected => RpcError::Disconnected,
-            }),
-            Ticket::WaitDiscard(rx) => {
-                let _ = rx.recv_timeout(timeout);
-                Err(RpcError::TimedOut)
-            }
-            Ticket::Lost => Err(RpcError::TimedOut),
-        }
+        self.call_with(req, &CallOptions::once(timeout))
     }
 
-    /// Retrying call with capped exponential backoff per `policy`.
-    /// Timeouts are retried; [`RpcError::Disconnected`] is permanent on
-    /// a fixed channel and returned immediately.
-    ///
-    /// Only safe for requests that are idempotent or independently
-    /// signed (drive traffic: each attempt carries a fresh nonce).
+    /// Retrying call with capped exponential backoff per `policy`. Shim
+    /// for [`Rpc::call_with`] with [`CallOptions::retry`].
     ///
     /// # Errors
     ///
     /// [`RpcError::TimedOut`] when every attempt timed out;
     /// [`RpcError::Disconnected`] as soon as the service is gone.
     pub fn call_retry(&self, req: Req, policy: RetryPolicy) -> Result<Resp, RpcError> {
-        let attempts = policy.max_attempts.max(1);
-        for attempt in 0..attempts {
-            let pause = policy.backoff(attempt);
-            crate::pacing::pace(pause);
-            match self.call_timeout(req.clone(), policy.timeout) {
-                Ok(resp) => return Ok(resp),
-                Err(RpcError::TimedOut) => {}
-                Err(e) => return Err(e),
-            }
-        }
-        Err(RpcError::TimedOut)
+        self.call_with(req, &CallOptions::retry(policy))
     }
 
     /// Fire a request without waiting; returns a receiver for the reply
@@ -414,6 +451,47 @@ mod tests {
         }
         assert!(timeouts > 0, "the seed should drop some of 50 calls");
         assert!(!plan.trace().is_empty());
+    }
+
+    #[test]
+    fn call_with_records_stats() {
+        use nasd_obs::Registry;
+        let registry = Registry::new();
+        let plan = FaultPlan::new(42);
+        let config = FaultConfig {
+            drop: 0.5,
+            ..FaultConfig::none()
+        };
+        let (rpc, _h) = spawn_service(|x: u64| x + 1);
+        let faulty = rpc.with_faults(plan.channel(1, config));
+        let opts = CallOptions::retry(RetryPolicy {
+            max_attempts: 32,
+            timeout: Duration::from_millis(100),
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        })
+        .with_registry(&registry, "test/rpc");
+        for i in 0..20 {
+            assert_eq!(faulty.call_with(i, &opts).unwrap(), i + 1);
+        }
+        assert_eq!(registry.counter("test/rpc/calls").value(), 20);
+        let attempts = registry.counter("test/rpc/attempts").value();
+        let timeouts = registry.counter("test/rpc/timeouts").value();
+        assert!(attempts > 20, "50% loss must force retries: {attempts}");
+        assert_eq!(attempts, 20 + timeouts);
+        assert_eq!(registry.counter("test/rpc/exhausted").value(), 0);
+        assert_eq!(registry.counter("test/rpc/disconnects").value(), 0);
+    }
+
+    #[test]
+    fn call_with_counts_disconnects() {
+        use nasd_obs::Registry;
+        let registry = Registry::new();
+        let (rpc, handle) = spawn_service(|x: u64| x);
+        handle.shutdown();
+        let opts = CallOptions::blocking().with_registry(&registry, "gone");
+        assert_eq!(rpc.call_with(1, &opts), Err(RpcError::Disconnected));
+        assert_eq!(registry.counter("gone/disconnects").value(), 1);
     }
 
     #[test]

@@ -14,12 +14,14 @@ use crate::store::{ObjectStore, StoreError};
 use bytes::Bytes;
 use nasd_crypto::{KeyHierarchy, KeyKind, SecretKey};
 use nasd_disk::MemDisk;
+use nasd_obs::{Counter, Histogram, Registry, SimTime, TraceEvent, TraceSink};
 use nasd_proto::wire::WireEncode;
 use nasd_proto::{
     ByteRange, Capability, CapabilityPublic, DriveId, NasdStatus, Nonce, ObjectId, PartitionId,
     ProtectionLevel, Reply, ReplyBody, Request, RequestBody, Rights, Version,
 };
 use std::cell::Cell;
+use std::sync::Arc;
 
 /// Configuration of a drive instance.
 #[derive(Clone, Debug)]
@@ -151,6 +153,51 @@ impl DriveFaultState {
     }
 }
 
+/// Per-drive observability handles, resolved once when the drive is
+/// built (see [`DriveBuilder::metrics`]) so recording per request is a
+/// handful of atomic adds.
+struct DriveObs {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    security_rejects: Arc<Counter>,
+    busy_bounces: Arc<Counter>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    instructions: Arc<Histogram>,
+    request_bytes: Arc<Histogram>,
+    sink: Option<Arc<TraceSink>>,
+}
+
+impl DriveObs {
+    fn wire(registry: &Registry, drive: u64, sink: Option<Arc<TraceSink>>) -> DriveObs {
+        let name = |leaf: &str| format!("drive/{drive}/{leaf}");
+        DriveObs {
+            requests: registry.counter(&name("requests")),
+            errors: registry.counter(&name("errors")),
+            security_rejects: registry.counter(&name("security_rejects")),
+            busy_bounces: registry.counter(&name("busy_bounces")),
+            bytes_read: registry.counter(&name("bytes_read")),
+            bytes_written: registry.counter(&name("bytes_written")),
+            cache_hits: registry.counter(&name("cache_hits")),
+            cache_misses: registry.counter(&name("cache_misses")),
+            instructions: registry.histogram(&name("instructions")),
+            request_bytes: registry.histogram(&name("request_bytes")),
+            sink,
+        }
+    }
+}
+
+fn op_label(kind: OpKind) -> &'static str {
+    match kind {
+        OpKind::Read => "read",
+        OpKind::Write => "write",
+        OpKind::GetAttr => "get_attr",
+        OpKind::Control => "control",
+    }
+}
+
 /// What one request cost: instruction accounting plus the physical I/O
 /// performed, for replay against timing models.
 #[derive(Clone, Debug)]
@@ -175,22 +222,152 @@ pub struct NasdDrive<D = MemDisk> {
     issue_nonce: Cell<u64>,
     durable_writes: bool,
     faults: Option<DriveFaultState>,
+    obs: Option<DriveObs>,
+}
+
+/// Fluent constructor for [`NasdDrive`], the single entry point for
+/// every way a drive used to be built (`with_memory`, `new`, `open`,
+/// plus ad-hoc `set_faults` calls after the fact).
+///
+/// # Example
+///
+/// ```
+/// use nasd_object::{DriveConfig, NasdDrive};
+/// let mut drive = NasdDrive::builder(1)
+///     .config(DriveConfig::prototype())
+///     .build();
+/// assert_eq!(drive.id().0, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DriveBuilder {
+    drive_number: u64,
+    config: DriveConfig,
+    master_seed: [u8; 32],
+    faults: Option<(u64, DriveFaultConfig)>,
+    metrics: Option<Arc<Registry>>,
+    trace: Option<Arc<TraceSink>>,
+}
+
+impl DriveBuilder {
+    /// Use `config` instead of the default [`DriveConfig::small`].
+    #[must_use]
+    pub fn config(mut self, config: DriveConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Enable write-through durability (see [`DriveConfig::durable_writes`]).
+    #[must_use]
+    pub fn durable(mut self) -> Self {
+        self.config.durable_writes = true;
+        self
+    }
+
+    /// Root the key hierarchy at `seed` instead of the default test seed.
+    #[must_use]
+    pub fn master_seed(mut self, seed: [u8; 32]) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Install a seeded drive-level fault injector at build time.
+    #[must_use]
+    pub fn faults(mut self, seed: u64, config: DriveFaultConfig) -> Self {
+        self.faults = Some((seed, config));
+        self
+    }
+
+    /// Record per-request counters and histograms under
+    /// `drive/<n>/...` in `registry`.
+    #[must_use]
+    pub fn metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Emit a structured [`TraceEvent`] per served request into `sink`.
+    #[must_use]
+    pub fn trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    fn finish<D: nasd_disk::BlockDevice>(self, mut drive: NasdDrive<D>) -> NasdDrive<D> {
+        if let Some((seed, config)) = self.faults {
+            drive.set_faults(seed, config);
+        }
+        if self.metrics.is_some() || self.trace.is_some() {
+            // Tracing without metrics still routes through DriveObs; the
+            // throwaway registry just absorbs the unobserved counters.
+            let registry = self.metrics.unwrap_or_default();
+            drive.obs = Some(DriveObs::wire(&registry, drive.id.0, self.trace));
+        }
+        drive
+    }
+
+    /// Build over a fresh in-memory device sized by the config.
+    #[must_use]
+    pub fn build(self) -> NasdDrive<MemDisk> {
+        let device = MemDisk::new(self.config.block_size, self.config.capacity_blocks);
+        self.build_on(device)
+    }
+
+    /// Build over `device` (formats it as a fresh drive).
+    #[must_use]
+    pub fn build_on<D: nasd_disk::BlockDevice>(self, device: D) -> NasdDrive<D> {
+        let drive = NasdDrive::init(
+            device,
+            self.config.clone(),
+            DriveId(self.drive_number),
+            self.master_seed,
+        );
+        self.finish(drive)
+    }
+
+    /// Remount a checkpointed `device` (see [`NasdDrive::checkpoint`]):
+    /// rebuilds the object store from the metadata area and re-derives
+    /// the partition keys from the key hierarchy, so capabilities minted
+    /// before the power cycle keep working.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFormatted`] when the device holds no checkpoint.
+    pub fn open<D: nasd_disk::BlockDevice>(self, device: D) -> Result<NasdDrive<D>, StoreError> {
+        let drive = NasdDrive::reopen(
+            device,
+            self.config.clone(),
+            DriveId(self.drive_number),
+            self.master_seed,
+        )?;
+        Ok(self.finish(drive))
+    }
 }
 
 impl NasdDrive<MemDisk> {
+    /// Start building drive number `drive_number`; defaults are
+    /// [`DriveConfig::small`] and the fleet test seed.
+    #[must_use]
+    pub fn builder(drive_number: u64) -> DriveBuilder {
+        DriveBuilder {
+            drive_number,
+            config: DriveConfig::small(),
+            master_seed: [7u8; 32],
+            faults: None,
+            metrics: None,
+            trace: None,
+        }
+    }
+
     /// Create a drive backed by memory, with keys derived from a seed.
+    #[deprecated(note = "use NasdDrive::builder(n).config(..).build()")]
     #[must_use]
     pub fn with_memory(config: DriveConfig, drive_number: u64) -> Self {
-        let device = MemDisk::new(config.block_size, config.capacity_blocks);
-        NasdDrive::new(device, config, DriveId(drive_number), [7u8; 32])
+        NasdDrive::builder(drive_number).config(config).build()
     }
 }
 
 impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
-    /// Create a drive over `device`. `master_seed` roots the key
-    /// hierarchy (the drive owner's level-1 secret).
-    #[must_use]
-    pub fn new(device: D, config: DriveConfig, id: DriveId, master_seed: [u8; 32]) -> Self {
+    fn init(device: D, config: DriveConfig, id: DriveId, master_seed: [u8; 32]) -> Self {
         let hierarchy = KeyHierarchy::new(SecretKey::from_bytes(master_seed), id.0);
         let security = DriveSecurity::new(id, hierarchy.drive().clone(), config.security_enabled);
         NasdDrive {
@@ -204,18 +381,11 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
             issue_nonce: Cell::new(1),
             durable_writes: config.durable_writes,
             faults: None,
+            obs: None,
         }
     }
 
-    /// Remount a checkpointed device (see [`NasdDrive::checkpoint`]):
-    /// rebuilds the object store from the metadata area and re-derives
-    /// the partition keys from the key hierarchy, so capabilities minted
-    /// before the power cycle keep working.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::NotFormatted`] when the device holds no checkpoint.
-    pub fn open(
+    fn reopen(
         device: D,
         config: DriveConfig,
         id: DriveId,
@@ -239,7 +409,31 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
             issue_nonce: Cell::new(1),
             durable_writes: config.durable_writes,
             faults: None,
+            obs: None,
         })
+    }
+
+    /// Create a drive over `device`. `master_seed` roots the key
+    /// hierarchy (the drive owner's level-1 secret).
+    #[deprecated(note = "use NasdDrive::builder(n).master_seed(..).build_on(device)")]
+    #[must_use]
+    pub fn new(device: D, config: DriveConfig, id: DriveId, master_seed: [u8; 32]) -> Self {
+        NasdDrive::init(device, config, id, master_seed)
+    }
+
+    /// Remount a checkpointed device (see [`NasdDrive::checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFormatted`] when the device holds no checkpoint.
+    #[deprecated(note = "use NasdDrive::builder(n).master_seed(..).open(device)")]
+    pub fn open(
+        device: D,
+        config: DriveConfig,
+        id: DriveId,
+        master_seed: [u8; 32],
+    ) -> Result<Self, StoreError> {
+        NasdDrive::reopen(device, config, id, master_seed)
     }
 
     /// Flush all data and persist the drive's metadata so the device can
@@ -345,6 +539,16 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
                     // Bounced before verification: no nonce consumed, no
                     // state touched; the client may re-sign and retry.
                     let cost = self.meter.estimate(OpKind::Control, 0, 0);
+                    if let Some(obs) = &self.obs {
+                        obs.requests.inc();
+                        obs.busy_bounces.inc();
+                        if let Some(sink) = &obs.sink {
+                            sink.record(
+                                TraceEvent::new(SimTime::from_secs(self.clock), "control", "busy")
+                                    .with_drive(self.id.0),
+                            );
+                        }
+                    }
                     return (
                         Reply::error(NasdStatus::Busy),
                         ServiceReport {
@@ -373,7 +577,41 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
         }
         let cold_blocks = trace.misses;
         let cost = self.meter.estimate(kind, bytes, cold_blocks);
-        (reply, ServiceReport { kind, cost, trace })
+        let report = ServiceReport { kind, cost, trace };
+        if let Some(obs) = &self.obs {
+            obs.requests.inc();
+            if !reply.status.is_ok() {
+                obs.errors.inc();
+                if matches!(
+                    reply.status,
+                    NasdStatus::AccessDenied | NasdStatus::Replay | NasdStatus::RangeViolation
+                ) {
+                    obs.security_rejects.inc();
+                }
+            }
+            match report.kind {
+                OpKind::Read => obs.bytes_read.add(bytes),
+                OpKind::Write => obs.bytes_written.add(bytes),
+                OpKind::GetAttr | OpKind::Control => {}
+            }
+            obs.cache_hits.add(report.trace.hits);
+            obs.cache_misses.add(report.trace.misses);
+            obs.instructions.record(report.cost.total() as u64);
+            obs.request_bytes.record(bytes);
+            if let Some(sink) = &obs.sink {
+                let phase = if reply.status.is_ok() {
+                    "served"
+                } else {
+                    "error"
+                };
+                sink.record(
+                    TraceEvent::new(SimTime::from_secs(self.clock), op_label(report.kind), phase)
+                        .with_drive(self.id.0)
+                        .with_detail(format!("status={:?} bytes={bytes}", reply.status)),
+                );
+            }
+        }
+        (reply, report)
     }
 
     #[allow(clippy::too_many_lines)]
@@ -955,7 +1193,7 @@ mod tests {
     const P: PartitionId = PartitionId(1);
 
     fn drive() -> NasdDrive {
-        let mut d = NasdDrive::with_memory(DriveConfig::small(), 1);
+        let mut d = NasdDrive::builder(1).build();
         d.admin_create_partition(P, 16 << 20).unwrap();
         d
     }
@@ -1203,7 +1441,7 @@ mod tests {
     fn disabled_security_accepts_anything() {
         let mut config = DriveConfig::small();
         config.security_enabled = false;
-        let mut d = NasdDrive::with_memory(config, 1);
+        let mut d = NasdDrive::builder(1).config(config).build();
         d.admin_create_partition(P, 1 << 20).unwrap();
         let obj = d.admin_create_object(P, 0).unwrap();
         // Garbage capability, garbage digest: accepted when disabled.
@@ -1279,8 +1517,7 @@ mod tests {
         // "Power off": recover the device, reopen the drive.
         let device = d.store().cache().device().clone();
         drop(d);
-        let mut d2 =
-            NasdDrive::open(device, DriveConfig::small(), DriveId(1), [7u8; 32]).expect("remount");
+        let mut d2 = NasdDrive::builder(1).open(device).expect("remount");
 
         // The pre-reboot capability still verifies (keys re-derived) and
         // the data is intact.
@@ -1298,7 +1535,7 @@ mod tests {
     fn open_blank_device_fails() {
         let device = nasd_disk::MemDisk::new(8_192, 256);
         assert!(matches!(
-            NasdDrive::open(device, DriveConfig::small(), DriveId(1), [7u8; 32]),
+            NasdDrive::builder(1).open(device),
             Err(StoreError::NotFormatted)
         ));
     }

@@ -18,10 +18,10 @@
 //! # Example
 //!
 //! ```
-//! use nasd_object::{DriveConfig, NasdDrive};
+//! use nasd_object::NasdDrive;
 //! use nasd_proto::{PartitionId, Rights};
 //!
-//! let mut drive = NasdDrive::with_memory(DriveConfig::small(), 42);
+//! let mut drive = NasdDrive::builder(42).build();
 //! let part = PartitionId(1);
 //! drive.admin_create_partition(part, 1 << 20)?;
 //!
@@ -48,6 +48,8 @@ mod store;
 pub use alloc::{Allocator, Extent};
 pub use cache::{BlockCache, CacheStats, IoRecord, IoTrace};
 pub use cost::{CostMeter, OpCost, OpKind};
-pub use drive::{ClientHandle, DriveConfig, DriveFaultConfig, NasdDrive, ServiceReport};
+pub use drive::{
+    ClientHandle, DriveBuilder, DriveConfig, DriveFaultConfig, NasdDrive, ServiceReport,
+};
 pub use security::{DriveSecurity, ReplayWindow};
 pub use store::{ObjectStore, PartitionStats, StoreError, FIRST_DYNAMIC_OBJECT};

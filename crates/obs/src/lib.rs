@@ -1,0 +1,45 @@
+//! Sim-clock-native observability for the NASD reproduction.
+//!
+//! The paper's entire argument is quantitative — Figures 4/6/7/9 and
+//! Table 1 compare throughput, per-request CPU cost, and scaling knees —
+//! so the reproduction needs a measurement layer of its own. This crate
+//! is that layer, and it sits *below* the simulation kernel so every
+//! other crate can use it:
+//!
+//! * [`SimTime`] — the simulated clock type. It lives here (and is
+//!   re-exported by `nasd-sim`) because every metric and trace event is
+//!   keyed on simulated time, never the wall clock: observability must
+//!   not break the determinism invariant (nasd-lint rule D1) that makes
+//!   chaos runs replayable.
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s, log-bucketed
+//!   [`Histogram`]s and per-resource [`Utilization`] interval sets.
+//!   Handles are `Arc`s over atomics: resolve once, record per request.
+//! * [`TraceSink`] — a bounded ring buffer of structured [`TraceEvent`]s
+//!   (request id, drive id, op, phase) with a JSONL dump for debugging
+//!   chaos-test failures.
+//! * [`BenchReport`] — the versioned machine-readable schema every
+//!   `nasd-bench` binary emits under `--json`, built on a dependency-free
+//!   [`Json`] value type (the workspace's serde is an offline no-op shim).
+//! * [`Throughput`] / [`UtilizationTracker`] — the original `nasd-sim`
+//!   accounting helpers, folded in here and re-exported from `nasd-sim`
+//!   for compatibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod report;
+mod stats;
+mod time;
+mod trace;
+
+pub use json::{Json, JsonError};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, Utilization,
+    UtilizationSnapshot,
+};
+pub use report::{BenchReport, SchemaError, BENCH_REPORT_SCHEMA, BENCH_SUITE_SCHEMA};
+pub use stats::{Throughput, UtilizationTracker};
+pub use time::SimTime;
+pub use trace::{TraceEvent, TraceSink};

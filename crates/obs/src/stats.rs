@@ -1,4 +1,11 @@
-//! Measurement helpers: throughput meters and busy/idle tracking.
+//! Single-owner measurement helpers: throughput meters and busy/idle
+//! tracking.
+//!
+//! These predate the shared [`Registry`](crate::Registry) and remain the
+//! right tool when one harness owns the meter (`&mut self`, no atomics);
+//! `nasd-sim` re-exports them for compatibility. For cross-thread or
+//! cross-subsystem accounting use [`Counter`](crate::Counter) /
+//! [`Utilization`](crate::Utilization) instead.
 
 use crate::time::SimTime;
 
@@ -10,7 +17,7 @@ use crate::time::SimTime;
 /// # Example
 ///
 /// ```
-/// use nasd_sim::{SimTime, Throughput};
+/// use nasd_obs::{SimTime, Throughput};
 /// let mut t = Throughput::new();
 /// t.record(SimTime::from_secs(1), 6_200_000);
 /// assert!((t.mbytes_per_sec(SimTime::from_secs(1)) - 6.2).abs() < 1e-9);
@@ -61,6 +68,15 @@ impl Throughput {
             return 0.0;
         }
         self.bytes as f64 / 1e6 / elapsed.as_secs_f64()
+    }
+
+    /// Mean operation rate over `elapsed`, in operations per second.
+    #[must_use]
+    pub fn ops_per_sec(&self, elapsed: SimTime) -> f64 {
+        if elapsed == SimTime::ZERO {
+            return 0.0;
+        }
+        self.operations as f64 / elapsed.as_secs_f64()
     }
 }
 
@@ -129,12 +145,14 @@ mod tests {
         assert_eq!(t.operations(), 2);
         assert_eq!(t.last_event(), SimTime::from_secs(2));
         assert!((t.mbytes_per_sec(SimTime::from_secs(2)) - 2.0).abs() < 1e-12);
+        assert!((t.ops_per_sec(SimTime::from_secs(2)) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn throughput_zero_window() {
         let t = Throughput::new();
         assert_eq!(t.mbytes_per_sec(SimTime::ZERO), 0.0);
+        assert_eq!(t.ops_per_sec(SimTime::ZERO), 0.0);
     }
 
     #[test]

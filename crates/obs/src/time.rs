@@ -1,4 +1,8 @@
 //! Simulated time.
+//!
+//! `SimTime` is defined here, at the bottom of the crate graph, so the
+//! observability primitives can be keyed on it; `nasd-sim` re-exports it
+//! and the rest of the workspace keeps using `nasd_sim::SimTime`.
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};

@@ -1,6 +1,6 @@
 //! The event loop.
 
-use crate::time::SimTime;
+use nasd_obs::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;

@@ -34,10 +34,10 @@
 
 mod kernel;
 mod resource;
-mod stats;
-mod time;
 
 pub use kernel::{EventId, Simulator};
 pub use resource::{BandwidthShare, CpuModel, FifoResource, LinkModel};
-pub use stats::{Throughput, UtilizationTracker};
-pub use time::SimTime;
+// `SimTime` and the single-owner accounting helpers moved to `nasd-obs`
+// (the observability layer sits below the kernel so metrics can be keyed
+// on simulated time); re-exported here so downstream code is unchanged.
+pub use nasd_obs::{SimTime, Throughput, UtilizationTracker};

@@ -6,8 +6,9 @@
 //! resource, obtaining the interval during which it is served; the caller
 //! schedules its completion event at the interval's end.
 
-use crate::time::SimTime;
+use nasd_obs::{SimTime, Utilization};
 use std::fmt;
+use std::sync::Arc;
 
 /// A single-server FIFO queue.
 ///
@@ -32,6 +33,7 @@ pub struct FifoResource {
     next_free: SimTime,
     busy: SimTime,
     jobs: u64,
+    observer: Option<Arc<Utilization>>,
 }
 
 impl FifoResource {
@@ -43,6 +45,7 @@ impl FifoResource {
             next_free: SimTime::ZERO,
             busy: SimTime::ZERO,
             jobs: 0,
+            observer: None,
         }
     }
 
@@ -50,6 +53,13 @@ impl FifoResource {
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Mirror every reserved service interval into `utilization`
+    /// (typically `registry.utilization(name)` from `nasd-obs`), so the
+    /// resource's busy timeline shows up in metric snapshots.
+    pub fn observe(&mut self, utilization: Arc<Utilization>) {
+        self.observer = Some(utilization);
     }
 
     /// Reserve `service` time starting no earlier than `now`.
@@ -60,6 +70,9 @@ impl FifoResource {
         self.next_free = end;
         self.busy += service;
         self.jobs += 1;
+        if let Some(observer) = &self.observer {
+            observer.record_busy(start, end);
+        }
         (start, end)
     }
 
@@ -227,6 +240,12 @@ impl BandwidthShare {
         }
     }
 
+    /// Mirror every transfer interval into `utilization` (see
+    /// [`FifoResource::observe`]).
+    pub fn observe(&mut self, utilization: Arc<Utilization>) {
+        self.fifo.observe(utilization);
+    }
+
     /// Reserve the bus to move `bytes`; returns the `(start, end)` of the
     /// transfer.
     pub fn transfer(&mut self, now: SimTime, bytes: u64) -> (SimTime, SimTime) {
@@ -338,6 +357,23 @@ mod tests {
         let (s2, e2) = bus.transfer(SimTime::from_millis(500), 133_000_000);
         assert_eq!((s2.as_millis(), e2.as_millis()), (1000, 2000));
         assert_eq!(bus.fifo().jobs(), 2);
+    }
+
+    #[test]
+    fn observed_fifo_mirrors_intervals() {
+        let mut r = FifoResource::new("arm");
+        let u = Arc::new(Utilization::new());
+        r.observe(Arc::clone(&u));
+        r.reserve(SimTime::ZERO, SimTime::from_millis(5));
+        r.reserve(SimTime::from_millis(20), SimTime::from_millis(5));
+        assert_eq!(
+            u.intervals(),
+            vec![
+                (SimTime::ZERO, SimTime::from_millis(5)),
+                (SimTime::from_millis(20), SimTime::from_millis(25)),
+            ]
+        );
+        assert_eq!(u.busy_time(), r.busy_time());
     }
 
     #[test]

@@ -16,13 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Load a drive with sales transactions.
     let data = TransactionGenerator::new(42).generate_bytes(BYTES, CHUNK);
-    let mut drive = NasdDrive::with_memory(
-        DriveConfig {
+    let mut drive = NasdDrive::builder(1)
+        .config(DriveConfig {
             capacity_blocks: 2 * (BYTES as u64 / 8_192),
             ..DriveConfig::prototype()
-        },
-        1,
-    );
+        })
+        .build();
     let p = PartitionId(1);
     drive.admin_create_partition(p, 2 * BYTES as u64)?;
     let obj = drive.admin_create_object(p, 0)?;

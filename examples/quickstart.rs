@@ -9,13 +9,13 @@
 //! and use it to read and write the object directly — every request
 //! cryptographically verified by the drive.
 
-use nasd::object::{DriveConfig, NasdDrive};
+use nasd::object::NasdDrive;
 use nasd::proto::{NasdStatus, PartitionId, Rights};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A drive: in the paper this is a disk with an object interface and a
     // 200 MHz controller; here it is backed by memory.
-    let mut drive = NasdDrive::with_memory(DriveConfig::small(), 1);
+    let mut drive = NasdDrive::builder(1).build();
     println!("drive {} online", drive.id());
 
     // The drive administrator creates a soft partition with a quota.

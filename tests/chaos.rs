@@ -116,6 +116,65 @@ fn fault_schedule_is_reproducible_per_seed() {
     assert_ne!(traces[1], traces[2], "distinct seeds gave identical traces");
 }
 
+/// Every fault the plan realizes is mirrored into an attached
+/// [`nasd::obs::TraceSink`] as a structured event, so a chaos run can be
+/// inspected with the same tooling as ordinary request traces.
+#[test]
+fn injected_faults_appear_as_trace_events() {
+    use nasd::obs::TraceSink;
+
+    let seed = SEEDS[0];
+    let fleet = DriveFleet::spawn_faulty(
+        2,
+        DriveConfig::small(),
+        P1,
+        64 << 20,
+        Some((seed, DriveFaultConfig::moderate())),
+    )
+    .unwrap();
+    for ep in fleet.endpoints() {
+        ep.set_retry(chaos_retry());
+    }
+    let plan = FaultPlan::new(seed);
+    plan.set_enabled(false);
+    let sink = TraceSink::new(4_096);
+    plan.set_sink(Arc::clone(&sink));
+    fleet.set_faults(&plan, FaultConfig::lossy(0.6));
+    plan.set_enabled(true);
+
+    let ep = Arc::clone(fleet.endpoint(0));
+    let oid = ep.create_object(P1, 0, None, 1 << 40).unwrap();
+    let cap = ep.mint(P1, oid, Version(0), Rights::ALL, ByteRange::FULL, 1 << 40);
+    for i in 0..16u64 {
+        let data = bytes::Bytes::from(vec![i as u8; 512]);
+        ep.write(&cap, i * 512, data).unwrap();
+    }
+    plan.set_enabled(false);
+    let faults = plan.trace();
+    fleet.shutdown();
+
+    assert!(!faults.is_empty(), "seed {seed:#x} injected no faults");
+    let events = sink.events();
+    assert_eq!(
+        faults.len(),
+        events.len(),
+        "every realized fault must produce exactly one trace event"
+    );
+    for (fault, event) in faults.iter().zip(events.iter()) {
+        assert_eq!(event.op, "rpc");
+        assert_eq!(event.phase, "fault");
+        assert_eq!(
+            event.drive, fault.target,
+            "trace event targets the faulted channel"
+        );
+        assert_eq!(
+            event.request, fault.seq,
+            "trace event carries the message sequence"
+        );
+        assert_eq!(event.detail, format!("{:?}", fault.action));
+    }
+}
+
 /// Concurrent NFS workload with lossy drive channels, Busy/slow drive
 /// faults, and a delayed (but loss-free: the manager protocol is not
 /// idempotent) manager channel. All acked writes must read back.

@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use nasd::crypto::SecretKey;
-use nasd::object::{ClientHandle, DriveConfig, DriveSecurity, NasdDrive};
+use nasd::object::{ClientHandle, DriveSecurity, NasdDrive};
 use nasd::proto::wire::WireEncode;
 use nasd::proto::{
     ByteRange, CapabilityPublic, NasdStatus, Nonce, ObjectId, PartitionId, ProtectionLevel,
@@ -14,7 +14,7 @@ use nasd::proto::{
 const P: PartitionId = PartitionId(1);
 
 fn drive_with_object() -> (NasdDrive, ObjectId) {
-    let mut d = NasdDrive::with_memory(DriveConfig::small(), 7);
+    let mut d = NasdDrive::builder(7).build();
     d.admin_create_partition(P, 16 << 20).unwrap();
     let obj = d.admin_create_object(P, 0).unwrap();
     let cap = d.issue_capability(P, obj, Rights::WRITE, 100);
@@ -119,7 +119,7 @@ fn replay_and_stale_nonce_rejected() {
 /// is refused.
 #[test]
 fn data_integrity_mode_detects_payload_tampering() {
-    let mut d = NasdDrive::with_memory(DriveConfig::small(), 7);
+    let mut d = NasdDrive::builder(7).build();
     d.admin_create_partition(P, 16 << 20).unwrap();
     let obj = d.admin_create_object(P, 0).unwrap();
 
@@ -215,8 +215,8 @@ fn key_rotation_is_scoped_to_one_working_key() {
 /// identical partitions and object names.
 #[test]
 fn capabilities_do_not_transfer_between_drives() {
-    let mut d1 = NasdDrive::with_memory(DriveConfig::small(), 1);
-    let mut d2 = NasdDrive::with_memory(DriveConfig::small(), 2);
+    let mut d1 = NasdDrive::builder(1).build();
+    let mut d2 = NasdDrive::builder(2).build();
     d1.admin_create_partition(P, 1 << 20).unwrap();
     d2.admin_create_partition(P, 1 << 20).unwrap();
     let o1 = d1.admin_create_object(P, 0).unwrap();
