@@ -29,7 +29,7 @@ fn baseline(rest: &[String]) -> ExitCode {
         eprintln!("usage: benchjson baseline <out.json>");
         return ExitCode::FAILURE;
     };
-    eprintln!("running the full bench suite (8 experiments)...");
+    eprintln!("running the full bench suite (9 experiments)...");
     let suite = report::suite();
     let json = BenchReport::suite_to_json(&suite);
     if let Err(e) = std::fs::write(out, json.to_pretty_string()) {

@@ -16,6 +16,7 @@
 //! | [`andrew`] | Andrew-benchmark parity of NASD-NFS vs NFS |
 //! | [`active`] | Active Disks frequent-sets vs the client-based run |
 //! | [`ablations`] | design-choice sweeps: RPC cost, stripe unit, crypto, CPU |
+//! | [`rebuild`] | degraded bandwidth vs. nasd-mgmt reconstruction throttle |
 //!
 //! Every binary also accepts `--json <path>` and writes a versioned
 //! [`nasd::obs::BenchReport`](nasd::obs) built by the [`report`] module;
@@ -32,6 +33,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod fig9;
+pub mod rebuild;
 pub mod report;
 pub mod table;
 pub mod table1;

@@ -11,7 +11,7 @@ use nasd::obs::{BenchReport, Json, Registry};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use crate::{ablations, active, andrew, fig4, fig6, fig7, fig9, table1};
+use crate::{ablations, active, andrew, fig4, fig6, fig7, fig9, rebuild, table1};
 
 /// Parse `--json <path>` from the process arguments.
 #[must_use]
@@ -225,7 +225,26 @@ pub fn ablations_report() -> BenchReport {
     r
 }
 
-/// Run every experiment and return all eight reports — the payload of
+/// Rebuild-throttle rows as a report.
+#[must_use]
+pub fn rebuild_report(rows: &[rebuild::RebuildRow]) -> BenchReport {
+    let mut r = BenchReport::new("rebuild")
+        .with_config("width", Json::num_u64(rebuild::WIDTH as u64))
+        .with_config("data_bytes", Json::num_u64(rebuild::DATA))
+        .with_config("redundancy", Json::str("parity"));
+    for row in rows {
+        r.push_row(vec![
+            ("setting", Json::str(row.setting)),
+            ("rate_bytes_s", Json::num_u64(row.rate)),
+            ("foreground_mb_s", num(row.foreground_mb_s)),
+            ("rebuild_secs", num(row.rebuild_secs)),
+            ("rebuilt_bytes", Json::num_u64(row.rebuilt_bytes)),
+        ]);
+    }
+    r
+}
+
+/// Run every experiment and return all nine reports — the payload of
 /// `BENCH_baseline.json`.
 #[must_use]
 pub fn suite() -> Vec<BenchReport> {
@@ -238,6 +257,7 @@ pub fn suite() -> Vec<BenchReport> {
         andrew_report(&andrew::run()),
         active_report(&active::run()),
         ablations_report(),
+        rebuild_report(&rebuild::run()),
     ]
 }
 

@@ -24,5 +24,7 @@ mod manager;
 mod map;
 
 pub use client::{CheopsClient, CheopsFile};
-pub use manager::{CheopsManager, CheopsRequest, CheopsResponse, LeaseKind};
-pub use map::{Column, Component, Layout, LogicalObjectId, Redundancy};
+pub use manager::{
+    CheopsManager, CheopsRequest, CheopsResponse, LeaseKind, RepairPhase, RepairRecord,
+};
+pub use map::{Column, Component, ComponentSlot, Layout, LogicalObjectId, Redundancy};

@@ -5,10 +5,10 @@
 //! multi-disk concurrency with expiring leases. It is deliberately thin:
 //! data never flows through it.
 
-use crate::map::{Column, Component, Layout, LogicalObjectId, Redundancy};
+use crate::map::{Column, Component, ComponentSlot, Layout, LogicalObjectId, Redundancy};
 use nasd_fm::{DriveFleet, FmError};
 use nasd_net::{spawn_service, Rpc, ServiceHandle};
-use nasd_proto::{ByteRange, Capability, Rights, Version};
+use nasd_proto::{ByteRange, Capability, DriveId, Rights, Version};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -67,6 +67,65 @@ pub enum CheopsRequest {
     },
     /// List all logical objects.
     List,
+    /// Report a drive as failed (storage management's failure detector).
+    /// Idempotent; a drive already under repair keeps its record.
+    ReportFailure {
+        /// The failed drive.
+        drive: DriveId,
+    },
+    /// Record that online reconstruction of `drive` onto `spare` began.
+    StartRebuild {
+        /// The failed drive being reconstructed.
+        drive: DriveId,
+        /// The hot spare receiving the rebuilt components.
+        spare: DriveId,
+    },
+    /// Record that reconstruction of `drive` finished; no layout
+    /// references the drive any more.
+    CompleteRebuild {
+        /// The repaired drive.
+        drive: DriveId,
+    },
+    /// Fetch every drive-repair record.
+    RebuildStatus,
+    /// Snapshot every logical object's layout (rebuild and the scrubber
+    /// walk these).
+    Layouts,
+    /// Atomically replace the component behind one layout slot. Issued by
+    /// the rebuild engine after the spare's component holds the
+    /// reconstructed bytes; subsequent `Open`s mint capabilities for the
+    /// new component.
+    SwapComponent {
+        /// Target logical object.
+        id: LogicalObjectId,
+        /// Which slot to swap.
+        slot: ComponentSlot,
+        /// The replacement component.
+        new: Component,
+    },
+}
+
+/// Where a failed drive is in its repair lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairPhase {
+    /// Failure reported; reconstruction not yet started.
+    Failed,
+    /// Reconstruction onto a spare is in progress.
+    Rebuilding,
+    /// Reconstruction finished; no layout references the drive.
+    Rebuilt,
+}
+
+/// One drive's repair record, kept by the manager so clients and
+/// operators can observe rebuild progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairRecord {
+    /// The failed drive.
+    pub drive: DriveId,
+    /// Repair lifecycle phase.
+    pub phase: RepairPhase,
+    /// The spare absorbing the drive's components, once rebuild starts.
+    pub spare: Option<DriveId>,
 }
 
 /// Manager replies.
@@ -89,20 +148,34 @@ pub enum CheopsResponse {
     },
     /// Logical object ids.
     Objects(Vec<LogicalObjectId>),
+    /// Layout snapshot, sorted by id.
+    Layouts(Vec<(LogicalObjectId, Layout)>),
+    /// Repair records, sorted by drive id.
+    Repairs(Vec<RepairRecord>),
     /// Success.
     Ok,
     /// Failure.
     Err(FmError),
 }
 
-struct LeaseState {
-    holders: Vec<(u64, LeaseKind)>,
+/// One lease holder. Expiry is tracked **per holder**: a single
+/// group-level expiry would let an early release leave a stale far-future
+/// deadline behind, under which a dead holder could keep "renewing"
+/// forever (the expiry race fixed in PR 4).
+struct LeaseHolder {
+    client: u64,
+    kind: LeaseKind,
     expires: u64,
+}
+
+struct LeaseState {
+    holders: Vec<LeaseHolder>,
 }
 
 struct ManagerState {
     maps: HashMap<LogicalObjectId, Layout>,
     leases: HashMap<LogicalObjectId, LeaseState>,
+    repairs: HashMap<DriveId, RepairRecord>,
     next_id: u64,
 }
 
@@ -123,6 +196,7 @@ impl CheopsManager {
             state: Mutex::new(ManagerState {
                 maps: HashMap::new(),
                 leases: HashMap::new(),
+                repairs: HashMap::new(),
                 next_id: 1,
             }),
             ttl: 3_600,
@@ -282,35 +356,33 @@ impl CheopsManager {
                 }
                 let lease = state.leases.entry(id).or_insert(LeaseState {
                     holders: Vec::new(),
-                    expires: 0,
                 });
-                // Expired leases evaporate.
-                if lease.expires <= now {
-                    lease.holders.clear();
+                // Expired holders evaporate individually; only live
+                // holders participate in conflict checks, so a stale
+                // client id can never renew past its own expiry.
+                lease.holders.retain(|h| h.expires > now);
+                let busy_until = lease
+                    .holders
+                    .iter()
+                    .filter(|h| h.client != client)
+                    .filter(|h| kind == LeaseKind::Exclusive || h.kind == LeaseKind::Exclusive)
+                    .map(|h| h.expires)
+                    .max();
+                if let Some(until) = busy_until {
+                    return Ok(CheopsResponse::LeaseBusy { until });
                 }
-                let conflict = match kind {
-                    LeaseKind::Exclusive => !lease.holders.is_empty(),
-                    LeaseKind::Shared => lease
-                        .holders
-                        .iter()
-                        .any(|(_, k)| *k == LeaseKind::Exclusive),
-                };
-                if conflict && !lease.holders.iter().any(|(c, _)| *c == client) {
-                    return Ok(CheopsResponse::LeaseBusy {
-                        until: lease.expires,
-                    });
-                }
-                lease.holders.retain(|(c, _)| *c != client);
-                lease.holders.push((client, kind));
-                lease.expires = lease.expires.max(now + ttl);
-                Ok(CheopsResponse::Leased {
-                    until: lease.expires,
-                })
+                lease.holders.retain(|h| h.client != client);
+                lease.holders.push(LeaseHolder {
+                    client,
+                    kind,
+                    expires: now + ttl,
+                });
+                Ok(CheopsResponse::Leased { until: now + ttl })
             }
             CheopsRequest::Unlease { id, client } => {
                 let mut state = self.state.lock();
                 if let Some(lease) = state.leases.get_mut(&id) {
-                    lease.holders.retain(|(c, _)| *c != client);
+                    lease.holders.retain(|h| h.client != client);
                 }
                 Ok(CheopsResponse::Ok)
             }
@@ -319,6 +391,69 @@ impl CheopsManager {
                 let mut ids: Vec<LogicalObjectId> = state.maps.keys().copied().collect();
                 ids.sort();
                 Ok(CheopsResponse::Objects(ids))
+            }
+            CheopsRequest::ReportFailure { drive } => {
+                let mut state = self.state.lock();
+                state.repairs.entry(drive).or_insert(RepairRecord {
+                    drive,
+                    phase: RepairPhase::Failed,
+                    spare: None,
+                });
+                Ok(CheopsResponse::Ok)
+            }
+            CheopsRequest::StartRebuild { drive, spare } => {
+                let mut state = self.state.lock();
+                state.repairs.insert(
+                    drive,
+                    RepairRecord {
+                        drive,
+                        phase: RepairPhase::Rebuilding,
+                        spare: Some(spare),
+                    },
+                );
+                Ok(CheopsResponse::Ok)
+            }
+            CheopsRequest::CompleteRebuild { drive } => {
+                let mut state = self.state.lock();
+                match state.repairs.get_mut(&drive) {
+                    Some(r) => r.phase = RepairPhase::Rebuilt,
+                    None => {
+                        state.repairs.insert(
+                            drive,
+                            RepairRecord {
+                                drive,
+                                phase: RepairPhase::Rebuilt,
+                                spare: None,
+                            },
+                        );
+                    }
+                }
+                Ok(CheopsResponse::Ok)
+            }
+            CheopsRequest::RebuildStatus => {
+                let state = self.state.lock();
+                let mut repairs: Vec<RepairRecord> = state.repairs.values().copied().collect();
+                repairs.sort_by_key(|r| r.drive.0);
+                Ok(CheopsResponse::Repairs(repairs))
+            }
+            CheopsRequest::Layouts => {
+                let state = self.state.lock();
+                let mut layouts: Vec<(LogicalObjectId, Layout)> =
+                    state.maps.iter().map(|(id, l)| (*id, l.clone())).collect();
+                layouts.sort_by_key(|(id, _)| *id);
+                Ok(CheopsResponse::Layouts(layouts))
+            }
+            CheopsRequest::SwapComponent { id, slot, new } => {
+                let mut state = self.state.lock();
+                let layout = state
+                    .maps
+                    .get_mut(&id)
+                    .ok_or_else(|| FmError::NotFound(id.to_string()))?;
+                if layout.set_component(slot, new) {
+                    Ok(CheopsResponse::Ok)
+                } else {
+                    Err(FmError::Drive(nasd_proto::NasdStatus::BadRequest))
+                }
             }
         }
     }
@@ -520,6 +655,167 @@ mod tests {
         else {
             panic!("expired lease should evaporate");
         };
+    }
+
+    #[test]
+    fn stale_client_cannot_renew_after_expiry() {
+        let (rpc, fleet) = setup(2);
+        let CheopsResponse::Created(id) = rpc
+            .call(CheopsRequest::Create {
+                width: 2,
+                stripe_unit: 4096,
+                redundancy: Redundancy::None,
+            })
+            .unwrap()
+        else {
+            panic!();
+        };
+        // Client 1 takes a long exclusive lease and releases it early.
+        // Under the old group-level expiry this left a stale far-future
+        // deadline on the lease record.
+        let CheopsResponse::Leased { .. } = rpc
+            .call(CheopsRequest::Lease {
+                id,
+                client: 1,
+                kind: LeaseKind::Exclusive,
+                ttl: 10_000,
+            })
+            .unwrap()
+        else {
+            panic!("long lease failed");
+        };
+        rpc.call(CheopsRequest::Unlease { id, client: 1 }).unwrap();
+        // Client 2 takes a short exclusive lease; its expiry must be its
+        // own `now + ttl`, not the polluted group deadline.
+        let now = fleet.now();
+        let CheopsResponse::Leased { until } = rpc
+            .call(CheopsRequest::Lease {
+                id,
+                client: 2,
+                kind: LeaseKind::Exclusive,
+                ttl: 50,
+            })
+            .unwrap()
+        else {
+            panic!("short lease failed");
+        };
+        assert_eq!(until, now + 50, "expiry follows the holder's own ttl");
+        // Past client 2's expiry a third client must be granted...
+        fleet.advance_clock(100);
+        let CheopsResponse::Leased { .. } = rpc
+            .call(CheopsRequest::Lease {
+                id,
+                client: 3,
+                kind: LeaseKind::Exclusive,
+                ttl: 50,
+            })
+            .unwrap()
+        else {
+            panic!("expired exclusive lease must evaporate");
+        };
+        // ...and the stale client id must NOT renew over client 3.
+        let CheopsResponse::LeaseBusy { .. } = rpc
+            .call(CheopsRequest::Lease {
+                id,
+                client: 2,
+                kind: LeaseKind::Exclusive,
+                ttl: 50,
+            })
+            .unwrap()
+        else {
+            panic!("stale client renewed an expired lease");
+        };
+    }
+
+    #[test]
+    fn repair_records_track_phases() {
+        let (rpc, _fleet) = setup(2);
+        let d = DriveId(1);
+        let s = DriveId(9);
+        rpc.call(CheopsRequest::ReportFailure { drive: d }).unwrap();
+        // Reporting twice keeps the record.
+        rpc.call(CheopsRequest::ReportFailure { drive: d }).unwrap();
+        let CheopsResponse::Repairs(r) = rpc.call(CheopsRequest::RebuildStatus).unwrap() else {
+            panic!();
+        };
+        assert_eq!(
+            r,
+            vec![RepairRecord {
+                drive: d,
+                phase: RepairPhase::Failed,
+                spare: None
+            }]
+        );
+        rpc.call(CheopsRequest::StartRebuild { drive: d, spare: s })
+            .unwrap();
+        rpc.call(CheopsRequest::CompleteRebuild { drive: d })
+            .unwrap();
+        let CheopsResponse::Repairs(r) = rpc.call(CheopsRequest::RebuildStatus).unwrap() else {
+            panic!();
+        };
+        assert_eq!(
+            r,
+            vec![RepairRecord {
+                drive: d,
+                phase: RepairPhase::Rebuilt,
+                spare: Some(s)
+            }]
+        );
+    }
+
+    #[test]
+    fn swap_component_changes_subsequent_opens() {
+        let (rpc, fleet) = setup(3);
+        let CheopsResponse::Created(id) = rpc
+            .call(CheopsRequest::Create {
+                width: 2,
+                stripe_unit: 4096,
+                redundancy: Redundancy::None,
+            })
+            .unwrap()
+        else {
+            panic!();
+        };
+        // Put a real replacement object on drive index 2.
+        let ep = fleet.endpoint(2);
+        let p = fleet.partition();
+        let obj = ep.create_object(p, 0, None, fleet.now() + 3_600).unwrap();
+        let new = crate::map::Component {
+            drive: ep.id(),
+            partition: p,
+            object: obj,
+        };
+        // A bogus slot is rejected without touching the map.
+        let CheopsResponse::Err(_) = rpc
+            .call(CheopsRequest::SwapComponent {
+                id,
+                slot: ComponentSlot::Mirror(0),
+                new,
+            })
+            .unwrap()
+        else {
+            panic!("swap into a missing mirror slot must fail");
+        };
+        rpc.call(CheopsRequest::SwapComponent {
+            id,
+            slot: ComponentSlot::Primary(1),
+            new,
+        })
+        .unwrap();
+        let CheopsResponse::Opened(layout, caps) = rpc
+            .call(CheopsRequest::Open {
+                id,
+                rights: Rights::READ,
+            })
+            .unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(layout.columns[1].primary, new);
+        assert!(
+            caps.iter().any(|c| c.public.drive == new.drive),
+            "open mints a capability for the swapped-in component"
+        );
     }
 
     #[test]

@@ -62,6 +62,30 @@ pub struct Layout {
     pub parity: Option<Component>,
 }
 
+/// Names one component position inside a [`Layout`], independent of the
+/// physical [`Component`] currently occupying it. Storage management
+/// (rebuild onto a hot spare) swaps the component behind a slot without
+/// disturbing the striping math.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ComponentSlot {
+    /// The primary copy of column `i`.
+    Primary(usize),
+    /// The mirror copy of column `i`.
+    Mirror(usize),
+    /// The dedicated parity component.
+    Parity,
+}
+
+impl std::fmt::Display for ComponentSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComponentSlot::Primary(i) => write!(f, "primary[{i}]"),
+            ComponentSlot::Mirror(i) => write!(f, "mirror[{i}]"),
+            ComponentSlot::Parity => write!(f, "parity"),
+        }
+    }
+}
+
 /// A contiguous run of a logical access on one column.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ColumnRun {
@@ -125,6 +149,71 @@ impl Layout {
             pos += take;
         }
         runs
+    }
+
+    /// The component currently occupying `slot`, if the slot exists in
+    /// this layout.
+    #[must_use]
+    pub fn component(&self, slot: ComponentSlot) -> Option<Component> {
+        match slot {
+            ComponentSlot::Primary(i) => self.columns.get(i).map(|c| c.primary),
+            ComponentSlot::Mirror(i) => self.columns.get(i).and_then(|c| c.mirror),
+            ComponentSlot::Parity => self.parity,
+        }
+    }
+
+    /// Replace the component behind `slot` with `new`. Returns `false`
+    /// (and changes nothing) when the slot does not exist — a mirror slot
+    /// on an unmirrored column, a column index past the width, or the
+    /// parity slot of a layout without parity.
+    pub fn set_component(&mut self, slot: ComponentSlot, new: Component) -> bool {
+        match slot {
+            ComponentSlot::Primary(i) => match self.columns.get_mut(i) {
+                Some(c) => {
+                    c.primary = new;
+                    true
+                }
+                None => false,
+            },
+            ComponentSlot::Mirror(i) => match self.columns.get_mut(i) {
+                Some(c) if c.mirror.is_some() => {
+                    c.mirror = Some(new);
+                    true
+                }
+                _ => false,
+            },
+            ComponentSlot::Parity => {
+                if self.parity.is_some() {
+                    self.parity = Some(new);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Every slot whose component lives on `drive`, with the component.
+    /// Rebuild walks this list for each layout after a drive failure.
+    #[must_use]
+    pub fn slots_on_drive(&self, drive: DriveId) -> Vec<(ComponentSlot, Component)> {
+        let mut out = Vec::new();
+        for (i, col) in self.columns.iter().enumerate() {
+            if col.primary.drive == drive {
+                out.push((ComponentSlot::Primary(i), col.primary));
+            }
+            if let Some(m) = col.mirror {
+                if m.drive == drive {
+                    out.push((ComponentSlot::Mirror(i), m));
+                }
+            }
+        }
+        if let Some(p) = self.parity {
+            if p.drive == drive {
+                out.push((ComponentSlot::Parity, p));
+            }
+        }
+        out
     }
 
     /// Logical size implied by a column's component size: the logical

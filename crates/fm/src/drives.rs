@@ -23,6 +23,7 @@ use nasd_proto::{
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 static NEXT_SIGNER: AtomicU64 = AtomicU64::new(1000);
 
@@ -196,6 +197,29 @@ impl DriveEndpoint {
         )
     }
 
+    /// Build an administratively signed request (drive-key authority)
+    /// without sending it.
+    fn sign_admin(&self, body: &RequestBody) -> Request {
+        let nonce = self.next_nonce();
+        let digest = DriveSecurity::request_digest(
+            self.hierarchy.drive().as_bytes(),
+            nonce,
+            &body.to_wire(),
+            &[],
+            ProtectionLevel::ArgsIntegrity,
+        );
+        Request {
+            header: SecurityHeader {
+                protection: ProtectionLevel::ArgsIntegrity,
+                nonce,
+            },
+            capability: None,
+            body: body.clone(),
+            digest,
+            data: Bytes::new(),
+        }
+    }
+
     /// Administrative call authorized by the drive key, with the same
     /// retry behaviour as [`DriveEndpoint::call`].
     ///
@@ -203,31 +227,34 @@ impl DriveEndpoint {
     ///
     /// Drive statuses and, after retries exhaust, [`FmError::Unavailable`].
     pub fn admin(&self, body: RequestBody) -> Result<ReplyBody, FmError> {
-        let reply = self.call_signed(|| {
-            let nonce = self.next_nonce();
-            let digest = DriveSecurity::request_digest(
-                self.hierarchy.drive().as_bytes(),
-                nonce,
-                &body.to_wire(),
-                &[],
-                ProtectionLevel::ArgsIntegrity,
-            );
-            Request {
-                header: SecurityHeader {
-                    protection: ProtectionLevel::ArgsIntegrity,
-                    nonce,
-                },
-                capability: None,
-                body: body.clone(),
-                digest,
-                data: Bytes::new(),
-            }
-        })?;
+        let reply = self.call_signed(|| self.sign_admin(&body))?;
         if reply.status.is_ok() {
             Ok(reply.body)
         } else {
             Err(FmError::Drive(reply.status))
         }
+    }
+
+    /// Cheap liveness probe: an administratively signed `ListObjects`
+    /// exchange per attempt under a short `timeout`, bypassing the
+    /// endpoint's retry policy (a health sweep must not inherit the data
+    /// path's patience). Any reply — even an error status — proves the
+    /// drive's service loop is alive; only transport silence on every
+    /// attempt (timeout or disconnection) counts as dead. Multiple
+    /// attempts keep a single dropped message on a lossy channel from
+    /// reading as a dead drive.
+    #[must_use]
+    pub fn probe(&self, timeout: Duration, attempts: u32) -> bool {
+        let body = RequestBody::ListObjects {
+            partition: PartitionId(0),
+        };
+        for _ in 0..attempts.max(1) {
+            match self.rpc().call_timeout(self.sign_admin(&body), timeout) {
+                Ok(_) => return true,
+                Err(RpcError::TimedOut | RpcError::Disconnected) => {}
+            }
+        }
+        false
     }
 
     /// Create an object in `partition`.
@@ -610,6 +637,23 @@ impl DriveFleet {
         self.endpoints.iter().find(|e| e.id() == id)
     }
 
+    /// Index of a drive id within this fleet.
+    #[must_use]
+    pub fn index_of(&self, id: DriveId) -> Option<usize> {
+        self.endpoints.iter().position(|e| e.id() == id)
+    }
+
+    /// Liveness-probe drive `idx` (see [`DriveEndpoint::probe`]); the
+    /// health hook storage management sweeps. `false` for an
+    /// out-of-range index.
+    #[must_use]
+    pub fn probe(&self, idx: usize, timeout: Duration, attempts: u32) -> bool {
+        match self.endpoints.get(idx) {
+            Some(ep) => ep.probe(timeout, attempts),
+            None => false,
+        }
+    }
+
     /// All endpoints.
     #[must_use]
     pub fn endpoints(&self) -> &[Arc<DriveEndpoint>] {
@@ -732,6 +776,24 @@ mod tests {
             ep.read(&cap, 0, 0),
             Err(FmError::Drive(NasdStatus::AccessDenied))
         ));
+        f.shutdown();
+    }
+
+    #[test]
+    fn probe_distinguishes_live_from_crashed() {
+        let f = fleet(2);
+        let t = Duration::from_millis(50);
+        // A live drive answers (even though partition 0 does not exist —
+        // an error reply still proves liveness).
+        assert!(f.probe(0, t, 2));
+        assert!(f.probe(1, t, 2));
+        f.crash(1);
+        assert!(f.probe(0, t, 2));
+        assert!(!f.probe(1, t, 2), "crashed drive must fail the probe");
+        // Out-of-range indexes read as dead, not as a panic.
+        assert!(!f.probe(9, t, 2));
+        assert_eq!(f.index_of(DriveId(2)), Some(1));
+        assert_eq!(f.index_of(DriveId(99)), None);
         f.shutdown();
     }
 

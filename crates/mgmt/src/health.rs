@@ -1,0 +1,134 @@
+//! Drive-failure detection from RPC health signals.
+//!
+//! The monitor keeps a strike count per drive: each sweep probes every
+//! drive over its live RPC channel ([`DriveFleet::probe`]) and a drive
+//! that stays silent for `threshold` consecutive sweeps is declared
+//! failed exactly once. A single answered probe clears the count, so a
+//! drive limping through a lossy channel never accumulates strikes
+//! across sweeps it survived.
+
+use nasd_fm::DriveFleet;
+use nasd_proto::DriveId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Probe-derived view of one drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriveHealth {
+    /// Answered the most recent probe.
+    Up,
+    /// Silent for this many sweeps, below the failure threshold.
+    Suspect(u32),
+    /// Declared failed (threshold reached).
+    Down,
+}
+
+/// Consecutive-silence failure detector over a [`DriveFleet`].
+#[derive(Debug)]
+pub struct HealthMonitor {
+    threshold: u32,
+    strikes: Mutex<HashMap<u64, u32>>,
+}
+
+impl HealthMonitor {
+    /// A monitor that declares failure after `threshold` consecutive
+    /// silent sweeps (minimum 1).
+    #[must_use]
+    pub fn new(threshold: u32) -> Self {
+        HealthMonitor {
+            threshold: threshold.max(1),
+            strikes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Probe every drive once and return the drives that *newly*
+    /// crossed the failure threshold this sweep. Drives already
+    /// declared failed stay failed (their strike count saturates) and
+    /// are not re-reported; a drive that answers again after having
+    /// been declared failed is reset by [`HealthMonitor::mark_recovered`],
+    /// not silently here — recovery is an operator/service decision.
+    pub fn sweep(&self, fleet: &DriveFleet, timeout: Duration, attempts: u32) -> Vec<DriveId> {
+        let mut failed = Vec::new();
+        for (idx, ep) in fleet.endpoints().iter().enumerate() {
+            let alive = fleet.probe(idx, timeout, attempts);
+            if self.observe(ep.id(), alive) {
+                failed.push(ep.id());
+            }
+        }
+        failed
+    }
+
+    /// Record one probe result; returns `true` when this observation
+    /// newly crosses the failure threshold.
+    pub fn observe(&self, drive: DriveId, alive: bool) -> bool {
+        let mut strikes = self.strikes.lock();
+        let count = strikes.entry(drive.0).or_insert(0);
+        if alive {
+            if *count < self.threshold {
+                *count = 0;
+            }
+            return false;
+        }
+        if *count >= self.threshold {
+            return false;
+        }
+        *count += 1;
+        *count == self.threshold
+    }
+
+    /// Current health of `drive`.
+    #[must_use]
+    pub fn health(&self, drive: DriveId) -> DriveHealth {
+        let strikes = self.strikes.lock();
+        match strikes.get(&drive.0).copied().unwrap_or(0) {
+            0 => DriveHealth::Up,
+            n if n >= self.threshold => DriveHealth::Down,
+            n => DriveHealth::Suspect(n),
+        }
+    }
+
+    /// Forget a drive's failure history (after it is repaired/replaced
+    /// and rejoins service, e.g. as a fresh spare).
+    pub fn mark_recovered(&self, drive: DriveId) {
+        self.strikes.lock().remove(&drive.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_crossing_reports_once() {
+        let m = HealthMonitor::new(2);
+        let d = DriveId(3);
+        assert_eq!(m.health(d), DriveHealth::Up);
+        assert!(!m.observe(d, false));
+        assert_eq!(m.health(d), DriveHealth::Suspect(1));
+        assert!(m.observe(d, false), "second strike crosses the threshold");
+        assert_eq!(m.health(d), DriveHealth::Down);
+        assert!(
+            !m.observe(d, false),
+            "already-failed drives not re-reported"
+        );
+        // Answers after failure don't quietly resurrect the drive...
+        assert!(!m.observe(d, true));
+        assert_eq!(m.health(d), DriveHealth::Down);
+        // ...until explicitly recovered.
+        m.mark_recovered(d);
+        assert_eq!(m.health(d), DriveHealth::Up);
+    }
+
+    #[test]
+    fn answered_probe_clears_strikes() {
+        let m = HealthMonitor::new(3);
+        let d = DriveId(1);
+        assert!(!m.observe(d, false));
+        assert!(!m.observe(d, false));
+        assert!(!m.observe(d, true), "one answer resets the count");
+        assert!(!m.observe(d, false));
+        assert!(!m.observe(d, false));
+        assert!(m.observe(d, false), "silence must again be consecutive");
+    }
+}

@@ -1,0 +1,44 @@
+//! nasd-mgmt — storage management for Cheops redundancy.
+//!
+//! The paper's Cheops layer exists so that "storage management
+//! functions" — redundancy maintenance, reconstruction, migration —
+//! live *above* commodity NASD drives. The Cheops client library
+//! already tolerates a failure (degraded reads via mirror or parity
+//! fallback); this crate is the half that *repairs* one:
+//!
+//! - a [`HealthMonitor`] sweeps the fleet with short-timeout liveness
+//!   probes and declares a drive failed after a configurable number of
+//!   consecutive silent sweeps,
+//! - a [`SparePool`] holds hot spares,
+//! - the rebuild engine reconstructs every component of the failed
+//!   drive onto a spare — copying a mirror, or XORing surviving
+//!   columns with parity — and then atomically swaps the logical-object
+//!   map in the Cheops manager so subsequent `Open`s mint capabilities
+//!   for the new component,
+//! - rebuild I/O is throttled through a [`nasd_net::RatePacer`] token
+//!   bucket so foreground traffic degrades gracefully instead of
+//!   collapsing (the degraded-vs-rebuild trade-off is a measurable
+//!   curve: `cargo run -p nasd-bench --bin rebuild`),
+//! - a scrubber walks stripes verifying parity/mirror agreement and
+//!   repairing latent errors before a second failure makes them fatal.
+//!
+//! Like the Cheops manager itself, `nasd-mgmt` is control plane only:
+//! reconstruction data flows directly between the drives' RPC channels
+//! and this service, never through the manager.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod health;
+mod rebuild;
+mod scrub;
+mod service;
+mod spare;
+
+pub use config::MgmtConfig;
+pub use health::{DriveHealth, HealthMonitor};
+pub use rebuild::{RebuildOutcome, SlotFate};
+pub use scrub::ScrubOutcome;
+pub use service::{CheckReport, MgmtError, MgmtRequest, MgmtResponse, NasdMgmt};
+pub use spare::SparePool;

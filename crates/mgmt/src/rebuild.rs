@@ -1,0 +1,252 @@
+//! Online reconstruction of a failed drive onto a hot spare.
+//!
+//! The rebuild state machine, per failed drive:
+//!
+//! 1. claim a spare from the pool (`Failed → Rebuilding`, recorded in
+//!    the manager so operators and the chaos suite can watch),
+//! 2. snapshot every layout and walk the slots living on the dead
+//!    drive; for each, under an exclusive lease on the logical object:
+//!    copy the mirror twin, or XOR the surviving columns with parity,
+//!    into a fresh object on the spare — chunked, throttled through the
+//!    rebuild [`nasd_net::RatePacer`],
+//!    then `SwapComponent` the layout slot to the new component (the
+//!    map swap is atomic under the manager's state lock; an `Open`
+//!    sees either the old component or the new one, never a torn
+//!    layout),
+//! 3. `Rebuilding → Rebuilt` once no layout references the drive.
+//!
+//! A reconstructed column's exact pre-failure length is unrecoverable
+//! (the failed drive held it); the engine rebuilds `max(survivor
+//! sizes)` bytes instead. Bytes past the true length XOR to zero, and
+//! all-zero chunks are skipped on write, so the spare's object reads
+//! back byte-identical: unwritten object space reads as zero.
+
+use crate::service::{all_zero, write_chunk, MgmtError, NasdMgmt, SourceReader};
+use nasd_cheops::{CheopsRequest, Component, ComponentSlot, Layout, LogicalObjectId, Redundancy};
+use nasd_proto::DriveId;
+
+/// What happened to one layout slot during a rebuild.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlotFate {
+    /// Reconstructed onto the spare and swapped into the map.
+    Rebuilt {
+        /// Bytes written to the spare (all-zero chunks skipped).
+        bytes: u64,
+    },
+    /// Unprotected data (`Redundancy::None`, or a column with no
+    /// mirror): nothing to reconstruct from. The slot keeps pointing at
+    /// the dead drive and reads keep failing, exactly as before the
+    /// rebuild.
+    Lost,
+}
+
+/// What one drive's reconstruction did.
+#[derive(Clone, Debug, Default)]
+pub struct RebuildOutcome {
+    /// The spare that absorbed the drive.
+    pub spare: Option<DriveId>,
+    /// Logical objects that had at least one slot on the drive.
+    pub objects: u64,
+    /// Slots reconstructed and swapped.
+    pub components: u64,
+    /// Bytes read from survivors per reconstructed slot, summed (the
+    /// amount of reconstruction the pacer throttled).
+    pub bytes: u64,
+    /// Slots with no redundancy to rebuild from.
+    pub lost: Vec<(LogicalObjectId, ComponentSlot)>,
+    /// Objects skipped because their exclusive lease stayed busy; the
+    /// drive stays `Rebuilding` and a later cycle retries.
+    pub busy: Vec<LogicalObjectId>,
+}
+
+impl NasdMgmt {
+    /// Reconstruct every component of `failed` onto a spare and swap
+    /// the logical-object maps. Idempotent per slot: only slots still
+    /// referencing `failed` are touched, so a retried rebuild resumes
+    /// where the previous attempt stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`MgmtError::NoSpare`] with the pool empty; survivor read
+    /// failures (e.g. a second drive died — reconstruction is then
+    /// impossible and the drive record stays `Rebuilding`). The claimed
+    /// spare is *not* returned to the pool on error or stall: it may
+    /// already hold swapped-in live components. A retry finds it in the
+    /// drive's repair record and resumes onto it, touching only slots
+    /// that still reference the dead drive.
+    pub fn rebuild_drive(&self, failed: DriveId) -> Result<RebuildOutcome, MgmtError> {
+        // Resume onto a previously assigned spare if an earlier attempt
+        // stalled or failed; otherwise claim a fresh one.
+        let assigned = self
+            .repairs()?
+            .into_iter()
+            .find(|r| r.drive == failed)
+            .and_then(|r| r.spare);
+        let spare = match assigned {
+            Some(s) => s,
+            None => self.spares.take().ok_or(MgmtError::NoSpare)?,
+        };
+        self.mgr_ok(CheopsRequest::StartRebuild {
+            drive: failed,
+            spare,
+        })?;
+        self.obs.rebuilds_started.inc();
+        self.obs.rebuild_active.add(1);
+        let t0 = self.fleet.now();
+        self.trace("rebuild-start", Some(failed), format!("spare {}", spare.0));
+        let result = self.rebuild_onto(failed, spare);
+        self.obs.rebuild_active.add(-1);
+        let t1 = self.fleet.now();
+        if t1 > t0 {
+            self.obs.rebuild_busy.record_busy(
+                nasd_obs::SimTime::from_secs(t0),
+                nasd_obs::SimTime::from_secs(t1),
+            );
+        }
+        let mut outcome = result?;
+        outcome.spare = Some(spare);
+        if outcome.busy.is_empty() {
+            self.mgr_ok(CheopsRequest::CompleteRebuild { drive: failed })?;
+            self.obs.rebuilds_completed.inc();
+            self.trace(
+                "rebuild-done",
+                Some(failed),
+                format!(
+                    "{} components, {} bytes onto spare {}",
+                    outcome.components, outcome.bytes, spare.0
+                ),
+            );
+        } else {
+            self.trace(
+                "rebuild-stalled",
+                Some(failed),
+                format!("{} objects lease-busy", outcome.busy.len()),
+            );
+        }
+        Ok(outcome)
+    }
+
+    fn rebuild_onto(&self, failed: DriveId, spare: DriveId) -> Result<RebuildOutcome, MgmtError> {
+        let mut outcome = RebuildOutcome::default();
+        for (id, layout) in self.layouts()? {
+            if layout.slots_on_drive(failed).is_empty() {
+                continue;
+            }
+            outcome.objects += 1;
+            let rebuilt = self.with_exclusive_lease(id, || {
+                // Re-snapshot under the lease: the layout may have been
+                // swapped or removed since the walk began.
+                let Some((_, layout)) = self.layouts()?.into_iter().find(|(other, _)| *other == id)
+                else {
+                    return Ok(Vec::new());
+                };
+                let mut fates = Vec::new();
+                for (slot, _) in layout.slots_on_drive(failed) {
+                    fates.push((slot, self.rebuild_slot(id, &layout, slot, spare)?));
+                }
+                Ok(fates)
+            })?;
+            match rebuilt {
+                None => outcome.busy.push(id),
+                Some(fates) => {
+                    for (slot, fate) in fates {
+                        match fate {
+                            SlotFate::Rebuilt { bytes } => {
+                                outcome.components += 1;
+                                outcome.bytes += bytes;
+                                self.obs.rebuild_components.inc();
+                            }
+                            SlotFate::Lost => outcome.lost.push((id, slot)),
+                        }
+                    }
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Reconstruct one slot of `layout` onto `spare` and swap the map.
+    fn rebuild_slot(
+        &self,
+        id: LogicalObjectId,
+        layout: &Layout,
+        slot: ComponentSlot,
+        spare: DriveId,
+    ) -> Result<SlotFate, MgmtError> {
+        // Pick the surviving sources. One source = plain copy; several =
+        // XOR reconstruction (parity math).
+        let sources: Vec<Component> = match slot {
+            ComponentSlot::Primary(i) => match layout.redundancy {
+                Redundancy::None => return Ok(SlotFate::Lost),
+                Redundancy::Mirrored => match layout.component(ComponentSlot::Mirror(i)) {
+                    Some(m) => vec![m],
+                    None => return Ok(SlotFate::Lost),
+                },
+                Redundancy::Parity => {
+                    let mut v: Vec<Component> = layout
+                        .columns
+                        .iter()
+                        .enumerate()
+                        .filter(|(c, _)| *c != i)
+                        .map(|(_, col)| col.primary)
+                        .collect();
+                    match layout.parity {
+                        Some(p) => v.push(p),
+                        None => return Ok(SlotFate::Lost),
+                    }
+                    v
+                }
+            },
+            ComponentSlot::Mirror(i) => match layout.component(ComponentSlot::Primary(i)) {
+                Some(p) => vec![p],
+                None => return Ok(SlotFate::Lost),
+            },
+            ComponentSlot::Parity => layout.columns.iter().map(|c| c.primary).collect(),
+        };
+        if sources.is_empty() {
+            return Ok(SlotFate::Lost);
+        }
+        let dead = layout.component(slot).ok_or(MgmtError::Protocol("slot"))?;
+        let readers: Vec<SourceReader> = sources
+            .into_iter()
+            .map(|c| self.reader(c))
+            .collect::<Result<_, _>>()?;
+        let mut len = 0u64;
+        for r in &readers {
+            len = len.max(r.size()?);
+        }
+        let (ep, cap, object) = self.writer(spare, dead.partition)?;
+        let chunk = self.config.rebuild_chunk.max(1);
+        let mut offset = 0u64;
+        let mut moved = 0u64;
+        while offset < len {
+            let n = chunk.min(len - offset);
+            // Throttle *before* the transfer: the token bucket meters
+            // reconstruction progress, foreground traffic fills the gaps.
+            self.rebuild_pacer.debit(n);
+            let mut acc = match readers.first() {
+                Some(r) => r.read_padded(offset, n)?,
+                None => return Ok(SlotFate::Lost),
+            };
+            for r in readers.iter().skip(1) {
+                crate::service::xor_into(&mut acc, &r.read_padded(offset, n)?);
+            }
+            if !all_zero(&acc) {
+                write_chunk(&ep, &cap, offset, acc)?;
+            }
+            self.obs.rebuild_bytes.add(n);
+            moved += n;
+            offset += n;
+        }
+        self.mgr_ok(CheopsRequest::SwapComponent {
+            id,
+            slot,
+            new: Component {
+                drive: spare,
+                partition: dead.partition,
+                object,
+            },
+        })?;
+        Ok(SlotFate::Rebuilt { bytes: moved })
+    }
+}

@@ -1,0 +1,83 @@
+//! The hot-spare pool.
+
+use nasd_proto::DriveId;
+use parking_lot::Mutex;
+
+/// Drives held in reserve for reconstruction targets. Spares are
+/// ordinary fleet members that no layout references; taking one hands
+/// it to the rebuild engine, which fills it with reconstructed
+/// components and swaps it into the logical-object maps.
+#[derive(Debug)]
+pub struct SparePool {
+    free: Mutex<Vec<DriveId>>,
+}
+
+impl SparePool {
+    /// A pool holding `spares`.
+    #[must_use]
+    pub fn new(spares: Vec<DriveId>) -> Self {
+        SparePool {
+            free: Mutex::new(spares),
+        }
+    }
+
+    /// Claim a spare (lowest drive id first, for determinism), or
+    /// `None` when the pool is exhausted.
+    pub fn take(&self) -> Option<DriveId> {
+        let mut free = self.free.lock();
+        let min = free.iter().enumerate().min_by_key(|(_, d)| d.0);
+        let idx = min.map(|(i, _)| i)?;
+        Some(free.swap_remove(idx))
+    }
+
+    /// Return (or add) a spare to the pool.
+    pub fn put(&self, drive: DriveId) {
+        let mut free = self.free.lock();
+        if !free.contains(&drive) {
+            free.push(drive);
+        }
+    }
+
+    /// Drop `drive` from the pool (it failed while in reserve).
+    /// Returns whether it was present.
+    pub fn remove(&self, drive: DriveId) -> bool {
+        let mut free = self.free.lock();
+        let before = free.len();
+        free.retain(|d| *d != drive);
+        free.len() != before
+    }
+
+    /// How many spares are free.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Snapshot of the free spares, sorted by drive id.
+    #[must_use]
+    pub fn free(&self) -> Vec<DriveId> {
+        let mut v = self.free.lock().clone();
+        v.sort_by_key(|d| d.0);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_deterministic_and_exhaustible() {
+        let p = SparePool::new(vec![DriveId(9), DriveId(4), DriveId(7)]);
+        assert_eq!(p.available(), 3);
+        assert_eq!(p.take(), Some(DriveId(4)), "lowest id first");
+        assert_eq!(p.take(), Some(DriveId(7)));
+        assert_eq!(p.take(), Some(DriveId(9)));
+        assert_eq!(p.take(), None);
+        p.put(DriveId(7));
+        p.put(DriveId(7));
+        assert_eq!(p.available(), 1, "put is idempotent");
+        assert!(p.remove(DriveId(7)));
+        assert!(!p.remove(DriveId(7)));
+    }
+}

@@ -9,7 +9,7 @@ use crate::{crate_of, RawFinding, Source};
 /// replays diverge. `net` is included: its single legitimate pacing sleep
 /// carries an explicit suppression.
 pub(crate) const D1_CRATES: &[&str] = &[
-    "sim", "disk", "object", "proto", "cheops", "fm", "pfs", "net", "obs",
+    "sim", "disk", "object", "proto", "cheops", "fm", "pfs", "net", "obs", "mgmt",
 ];
 
 /// Request-path modules that must return `NasdStatus` errors rather than
@@ -29,6 +29,11 @@ pub(crate) const P1_FILES: &[&str] = &[
     "crates/fm/src/dirfmt.rs",
     "crates/cheops/src/manager.rs",
     "crates/cheops/src/client.rs",
+    "crates/mgmt/src/service.rs",
+    "crates/mgmt/src/rebuild.rs",
+    "crates/mgmt/src/scrub.rs",
+    "crates/mgmt/src/health.rs",
+    "crates/mgmt/src/spare.rs",
     "crates/obs/src/metrics.rs",
     "crates/obs/src/trace.rs",
 ];

@@ -21,6 +21,7 @@
 //! | [`ffs`] | the FFS-like local filesystem baseline |
 //! | [`fm`] | NASD-NFS, NASD-AFS and the store-and-forward NFS server |
 //! | [`cheops`] | striped/mirrored logical objects over drive fleets |
+//! | [`mgmt`] | storage management: failure detection, hot spares, rebuild, scrub |
 //! | [`pfs`] | the SIO-style parallel filesystem |
 //! | [`mining`] | frequent-sets mining and the transaction generator |
 //! | [`active`] | Active Disks: on-drive functions |
@@ -54,6 +55,7 @@ pub use nasd_crypto as crypto;
 pub use nasd_disk as disk;
 pub use nasd_ffs as ffs;
 pub use nasd_fm as fm;
+pub use nasd_mgmt as mgmt;
 pub use nasd_mining as mining;
 pub use nasd_net as net;
 pub use nasd_object as object;

@@ -26,5 +26,5 @@ pub use fault::{
 };
 pub use model::{LinkSpec, NetworkModel, NodeId, RpcCostModel};
 pub use options::{CallOptions, CallStats};
-pub use pacing::pace;
+pub use pacing::{pace, RatePacer};
 pub use rpc::{spawn_service, Rpc, RpcError, ServiceHandle};

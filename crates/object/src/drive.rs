@@ -36,7 +36,7 @@ pub struct DriveConfig {
     pub security_enabled: bool,
     /// Write-through durability: checkpoint drive metadata and flush the
     /// cache after every successful mutating request, so an acknowledged
-    /// write survives a power cycle ([`NasdDrive::open`] recovers it).
+    /// write survives a power cycle ([`DriveBuilder::open`] recovers it).
     /// Costs a metadata write per mutation; meant for crash testing and
     /// durability-critical deployments, not throughput runs.
     pub durable_writes: bool,
@@ -225,9 +225,9 @@ pub struct NasdDrive<D = MemDisk> {
     obs: Option<DriveObs>,
 }
 
-/// Fluent constructor for [`NasdDrive`], the single entry point for
-/// every way a drive used to be built (`with_memory`, `new`, `open`,
-/// plus ad-hoc `set_faults` calls after the fact).
+/// Fluent constructor for [`NasdDrive`] — the single way a drive is
+/// built, whether fresh in memory, over an arbitrary device, or
+/// remounted from a checkpoint.
 ///
 /// # Example
 ///
@@ -357,13 +357,6 @@ impl NasdDrive<MemDisk> {
             trace: None,
         }
     }
-
-    /// Create a drive backed by memory, with keys derived from a seed.
-    #[deprecated(note = "use NasdDrive::builder(n).config(..).build()")]
-    #[must_use]
-    pub fn with_memory(config: DriveConfig, drive_number: u64) -> Self {
-        NasdDrive::builder(drive_number).config(config).build()
-    }
 }
 
 impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
@@ -413,31 +406,8 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
         })
     }
 
-    /// Create a drive over `device`. `master_seed` roots the key
-    /// hierarchy (the drive owner's level-1 secret).
-    #[deprecated(note = "use NasdDrive::builder(n).master_seed(..).build_on(device)")]
-    #[must_use]
-    pub fn new(device: D, config: DriveConfig, id: DriveId, master_seed: [u8; 32]) -> Self {
-        NasdDrive::init(device, config, id, master_seed)
-    }
-
-    /// Remount a checkpointed device (see [`NasdDrive::checkpoint`]).
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::NotFormatted`] when the device holds no checkpoint.
-    #[deprecated(note = "use NasdDrive::builder(n).master_seed(..).open(device)")]
-    pub fn open(
-        device: D,
-        config: DriveConfig,
-        id: DriveId,
-        master_seed: [u8; 32],
-    ) -> Result<Self, StoreError> {
-        NasdDrive::reopen(device, config, id, master_seed)
-    }
-
     /// Flush all data and persist the drive's metadata so the device can
-    /// be remounted with [`NasdDrive::open`].
+    /// be remounted with [`DriveBuilder::open`].
     ///
     /// # Errors
     ///
