@@ -142,7 +142,10 @@ impl<D: BlockDevice> ActiveDrive<D> {
             }
             scanned += data.len() as u64;
             offset += data.len() as u64;
-            function.process(&data);
+            // Functions see contiguous bytes; flatten each granularity
+            // chunk here, on the drive-resident side, where the copy is
+            // the point (data never crosses the wire).
+            function.process(&data.flatten());
             if (data.len() as u64) < granularity {
                 break;
             }

@@ -10,7 +10,45 @@
 
 use nasd::obs::{BenchReport, Json, BENCH_SUITE_SCHEMA};
 use nasd_bench::report;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter bumps do not allocate.
+// Twin of the allocator in `perf.rs` — it lives in the binaries because
+// the library crates all carry `#![forbid(unsafe_code)]`.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn probe() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,8 +67,8 @@ fn baseline(rest: &[String]) -> ExitCode {
         eprintln!("usage: benchjson baseline <out.json>");
         return ExitCode::FAILURE;
     };
-    eprintln!("running the full bench suite (9 experiments)...");
-    let suite = report::suite();
+    eprintln!("running the full bench suite (10 experiments)...");
+    let suite = report::suite_with(Some(probe));
     let json = BenchReport::suite_to_json(&suite);
     if let Err(e) = std::fs::write(out, json.to_pretty_string()) {
         eprintln!("benchjson: write {out}: {e}");

@@ -1,0 +1,121 @@
+//! Wall-clock / allocation perf harness for the zero-copy data path.
+//!
+//! ```text
+//! perf [--json <path>] [--max-allocs-per-cached-read <n>]
+//! ```
+//!
+//! Prints one row per workload (cached reads, sequential writes, a
+//! request-size sweep, simulator stepping) with wall-clock ns/op,
+//! throughput, heap allocations, and payload bytes memcpied per
+//! operation. `--max-allocs-per-cached-read` turns the harness into a CI
+//! tripwire: exit non-zero when a cached 64 KiB read allocates more than
+//! the committed budget.
+//!
+//! The counting allocator lives here, not in the library: installing a
+//! `#[global_allocator]` requires `unsafe impl GlobalAlloc`, and every
+//! library crate in this workspace carries `#![forbid(unsafe_code)]`.
+//! The `benchjson` binary hosts an identical twin for baseline runs.
+
+use nasd_bench::{perf, report};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter bumps do not allocate
+// and relaxed ordering is fine for monotonic tallies read after the fact.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn probe() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+fn max_allocs_arg() -> Option<f64> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--max-allocs-per-cached-read" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let rows = perf::run(Some(probe));
+
+    println!("Data-path / simulator perf (wall-clock, counting allocator)");
+    println!(
+        "{:<12} {:>8} {:>8} {:>12} {:>9} {:>10} {:>12} {:>12} {:>10}",
+        "workload",
+        "size",
+        "ops",
+        "ns/op",
+        "MB/s",
+        "allocs/op",
+        "allocB/op",
+        "copied/op",
+        "evalloc/op"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>8} {:>8} {:>12.0} {:>9.1} {:>10.2} {:>12.0} {:>12.0} {:>10.3}",
+            r.workload,
+            r.size,
+            r.ops,
+            r.ns_per_op,
+            r.mb_s,
+            r.allocs_per_op,
+            r.alloc_bytes_per_op,
+            r.bytes_copied_per_op,
+            r.event_allocs_per_op
+        );
+    }
+
+    report::emit(&report::perf_report(&rows, true));
+
+    if let Some(budget) = max_allocs_arg() {
+        let cached = rows
+            .iter()
+            .find(|r| r.workload == "cached_read")
+            .expect("cached_read row");
+        if cached.allocs_per_op > budget {
+            eprintln!(
+                "perf: cached 64 KiB read allocates {:.2}/op, budget is {budget} — \
+                 the zero-copy data path regressed",
+                cached.allocs_per_op
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "perf: cached read allocs/op {:.2} within budget {budget}",
+            cached.allocs_per_op
+        );
+    }
+    ExitCode::SUCCESS
+}

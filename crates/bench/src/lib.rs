@@ -17,6 +17,7 @@
 //! | [`active`] | Active Disks frequent-sets vs the client-based run |
 //! | [`ablations`] | design-choice sweeps: RPC cost, stripe unit, crypto, CPU |
 //! | [`rebuild`] | degraded bandwidth vs. nasd-mgmt reconstruction throttle |
+//! | [`perf`] | wall-clock/allocation costs of the zero-copy data path |
 //!
 //! Every binary also accepts `--json <path>` and writes a versioned
 //! [`nasd::obs::BenchReport`](nasd::obs) built by the [`report`] module;
@@ -33,6 +34,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod fig9;
+pub mod perf;
 pub mod rebuild;
 pub mod report;
 pub mod table;

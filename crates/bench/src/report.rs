@@ -11,7 +11,7 @@ use nasd::obs::{BenchReport, Json, Registry};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use crate::{ablations, active, andrew, fig4, fig6, fig7, fig9, rebuild, table1};
+use crate::{ablations, active, andrew, fig4, fig6, fig7, fig9, perf, rebuild, table1};
 
 /// Parse `--json <path>` from the process arguments.
 #[must_use]
@@ -244,10 +244,57 @@ pub fn rebuild_report(rows: &[rebuild::RebuildRow]) -> BenchReport {
     r
 }
 
-/// Run every experiment and return all nine reports — the payload of
-/// `BENCH_baseline.json`.
+/// Wall-clock/allocation perf rows as a report.
+///
+/// Unlike the figure reports, the numbers here are host measurements and
+/// change run to run; the *shape* (workloads, copy counts) is what
+/// downstream readers should compare. `probe_installed` records whether
+/// the producing binary had a counting allocator, so a zero in the alloc
+/// columns is distinguishable from "not measured".
 #[must_use]
-pub fn suite() -> Vec<BenchReport> {
+pub fn perf_report(rows: &[perf::PerfRow], probe_installed: bool) -> BenchReport {
+    let mut r = BenchReport::new("perf")
+        .with_config(
+            "unit",
+            Json::str("wall-clock ns / heap allocs / bytes memcpied"),
+        )
+        .with_config(
+            "alloc_probe",
+            Json::str(if probe_installed {
+                "installed"
+            } else {
+                "absent"
+            }),
+        );
+    for row in rows {
+        r.push_row(vec![
+            ("workload", Json::str(row.workload)),
+            ("size", Json::num_u64(row.size)),
+            ("ops", Json::num_u64(row.ops)),
+            ("ns_per_op", num(row.ns_per_op)),
+            ("mb_s", num(row.mb_s)),
+            ("allocs_per_op", num(row.allocs_per_op)),
+            ("alloc_bytes_per_op", num(row.alloc_bytes_per_op)),
+            ("bytes_copied_per_op", num(row.bytes_copied_per_op)),
+            ("event_allocs_per_op", num(row.event_allocs_per_op)),
+        ]);
+    }
+    if let Some(cached) = rows.iter().find(|r| r.workload == "cached_read") {
+        r = r
+            .with_derived("cached_read_allocs_per_op", cached.allocs_per_op)
+            .with_derived(
+                "cached_read_bytes_copied_per_op",
+                cached.bytes_copied_per_op,
+            );
+    }
+    r
+}
+
+/// Run every experiment and return all ten reports — the payload of
+/// `BENCH_baseline.json`. `probe` is the producing binary's counting
+/// allocator, when it installed one (see [`perf_report`]).
+#[must_use]
+pub fn suite_with(probe: Option<perf::AllocProbe>) -> Vec<BenchReport> {
     vec![
         fig4_report(&fig4::run()),
         fig6_report(&fig6::run()),
@@ -258,7 +305,14 @@ pub fn suite() -> Vec<BenchReport> {
         active_report(&active::run()),
         ablations_report(),
         rebuild_report(&rebuild::run()),
+        perf_report(&perf::run(probe), probe.is_some()),
     ]
+}
+
+/// [`suite_with`] without an allocator probe.
+#[must_use]
+pub fn suite() -> Vec<BenchReport> {
+    suite_with(None)
 }
 
 #[cfg(test)]

@@ -564,7 +564,9 @@ impl AfsClient {
         }
         let (cap, attrs) = self.fetch_read(fh)?;
         let ep = self.fleet.resolve(fh)?;
-        let data = ep.read(&cap, 0, attrs.size)?;
+        // The AFS whole-file cache wants one contiguous buffer it can
+        // hand out repeatedly; flatten the rope once on fetch.
+        let data = Bytes::from(ep.read(&cap, 0, attrs.size)?);
         self.cache.lock().insert(fh, data.clone());
         Ok(data)
     }
@@ -579,9 +581,12 @@ impl AfsClient {
         let grow = data.len() as u64 + 4_096;
         let (cap, _attrs) = self.fetch_write(fh, grow)?;
         let ep = self.fleet.resolve(fh)?;
-        ep.write(&cap, 0, Bytes::copy_from_slice(data))?;
+        // nasd-lint: allow(hot-path-copy, "single ingest copy shared by the drive write and the whole-file cache")
+        let bytes = Bytes::copy_from_slice(data);
+        ep.write(&cap, 0, bytes.clone())?;
         self.relinquish(fh, true)?;
-        self.cache.lock().insert(fh, Bytes::copy_from_slice(data));
+        // O(1) clone of the same buffer — no second ingest copy.
+        self.cache.lock().insert(fh, bytes);
         Ok(())
     }
 

@@ -7,7 +7,7 @@
 //! and the parallel filesystem are all built on these.
 
 use crate::handle::{FileHandle, FmError};
-use bytes::Bytes;
+use bytes::{ByteRope, Bytes};
 use nasd_crypto::KeyHierarchy;
 use nasd_disk::{MemDisk, SharedDisk};
 use nasd_net::{
@@ -284,12 +284,14 @@ impl DriveEndpoint {
         }
     }
 
-    /// Read object data with `cap`.
+    /// Read object data with `cap`. The payload is a scatter-gather
+    /// rope decoded straight out of the reply buffer; flatten only at
+    /// the consumer that truly needs contiguous bytes.
     ///
     /// # Errors
     ///
     /// Drive statuses and transport failures.
-    pub fn read(&self, cap: &Capability, offset: u64, len: u64) -> Result<Bytes, FmError> {
+    pub fn read(&self, cap: &Capability, offset: u64, len: u64) -> Result<ByteRope, FmError> {
         let (partition, object) = (cap.public.partition, cap.public.object);
         match self.call(
             cap,
@@ -716,7 +718,7 @@ mod tests {
         );
         ep.write(&cap, 0, Bytes::from_static(b"over the wire"))
             .unwrap();
-        assert_eq!(&ep.read(&cap, 5, 3).unwrap()[..], b"the");
+        assert_eq!(ep.read(&cap, 5, 3).unwrap(), b"the");
         let attrs = ep.get_attr(&cap).unwrap();
         assert_eq!(attrs.size, 13);
         f.shutdown();

@@ -446,8 +446,8 @@ impl SourceReader {
         let data = self.ep.read(&self.cap, offset, len)?;
         let mut out = vec![0u8; len as usize];
         let n = data.len().min(out.len());
-        if let (Some(dst), Some(src)) = (out.get_mut(..n), data.get(..n)) {
-            dst.copy_from_slice(src);
+        if data.copy_to(&mut out) != n {
+            return Err(MgmtError::Protocol("short copy from drive read"));
         }
         Ok(out)
     }
@@ -554,7 +554,7 @@ mod tests {
         let file = client.open(id, Rights::READ | Rights::WRITE).unwrap();
         assert!(file.layout.slots_on_drive(failed).is_empty());
         let back = client.read(&file, 0, data.len() as u64).unwrap();
-        assert_eq!(&back[..], &data[..], "rebuilt reads must be byte-identical");
+        assert_eq!(back, data, "rebuilt reads must be byte-identical");
 
         // Parity stayed consistent: writes after the rebuild work and a
         // *different* drive's loss is still survivable (degraded read).
@@ -564,7 +564,7 @@ mod tests {
         let mut expect = data.clone();
         expect[100 << 10..(100 << 10) + more.len()].copy_from_slice(&more);
         let back = client.read(&file, 0, expect.len() as u64).unwrap();
-        assert_eq!(&back[..], &expect[..], "degraded read after rebuild");
+        assert_eq!(back, expect, "degraded read after rebuild");
     }
 
     #[test]
@@ -588,7 +588,7 @@ mod tests {
         let file = client.open(id, Rights::READ).unwrap();
         assert!(file.layout.slots_on_drive(failed).is_empty());
         let back = client.read(&file, 0, data.len() as u64).unwrap();
-        assert_eq!(&back[..], &data[..]);
+        assert_eq!(back, data);
     }
 
     #[test]
@@ -628,7 +628,7 @@ mod tests {
         // drive and read degraded.
         fleet.crash(0);
         let back = client.read(&file, 0, data.len() as u64).unwrap();
-        assert_eq!(&back[..], &data[..], "degraded read off repaired parity");
+        assert_eq!(back, data, "degraded read off repaired parity");
     }
 
     #[test]
@@ -660,7 +660,7 @@ mod tests {
         let idx = fleet.index_of(primary_drive).unwrap();
         fleet.crash(idx);
         let back = client.read(&file, 0, data.len() as u64).unwrap();
-        assert_eq!(&back[..], &data[..]);
+        assert_eq!(back, data);
     }
 
     #[test]
@@ -693,7 +693,7 @@ mod tests {
 
         let file = client.open(id, Rights::READ).unwrap();
         let back = client.read(&file, 0, data.len() as u64).unwrap();
-        assert_eq!(&back[..], &data[..]);
+        assert_eq!(back, data);
     }
 
     #[test]
@@ -780,7 +780,7 @@ mod tests {
         );
         let file = client.open(id, Rights::READ).unwrap();
         let back = client.read(&file, 0, 512 << 10).unwrap();
-        assert_eq!(&back[..], &pattern(512 << 10, 4)[..]);
+        assert_eq!(back, pattern(512 << 10, 4));
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub fn parallel_frequent_items(
         let path = path.to_string();
         joins.push(std::thread::spawn(move || -> Result<_, PfsError> {
             // One consumer fed by four producers over a bounded channel.
-            let (tx, rx) = bounded::<bytes::Bytes>(16);
+            let (tx, rx) = bounded::<bytes::ByteRope>(16);
             let mut producers = Vec::new();
             for p in 0..4u64 {
                 let cluster = Arc::clone(&cluster);
@@ -96,6 +96,9 @@ pub fn parallel_frequent_items(
             let mut counts: HashMap<u32, u64> = HashMap::new();
             let mut transactions = 0u64;
             while let Ok(buf) = rx.recv() {
+                // The record parser wants contiguous bytes; flatten at
+                // the consumer, the last moment before parsing.
+                let buf = buf.flatten();
                 let txns: Vec<crate::gen::Transaction> =
                     TransactionReader::new(&buf, buf.len().max(1)).collect();
                 let (partial, n) = count_1_itemsets(&txns);

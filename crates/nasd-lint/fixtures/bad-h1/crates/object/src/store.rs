@@ -1,0 +1,21 @@
+//! Fixture: H1 violations. Casual payload copies in a data-path module —
+//! nasd-lint must report H1 and exit nonzero.
+
+/// Reads a block, then throws the zero-copy view away with a flat copy.
+pub fn read_flat(view: &[u8]) -> Vec<u8> {
+    view.to_vec()
+}
+
+/// Store-and-forward staging copy on the write path.
+pub fn stage(dst: &mut [u8], src: &[u8]) {
+    dst.copy_from_slice(src);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn copies_in_tests_are_fine() {
+        let v = [1u8, 2].to_vec();
+        assert_eq!(v.len(), 2);
+    }
+}

@@ -9,6 +9,11 @@
 //! - **P1 panic-free request paths** — drive / file-manager / Cheops
 //!   request handling must return [`NasdStatus`]-style errors, never
 //!   `unwrap()`, `expect()`, `panic!` or bare slice indexing.
+//! - **H1 hot-path copy discipline** — data-path modules (drive, store,
+//!   cache, wire codec, file-manager and striping clients) must not copy
+//!   payload bytes casually: `.to_vec()`, `.copy_from_slice(..)`,
+//!   `.extend_from_slice(..)` and `Bytes::copy_from_slice` each need a
+//!   reasoned `allow(hot-path-copy)` explaining why the copy is the point.
 //! - **W1 wire exhaustiveness** — every `RequestBody`, `ReplyBody` and
 //!   `NasdStatus` variant must appear in the wire encode arms, the wire
 //!   decode arms, and the fault-injection matrices.
@@ -101,6 +106,7 @@ pub fn check_sources(files: &[(String, String)]) -> Vec<Finding> {
     for src in &sources {
         rules::check_d1(src, &mut raw);
         rules::check_p1(src, &mut raw);
+        rules::check_h1(src, &mut raw);
         rules::check_f1(src, &mut raw);
     }
     wire::check_w1(&sources, &mut raw);

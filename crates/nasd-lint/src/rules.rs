@@ -1,5 +1,5 @@
-//! Token-scan rules: D1 determinism, P1 panic-free request paths, and
-//! F1 forbid-unsafe.
+//! Token-scan rules: D1 determinism, P1 panic-free request paths, H1
+//! hot-path copy discipline, and F1 forbid-unsafe.
 
 use crate::lexer::{Tok, Token};
 use crate::{crate_of, RawFinding, Source};
@@ -144,6 +144,65 @@ pub(crate) fn check_p1(src: &Source, out: &mut Vec<RawFinding>) {
                         .to_owned(),
                 );
             }
+        }
+    }
+}
+
+/// Data-path modules where every payload memcpy must be deliberate.
+/// The zero-copy read path (cache-block views riding a `ByteRope` from
+/// the cache through the wire to the client) dies one `to_vec()` at a
+/// time; any copy on these paths carries a reasoned suppression.
+pub(crate) const H1_FILES: &[&str] = &[
+    "crates/object/src/drive.rs",
+    "crates/object/src/store.rs",
+    "crates/object/src/cache.rs",
+    "crates/proto/src/message.rs",
+    "crates/proto/src/wire.rs",
+    "crates/fm/src/drives.rs",
+    "crates/fm/src/nfs.rs",
+    "crates/fm/src/afs.rs",
+    "crates/cheops/src/client.rs",
+    "crates/pfs/src/sio.rs",
+];
+
+/// Copying method calls H1 flags when they appear as `.name(`.
+const H1_METHODS: &[&str] = &["to_vec", "copy_from_slice", "extend_from_slice"];
+
+/// H1: no casual payload copies in data-path modules. Flags
+/// `.to_vec()` / `.copy_from_slice(..)` / `.extend_from_slice(..)`
+/// method calls and the `Bytes::copy_from_slice` constructor; each
+/// surviving site must justify itself with
+/// `// nasd-lint: allow(hot-path-copy, "why the copy is the point")`.
+pub(crate) fn check_h1(src: &Source, out: &mut Vec<RawFinding>) {
+    if !H1_FILES.iter().any(|f| src.path.ends_with(f)) {
+        return;
+    }
+    let toks = &src.lexed.tokens;
+    let mut push = |line: u32, what: &str| {
+        out.push(RawFinding {
+            rule: "H1",
+            file: src.path.clone(),
+            line,
+            message: format!(
+                "`{what}` copies payload bytes on the data path; keep the \
+                 zero-copy rope/Bytes views, or justify the copy with a \
+                 reasoned allow(hot-path-copy)"
+            ),
+            allow: Some("hot-path-copy"),
+        });
+    };
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        if toks[i].is_punct('.') && toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
+                if H1_METHODS.contains(&name) {
+                    push(toks[i + 1].line, &format!(".{name}()"));
+                }
+            }
+        } else if seq_path(toks, i, "Bytes", "copy_from_slice") {
+            push(toks[i].line, "Bytes::copy_from_slice");
         }
     }
 }

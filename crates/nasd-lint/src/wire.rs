@@ -70,9 +70,11 @@ const SPECS: &[Spec] = &[
                 label: "wire encode (impl WireEncode)",
                 kind: RegionKind::ImplFor("WireEncode"),
             },
+            // The borrowed `impl WireDecode` is a thin copy-in wrapper;
+            // the real decode arms live in `ReplyBody::decode_owned`.
             Region {
-                label: "wire decode (impl WireDecode)",
-                kind: RegionKind::ImplFor("WireDecode"),
+                label: "wire decode (ReplyBody::decode_owned)",
+                kind: RegionKind::Fn("decode_owned"),
             },
         ],
     },

@@ -84,3 +84,18 @@ fn suppressions_require_a_reason() {
         "the reasonless allow still suppresses the D1 finding itself\n{stdout}"
     );
 }
+
+#[test]
+fn h1_hot_path_copies_are_reported() {
+    expect_bad("bad-h1", "H1");
+    let out = run_on("bad-h1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(".to_vec()") && stdout.contains(".copy_from_slice()"),
+        "bad-h1 should flag both the flat copy and the staging copy\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("copies_in_tests_are_fine"),
+        "test-only copies must not be flagged\n{stdout}"
+    );
+}

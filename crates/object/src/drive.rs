@@ -11,7 +11,7 @@ use crate::cache::IoTrace;
 use crate::cost::{CostMeter, OpCost, OpKind};
 use crate::security::DriveSecurity;
 use crate::store::{ObjectStore, StoreError};
-use bytes::Bytes;
+use bytes::{ByteRope, Bytes};
 use nasd_crypto::{KeyHierarchy, KeyKind, SecretKey};
 use nasd_disk::MemDisk;
 use nasd_obs::{Counter, Histogram, Registry, SimTime, TraceEvent, TraceSink};
@@ -624,14 +624,15 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
                             for id in ids {
                                 id.encode(&mut w);
                             }
-                            let encoded = w.into_vec();
+                            let encoded = Bytes::from(w.into_vec());
                             let start = (*offset as usize).min(encoded.len());
                             let end = (*offset + *len).min(encoded.len() as u64) as usize;
-                            let window = encoded.get(start..end).unwrap_or(&[]);
+                            let window = encoded.slice(start..end.max(start));
+                            let n = window.len() as u64;
                             (
-                                Reply::ok(ReplyBody::Data(Bytes::copy_from_slice(window))),
+                                Reply::ok(ReplyBody::Data(ByteRope::from(window))),
                                 OpKind::Read,
-                                window.len() as u64,
+                                n,
                             )
                         }
                         Err(e) => (Reply::error(Self::status_of(&e)), OpKind::Read, 0),
@@ -901,6 +902,7 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
         let body = RequestBody::SetKey {
             partition: p,
             kind,
+            // nasd-lint: allow(hot-path-copy, "32-byte key material on the control path, not payload")
             wrapped_key: new_key.as_bytes().to_vec(),
         };
         let keys = self.hierarchy.partition_keys(p.0, 0);
@@ -1078,7 +1080,10 @@ impl ClientHandle {
         )
     }
 
-    /// Read object data through the drive's full request path.
+    /// Read object data through the drive's full request path. The
+    /// payload arrives as a scatter-gather rope of cache-block views;
+    /// callers that need contiguous bytes flatten it themselves, at the
+    /// last possible moment.
     ///
     /// # Errors
     ///
@@ -1088,7 +1093,7 @@ impl ClientHandle {
         drive: &mut NasdDrive<D>,
         offset: u64,
         len: u64,
-    ) -> Result<Bytes, NasdStatus> {
+    ) -> Result<ByteRope, NasdStatus> {
         let (partition, object) = self.target();
         let req = self.build(
             RequestBody::Read {
@@ -1126,6 +1131,7 @@ impl ClientHandle {
                 offset,
                 len: data.len() as u64,
             },
+            // nasd-lint: allow(hot-path-copy, "client write ingest: borrowed caller slice becomes the owned request payload")
             Bytes::copy_from_slice(data),
         );
         let (reply, _) = drive.handle(&req);
@@ -1175,7 +1181,7 @@ mod tests {
         let cap = d.issue_capability(P, obj, Rights::READ | Rights::WRITE, 100);
         let c = d.client(cap);
         assert_eq!(c.write(&mut d, 0, b"secured data").unwrap(), 12);
-        assert_eq!(&c.read(&mut d, 0, 12).unwrap()[..], b"secured data");
+        assert_eq!(c.read(&mut d, 0, 12).unwrap(), b"secured data");
     }
 
     #[test]
@@ -1441,7 +1447,7 @@ mod tests {
         c.write(&mut d, 0, b"after!").unwrap();
         let snap_cap = d.issue_capability(P, snap, Rights::READ, 100);
         let sc = d.client(snap_cap);
-        assert_eq!(&sc.read(&mut d, 0, 6).unwrap()[..], b"before");
+        assert_eq!(sc.read(&mut d, 0, 6).unwrap(), b"before");
     }
 
     #[test]
@@ -1464,7 +1470,7 @@ mod tests {
         // A capability for the well-known object-list object.
         let cap = d.issue_capability(P, nasd_proto::WELL_KNOWN_OBJECT_LIST, Rights::READ, 100);
         let c = d.client(cap);
-        let data = c.read(&mut d, 0, 1 << 16).unwrap();
+        let data = c.read(&mut d, 0, 1 << 16).unwrap().flatten();
         // Decode: count + ids.
         let mut r = nasd_proto::wire::WireReader::new(&data);
         let n = r.u32().unwrap();
@@ -1492,10 +1498,7 @@ mod tests {
         // The pre-reboot capability still verifies (keys re-derived) and
         // the data is intact.
         let c2 = ClientHandle::new(99, cap);
-        assert_eq!(
-            &c2.read(&mut d2, 0, 21).unwrap()[..],
-            b"durable across reboot"
-        );
+        assert_eq!(c2.read(&mut d2, 0, 21).unwrap(), b"durable across reboot");
         // New objects continue from the persisted namespace.
         let next = d2.admin_create_object(P, 0).unwrap();
         assert!(next > obj);

@@ -30,7 +30,7 @@
 //! let cap = drive.issue_capability(part, obj, Rights::READ | Rights::WRITE, 3600);
 //! let client = drive.client(cap);
 //! client.write(&mut drive, 0, b"hello nasd")?;
-//! assert_eq!(&client.read(&mut drive, 0, 10)?[..], b"hello nasd");
+//! assert_eq!(client.read(&mut drive, 0, 10)?, b"hello nasd");
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

@@ -254,6 +254,7 @@ impl<D: BlockDevice> ObjectStore<D> {
             partitions: state.partitions,
             refcounts: state.refcounts,
             block_size: bs,
+            read_scratch: Vec::new(),
         })
     }
 }
@@ -306,12 +307,9 @@ mod tests {
 
         let mut re = ObjectStore::open(device, 64).unwrap();
         assert_eq!(re.free_blocks(), free_before, "allocator reconstructed");
+        assert_eq!(re.read(P, a, 0, 100_000, 20, &mut t()).unwrap(), &data[..]);
         assert_eq!(
-            &re.read(P, a, 0, 100_000, 20, &mut t()).unwrap()[..],
-            &data[..]
-        );
-        assert_eq!(
-            &re.read(P, b, 7, 19, 20, &mut t()).unwrap()[..],
+            re.read(P, b, 7, 19, 20, &mut t()).unwrap(),
             b"clustered neighbour"
         );
         let attrs = re.get_attr(P, a, 21).unwrap();
@@ -339,9 +337,9 @@ mod tests {
         // COW still works after remount: write to the original, snapshot
         // unchanged.
         re.write(P, o, 0, &[9u8; 10], 2, &mut t()).unwrap();
-        let frozen = re.read(P, snap, 0, 10, 3, &mut t()).unwrap();
+        let frozen = re.read(P, snap, 0, 10, 3, &mut t()).unwrap().to_vec();
         assert!(frozen.iter().all(|&x| x == 7));
-        let fresh = re.read(P, o, 0, 10, 3, &mut t()).unwrap();
+        let fresh = re.read(P, o, 0, 10, 3, &mut t()).unwrap().to_vec();
         assert!(fresh.iter().all(|&x| x == 9));
     }
 
@@ -365,7 +363,7 @@ mod tests {
         let device = store.cache().device().clone();
         drop(store);
         let mut re = ObjectStore::open(device, 8).unwrap();
-        assert_eq!(&re.read(P, o, 0, 2, 2, &mut t()).unwrap()[..], b"v2");
+        assert_eq!(re.read(P, o, 0, 2, 2, &mut t()).unwrap(), b"v2");
     }
 
     #[test]

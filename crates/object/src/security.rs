@@ -138,7 +138,10 @@ impl DriveSecurity {
         protection: ProtectionLevel,
     ) -> RequestDigest {
         let mut mac = nasd_crypto::HmacSha256::new(key);
-        mac.update(&nonce.to_wire());
+        // Identical bytes to `nonce.to_wire()` (two big-endian u64s),
+        // absorbed from the stack so the hot path does not allocate.
+        mac.update(&nonce.client.to_be_bytes());
+        mac.update(&nonce.counter.to_be_bytes());
         mac.update(args);
         if protection >= ProtectionLevel::DataIntegrity {
             mac.update(data);

@@ -9,7 +9,7 @@
 
 use crate::alloc::Allocator;
 use crate::cache::{BlockCache, IoTrace};
-use bytes::Bytes;
+use bytes::ByteRope;
 use nasd_disk::{BlockDevice, DiskError};
 use nasd_proto::{ObjectAttributes, ObjectId, PartitionId, SetAttrMask, Version};
 use std::collections::HashMap;
@@ -130,7 +130,7 @@ pub(crate) struct Partition {
 /// store.create_partition(p, 1 << 20)?;
 /// let obj = store.create_object(p, 0, None, 100, &mut t)?;
 /// store.write(p, obj, 0, b"data", 101, &mut t)?;
-/// assert_eq!(&store.read(p, obj, 0, 4, 102, &mut t)?[..], b"data");
+/// assert_eq!(store.read(p, obj, 0, 4, 102, &mut t)?, b"data");
 /// # Ok::<(), nasd_object::StoreError>(())
 /// ```
 pub struct ObjectStore<D> {
@@ -141,6 +141,9 @@ pub struct ObjectStore<D> {
     /// Blocks absent from the map have refcount 1.
     pub(crate) refcounts: HashMap<u64, u32>,
     pub(crate) block_size: usize,
+    /// Reusable block-number list for `read`, so steady-state reads do
+    /// not allocate a fresh copy of the object's block map.
+    pub(crate) read_scratch: Vec<u64>,
 }
 
 impl<D: BlockDevice> ObjectStore<D> {
@@ -167,6 +170,7 @@ impl<D: BlockDevice> ObjectStore<D> {
             partitions: HashMap::new(),
             refcounts: HashMap::new(),
             block_size,
+            read_scratch: Vec::new(),
         }
     }
 
@@ -431,6 +435,7 @@ impl<D: BlockDevice> ObjectStore<D> {
         }
         let meta = self.object_mut(p, o)?;
         if mask.fs_specific {
+            // nasd-lint: allow(hot-path-copy, "fixed-size fs-specific attribute block, not payload")
             meta.attrs.fs_specific.copy_from_slice(fs_specific);
         }
         if mask.preallocated {
@@ -460,18 +465,32 @@ impl<D: BlockDevice> ObjectStore<D> {
         len: u64,
         now: u64,
         trace: &mut IoTrace,
-    ) -> Result<Bytes, StoreError> {
+    ) -> Result<ByteRope, StoreError> {
         let bs = self.block_size;
-        let (size, blocks) = {
-            let meta = self.object_mut(p, o)?;
+        // Borrow dance: the cache borrow below conflicts with the object
+        // metadata borrow, so the block list is staged in a reusable
+        // scratch vector (no allocation once it has grown to fit).
+        let mut blocks = std::mem::take(&mut self.read_scratch);
+        blocks.clear();
+        let size = {
+            let meta = match self.object_mut(p, o) {
+                Ok(meta) => meta,
+                Err(e) => {
+                    self.read_scratch = blocks;
+                    return Err(e);
+                }
+            };
             meta.attrs.access_time = now;
-            (meta.attrs.size, meta.blocks.clone())
+            // nasd-lint: allow(hot-path-copy, "block-number list staging, not payload bytes")
+            blocks.extend_from_slice(&meta.blocks);
+            meta.attrs.size
         };
         if offset >= size || len == 0 {
-            return Ok(Bytes::new());
+            self.read_scratch = blocks;
+            return Ok(ByteRope::new());
         }
         let end = (offset + len).min(size);
-        let mut out = Vec::with_capacity((end - offset) as usize);
+        let mut out = ByteRope::with_capacity((end - offset).div_ceil(bs as u64) as usize + 1);
         let mut pos = offset;
         while pos < end {
             let lblock = (pos / bs as u64) as usize;
@@ -480,14 +499,18 @@ impl<D: BlockDevice> ObjectStore<D> {
             let dev_block = *blocks
                 .get(lblock)
                 .ok_or(StoreError::Internal("object block map shorter than size"))?;
-            let data = self.cache.read(dev_block, trace)?;
-            let chunk = data
-                .get(within..within + take)
-                .ok_or(StoreError::Internal("cached block shorter than block size"))?;
-            out.extend_from_slice(chunk);
+            let data = self.cache.read_shared(dev_block, trace)?;
+            if data.len() < within + take {
+                return Err(StoreError::Internal("cached block shorter than block size"));
+            }
+            // O(1) window of the cache block — the zero-copy read path.
+            out.push(data.slice(within..within + take));
             pos += take as u64;
         }
-        Ok(Bytes::from(out))
+        // Error paths above drop the scratch (it regrows on the next
+        // read); the steady-state happy path hands it back.
+        self.read_scratch = blocks;
+        Ok(out)
     }
 
     /// Ensure the object has capacity (allocated blocks) for `bytes`.
@@ -613,7 +636,9 @@ impl<D: BlockDevice> ObjectStore<D> {
         let new_block = *new_blocks
             .first()
             .ok_or(StoreError::Internal("allocate_blocks(1) returned nothing"))?;
-        let old = self.cache.read(dev_block, trace)?.to_vec();
+        // A shared view keeps the old block alive with no copy; the one
+        // unavoidable copy-on-write ingest happens inside `cache.write`.
+        let old = self.cache.read_shared(dev_block, trace)?;
         self.cache.write(new_block, &old, trace)?;
         // Drop one reference from the old block.
         match self.refcounts.get_mut(&dev_block) {
@@ -798,7 +823,7 @@ mod tests {
         let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
         s.write(P, o, 0, &data, 2, &mut t()).unwrap();
         let back = s.read(P, o, 0, 50_000, 3, &mut t()).unwrap();
-        assert_eq!(&back[..], &data[..]);
+        assert_eq!(back, &data[..]);
         let attrs = s.get_attr(P, o, 4).unwrap();
         assert_eq!(attrs.size, 50_000);
         assert_eq!(attrs.data_modify_time, 2);
@@ -810,7 +835,7 @@ mod tests {
         let mut s = store();
         let o = s.create_object(P, 0, None, 0, &mut t()).unwrap();
         s.write(P, o, 0, b"hello", 0, &mut t()).unwrap();
-        assert_eq!(&s.read(P, o, 3, 100, 0, &mut t()).unwrap()[..], b"lo");
+        assert_eq!(s.read(P, o, 3, 100, 0, &mut t()).unwrap(), b"lo");
         assert!(s.read(P, o, 5, 10, 0, &mut t()).unwrap().is_empty());
         assert!(s.read(P, o, 100, 10, 0, &mut t()).unwrap().is_empty());
         assert!(s.read(P, o, 0, 0, 0, &mut t()).unwrap().is_empty());
@@ -823,7 +848,10 @@ mod tests {
         s.write(P, o, 0, &vec![1u8; 3 * BS], 0, &mut t()).unwrap();
         // Overwrite a range crossing two block boundaries, unaligned.
         s.write(P, o, 100, &vec![2u8; 2 * BS], 0, &mut t()).unwrap();
-        let back = s.read(P, o, 0, 3 * BS as u64, 0, &mut t()).unwrap();
+        let back = s
+            .read(P, o, 0, 3 * BS as u64, 0, &mut t())
+            .unwrap()
+            .to_vec();
         assert!(back[..100].iter().all(|&b| b == 1));
         assert!(back[100..100 + 2 * BS].iter().all(|&b| b == 2));
         assert!(back[100 + 2 * BS..].iter().all(|&b| b == 1));
@@ -837,7 +865,10 @@ mod tests {
         let o = s.create_object(P, 0, None, 0, &mut t()).unwrap();
         s.write(P, o, 2 * BS as u64 + 17, b"x", 0, &mut t())
             .unwrap();
-        let back = s.read(P, o, 0, 2 * BS as u64 + 18, 0, &mut t()).unwrap();
+        let back = s
+            .read(P, o, 0, 2 * BS as u64 + 18, 0, &mut t())
+            .unwrap()
+            .to_vec();
         assert!(back[..2 * BS + 17].iter().all(|&b| b == 0));
         assert_eq!(back[2 * BS + 17], b'x');
     }
@@ -937,9 +968,12 @@ mod tests {
         assert_eq!(s.free_blocks(), free_after_write - 1);
 
         // Snapshot still sees old data; original sees new.
-        let old = s.read(P, snap, 0, 2 * BS as u64, 3, &mut t()).unwrap();
+        let old = s
+            .read(P, snap, 0, 2 * BS as u64, 3, &mut t())
+            .unwrap()
+            .to_vec();
         assert!(old.iter().all(|&b| b == 7));
-        let new = s.read(P, o, 10, 20, 3, &mut t()).unwrap();
+        let new = s.read(P, o, 10, 20, 3, &mut t()).unwrap().to_vec();
         assert!(new.iter().all(|&b| b == 9));
     }
 
@@ -952,9 +986,9 @@ mod tests {
         let s2 = s.snapshot(P, o, 2, &mut t()).unwrap();
         // Remove the original: snapshots keep the data alive.
         s.remove_object(P, o, &mut t()).unwrap();
-        assert_eq!(&s.read(P, s1, 0, 3, 3, &mut t()).unwrap()[..], [1, 1, 1]);
+        assert_eq!(s.read(P, s1, 0, 3, 3, &mut t()).unwrap(), [1u8, 1, 1]);
         s.remove_object(P, s1, &mut t()).unwrap();
-        assert_eq!(&s.read(P, s2, 0, 3, 3, &mut t()).unwrap()[..], [1, 1, 1]);
+        assert_eq!(s.read(P, s2, 0, 3, 3, &mut t()).unwrap(), [1u8, 1, 1]);
         let free_before = s.free_blocks();
         s.remove_object(P, s2, &mut t()).unwrap();
         assert_eq!(s.free_blocks(), free_before + 1, "last ref frees the block");
@@ -970,10 +1004,13 @@ mod tests {
         assert_eq!(s.get_attr(P, o, 1).unwrap().size, BS as u64 + 1);
         assert_eq!(s.free_blocks(), free_full + 2, "two whole blocks freed");
         // Data in the surviving range intact.
-        assert_eq!(&s.read(P, o, 0, 4, 1, &mut t()).unwrap()[..], &[5u8; 4]);
+        assert_eq!(s.read(P, o, 0, 4, 1, &mut t()).unwrap(), &[5u8; 4]);
         // Extend again: zero-filled.
         s.resize(P, o, 3 * BS as u64, 2, &mut t()).unwrap();
-        let back = s.read(P, o, 2 * BS as u64, 10, 2, &mut t()).unwrap();
+        let back = s
+            .read(P, o, 2 * BS as u64, 10, 2, &mut t())
+            .unwrap()
+            .to_vec();
         assert!(back.iter().all(|&b| b == 0));
     }
 

@@ -1,0 +1,71 @@
+//! Data-path and kernel perf counters (`datapath/bytes_copied`,
+//! `sim/event_allocs`).
+//!
+//! These back the `perf` bench harness, not the figure experiments: the
+//! figures measure *simulated* time, while these count real work the
+//! host CPU performs per operation — payload memcpies on the read/write
+//! path and infrastructure growth inside the simulation kernel. They are
+//! deliberately **not** [`Registry`](crate::Registry) counters: the
+//! Table 1 report embeds a full registry snapshot, and its baseline JSON
+//! must stay byte-identical across perf work.
+//!
+//! Counters are per-thread (the copy ledger lives in the `bytes` shim,
+//! which every payload copy already flows through), so parallel test
+//! threads never observe each other's traffic.
+
+use std::cell::Cell;
+
+thread_local! {
+    static EVENT_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Payload bytes memcpied on this thread since the last
+/// [`reset`] — every copy the `bytes` shim performs or is told about.
+#[must_use]
+pub fn bytes_copied() -> u64 {
+    bytes::stats::bytes_copied()
+}
+
+/// Number of payload memcpy calls on this thread since the last
+/// [`reset`].
+#[must_use]
+pub fn copy_calls() -> u64 {
+    bytes::stats::copy_calls()
+}
+
+/// Record `n` simulation-kernel infrastructure allocations (event-slab
+/// or heap growth) on this thread.
+pub fn record_event_allocs(n: u64) {
+    EVENT_ALLOCS.with(|c| c.set(c.get() + n));
+}
+
+/// Simulation-kernel infrastructure allocations on this thread since the
+/// last [`reset`].
+#[must_use]
+pub fn event_allocs() -> u64 {
+    EVENT_ALLOCS.with(Cell::get)
+}
+
+/// Zero this thread's data-path and kernel counters.
+pub fn reset() {
+    bytes::stats::reset();
+    EVENT_ALLOCS.with(|c| c.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset();
+        let _ = bytes::Bytes::copy_from_slice(b"12345");
+        record_event_allocs(3);
+        assert_eq!(bytes_copied(), 5);
+        assert_eq!(copy_calls(), 1);
+        assert_eq!(event_allocs(), 3);
+        reset();
+        assert_eq!(bytes_copied(), 0);
+        assert_eq!(event_allocs(), 0);
+    }
+}

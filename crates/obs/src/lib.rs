@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod datapath;
 pub mod json;
 mod metrics;
 mod report;

@@ -109,7 +109,7 @@ mod tests {
         let data: Vec<u8> = (0..300_000u32).map(|i| (i % 251) as u8).collect();
         client.write_at(&f, 0, &data).unwrap();
         let back = client.read_at(&f, 0, data.len() as u64).unwrap();
-        assert_eq!(&back[..], &data[..]);
+        assert_eq!(back, data);
         assert_eq!(client.size(&f).unwrap(), data.len() as u64);
         assert_eq!(f.width(), 4);
         assert_eq!(f.stripe_unit(), 64 * 1024);
@@ -152,7 +152,7 @@ mod tests {
                 let f = client.open("/shared").unwrap();
                 for k in ((node + 1) % nodes..16).step_by(nodes as usize) {
                     let back = client.read_at(&f, k * chunk, chunk).unwrap();
-                    assert!(back.iter().all(|&b| b == k as u8), "chunk {k}");
+                    assert!(back.to_vec().iter().all(|&b| b == k as u8), "chunk {k}");
                 }
             }));
         }
@@ -191,6 +191,6 @@ mod tests {
             .unwrap();
         assert_eq!(parts.len(), 3);
         assert!(parts.iter().all(|p| p.len() == 1000));
-        assert!(parts.iter().flatten().all(|&b| b == 7));
+        assert!(parts.iter().all(|p| p.to_vec().iter().all(|&b| b == 7)));
     }
 }

@@ -8,7 +8,7 @@
 //! network-attached storage on to applications".
 
 use crate::name::{NameRequest, NameResponse};
-use bytes::Bytes;
+use bytes::ByteRope;
 use nasd_cheops::{CheopsClient, CheopsFile, LogicalObjectId, Redundancy};
 use nasd_fm::FmError;
 use nasd_net::Rpc;
@@ -193,7 +193,7 @@ impl PfsClient {
     /// # Errors
     ///
     /// Storage failures.
-    pub fn read_at(&self, file: &PfsFile, offset: u64, len: u64) -> Result<Bytes, PfsError> {
+    pub fn read_at(&self, file: &PfsFile, offset: u64, len: u64) -> Result<ByteRope, PfsError> {
         Ok(self.storage.read(&file.inner, offset, len)?)
     }
 
@@ -216,7 +216,7 @@ impl PfsClient {
         &self,
         file: &PfsFile,
         extents: &[(u64, u64)],
-    ) -> Result<Vec<Bytes>, PfsError> {
+    ) -> Result<Vec<ByteRope>, PfsError> {
         extents
             .iter()
             .map(|&(offset, len)| self.read_at(file, offset, len))

@@ -192,7 +192,8 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
     let status = (0u8..11).prop_map(|b| NasdStatus::from_wire(&[b]).expect("valid status byte"));
     let body = prop_oneof![
         Just(ReplyBody::Empty),
-        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|v| ReplyBody::Data(Bytes::from(v))),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|v| ReplyBody::Data(bytes::ByteRope::from(v))),
         arb_attrs().prop_map(ReplyBody::Attr),
         any::<u64>().prop_map(|o| ReplyBody::Created(ObjectId(o))),
         any::<u64>().prop_map(ReplyBody::Written),
@@ -257,6 +258,24 @@ proptest! {
         prop_assert_eq!(Reply::from_wire(&wire).unwrap(), reply);
         let cut = (cut % wire.len() as u64) as usize;
         prop_assert!(Reply::from_wire(&wire[..cut]).is_err());
+    }
+
+    /// The zero-copy shared-buffer decoders agree with the borrowed ones
+    /// on every message, and Data payloads come out as O(1) views of the
+    /// receive buffer rather than fresh copies.
+    #[test]
+    fn shared_decode_matches_borrowed(req in arb_request(), reply in arb_reply()) {
+        let req_buf = Bytes::from(req.to_wire());
+        prop_assert_eq!(Request::from_wire_shared(req_buf).unwrap(), req);
+
+        let reply_buf = Bytes::from(reply.to_wire());
+        let before = bytes::stats::bytes_copied();
+        let decoded = Reply::from_wire_shared(reply_buf).unwrap();
+        prop_assert_eq!(
+            bytes::stats::bytes_copied(), before,
+            "shared reply decode must not copy payload bytes"
+        );
+        prop_assert_eq!(decoded, reply);
     }
 
     /// A single flipped bit anywhere in a request either fails to decode

@@ -74,7 +74,7 @@ fn storm(seed: u64) -> Result<Vec<FaultEvent>, Box<dyn std::error::Error>> {
     for &(off, fill) in &acked {
         let back = ep.read(&cap, off, RECORD_LEN)?;
         assert!(
-            back.len() as u64 == RECORD_LEN && back.iter().all(|&b| b == fill),
+            back.len() as u64 == RECORD_LEN && back.to_vec().iter().all(|&b| b == fill),
             "acked write at offset {off} lost across the crash"
         );
     }

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut reopened = nfs.open("/home/notes.txt", false)?;
     let content = nfs.read(&mut reopened, 0, 64)?;
-    println!("read back: {:?}", String::from_utf8_lossy(&content));
+    println!(
+        "read back: {:?}",
+        String::from_utf8_lossy(&content.flatten())
+    );
     let attrs = nfs.getattr(&mut reopened)?;
     println!(
         "getattr (drive-direct): size={} uid={}",

@@ -37,8 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let message = b"network-attached secure disks, 1998";
     client.write(&mut drive, 0, message)?;
     let back = client.read(&mut drive, 0, message.len() as u64)?;
-    assert_eq!(&back[..], message);
-    println!("secured round-trip: {:?}", String::from_utf8_lossy(&back));
+    assert_eq!(back, message);
+    println!(
+        "secured round-trip: {:?}",
+        String::from_utf8_lossy(&back.flatten())
+    );
 
     // A second client holding a read-only capability cannot write...
     let read_only = drive.issue_capability(partition, object, Rights::READ, 3_600);

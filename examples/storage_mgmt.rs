@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let failed = fleet.endpoint(1).id();
     fleet.crash(1);
     let degraded = client.read(&file, 0, payload.len() as u64)?;
-    assert_eq!(&degraded[..], &payload[..]);
+    assert_eq!(degraded, payload);
     println!("{failed} crashed; degraded read still byte-exact");
 
     // The management service probes the fleet (any RPC reply means
@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let file = client.open(id, Rights::ALL)?;
     assert!(file.layout.slots_on_drive(failed).is_empty());
     let healthy = client.read(&file, 0, payload.len() as u64)?;
-    assert_eq!(&healthy[..], &payload[..]);
+    assert_eq!(healthy, payload);
     println!("re-opened {id}: layout swapped to {spare}, reads whole and byte-exact");
 
     // Latent-error drill: corrupt the parity component behind Cheops'

@@ -35,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         file.layout.width(),
         file.layout.stripe_unit / 1024
     );
-    assert_eq!(
-        &client.read(&file, 0, payload.len() as u64)?[..],
-        &payload[..]
-    );
+    assert_eq!(client.read(&file, 0, payload.len() as u64)?, payload);
 
     // Concurrency control for multi-disk accesses: leases.
     client.lease(striped, LeaseKind::Exclusive, 60)?;
@@ -67,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let recovered = client.read(&mfile, 0, 64)?;
     println!(
         "degraded read from mirror: {:?}",
-        String::from_utf8_lossy(&recovered)
+        String::from_utf8_lossy(&recovered.flatten())
     );
 
     // Parity (RAID-4 over objects): n data columns + one parity column;
@@ -88,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     ep.remove(&kill)?;
     let rebuilt = client.read(&pfile, 0, payload.len() as u64)?;
-    assert_eq!(&rebuilt[..], &payload[..]);
+    assert_eq!(rebuilt, payload);
     println!(
         "parity object: column 2 destroyed, {} bytes reconstructed by XOR",
         rebuilt.len()

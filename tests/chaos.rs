@@ -90,8 +90,11 @@ fn seeded_endpoint_run(seed: u64) -> (Vec<FaultEvent>, u64) {
     for &(off, len, fill) in &offsets {
         let back = ep.read(&cap, off, len).unwrap();
         assert_eq!(back.len() as u64, len);
-        assert!(back.iter().all(|&b| b == fill), "corrupt record at {off}");
-        digest = fnv(&back, digest);
+        assert!(
+            back.to_vec().iter().all(|&b| b == fill),
+            "corrupt record at {off}"
+        );
+        digest = fnv(&back.flatten(), digest);
     }
     plan.set_enabled(false);
     let trace = plan.trace();
@@ -220,7 +223,7 @@ fn nfs_workload_survives_seeded_chaos() {
                     assert_eq!(client.write(&mut f, 0, &payload).unwrap(), 2_048);
                     // Read back inside the storm: acked ⇒ readable.
                     let back = client.read(&mut f, 0, 2_048).unwrap();
-                    assert_eq!(&back[..], &payload[..], "worker {t} file {i}");
+                    assert_eq!(back, payload, "worker {t} file {i}");
                 }
             }));
         }
@@ -239,7 +242,7 @@ fn nfs_workload_survives_seeded_chaos() {
                 let mut f = client.open(&format!("/w{t}/f{i}"), false).unwrap();
                 let back = client.read(&mut f, 0, 2_048).unwrap();
                 assert!(
-                    back.iter().all(|&b| b == (t * 16 + i + 1) as u8),
+                    back.to_vec().iter().all(|&b| b == (t * 16 + i + 1) as u8),
                     "acked write lost: worker {t} file {i} under seed {seed:#x}"
                 );
             }
@@ -392,7 +395,7 @@ fn acked_writes_survive_drive_crash_and_restart() {
         for &(off, fill) in &acked {
             let back = ep.read(&cap, off, RECORD_LEN).unwrap();
             assert!(
-                back.len() as u64 == RECORD_LEN && back.iter().all(|&b| b == fill),
+                back.len() as u64 == RECORD_LEN && back.to_vec().iter().all(|&b| b == fill),
                 "seed {seed:#x}: acked write at offset {off} lost across crash"
             );
         }
@@ -435,11 +438,7 @@ fn cheops_mirrored_file_survives_column_crash() {
     // Column 0's primary lives on drive index 0; its mirror on index 1.
     fleet.crash(0);
     let back = client.read(&file, 0, data.len() as u64).unwrap();
-    assert_eq!(
-        &back[..],
-        &data[..],
-        "degraded read diverged from acked data"
-    );
+    assert_eq!(back, &data[..], "degraded read diverged from acked data");
 
     fleet.restart(0).expect("restart failed");
     let tail = vec![0xABu8; 10_000];
@@ -449,7 +448,7 @@ fn cheops_mirrored_file_survives_column_crash() {
     let back = client
         .read(&file, data.len() as u64, tail.len() as u64)
         .unwrap();
-    assert_eq!(&back[..], &tail[..], "post-restart write lost");
+    assert_eq!(back, tail, "post-restart write lost");
     assert!(!plan.trace().is_empty(), "seed {seed:#x} injected nothing");
 }
 
@@ -507,7 +506,7 @@ fn rebuild_scenario(seed: u64, chaos: bool) -> Vec<u8> {
                     let off = (i * 13_313) % (TOTAL - 8_192);
                     let back = client.read(&file, off, 8_192).unwrap();
                     assert_eq!(
-                        &back[..],
+                        back,
                         &phase1[off as usize..off as usize + 8_192],
                         "degraded read diverged at offset {off}"
                     );

@@ -133,7 +133,7 @@ proptest! {
         }
         // Whole-object read matches.
         let got = store.read(p, obj, 0, model.len() as u64, 0, &mut t).unwrap();
-        prop_assert_eq!(&got[..], &model[..]);
+        prop_assert_eq!(got.to_vec(), model.clone());
         // Size matches.
         prop_assert_eq!(
             store.get_attr(p, obj, 0).unwrap().size,
@@ -159,7 +159,7 @@ proptest! {
             store.write(p, obj, offset, &vec![0xEE; len], 2, &mut t).unwrap();
         }
         let frozen = store.read(p, snap, 0, base.len() as u64, 3, &mut t).unwrap();
-        prop_assert_eq!(&frozen[..], &base[..]);
+        prop_assert_eq!(frozen.to_vec(), base);
     }
 }
 
