@@ -18,6 +18,7 @@
 //! | [`ablations`] | design-choice sweeps: RPC cost, stripe unit, crypto, CPU |
 //! | [`rebuild`] | degraded bandwidth vs. nasd-mgmt reconstruction throttle |
 //! | [`perf`] | wall-clock/allocation costs of the zero-copy data path |
+//! | [`recovery`] | crash-recovery (WAL replay) time vs. log length |
 //!
 //! Every binary also accepts `--json <path>` and writes a versioned
 //! [`nasd::obs::BenchReport`](nasd::obs) built by the [`report`] module;
@@ -36,6 +37,7 @@ pub mod fig7;
 pub mod fig9;
 pub mod perf;
 pub mod rebuild;
+pub mod recovery;
 pub mod report;
 pub mod table;
 pub mod table1;

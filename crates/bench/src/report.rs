@@ -11,7 +11,7 @@ use nasd::obs::{BenchReport, Json, Registry};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use crate::{ablations, active, andrew, fig4, fig6, fig7, fig9, perf, rebuild, table1};
+use crate::{ablations, active, andrew, fig4, fig6, fig7, fig9, perf, rebuild, recovery, table1};
 
 /// Parse `--json <path>` from the process arguments.
 #[must_use]
@@ -290,7 +290,33 @@ pub fn perf_report(rows: &[perf::PerfRow], probe_installed: bool) -> BenchReport
     r
 }
 
-/// Run every experiment and return all ten reports — the payload of
+/// Recovery (WAL replay time vs. log length) rows as a report.
+///
+/// Like [`perf_report`], the millisecond columns are host measurements
+/// that vary run to run; the stable shape is the record counts, the log
+/// bytes they occupy, and the recovered-object correctness anchor.
+#[must_use]
+pub fn recovery_report(rows: &[recovery::RecoveryRow]) -> BenchReport {
+    let mut r = BenchReport::new("recovery").with_config(
+        "unit",
+        Json::str("wall-clock ms per open / us per replayed record"),
+    );
+    for row in rows {
+        r.push_row(vec![
+            ("records", Json::num_u64(row.records)),
+            ("wal_bytes", Json::num_u64(row.wal_bytes)),
+            ("open_ms", num(row.open_ms)),
+            ("us_per_record", num(row.us_per_record)),
+            ("recovered_objects", Json::num_u64(row.recovered_objects)),
+        ]);
+    }
+    if let Some(longest) = rows.last() {
+        r = r.with_derived("max_log_open_ms", longest.open_ms);
+    }
+    r
+}
+
+/// Run every experiment and return all eleven reports — the payload of
 /// `BENCH_baseline.json`. `probe` is the producing binary's counting
 /// allocator, when it installed one (see [`perf_report`]).
 #[must_use]
@@ -306,6 +332,7 @@ pub fn suite_with(probe: Option<perf::AllocProbe>) -> Vec<BenchReport> {
         ablations_report(),
         rebuild_report(&rebuild::run()),
         perf_report(&perf::run(probe), probe.is_some()),
+        recovery_report(&recovery::run()),
     ]
 }
 

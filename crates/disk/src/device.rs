@@ -24,6 +24,11 @@ pub enum DiskError {
         /// Provided length.
         got: usize,
     },
+    /// The (simulated) power failed: the write budget of a [`CrashDisk`]
+    /// is exhausted, so this and every later write is lost without
+    /// touching the media. Crash harnesses reopen the underlying shared
+    /// media to model the post-reboot recovery path.
+    PowerFailure,
 }
 
 impl fmt::Display for DiskError {
@@ -39,6 +44,7 @@ impl fmt::Display for DiskError {
             DiskError::BadBufferSize { expected, got } => {
                 write!(f, "buffer of {got} bytes, device block size is {expected}")
             }
+            DiskError::PowerFailure => f.write_str("power failed: write lost"),
         }
     }
 }
@@ -243,6 +249,151 @@ impl fmt::Debug for SharedDisk {
     }
 }
 
+/// splitmix-style finalizer: the same seeded-decision discipline the
+/// drive-level fault injector uses, so a crash schedule is a pure
+/// function of `(seed, write index)`.
+fn crash_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A power-failure fault wrapper: the first `budget` writes reach the
+/// inner device, then the power "fails".
+///
+/// The write that hits the budget either vanishes entirely (the default)
+/// or — in torn mode — lands *partially*: a seeded prefix of the new
+/// bytes over the old block contents, modelling a sector written halfway
+/// when the power dropped. Every write from the crash point on fails
+/// with [`DiskError::PowerFailure`] without touching media. Reads keep
+/// working (the harness usually reopens a clone of the shared media
+/// instead).
+///
+/// An unarmed `CrashDisk` passes everything through and just counts
+/// writes — run the workload once unarmed to learn the total write count
+/// `W`, then sweep `budget` over `0..W` to kill the drive at every
+/// possible disk write.
+///
+/// # Example
+///
+/// ```
+/// use nasd_disk::{BlockDevice, CrashDisk, DiskError, MemDisk};
+/// let mut d = CrashDisk::new(MemDisk::new(512, 8), 42);
+/// d.arm(1, false); // one write survives, then the power fails
+/// d.write_block(0, &[1u8; 512])?;
+/// assert_eq!(d.write_block(1, &[2u8; 512]), Err(DiskError::PowerFailure));
+/// assert!(d.tripped());
+/// # Ok::<(), nasd_disk::DiskError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrashDisk<D> {
+    inner: D,
+    seed: u64,
+    /// Complete writes allowed before the power fails; `None` = never.
+    budget: Option<u64>,
+    /// Whether the crash-point write is torn (partial sector) instead of
+    /// dropped whole.
+    torn: bool,
+    writes: u64,
+    tripped: bool,
+}
+
+impl<D: BlockDevice> CrashDisk<D> {
+    /// Wrap `inner`, unarmed: all writes pass through and are counted.
+    #[must_use]
+    pub fn new(inner: D, seed: u64) -> Self {
+        CrashDisk {
+            inner,
+            seed,
+            budget: None,
+            torn: false,
+            writes: 0,
+            tripped: false,
+        }
+    }
+
+    /// Arm the crash: after `budget` more successful writes the power
+    /// fails. With `torn`, the failing write lands partially (a seeded
+    /// prefix of the new bytes); without, it is dropped whole.
+    pub fn arm(&mut self, budget: u64, torn: bool) {
+        self.budget = Some(budget);
+        self.torn = torn;
+        self.tripped = false;
+    }
+
+    /// Writes that fully reached the inner device so far.
+    #[must_use]
+    pub fn writes_completed(&self) -> u64 {
+        self.writes
+    }
+
+    /// Whether the armed crash point has been hit.
+    #[must_use]
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// The wrapped device.
+    #[must_use]
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Unwrap the inner device.
+    #[must_use]
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for CrashDisk<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        self.inner.read_block(block, buf)
+    }
+
+    fn write_block(&mut self, block: u64, data: &[u8]) -> Result<(), DiskError> {
+        match self.budget {
+            None => {
+                self.inner.write_block(block, data)?;
+                self.writes += 1;
+                Ok(())
+            }
+            Some(budget) if self.writes < budget && !self.tripped => {
+                self.inner.write_block(block, data)?;
+                self.writes += 1;
+                Ok(())
+            }
+            Some(_) => {
+                if !self.tripped && self.torn {
+                    // The crash-point write lands halfway: a seeded prefix
+                    // of the new bytes over the old contents — the torn
+                    // sector recovery must detect and roll back.
+                    let bs = self.inner.block_size();
+                    if data.len() == bs && block < self.inner.num_blocks() {
+                        let mut old = vec![0u8; bs];
+                        self.inner.read_block(block, &mut old)?;
+                        let keep = (crash_mix(self.seed ^ self.writes) as usize % bs).max(1);
+                        let mut mixed = data.to_vec();
+                        mixed[keep..].copy_from_slice(&old[keep..]);
+                        self.inner.write_block(block, &mixed)?;
+                    }
+                }
+                self.tripped = true;
+                Err(DiskError::PowerFailure)
+            }
+        }
+    }
+}
+
 /// RAID-0 striping across block devices, block-granular: block `b` lives
 /// on device `b % n` at local block `b / n`.
 ///
@@ -421,5 +572,63 @@ mod tests {
             got: 4,
         };
         assert!(e.to_string().contains("512"));
+        assert!(DiskError::PowerFailure.to_string().contains("power"));
+    }
+
+    #[test]
+    fn crash_disk_unarmed_passes_through_and_counts() {
+        let mut d = CrashDisk::new(MemDisk::new(512, 8), 1);
+        for b in 0..4u64 {
+            d.write_block(b, &vec![b as u8; 512]).unwrap();
+        }
+        assert_eq!(d.writes_completed(), 4);
+        assert!(!d.tripped());
+        let mut buf = vec![0u8; 512];
+        d.read_block(3, &mut buf).unwrap();
+        assert_eq!(buf[0], 3);
+    }
+
+    #[test]
+    fn crash_disk_drops_write_at_budget() {
+        let mut d = CrashDisk::new(MemDisk::new(512, 8), 1);
+        d.arm(2, false);
+        d.write_block(0, &[1u8; 512]).unwrap();
+        d.write_block(1, &[2u8; 512]).unwrap();
+        // Third write hits the budget: dropped whole, media untouched.
+        assert_eq!(d.write_block(2, &[3u8; 512]), Err(DiskError::PowerFailure));
+        assert!(d.tripped());
+        let mut buf = vec![0xffu8; 512];
+        d.read_block(2, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        // All later writes fail too, without touching media.
+        assert_eq!(d.write_block(0, &[9u8; 512]), Err(DiskError::PowerFailure));
+        d.read_block(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 1);
+        assert_eq!(d.writes_completed(), 2);
+    }
+
+    #[test]
+    fn crash_disk_torn_write_is_partial() {
+        let mut d = CrashDisk::new(MemDisk::new(512, 8), 0xC0FFEE);
+        d.write_block(0, &[0xaau8; 512]).unwrap();
+        d.arm(0, true);
+        assert_eq!(
+            d.write_block(0, &[0xbbu8; 512]),
+            Err(DiskError::PowerFailure)
+        );
+        let mut buf = vec![0u8; 512];
+        d.read_block(0, &mut buf).unwrap();
+        // Some seeded prefix is new, the rest is old — a genuine tear.
+        let keep = buf.iter().take_while(|&&b| b == 0xbb).count();
+        assert!(keep >= 1, "at least one new byte must land");
+        assert!(buf[keep..].iter().all(|&b| b == 0xaa));
+    }
+
+    #[test]
+    fn crash_disk_budget_zero_fails_first_write() {
+        let mut d = CrashDisk::new(MemDisk::new(512, 8), 7);
+        d.arm(0, false);
+        assert_eq!(d.write_block(0, &[1u8; 512]), Err(DiskError::PowerFailure));
+        assert_eq!(d.writes_completed(), 0);
     }
 }

@@ -22,6 +22,6 @@ mod device;
 mod model;
 pub mod specs;
 
-pub use device::{BlockDevice, DiskError, MemDisk, SharedDisk, StripedDevice};
+pub use device::{BlockDevice, CrashDisk, DiskError, MemDisk, SharedDisk, StripedDevice};
 pub use model::{DiskModel, DiskOp, StripedModel};
 pub use specs::DiskSpec;

@@ -19,6 +19,8 @@ pub(crate) const P1_FILES: &[&str] = &[
     "crates/object/src/drive.rs",
     "crates/object/src/store.rs",
     "crates/object/src/persist.rs",
+    "crates/object/src/layout.rs",
+    "crates/object/src/wal.rs",
     "crates/object/src/cache.rs",
     "crates/object/src/security.rs",
     "crates/fm/src/server.rs",
@@ -155,6 +157,7 @@ pub(crate) fn check_p1(src: &Source, out: &mut Vec<RawFinding>) {
 pub(crate) const H1_FILES: &[&str] = &[
     "crates/object/src/drive.rs",
     "crates/object/src/store.rs",
+    "crates/object/src/wal.rs",
     "crates/object/src/cache.rs",
     "crates/proto/src/message.rs",
     "crates/proto/src/wire.rs",

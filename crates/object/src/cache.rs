@@ -194,6 +194,16 @@ impl<D: BlockDevice> BlockCache<D> {
         &self.device
     }
 
+    /// Mutable access to the wrapped device, bypassing the cache. Used
+    /// by the WAL and checkpoint paths, whose writes must reach the
+    /// media *now* and in order — write-behind would destroy exactly
+    /// the ordering their crash-consistency argument depends on. Callers
+    /// must not touch blocks the cache also holds.
+    #[must_use]
+    pub(crate) fn device_mut(&mut self) -> &mut D {
+        &mut self.device
+    }
+
     /// Block size of the underlying device.
     #[must_use]
     pub fn block_size(&self) -> usize {

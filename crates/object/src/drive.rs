@@ -363,9 +363,11 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
     fn init(device: D, config: DriveConfig, id: DriveId, master_seed: [u8; 32]) -> Self {
         let hierarchy = KeyHierarchy::new(SecretKey::from_bytes(master_seed), id.0);
         let security = DriveSecurity::new(id, hierarchy.drive().clone(), config.security_enabled);
+        let mut store = ObjectStore::new(device, config.cache_blocks);
+        store.enable_wal(config.durable_writes);
         NasdDrive {
             id,
-            store: ObjectStore::new(device, config.cache_blocks),
+            store,
             security,
             hierarchy,
             meter: CostMeter::new(),
@@ -384,7 +386,10 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
         id: DriveId,
         master_seed: [u8; 32],
     ) -> Result<Self, StoreError> {
-        let store = ObjectStore::open(device, config.cache_blocks)?;
+        let mut store = ObjectStore::open(device, config.cache_blocks)?;
+        // Replay is done; from here on, durable drives log every
+        // mutation before acking it.
+        store.enable_wal(config.durable_writes);
         let hierarchy = KeyHierarchy::new(SecretKey::from_bytes(master_seed), id.0);
         let mut security =
             DriveSecurity::new(id, hierarchy.drive().clone(), config.security_enabled);
@@ -467,6 +472,7 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
             StoreError::NoSuchObject(_) => NasdStatus::NoSuchObject,
             StoreError::NoSpace | StoreError::QuotaBelowUsage { .. } => NasdStatus::NoSpace,
             StoreError::NotFormatted => NasdStatus::DriveError,
+            StoreError::Corrupt(_) => NasdStatus::DriveError,
             StoreError::Disk(_) => NasdStatus::DriveError,
             StoreError::Internal(_) => NasdStatus::DriveError,
         }
@@ -539,9 +545,13 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
         let mut trace = IoTrace::default();
         let (mut reply, kind, bytes) = self.dispatch(req, &mut trace);
         if self.durable_writes && reply.status.is_ok() && Self::is_mutating(&req.body) {
-            // Ack implies durable: persist metadata and data before the
-            // reply leaves the drive. A failed checkpoint voids the ack.
-            if self.store.checkpoint(&mut trace).is_err() {
+            // Ack implies durable: group-commit the op's write-ahead log
+            // records (write payloads travel inside their records, so
+            // replay regenerates the data blocks) before the reply
+            // leaves the drive. A failed commit voids the ack. The
+            // first commit on a fresh device writes a full checkpoint
+            // instead, formatting the superblock.
+            if self.store.wal_commit(&mut trace).is_err() {
                 reply = Reply::error(NasdStatus::DriveError);
             }
         }

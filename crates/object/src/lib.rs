@@ -41,9 +41,11 @@ mod alloc;
 mod cache;
 mod cost;
 mod drive;
+pub mod layout;
 pub mod persist;
 mod security;
 mod store;
+mod wal;
 
 pub use alloc::{Allocator, Extent};
 pub use cache::{BlockCache, CacheStats, IoRecord, IoTrace};
@@ -51,5 +53,7 @@ pub use cost::{CostMeter, OpCost, OpKind};
 pub use drive::{
     ClientHandle, DriveBuilder, DriveConfig, DriveFaultConfig, NasdDrive, ServiceReport,
 };
+pub use layout::{checksum64, Layout};
 pub use security::{DriveSecurity, ReplayWindow};
 pub use store::{ObjectStore, PartitionStats, StoreError, FIRST_DYNAMIC_OBJECT};
+pub use wal::WalRecord;

@@ -1,47 +1,59 @@
-//! Metadata persistence: checkpoint and remount.
+//! Metadata persistence: checkpoint, remount, and log replay.
 //!
-//! The paper's prototype kept its object-system metadata in kernel memory;
-//! a production drive must survive power cycles. This module serializes
-//! the drive's metadata — partitions, object tables (attributes + block
-//! maps), and copy-on-write refcounts — into a reserved region at the
-//! head of the device, and rebuilds the store (including the free-space
-//! allocator, which is *recomputed* from the block maps rather than
-//! trusted from disk — a cheap self-check against corruption).
+//! The paper's prototype kept its object-system metadata in kernel
+//! memory; a production drive must survive power cycles *at any
+//! instant*. This module writes the drive's metadata — partitions,
+//! object tables (attributes + extent maps), and copy-on-write
+//! refcounts — as an inode-style index checkpoint inside the on-disk
+//! layout of [`crate::layout`], and rebuilds the store on open:
 //!
-//! Layout of the metadata area (block 0 onward):
+//! 1. load the superblock (primary copy, falling back to the
+//!    secondary);
+//! 2. read the index checkpoint of the recorded epoch and verify its
+//!    checksum;
+//! 3. *recompute* the free-space allocator from the object extent maps
+//!    rather than trusting disk state;
+//! 4. verify the persisted allocation bitmap bit-for-bit against that
+//!    recomputation — a cheap structural self-check against corruption;
+//! 5. replay the write-ahead log ([`crate::wal`]) idempotently to the
+//!    last complete record.
 //!
-//! ```text
-//! u64 MAGIC | u64 payload_len | payload bytes...
-//! ```
+//! Checkpoints are atomic by construction: the bitmap and index are
+//! written to the *other* epoch-parity copy, and only the final
+//! superblock write (to both copies) switches the drive over. A crash
+//! anywhere in between leaves the previous checkpoint and its log
+//! intact.
 //!
-//! The payload is the canonical wire encoding produced by
-//! [`nasd_proto::wire`]; block maps are run-length compressed into
-//! extents, so a freshly-written multi-gigabyte object costs a few bytes
-//! per contiguous run.
+//! Each object's extent map is stored inode-style: up to
+//! [`NDIRECT`] extents inline in the index record, with any overflow
+//! spilled to an indirect region referenced by byte offset — a freshly
+//! written multi-gigabyte contiguous object costs one inline extent.
 
 use crate::alloc::Allocator;
-use crate::cache::{BlockCache, IoTrace};
+use crate::cache::{BlockCache, IoRecord, IoTrace};
+use crate::layout::{bit_set, Superblock};
+use crate::layout::{checksum64, read_bitmap, read_region, write_bitmap, write_region, Layout};
 use crate::store::{ObjectMeta, ObjectStore, Partition, StoreError};
+use crate::wal::Wal;
 use nasd_disk::BlockDevice;
 use nasd_proto::wire::{DecodeError, WireDecode, WireEncode, WireReader, WireWriter};
 use nasd_proto::{ObjectAttributes, ObjectId, PartitionId};
 use std::collections::HashMap;
 
-/// Magic stamped at the head of a checkpointed device.
-pub const META_MAGIC: u64 = 0x4e41_5344_4d45_5441; // "NASDMETA"
+/// Extents stored inline in an object's index record before spilling to
+/// the indirect overflow region.
+pub const NDIRECT: usize = 4;
 
-/// Blocks reserved for metadata: 1/32 of the device, at least 16 blocks,
-/// but never the whole device.
+/// Blocks reserved at the head of a device for metadata (superblocks,
+/// bitmap copies, log, index copies) — the first data block. On a
+/// device too small to hold its own metadata this is the whole device.
 #[must_use]
-pub fn meta_blocks(total_blocks: u64) -> u64 {
-    if total_blocks == 0 {
-        return 0;
-    }
-    (total_blocks / 32).max(16).min(total_blocks / 2)
+pub fn meta_blocks(block_size: usize, total_blocks: u64) -> u64 {
+    Layout::compute(block_size, total_blocks).data_start
 }
 
-/// Run-length encode a block list as (start, len) extents.
-fn encode_blocks(w: &mut WireWriter, blocks: &[u64]) {
+/// Run-length compress a block list into (start, len) extents.
+fn block_runs(blocks: &[u64]) -> Vec<(u64, u64)> {
     let mut runs: Vec<(u64, u64)> = Vec::new();
     for &b in blocks {
         match runs.last_mut() {
@@ -49,59 +61,90 @@ fn encode_blocks(w: &mut WireWriter, blocks: &[u64]) {
             _ => runs.push((b, 1)),
         }
     }
-    w.u32(runs.len() as u32);
-    for (start, len) in runs {
-        w.u64(start).u64(len);
+    runs
+}
+
+/// Encode an object's extent map: up to [`NDIRECT`] runs inline, the
+/// rest spilled to the shared overflow writer (indirect extents).
+fn encode_extents(main: &mut WireWriter, overflow: &mut WireWriter, blocks: &[u64]) {
+    let runs = block_runs(blocks);
+    let inline = runs.len().min(NDIRECT);
+    main.u8(inline as u8);
+    for (start, len) in runs.iter().take(inline) {
+        main.u64(*start).u64(*len);
+    }
+    if runs.len() > inline {
+        main.u8(1)
+            .u64(overflow.as_slice().len() as u64)
+            .u32((runs.len() - inline) as u32);
+        for (start, len) in runs.iter().skip(inline) {
+            overflow.u64(*start).u64(*len);
+        }
+    } else {
+        main.u8(0);
     }
 }
 
-fn decode_blocks(r: &mut WireReader<'_>) -> Result<Vec<u64>, DecodeError> {
-    let nruns = r.u32()? as usize;
+fn decode_extents(main: &mut WireReader<'_>, overflow: &[u8]) -> Result<Vec<u64>, DecodeError> {
     let mut blocks = Vec::new();
-    for _ in 0..nruns {
-        let start = r.u64()?;
-        let len = r.u64()?;
-        blocks.extend(start..start + len);
+    let inline = main.u8()? as usize;
+    for _ in 0..inline {
+        let start = main.u64()?;
+        let len = main.u64()?;
+        blocks.extend(start..start.saturating_add(len));
+    }
+    if main.u8()? != 0 {
+        let off = main.u64()? as usize;
+        let extra = main.u32()? as usize;
+        let tail = overflow.get(off..).ok_or(DecodeError::Truncated {
+            needed: off,
+            remaining: overflow.len(),
+        })?;
+        let mut r = WireReader::new(tail);
+        for _ in 0..extra {
+            let start = r.u64()?;
+            let len = r.u64()?;
+            blocks.extend(start..start.saturating_add(len));
+        }
     }
     Ok(blocks)
 }
 
-/// Big-endian u64 at `at`; a short buffer means the checkpoint frame is
-/// truncated, which surfaces as [`StoreError::NotFormatted`].
-fn be_u64(buf: &[u8], at: usize) -> Result<u64, StoreError> {
-    let bytes = buf
-        .get(at..at + 8)
-        .and_then(|s| <[u8; 8]>::try_from(s).ok())
-        .ok_or(StoreError::NotFormatted)?;
-    Ok(u64::from_be_bytes(bytes))
-}
-
+/// Serialize the whole store into an index-checkpoint payload:
+/// `[u64 overflow_len][overflow (indirect extents)][main records]`.
 fn encode_store<D: BlockDevice>(store: &ObjectStore<D>) -> Vec<u8> {
-    let mut w = WireWriter::new();
-    // Partitions.
+    let mut main = WireWriter::new();
+    let mut overflow = WireWriter::new();
     let mut parts: Vec<_> = store.partitions.iter().collect();
     parts.sort_by_key(|(pid, _)| **pid);
-    w.u32(parts.len() as u32);
+    main.u32(parts.len() as u32);
     for (pid, part) in parts {
-        pid.encode(&mut w);
-        w.u64(part.quota).u64(part.used).u64(part.next_object);
+        pid.encode(&mut main);
+        main.u64(part.quota).u64(part.used).u64(part.next_object);
         let mut objs: Vec<_> = part.objects.iter().collect();
         objs.sort_by_key(|(oid, _)| **oid);
-        w.u32(objs.len() as u32);
+        main.u32(objs.len() as u32);
         for (oid, meta) in objs {
-            oid.encode(&mut w);
-            meta.attrs.encode(&mut w);
-            encode_blocks(&mut w, &meta.blocks);
+            oid.encode(&mut main);
+            meta.attrs.encode(&mut main);
+            encode_extents(&mut main, &mut overflow, &meta.blocks);
         }
     }
     // COW refcounts.
     let mut refs: Vec<(u64, u32)> = store.refcounts.iter().map(|(&b, &c)| (b, c)).collect();
     refs.sort_unstable();
-    w.u32(refs.len() as u32);
+    main.u32(refs.len() as u32);
     for (block, count) in refs {
-        w.u64(block).u32(count);
+        main.u64(block).u32(count);
     }
-    w.into_vec()
+
+    let mut payload =
+        WireWriter::with_capacity(8 + overflow.as_slice().len() + main.as_slice().len());
+    payload
+        .u64(overflow.as_slice().len() as u64)
+        .raw(overflow.as_slice())
+        .raw(main.as_slice());
+    payload.into_vec()
 }
 
 struct DecodedState {
@@ -110,7 +153,10 @@ struct DecodedState {
 }
 
 fn decode_store(payload: &[u8]) -> Result<DecodedState, DecodeError> {
-    let mut r = WireReader::new(payload);
+    let mut head = WireReader::new(payload);
+    let overflow_len = head.u64()? as usize;
+    let overflow = head.raw(overflow_len)?;
+    let mut r = WireReader::new(head.rest());
     let nparts = r.u32()? as usize;
     let mut partitions = HashMap::with_capacity(nparts);
     for _ in 0..nparts {
@@ -123,7 +169,7 @@ fn decode_store(payload: &[u8]) -> Result<DecodedState, DecodeError> {
         for _ in 0..nobjects {
             let oid = ObjectId::decode(&mut r)?;
             let attrs = ObjectAttributes::decode(&mut r)?;
-            let blocks = decode_blocks(&mut r)?;
+            let blocks = decode_extents(&mut r, overflow)?;
             objects.insert(oid, ObjectMeta { attrs, blocks });
         }
         partitions.insert(
@@ -151,86 +197,120 @@ fn decode_store(payload: &[u8]) -> Result<DecodedState, DecodeError> {
 }
 
 impl<D: BlockDevice> ObjectStore<D> {
-    /// Flush all data and write a metadata checkpoint, making the store
-    /// recoverable with [`ObjectStore::open`].
+    /// The in-use bit per device block: the metadata area plus every
+    /// block referenced by any object's extent map. This is both what
+    /// the checkpoint persists and what `open` recomputes to verify it.
+    fn in_use_bits(&self) -> Vec<u8> {
+        let mut bits = vec![0u8; (self.layout.total_blocks.div_ceil(8)) as usize];
+        for b in 0..self.layout.data_start {
+            bit_set(&mut bits, b);
+        }
+        for part in self.partitions.values() {
+            for meta in part.objects.values() {
+                for &b in &meta.blocks {
+                    bit_set(&mut bits, b);
+                }
+            }
+        }
+        bits
+    }
+
+    /// Flush all data and write a full metadata checkpoint, making the
+    /// store recoverable with [`ObjectStore::open`] and logically
+    /// truncating the write-ahead log (its epoch moves on).
+    ///
+    /// The write order is the crash-safety argument: data, then the
+    /// bitmap and index into the *inactive* epoch-parity copies, then
+    /// both superblocks — the atomic switch. A crash before the
+    /// superblock write leaves the previous checkpoint fully intact.
     ///
     /// # Errors
     ///
-    /// [`StoreError::NoSpace`] if the metadata outgrew the reserved area
-    /// (the drive is over-populated with tiny fragmented objects);
-    /// device errors.
+    /// [`StoreError::NoSpace`] if the device cannot hold its metadata
+    /// or the index outgrew its area; device errors.
     pub fn checkpoint(&mut self, trace: &mut IoTrace) -> Result<(), StoreError> {
+        if !self.layout.fits() {
+            return Err(StoreError::NoSpace);
+        }
         // Data first: the checkpoint must describe durable contents.
         self.cache.flush(trace)?;
 
         let payload = encode_store(self);
-        let bs = self.block_size;
-        let area_blocks = meta_blocks(self.cache.device().num_blocks());
-        let header = 16usize; // magic + length
-        if payload.len() + header > (area_blocks as usize) * bs {
+        if payload.len() > self.layout.index_bytes() {
             return Err(StoreError::NoSpace);
         }
-
-        let mut framed = Vec::with_capacity(header + payload.len());
-        framed.extend_from_slice(&META_MAGIC.to_be_bytes());
-        framed.extend_from_slice(&(payload.len() as u64).to_be_bytes());
-        framed.extend_from_slice(&payload);
-        // Write block-by-block through the cache, then flush.
-        for (i, chunk) in framed.chunks(bs).enumerate() {
-            if chunk.len() == bs {
-                self.cache.write(i as u64, chunk, trace)?;
-            } else {
-                let mut padded = vec![0u8; bs];
-                padded
-                    .get_mut(..chunk.len())
-                    .ok_or(StoreError::Internal("checkpoint chunk longer than block"))?
-                    .copy_from_slice(chunk);
-                self.cache.write(i as u64, &padded, trace)?;
-            }
-        }
-        self.cache.flush(trace)?;
+        let epoch = self.checkpoint_seq + 1;
+        let bits = self.in_use_bits();
+        let layout = self.layout;
+        let device = self.cache.device_mut();
+        write_bitmap(device, &layout, epoch, &bits)?;
+        write_region(
+            device,
+            layout.index_copy_start(epoch),
+            layout.index_blocks,
+            layout.block_size,
+            &payload,
+        )?;
+        let sb = Superblock {
+            layout,
+            checkpoint_seq: epoch,
+            checkpoint_len: payload.len() as u64,
+            checkpoint_crc: checksum64(&payload),
+        };
+        sb.store(device)?;
+        trace.records.push(IoRecord::Write {
+            block: layout.bitmap_copy_start(epoch),
+            count: layout.bitmap_blocks,
+        });
+        trace.records.push(IoRecord::Write {
+            block: layout.index_copy_start(epoch),
+            count: (payload.len() as u64).div_ceil(layout.block_size as u64),
+        });
+        trace.records.push(IoRecord::Write { block: 0, count: 2 });
+        self.checkpoint_seq = epoch;
+        self.formatted = true;
+        self.wal.reset(epoch);
         Ok(())
     }
 
-    /// Remount a checkpointed device: rebuilds the object tables from the
-    /// metadata area and *recomputes* the allocator from the block maps.
+    /// Remount a formatted device: superblock, index checkpoint,
+    /// recomputed allocator, bitmap self-check, then idempotent log
+    /// replay to the last complete record.
+    ///
+    /// The write-ahead log is left *disabled*; a durable drive enables
+    /// it after open so replayed operations never re-log themselves.
     ///
     /// # Errors
     ///
-    /// [`StoreError::NotFormatted`] when the device carries no valid
-    /// checkpoint (bad magic or corrupt payload); [`StoreError::Disk`]
+    /// [`StoreError::NotFormatted`] when no superblock copy carries the
+    /// magic; [`StoreError::Corrupt`] when metadata is present but
+    /// fails a checksum or the bitmap self-check; [`StoreError::Disk`]
     /// on device errors.
     pub fn open(device: D, cache_blocks: usize) -> Result<Self, StoreError> {
         let bs = device.block_size();
         let total_blocks = device.num_blocks();
-        let mut buf = vec![0u8; bs];
-        device.read_block(0, &mut buf)?;
-        let magic = be_u64(&buf, 0)?;
-        if magic != META_MAGIC {
-            return Err(StoreError::NotFormatted);
+        let sb = Superblock::load(&device)?;
+        let layout = sb.layout;
+        let payload = read_region(
+            &device,
+            layout.index_copy_start(sb.checkpoint_seq),
+            bs,
+            sb.checkpoint_len as usize,
+        )?;
+        if checksum64(&payload) != sb.checkpoint_crc {
+            return Err(StoreError::Corrupt("index checkpoint checksum mismatch"));
         }
-        let payload_len = be_u64(&buf, 8)? as usize;
-        let mut framed = Vec::with_capacity(16 + payload_len);
-        framed.extend_from_slice(&buf);
-        let mut block = 1u64;
-        while framed.len() < 16 + payload_len {
-            device.read_block(block, &mut buf)?;
-            framed.extend_from_slice(&buf);
-            block += 1;
-        }
-        let payload = framed
-            .get(16..16 + payload_len)
-            .ok_or(StoreError::NotFormatted)?;
-        let state = decode_store(payload).map_err(|_| StoreError::NotFormatted)?;
+        let state =
+            decode_store(&payload).map_err(|_| StoreError::Corrupt("index checkpoint garbled"))?;
 
-        // Rebuild the allocator: reserve the metadata area, then every
-        // block referenced by any object (shared blocks once).
+        // Rebuild the allocator from first principles: reserve the
+        // metadata area, then carve out every block referenced by any
+        // object (shared blocks once).
         let mut allocator = Allocator::new(total_blocks);
-        let meta = meta_blocks(total_blocks);
-        if meta > 0 {
+        if layout.data_start > 0 {
             allocator
-                .allocate(meta, Some(0))
-                .ok_or(StoreError::NoSpace)?;
+                .allocate(layout.data_start, Some(0))
+                .ok_or(StoreError::Internal("metadata reservation failed"))?;
         }
         let mut in_use: Vec<u64> = state
             .partitions
@@ -241,21 +321,40 @@ impl<D: BlockDevice> ObjectStore<D> {
         in_use.sort_unstable();
         in_use.dedup();
         for b in in_use {
-            // Carve each used block out of the free pool.
             allocator
                 .allocate(1, Some(b))
                 .filter(|e| e.start == b)
-                .ok_or(StoreError::NotFormatted)?;
+                .ok_or(StoreError::Corrupt(
+                    "object index references out-of-range or doubly-used blocks",
+                ))?;
         }
 
-        Ok(ObjectStore {
+        // Construct early enough to reuse `in_use_bits`, but verify the
+        // persisted bitmap before replay mutates anything.
+        let (wal, log_records) = Wal::recover(&device, &layout, sb.checkpoint_seq)?;
+        let store_bits_stored = read_bitmap(&device, &layout, sb.checkpoint_seq)?;
+        let mut store = ObjectStore {
             cache: BlockCache::new(device, cache_blocks),
             allocator,
             partitions: state.partitions,
             refcounts: state.refcounts,
             block_size: bs,
             read_scratch: Vec::new(),
-        })
+            layout,
+            wal,
+            checkpoint_seq: sb.checkpoint_seq,
+            formatted: true,
+        };
+        if store.in_use_bits() != store_bits_stored {
+            return Err(StoreError::Corrupt(
+                "allocation bitmap disagrees with the object index",
+            ));
+        }
+        let mut trace = IoTrace::default();
+        for rec in log_records {
+            store.apply_wal(rec, &mut trace)?;
+        }
+        Ok(store)
     }
 }
 
@@ -364,25 +463,130 @@ mod tests {
         drop(store);
         let mut re = ObjectStore::open(device, 8).unwrap();
         assert_eq!(re.read(P, o, 0, 2, 2, &mut t()).unwrap(), b"v2");
+        assert_eq!(re.checkpoint_seq, 2, "one epoch per checkpoint");
     }
 
     #[test]
-    fn run_length_encoding_roundtrip() {
-        let blocks = vec![5, 6, 7, 100, 101, 3, 900];
-        let mut w = WireWriter::new();
-        encode_blocks(&mut w, &blocks);
-        let buf = w.into_vec();
-        let mut r = WireReader::new(&buf);
-        assert_eq!(decode_blocks(&mut r).unwrap(), blocks);
-        // Compact: 4 runs.
-        assert_eq!(buf.len(), 4 + 4 * 16);
+    fn fragmented_objects_use_indirect_extents() {
+        let mut store = ObjectStore::new(MemDisk::new(BS, 4_096), 64);
+        store.create_partition(P, 64 << 20).unwrap();
+        // Interleave two objects' writes so each ends up with many
+        // non-contiguous single-block extents — more than NDIRECT.
+        let a = store.create_object(P, 0, None, 0, &mut t()).unwrap();
+        let b = store.create_object(P, 0, None, 0, &mut t()).unwrap();
+        for i in 0..(NDIRECT as u64 + 4) {
+            store
+                .write(P, a, i * BS as u64, &vec![1u8; BS], 0, &mut t())
+                .unwrap();
+            store
+                .write(P, b, i * BS as u64, &vec![2u8; BS], 0, &mut t())
+                .unwrap();
+        }
+        let a_blocks = {
+            let part = store.partitions.get(&P).unwrap();
+            part.objects[&a].blocks.clone()
+        };
+        assert!(
+            block_runs(&a_blocks).len() > NDIRECT,
+            "test must actually exercise the indirect path: {a_blocks:?}"
+        );
+        store.checkpoint(&mut t()).unwrap();
+        let device = store.cache().device().clone();
+        drop(store);
+
+        let mut re = ObjectStore::open(device, 64).unwrap();
+        let n = (NDIRECT as u64 + 4) * BS as u64;
+        assert!(re
+            .read(P, a, 0, n, 1, &mut t())
+            .unwrap()
+            .to_vec()
+            .iter()
+            .all(|&x| x == 1));
+        assert!(re
+            .read(P, b, 0, n, 1, &mut t())
+            .unwrap()
+            .to_vec()
+            .iter()
+            .all(|&x| x == 2));
+        assert_eq!(
+            re.partitions.get(&P).unwrap().objects[&a].blocks,
+            a_blocks,
+            "extent maps survive the indirect encoding"
+        );
+    }
+
+    #[test]
+    fn corrupt_index_checkpoint_is_rejected() {
+        let mut store = ObjectStore::new(MemDisk::new(BS, 2_048), 64);
+        store.create_partition(P, 16 << 20).unwrap();
+        let o = store.create_object(P, 0, None, 0, &mut t()).unwrap();
+        store.write(P, o, 0, b"payload", 0, &mut t()).unwrap();
+        store.checkpoint(&mut t()).unwrap();
+        let epoch = store.checkpoint_seq;
+        let layout = *store.layout();
+        let mut device = store.cache().device().clone();
+        drop(store);
+
+        let target = layout.index_copy_start(epoch);
+        let mut buf = vec![0u8; BS];
+        device.read_block(target, &mut buf).unwrap();
+        buf[3] ^= 0x80;
+        device.write_block(target, &buf).unwrap();
+        assert!(matches!(
+            ObjectStore::open(device, 8),
+            Err(StoreError::Corrupt("index checkpoint checksum mismatch"))
+        ));
+    }
+
+    #[test]
+    fn extent_encoding_roundtrip() {
+        for blocks in [
+            vec![],
+            vec![5],
+            vec![5, 6, 7, 100, 101, 3, 900],
+            (0..100u64).map(|i| i * 2 + 200).collect::<Vec<_>>(), // 100 runs
+        ] {
+            let mut main = WireWriter::new();
+            let mut overflow = WireWriter::new();
+            encode_extents(&mut main, &mut overflow, &blocks);
+            let main = main.into_vec();
+            let overflow = overflow.into_vec();
+            let mut r = WireReader::new(&main);
+            assert_eq!(decode_extents(&mut r, &overflow).unwrap(), blocks);
+            r.finish().unwrap();
+        }
     }
 
     #[test]
     fn metadata_area_sizing() {
-        assert_eq!(meta_blocks(0), 0);
-        assert_eq!(meta_blocks(20), 10, "never more than half the device");
-        assert_eq!(meta_blocks(4_096), 128);
-        assert_eq!(meta_blocks(100), 16, "floor of 16 blocks");
+        // A device too small for its metadata is wholly reserved: the
+        // store formats with zero data capacity instead of overlapping
+        // regions (the old `meta_blocks` returned 0 for tiny devices).
+        for tiny in [0u64, 1, 2, 16] {
+            assert_eq!(meta_blocks(512, tiny), tiny);
+        }
+        // Normal devices keep most of their capacity for data.
+        for (bs, total) in [(512usize, 2_048u64), (8_192, 4_096), (8_192, 1 << 20)] {
+            let meta = meta_blocks(bs, total);
+            assert!(meta > 2, "superblocks, bitmap, log and index reserved");
+            assert!(
+                meta <= total / 10,
+                "metadata under 10% of a real device: {meta}/{total}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_device_operations_fail_cleanly() {
+        // 16 blocks cannot hold the metadata area: the store still
+        // constructs, partition bookkeeping works, but nothing that
+        // needs disk space or durability succeeds — and nothing panics.
+        let mut store = ObjectStore::new(MemDisk::new(512, 16), 4);
+        store.create_partition(P, 1 << 20).unwrap();
+        assert_eq!(
+            store.create_object(P, 512, None, 0, &mut t()).unwrap_err(),
+            StoreError::NoSpace
+        );
+        assert_eq!(store.checkpoint(&mut t()).unwrap_err(), StoreError::NoSpace);
     }
 }

@@ -9,6 +9,8 @@
 
 use crate::alloc::Allocator;
 use crate::cache::{BlockCache, IoTrace};
+use crate::layout::Layout;
+use crate::wal::{Wal, WalRecord};
 use bytes::ByteRope;
 use nasd_disk::{BlockDevice, DiskError};
 use nasd_proto::{ObjectAttributes, ObjectId, PartitionId, SetAttrMask, Version};
@@ -42,6 +44,11 @@ pub enum StoreError {
     /// The device holds no valid metadata checkpoint (see
     /// [`ObjectStore::open`]).
     NotFormatted,
+    /// On-disk metadata carries the right magic but fails a checksum or
+    /// structural self-check: the device was formatted, then damaged.
+    /// Distinct from [`StoreError::NotFormatted`] so callers never
+    /// silently reformat a drive that *had* data.
+    Corrupt(&'static str),
     /// Underlying device error.
     Disk(DiskError),
     /// An internal invariant did not hold (metadata out of step with
@@ -65,6 +72,7 @@ impl fmt::Display for StoreError {
                 write!(f, "quota {requested} below current usage {used}")
             }
             StoreError::NotFormatted => f.write_str("no valid metadata checkpoint"),
+            StoreError::Corrupt(what) => write!(f, "on-disk metadata corrupt: {what}"),
             StoreError::Disk(e) => write!(f, "device error: {e}"),
             StoreError::Internal(what) => write!(f, "internal store invariant violated: {what}"),
         }
@@ -144,6 +152,15 @@ pub struct ObjectStore<D> {
     /// Reusable block-number list for `read`, so steady-state reads do
     /// not allocate a fresh copy of the object's block map.
     pub(crate) read_scratch: Vec<u64>,
+    /// On-disk region geometry (see [`crate::layout`]).
+    pub(crate) layout: Layout,
+    /// The write-ahead log; disabled unless the drive runs durable.
+    pub(crate) wal: Wal,
+    /// Epoch of the last checkpoint on disk (0 before the first one).
+    pub(crate) checkpoint_seq: u64,
+    /// Whether a superblock exists on disk yet. A fresh store is
+    /// unformatted until its first checkpoint.
+    pub(crate) formatted: bool,
 }
 
 impl<D: BlockDevice> ObjectStore<D> {
@@ -155,12 +172,13 @@ impl<D: BlockDevice> ObjectStore<D> {
     pub fn new(device: D, cache_blocks: usize) -> Self {
         let total_blocks = device.num_blocks();
         let block_size = device.block_size();
-        let meta = crate::persist::meta_blocks(total_blocks);
+        let layout = Layout::compute(block_size, total_blocks);
         let mut allocator = Allocator::new(total_blocks);
-        if meta > 0 {
-            // The reservation fits any nonempty device; if it ever did
-            // not, the store simply starts unformatted rather than panic.
-            if let Some(reserved) = allocator.allocate(meta, Some(0)) {
+        if layout.data_start > 0 {
+            // On a device too small for its metadata, `data_start` clamps
+            // to the whole device: everything is reserved and allocations
+            // fail cleanly with `NoSpace` rather than overlapping.
+            if let Some(reserved) = allocator.allocate(layout.data_start, Some(0)) {
                 debug_assert_eq!(reserved.start, 0, "metadata area is the device head");
             }
         }
@@ -171,6 +189,10 @@ impl<D: BlockDevice> ObjectStore<D> {
             refcounts: HashMap::new(),
             block_size,
             read_scratch: Vec::new(),
+            wal: Wal::new(&layout),
+            layout,
+            checkpoint_seq: 0,
+            formatted: false,
         }
     }
 
@@ -190,6 +212,69 @@ impl<D: BlockDevice> ObjectStore<D> {
     #[must_use]
     pub fn cache(&self) -> &BlockCache<D> {
         &self.cache
+    }
+
+    /// On-disk region geometry.
+    #[must_use]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Turn write-ahead logging on or off. The drive enables it for
+    /// durable configurations *after* open/replay — replayed operations
+    /// must not re-log themselves.
+    pub fn enable_wal(&mut self, enabled: bool) {
+        self.wal.enabled = enabled;
+    }
+
+    /// Bytes of committed log since the last checkpoint (recovery
+    /// benchmarks plot replay time against this).
+    #[must_use]
+    pub fn wal_durable_bytes(&self) -> u64 {
+        self.wal.durable_bytes()
+    }
+
+    /// Group commit: push every record logged since the last commit to
+    /// the media. The drive calls this before acknowledging a mutating
+    /// request — once it returns, a crash at any later instant replays
+    /// the operation.
+    ///
+    /// # Errors
+    ///
+    /// Device errors; [`StoreError::NoSpace`] when the first commit must
+    /// format the device and the device cannot hold its metadata.
+    pub fn wal_commit(&mut self, trace: &mut IoTrace) -> Result<(), StoreError> {
+        if !self.wal.has_pending() {
+            return Ok(());
+        }
+        // The log is only meaningful relative to a checkpoint epoch: the
+        // very first commit checkpoints once to put a superblock on disk
+        // (which also empties the pending buffer into that checkpoint).
+        if !self.formatted {
+            self.checkpoint(trace)?;
+            return Ok(());
+        }
+        let first = self.wal.durable_bytes();
+        self.wal.commit(self.cache.device_mut())?;
+        let count = (self.wal.durable_bytes() - first).div_ceil(self.block_size as u64);
+        trace.records.push(crate::cache::IoRecord::Write {
+            block: self.layout.log_start + first / self.block_size as u64,
+            count: count.max(1),
+        });
+        Ok(())
+    }
+
+    /// Append a record for an operation that just succeeded. When the
+    /// log area is full, fall back to a checkpoint — it captures the
+    /// operation's effect directly and logically empties the log.
+    fn wal_log(&mut self, rec: &WalRecord, trace: &mut IoTrace) -> Result<(), StoreError> {
+        if !self.wal.enabled {
+            return Ok(());
+        }
+        if !self.wal.append(rec) {
+            self.checkpoint(trace)?;
+        }
+        Ok(())
     }
 
     // ----- partitions -------------------------------------------------
@@ -212,6 +297,10 @@ impl<D: BlockDevice> ObjectStore<D> {
                 objects: HashMap::new(),
             },
         );
+        self.wal_log(
+            &WalRecord::CreatePartition { p, quota },
+            &mut IoTrace::default(),
+        )?;
         Ok(())
     }
 
@@ -230,6 +319,10 @@ impl<D: BlockDevice> ObjectStore<D> {
             });
         }
         part.quota = quota;
+        self.wal_log(
+            &WalRecord::ResizePartition { p, quota },
+            &mut IoTrace::default(),
+        )?;
         Ok(())
     }
 
@@ -244,6 +337,7 @@ impl<D: BlockDevice> ObjectStore<D> {
             return Err(StoreError::PartitionNotEmpty(p));
         }
         self.partitions.remove(&p);
+        self.wal_log(&WalRecord::RemovePartition { p }, &mut IoTrace::default())?;
         Ok(())
     }
 
@@ -299,7 +393,6 @@ impl<D: BlockDevice> ObjectStore<D> {
         now: u64,
         trace: &mut IoTrace,
     ) -> Result<ObjectId, StoreError> {
-        let _ = trace;
         let bs = self.block_size as u64;
         let nblocks = preallocate.div_ceil(bs);
 
@@ -315,7 +408,7 @@ impl<D: BlockDevice> ObjectStore<D> {
         if part.used + nblocks * bs > part.quota {
             return Err(StoreError::NoSpace);
         }
-        let blocks = self.allocate_blocks(nblocks, hint)?;
+        let blocks = self.allocate_blocks(nblocks, hint, trace)?;
 
         let part = self.partition_mut(p)?;
         let id = ObjectId(part.next_object);
@@ -325,10 +418,25 @@ impl<D: BlockDevice> ObjectStore<D> {
         attrs.cluster_with = cluster_with;
         part.used += nblocks * bs;
         part.objects.insert(id, ObjectMeta { attrs, blocks });
+        self.wal_log(
+            &WalRecord::Create {
+                p,
+                id,
+                preallocate,
+                cluster_with,
+                now,
+            },
+            trace,
+        )?;
         Ok(id)
     }
 
-    fn allocate_blocks(&mut self, nblocks: u64, hint: Option<u64>) -> Result<Vec<u64>, StoreError> {
+    fn allocate_blocks(
+        &mut self,
+        nblocks: u64,
+        hint: Option<u64>,
+        trace: &mut IoTrace,
+    ) -> Result<Vec<u64>, StoreError> {
         if nblocks == 0 {
             return Ok(Vec::new());
         }
@@ -340,7 +448,64 @@ impl<D: BlockDevice> ObjectStore<D> {
         for e in extents {
             blocks.extend(e.start..e.end());
         }
+        // Recycled blocks still hold whatever a freed object left behind;
+        // zero them in cache so gaps and extensions read back as zeros and
+        // log replay reproduces the exact bytes the live run exposed.
+        let zeros = vec![0u8; self.block_size];
+        for &b in &blocks {
+            self.cache.write(b, &zeros, trace)?;
+        }
         Ok(blocks)
+    }
+
+    /// Zero object bytes `[from, to)` on media. Called when the logical
+    /// size grows past bytes that may be stale in pre-existing blocks (a
+    /// shrunk-then-regrown tail, or preallocated capacity): extension
+    /// must read back as zeros, and recovery must reproduce the same
+    /// bytes the live run exposed.
+    fn zero_range(
+        &mut self,
+        p: PartitionId,
+        o: ObjectId,
+        from: u64,
+        to: u64,
+        trace: &mut IoTrace,
+    ) -> Result<(), StoreError> {
+        if from >= to {
+            return Ok(());
+        }
+        let bs = self.block_size;
+        let first_l = (from / bs as u64) as usize;
+        let last_l = ((to - 1) / bs as u64) as usize;
+        // A snapshot may still reference these bytes through a shared
+        // block; re-home before scribbling zeros.
+        for l in first_l..=last_l {
+            self.cow_block(p, o, l, trace)?;
+        }
+        let blocks = {
+            let meta = self.object_mut(p, o)?;
+            meta.blocks.clone()
+        };
+        let zeros = vec![0u8; bs];
+        let mut pos = from;
+        while pos < to {
+            let lblock = (pos / bs as u64) as usize;
+            let within = (pos % bs as u64) as usize;
+            let take = (bs - within).min((to - pos) as usize);
+            let dev_block = *blocks
+                .get(lblock)
+                .ok_or(StoreError::Internal("object block map shorter than size"))?;
+            let chunk = zeros
+                .get(..take)
+                .ok_or(StoreError::Internal("zero chunk longer than a block"))?;
+            if within == 0 && take == bs {
+                self.cache.write(dev_block, chunk, trace)?;
+            } else {
+                self.cache.write_partial(dev_block, within, chunk, trace)?;
+            }
+            pos += take as u64;
+        }
+        Ok(())
     }
 
     /// Remove an object, releasing its space.
@@ -354,7 +519,6 @@ impl<D: BlockDevice> ObjectStore<D> {
         o: ObjectId,
         trace: &mut IoTrace,
     ) -> Result<(), StoreError> {
-        let _ = trace;
         let bs = self.block_size as u64;
         let part = self.partition_mut(p)?;
         let meta = part.objects.remove(&o).ok_or(StoreError::NoSuchObject(o))?;
@@ -363,6 +527,7 @@ impl<D: BlockDevice> ObjectStore<D> {
         for b in blocks {
             self.release_block(b);
         }
+        self.wal_log(&WalRecord::Remove { p, o }, trace)?;
         Ok(())
     }
 
@@ -428,10 +593,9 @@ impl<D: BlockDevice> ObjectStore<D> {
         now: u64,
         trace: &mut IoTrace,
     ) -> Result<(), StoreError> {
-        let _ = trace;
         // Grow preallocation first (may fail on quota).
         if mask.preallocated {
-            self.ensure_capacity(p, o, preallocated)?;
+            self.ensure_capacity(p, o, preallocated, trace)?;
         }
         let meta = self.object_mut(p, o)?;
         if mask.fs_specific {
@@ -448,6 +612,20 @@ impl<D: BlockDevice> ObjectStore<D> {
             meta.attrs.version = meta.attrs.version.bumped();
         }
         meta.attrs.attr_modify_time = now;
+        if self.wal.enabled {
+            self.wal_log(
+                &WalRecord::SetAttr {
+                    p,
+                    o,
+                    mask,
+                    fs_specific: Box::new(*fs_specific),
+                    preallocated,
+                    cluster_with,
+                    now,
+                },
+                trace,
+            )?;
+        }
         Ok(())
     }
 
@@ -519,6 +697,7 @@ impl<D: BlockDevice> ObjectStore<D> {
         p: PartitionId,
         o: ObjectId,
         bytes: u64,
+        trace: &mut IoTrace,
     ) -> Result<(), StoreError> {
         let bs = self.block_size as u64;
         let need_blocks = bytes.div_ceil(bs);
@@ -538,7 +717,7 @@ impl<D: BlockDevice> ObjectStore<D> {
         if grow * bs > quota_room {
             return Err(StoreError::NoSpace);
         }
-        let new_blocks = self.allocate_blocks(grow, hint)?;
+        let new_blocks = self.allocate_blocks(grow, hint, trace)?;
         let part = self.partition_mut(p)?;
         part.used += grow * bs;
         let meta = part.objects.get_mut(&o).ok_or(StoreError::Internal(
@@ -569,7 +748,16 @@ impl<D: BlockDevice> ObjectStore<D> {
         }
         let bs = self.block_size;
         let end = offset + data.len() as u64;
-        self.ensure_capacity(p, o, end)?;
+        let (old_size, old_cap) = {
+            let meta = self.object_mut(p, o)?;
+            (meta.attrs.size, meta.blocks.len() as u64 * bs as u64)
+        };
+        self.ensure_capacity(p, o, end, trace)?;
+        // Pre-existing capacity inside the gap may hold stale bytes; the
+        // gap must read back as zeros (newly allocated blocks already do).
+        if offset > old_size {
+            self.zero_range(p, o, old_size, offset.min(old_cap), trace)?;
+        }
 
         // Copy-on-write: any shared block in the written range must be
         // re-homed before modification.
@@ -607,6 +795,19 @@ impl<D: BlockDevice> ObjectStore<D> {
         let meta = self.object_mut(p, o)?;
         meta.attrs.size = meta.attrs.size.max(end);
         meta.attrs.data_modify_time = now;
+        if self.wal.enabled {
+            self.wal_log(
+                &WalRecord::Write {
+                    p,
+                    o,
+                    offset,
+                    // nasd-lint: allow(hot-path-copy, "WAL durability copy: the log record must own the payload it promises to replay")
+                    data: data.to_vec(),
+                    now,
+                },
+                trace,
+            )?;
+        }
         Ok(data.len() as u64)
     }
 
@@ -632,7 +833,7 @@ impl<D: BlockDevice> ObjectStore<D> {
             return Ok(());
         }
         // Allocate a fresh block, copy old contents, swap the mapping.
-        let new_blocks = self.allocate_blocks(1, Some(dev_block))?;
+        let new_blocks = self.allocate_blocks(1, Some(dev_block), trace)?;
         let new_block = *new_blocks
             .first()
             .ok_or(StoreError::Internal("allocate_blocks(1) returned nothing"))?;
@@ -672,11 +873,16 @@ impl<D: BlockDevice> ObjectStore<D> {
         now: u64,
         trace: &mut IoTrace,
     ) -> Result<(), StoreError> {
-        let _ = trace;
         let bs = self.block_size as u64;
-        let old_size = self.object_mut(p, o)?.attrs.size;
+        let (old_size, old_cap) = {
+            let meta = self.object_mut(p, o)?;
+            (meta.attrs.size, meta.blocks.len() as u64 * bs)
+        };
         if new_size > old_size {
-            self.ensure_capacity(p, o, new_size)?;
+            self.ensure_capacity(p, o, new_size, trace)?;
+            // Bytes the extension exposes inside pre-existing capacity
+            // (a shrunk-then-regrown tail) must read back as zeros.
+            self.zero_range(p, o, old_size, new_size.min(old_cap), trace)?;
         }
         let prealloc = {
             let meta = self.object_mut(p, o)?;
@@ -703,6 +909,15 @@ impl<D: BlockDevice> ObjectStore<D> {
             let part = self.partition_mut(p)?;
             part.used -= nfreed * bs;
         }
+        self.wal_log(
+            &WalRecord::Resize {
+                p,
+                o,
+                new_size,
+                now,
+            },
+            trace,
+        )?;
         Ok(())
     }
 
@@ -722,7 +937,6 @@ impl<D: BlockDevice> ObjectStore<D> {
         now: u64,
         trace: &mut IoTrace,
     ) -> Result<ObjectId, StoreError> {
-        let _ = trace;
         let bs = self.block_size as u64;
         let (attrs, blocks) = {
             let part = self.partition(p)?;
@@ -752,6 +966,7 @@ impl<D: BlockDevice> ObjectStore<D> {
                 blocks,
             },
         );
+        self.wal_log(&WalRecord::Snapshot { p, o, id, now }, trace)?;
         Ok(id)
     }
 
@@ -775,6 +990,171 @@ impl<D: BlockDevice> ObjectStore<D> {
     /// Device errors.
     pub fn flush(&mut self, trace: &mut IoTrace) -> Result<(), StoreError> {
         self.cache.flush(trace)?;
+        Ok(())
+    }
+
+    // ----- write-ahead log replay -------------------------------------
+
+    /// Re-apply one logged operation during recovery. Replay is
+    /// idempotent: operations whose effect is already present (object
+    /// exists, partition gone, ...) are skipped, and absolute operations
+    /// (write, setattr, resize) converge on re-application — so a log
+    /// prefix replayed any number of times lands on the same state.
+    ///
+    /// # Errors
+    ///
+    /// Device and internal errors propagate; state-mismatch errors are
+    /// the skips described above, not failures.
+    pub(crate) fn apply_wal(
+        &mut self,
+        rec: WalRecord,
+        trace: &mut IoTrace,
+    ) -> Result<(), StoreError> {
+        let benign = |r: Result<(), StoreError>| match r {
+            Err(
+                StoreError::NoSuchPartition(_)
+                | StoreError::NoSuchObject(_)
+                | StoreError::PartitionExists(_)
+                | StoreError::PartitionNotEmpty(_)
+                | StoreError::QuotaBelowUsage { .. },
+            ) => Ok(()),
+            other => other,
+        };
+        match rec {
+            WalRecord::CreatePartition { p, quota } => benign(self.create_partition(p, quota)),
+            WalRecord::ResizePartition { p, quota } => benign(self.resize_partition(p, quota)),
+            WalRecord::RemovePartition { p } => benign(self.remove_partition(p)),
+            WalRecord::Create {
+                p,
+                id,
+                preallocate,
+                cluster_with,
+                now,
+            } => self.apply_create(p, id, preallocate, cluster_with, now, trace),
+            WalRecord::Remove { p, o } => benign(self.remove_object(p, o, trace)),
+            WalRecord::SetAttr {
+                p,
+                o,
+                mask,
+                fs_specific,
+                preallocated,
+                cluster_with,
+                now,
+            } => benign(self.set_attr(
+                p,
+                o,
+                mask,
+                &fs_specific,
+                preallocated,
+                cluster_with,
+                now,
+                trace,
+            )),
+            WalRecord::Write {
+                p,
+                o,
+                offset,
+                data,
+                now,
+            } => benign(self.write(p, o, offset, &data, now, trace).map(|_| ())),
+            WalRecord::Resize {
+                p,
+                o,
+                new_size,
+                now,
+            } => benign(self.resize(p, o, new_size, now, trace)),
+            WalRecord::Snapshot { p, o, id, now } => self.apply_snapshot(p, o, id, now),
+        }
+    }
+
+    /// Replay-side `create_object` with the logged (drive-assigned) id.
+    fn apply_create(
+        &mut self,
+        p: PartitionId,
+        id: ObjectId,
+        preallocate: u64,
+        cluster_with: Option<ObjectId>,
+        now: u64,
+        trace: &mut IoTrace,
+    ) -> Result<(), StoreError> {
+        let bs = self.block_size as u64;
+        let Some(part) = self.partitions.get(&p) else {
+            return Ok(()); // partition later removed: this create is moot
+        };
+        if !part.objects.contains_key(&id) {
+            let nblocks = preallocate.div_ceil(bs);
+            let hint = cluster_with.and_then(|c| {
+                self.partitions
+                    .get(&p)
+                    .and_then(|part| part.objects.get(&c))
+                    .and_then(|m| m.blocks.first().copied())
+            });
+            let part = self.partition(p)?;
+            if part.used + nblocks * bs > part.quota {
+                return Err(StoreError::NoSpace);
+            }
+            let blocks = self.allocate_blocks(nblocks, hint, trace)?;
+            let part = self.partition_mut(p)?;
+            let mut attrs = ObjectAttributes::new_at(now);
+            attrs.preallocated = preallocate;
+            attrs.cluster_with = cluster_with;
+            part.used += nblocks * bs;
+            part.objects.insert(id, ObjectMeta { attrs, blocks });
+        }
+        // The name counter must never re-issue a replayed id.
+        if let Some(part) = self.partitions.get_mut(&p) {
+            part.next_object = part.next_object.max(id.0 + 1);
+        }
+        Ok(())
+    }
+
+    /// Replay-side `snapshot` with the logged (drive-assigned) id.
+    fn apply_snapshot(
+        &mut self,
+        p: PartitionId,
+        o: ObjectId,
+        id: ObjectId,
+        now: u64,
+    ) -> Result<(), StoreError> {
+        let bs = self.block_size as u64;
+        let exists = match self.partitions.get(&p) {
+            None => return Ok(()),
+            Some(part) => part.objects.contains_key(&id),
+        };
+        if !exists {
+            let src = self
+                .partitions
+                .get(&p)
+                .and_then(|part| part.objects.get(&o));
+            let Some(src) = src else {
+                return Ok(()); // source later removed before any ack depended on it
+            };
+            let (attrs, blocks) = (src.attrs.clone(), src.blocks.clone());
+            let charge = blocks.len() as u64 * bs;
+            let part = self.partition(p)?;
+            if part.used + charge > part.quota {
+                return Err(StoreError::NoSpace);
+            }
+            for &b in &blocks {
+                *self.refcounts.entry(b).or_insert(1) += 1;
+            }
+            let part = self.partition_mut(p)?;
+            part.used += charge;
+            let mut snap_attrs = attrs;
+            snap_attrs.create_time = now;
+            snap_attrs.attr_modify_time = now;
+            snap_attrs.version = Version(0);
+            part.objects.insert(
+                id,
+                ObjectMeta {
+                    attrs: snap_attrs,
+                    blocks,
+                },
+            );
+        }
+        if let Some(part) = self.partitions.get_mut(&p) {
+            part.next_object = part.next_object.max(id.0 + 1);
+        }
         Ok(())
     }
 

@@ -1,0 +1,686 @@
+//! The checksummed write-ahead log.
+//!
+//! Every mutating operation appends its *intent* as a [`WalRecord`]
+//! before the drive acknowledges it; on reopen, [`ObjectStore::open`]
+//! replays the log idempotently on top of the last checkpoint, so a
+//! crash at any instant loses nothing that was acked.
+//!
+//! Record frame, appended as a byte stream over the log area:
+//!
+//! ```text
+//! u32 body_len | u64 epoch | u64 lsn | body (tag u8 + fields) | u64 crc
+//! ```
+//!
+//! `crc` is [`checksum64`] over `epoch..body`. `epoch` is the checkpoint
+//! sequence number at append time: a checkpoint logically truncates the
+//! log *without touching it* — stale records from earlier epochs simply
+//! fail the epoch check on replay. `lsn` starts at 0 after each
+//! checkpoint and must increment by one record; any gap, checksum
+//! mismatch, short frame or garbled body terminates replay cleanly at
+//! the last complete record (torn tails are expected, not errors).
+//!
+//! Appends accumulate in memory and reach the device on
+//! [`Wal::commit`] — group commit: one batch of sequential block writes
+//! covers every record logged since the last commit, and a partial tail
+//! block is rewritten from an in-memory image rather than
+//! read-modified.
+//!
+//! [`ObjectStore::open`]: crate::store::ObjectStore::open
+
+use crate::layout::{checksum64, Layout};
+use crate::store::StoreError;
+use nasd_disk::BlockDevice;
+use nasd_proto::wire::{DecodeError, WireDecode, WireEncode, WireReader, WireWriter};
+use nasd_proto::{ObjectId, PartitionId, SetAttrMask, FS_SPECIFIC_ATTR_LEN};
+
+/// Frame overhead around a record body: len (4) + epoch (8) + lsn (8)
+/// + crc (8).
+const FRAME_OVERHEAD: usize = 28;
+
+/// One logged mutation. Carries everything needed to re-apply the
+/// operation absolutely (assigned ids included), so replaying a record
+/// twice is a no-op.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// `create_partition`.
+    CreatePartition {
+        /// Partition id.
+        p: PartitionId,
+        /// Byte quota.
+        quota: u64,
+    },
+    /// `resize_partition`.
+    ResizePartition {
+        /// Partition id.
+        p: PartitionId,
+        /// New byte quota.
+        quota: u64,
+    },
+    /// `remove_partition`.
+    RemovePartition {
+        /// Partition id.
+        p: PartitionId,
+    },
+    /// `create_object`, with the id the drive assigned.
+    Create {
+        /// Partition id.
+        p: PartitionId,
+        /// Assigned object id (replay must produce the same name).
+        id: ObjectId,
+        /// Preallocated bytes.
+        preallocate: u64,
+        /// Clustering hint.
+        cluster_with: Option<ObjectId>,
+        /// Operation timestamp.
+        now: u64,
+    },
+    /// `remove_object`.
+    Remove {
+        /// Partition id.
+        p: PartitionId,
+        /// Object id.
+        o: ObjectId,
+    },
+    /// `set_attr`.
+    SetAttr {
+        /// Partition id.
+        p: PartitionId,
+        /// Object id.
+        o: ObjectId,
+        /// Field-selection mask.
+        mask: SetAttrMask,
+        /// Opaque filesystem attribute block.
+        fs_specific: Box<[u8; FS_SPECIFIC_ATTR_LEN]>,
+        /// Preallocation target in bytes.
+        preallocated: u64,
+        /// Clustering hint.
+        cluster_with: Option<ObjectId>,
+        /// Operation timestamp.
+        now: u64,
+    },
+    /// `write` — the record owns the payload, so replay needs no other
+    /// source of the bytes.
+    Write {
+        /// Partition id.
+        p: PartitionId,
+        /// Object id.
+        o: ObjectId,
+        /// Byte offset.
+        offset: u64,
+        /// Payload.
+        data: Vec<u8>,
+        /// Operation timestamp.
+        now: u64,
+    },
+    /// `resize`.
+    Resize {
+        /// Partition id.
+        p: PartitionId,
+        /// Object id.
+        o: ObjectId,
+        /// New object size in bytes.
+        new_size: u64,
+        /// Operation timestamp.
+        now: u64,
+    },
+    /// `snapshot`, with the id the drive assigned to the version.
+    Snapshot {
+        /// Partition id.
+        p: PartitionId,
+        /// Source object id.
+        o: ObjectId,
+        /// Assigned snapshot object id.
+        id: ObjectId,
+        /// Operation timestamp.
+        now: u64,
+    },
+}
+
+const TAG_CREATE_PARTITION: u8 = 1;
+const TAG_RESIZE_PARTITION: u8 = 2;
+const TAG_REMOVE_PARTITION: u8 = 3;
+const TAG_CREATE: u8 = 4;
+const TAG_REMOVE: u8 = 5;
+const TAG_SET_ATTR: u8 = 6;
+const TAG_WRITE: u8 = 7;
+const TAG_RESIZE: u8 = 8;
+const TAG_SNAPSHOT: u8 = 9;
+
+fn encode_opt_id(w: &mut WireWriter, id: Option<ObjectId>) {
+    match id {
+        Some(o) => {
+            w.u8(1).u64(o.0);
+        }
+        None => {
+            w.u8(0);
+        }
+    }
+}
+
+fn decode_opt_id(r: &mut WireReader<'_>) -> Result<Option<ObjectId>, DecodeError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(ObjectId(r.u64()?))),
+        b => Err(DecodeError::BadTag {
+            context: "optional object id flag",
+            value: u64::from(b),
+        }),
+    }
+}
+
+impl WalRecord {
+    /// Encode the record body (tag + fields).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            WalRecord::CreatePartition { p, quota } => {
+                w.u8(TAG_CREATE_PARTITION).u16(p.0).u64(*quota);
+            }
+            WalRecord::ResizePartition { p, quota } => {
+                w.u8(TAG_RESIZE_PARTITION).u16(p.0).u64(*quota);
+            }
+            WalRecord::RemovePartition { p } => {
+                w.u8(TAG_REMOVE_PARTITION).u16(p.0);
+            }
+            WalRecord::Create {
+                p,
+                id,
+                preallocate,
+                cluster_with,
+                now,
+            } => {
+                w.u8(TAG_CREATE).u16(p.0).u64(id.0).u64(*preallocate);
+                encode_opt_id(&mut w, *cluster_with);
+                w.u64(*now);
+            }
+            WalRecord::Remove { p, o } => {
+                w.u8(TAG_REMOVE).u16(p.0).u64(o.0);
+            }
+            WalRecord::SetAttr {
+                p,
+                o,
+                mask,
+                fs_specific,
+                preallocated,
+                cluster_with,
+                now,
+            } => {
+                w.u8(TAG_SET_ATTR).u16(p.0).u64(o.0);
+                mask.encode(&mut w);
+                w.raw(fs_specific.as_slice());
+                w.u64(*preallocated);
+                encode_opt_id(&mut w, *cluster_with);
+                w.u64(*now);
+            }
+            WalRecord::Write {
+                p,
+                o,
+                offset,
+                data,
+                now,
+            } => {
+                w.u8(TAG_WRITE).u16(p.0).u64(o.0).u64(*offset);
+                w.bytes(data);
+                w.u64(*now);
+            }
+            WalRecord::Resize {
+                p,
+                o,
+                new_size,
+                now,
+            } => {
+                w.u8(TAG_RESIZE).u16(p.0).u64(o.0).u64(*new_size).u64(*now);
+            }
+            WalRecord::Snapshot { p, o, id, now } => {
+                w.u8(TAG_SNAPSHOT).u16(p.0).u64(o.0).u64(id.0).u64(*now);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decode one record body.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation, unknown tag, or trailing bytes —
+    /// replay treats any of these as the end of the valid log.
+    pub fn decode(body: &[u8]) -> Result<WalRecord, DecodeError> {
+        let mut r = WireReader::new(body);
+        let tag = r.u8()?;
+        let rec = match tag {
+            TAG_CREATE_PARTITION => WalRecord::CreatePartition {
+                p: PartitionId(r.u16()?),
+                quota: r.u64()?,
+            },
+            TAG_RESIZE_PARTITION => WalRecord::ResizePartition {
+                p: PartitionId(r.u16()?),
+                quota: r.u64()?,
+            },
+            TAG_REMOVE_PARTITION => WalRecord::RemovePartition {
+                p: PartitionId(r.u16()?),
+            },
+            TAG_CREATE => WalRecord::Create {
+                p: PartitionId(r.u16()?),
+                id: ObjectId(r.u64()?),
+                preallocate: r.u64()?,
+                cluster_with: decode_opt_id(&mut r)?,
+                now: r.u64()?,
+            },
+            TAG_REMOVE => WalRecord::Remove {
+                p: PartitionId(r.u16()?),
+                o: ObjectId(r.u64()?),
+            },
+            TAG_SET_ATTR => {
+                let p = PartitionId(r.u16()?);
+                let o = ObjectId(r.u64()?);
+                let mask = SetAttrMask::decode(&mut r)?;
+                let raw = r.raw(FS_SPECIFIC_ATTR_LEN)?;
+                let fs: [u8; FS_SPECIFIC_ATTR_LEN] =
+                    raw.try_into().map_err(|_| DecodeError::Truncated {
+                        needed: FS_SPECIFIC_ATTR_LEN,
+                        remaining: raw.len(),
+                    })?;
+                WalRecord::SetAttr {
+                    p,
+                    o,
+                    mask,
+                    fs_specific: Box::new(fs),
+                    preallocated: r.u64()?,
+                    cluster_with: decode_opt_id(&mut r)?,
+                    now: r.u64()?,
+                }
+            }
+            TAG_WRITE => WalRecord::Write {
+                p: PartitionId(r.u16()?),
+                o: ObjectId(r.u64()?),
+                offset: r.u64()?,
+                // nasd-lint: allow(hot-path-copy, "WAL durability copy: the replayed record must own its payload")
+                data: r.bytes()?.to_vec(),
+                now: r.u64()?,
+            },
+            TAG_RESIZE => WalRecord::Resize {
+                p: PartitionId(r.u16()?),
+                o: ObjectId(r.u64()?),
+                new_size: r.u64()?,
+                now: r.u64()?,
+            },
+            TAG_SNAPSHOT => WalRecord::Snapshot {
+                p: PartitionId(r.u16()?),
+                o: ObjectId(r.u64()?),
+                id: ObjectId(r.u64()?),
+                now: r.u64()?,
+            },
+            t => {
+                return Err(DecodeError::BadTag {
+                    context: "wal record tag",
+                    value: u64::from(t),
+                })
+            }
+        };
+        r.finish()?;
+        Ok(rec)
+    }
+}
+
+/// Frame a record for the log: length-prefixed, epoch- and LSN-stamped,
+/// checksummed.
+fn frame(rec: &WalRecord, epoch: u64, lsn: u64) -> Vec<u8> {
+    let body = rec.encode();
+    let mut inner = WireWriter::with_capacity(16 + body.len());
+    inner.u64(epoch).u64(lsn).raw(&body);
+    let crc = checksum64(inner.as_slice());
+    let mut w = WireWriter::with_capacity(FRAME_OVERHEAD + body.len());
+    w.u32(body.len() as u32).raw(inner.as_slice()).u64(crc);
+    w.into_vec()
+}
+
+/// The in-memory side of the write-ahead log.
+pub(crate) struct Wal {
+    /// When false (during replay, or for a non-durable drive) appends
+    /// are dropped: replayed operations must not re-log themselves.
+    pub(crate) enabled: bool,
+    epoch: u64,
+    next_lsn: u64,
+    /// Bytes of the log area holding committed records.
+    durable_bytes: u64,
+    /// In-memory image of the partial tail block (the first
+    /// `durable_bytes % block_size` bytes are valid), so a commit
+    /// rewrites it without a device read.
+    tail: Vec<u8>,
+    /// Frames appended since the last commit (group commit buffer).
+    pending: Vec<u8>,
+    log_start: u64,
+    log_blocks: u64,
+    block_size: usize,
+}
+
+impl Wal {
+    /// A fresh, disabled log positioned at the head of the log area.
+    pub(crate) fn new(layout: &Layout) -> Wal {
+        Wal {
+            enabled: false,
+            epoch: 0,
+            next_lsn: 0,
+            durable_bytes: 0,
+            tail: Vec::new(),
+            pending: Vec::new(),
+            log_start: layout.log_start,
+            log_blocks: layout.log_blocks,
+            block_size: layout.block_size,
+        }
+    }
+
+    /// Byte capacity of the log area.
+    fn capacity(&self) -> u64 {
+        self.log_blocks * self.block_size as u64
+    }
+
+    /// Bytes of committed log (for recovery benchmarks and tests).
+    pub(crate) fn durable_bytes(&self) -> u64 {
+        self.durable_bytes
+    }
+
+    /// Logically truncate after a checkpoint: records of older epochs
+    /// stay on disk but no longer pass the epoch check.
+    pub(crate) fn reset(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.next_lsn = 0;
+        self.durable_bytes = 0;
+        self.tail.clear();
+        self.pending.clear();
+    }
+
+    /// Append a record to the group-commit buffer. Returns `false` when
+    /// the log area cannot hold it — the caller checkpoints instead
+    /// (which logically empties the log).
+    pub(crate) fn append(&mut self, rec: &WalRecord) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        let f = frame(rec, self.epoch, self.next_lsn);
+        let used = self.durable_bytes + self.pending.len() as u64;
+        if used + f.len() as u64 > self.capacity() {
+            return false;
+        }
+        self.next_lsn += 1;
+        self.pending.extend(f);
+        true
+    }
+
+    /// Whether uncommitted records are buffered.
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Write every pending record to the device — straight to the
+    /// media, bypassing the write-behind cache, because the entire point
+    /// is that these bytes are durable before the operation is acked.
+    pub(crate) fn commit<D: BlockDevice>(&mut self, device: &mut D) -> Result<(), StoreError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let bs = self.block_size;
+        // Stream = partial tail image + new frames, written over the
+        // blocks covering [durable_bytes - tail.len(), ...).
+        let mut stream = std::mem::take(&mut self.tail);
+        stream.extend(self.pending.iter().copied());
+        let first_block = self.log_start + self.durable_bytes / bs as u64;
+        let mut block = vec![0u8; bs];
+        for (i, chunk) in stream.chunks(bs).enumerate() {
+            if chunk.len() == bs {
+                device.write_block(first_block + i as u64, chunk)?;
+            } else {
+                block.iter_mut().for_each(|b| *b = 0);
+                block
+                    .get_mut(..chunk.len())
+                    .ok_or(StoreError::Internal("wal chunk longer than block"))?
+                    // nasd-lint: allow(hot-path-copy, "log serializer: staging the partial tail frame into a zero-padded sector image")
+                    .copy_from_slice(chunk);
+                device.write_block(first_block + i as u64, &block)?;
+            }
+        }
+        self.durable_bytes += self.pending.len() as u64;
+        let tail_len = stream.len() % bs;
+        stream.drain(..stream.len() - tail_len);
+        self.tail = stream;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Read the log area and replay its valid prefix: records of the
+    /// right epoch, consecutive LSNs from 0, intact checksums. The first
+    /// violation — torn frame, stale epoch, bad crc, short area —
+    /// terminates the scan cleanly (that is where the crash happened).
+    ///
+    /// Returns the recovered `Wal` (positioned after the last valid
+    /// record, disabled) and the records to re-apply, in order.
+    pub(crate) fn recover<D: BlockDevice>(
+        device: &D,
+        layout: &Layout,
+        epoch: u64,
+    ) -> Result<(Wal, Vec<WalRecord>), StoreError> {
+        let bs = layout.block_size;
+        let area_bytes = (layout.log_blocks as usize) * bs;
+        let image = crate::layout::read_region(device, layout.log_start, bs, area_bytes)?;
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        let mut lsn = 0u64;
+        while let Some(head) = image.get(pos..pos + 4) {
+            let body_len = u32::from_be_bytes(head.try_into().unwrap_or([0; 4])) as usize;
+            let frame_len = FRAME_OVERHEAD + body_len;
+            let Some(rest) = image.get(pos + 4..pos + frame_len) else {
+                break;
+            };
+            let (inner, crc_bytes) = rest.split_at(16 + body_len);
+            let stored = u64::from_be_bytes(crc_bytes.try_into().unwrap_or([0; 8]));
+            if checksum64(inner) != stored {
+                break;
+            }
+            let mut r = WireReader::new(inner);
+            let (got_epoch, got_lsn) = match (r.u64(), r.u64()) {
+                (Ok(e), Ok(l)) => (e, l),
+                _ => break,
+            };
+            if got_epoch != epoch || got_lsn != lsn {
+                break;
+            }
+            let Ok(rec) = WalRecord::decode(r.rest()) else {
+                break;
+            };
+            records.push(rec);
+            lsn += 1;
+            pos += frame_len;
+        }
+        let mut wal = Wal::new(layout);
+        wal.epoch = epoch;
+        wal.next_lsn = lsn;
+        wal.durable_bytes = pos as u64;
+        let tail_len = pos % bs;
+        // nasd-lint: allow(hot-path-copy, "one-shot recovery: staging the partial tail block image")
+        wal.tail = image.get(pos - tail_len..pos).unwrap_or(&[]).to_vec();
+        Ok((wal, records))
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("enabled", &self.enabled)
+            .field("epoch", &self.epoch)
+            .field("next_lsn", &self.next_lsn)
+            .field("durable_bytes", &self.durable_bytes)
+            .field("pending_bytes", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasd_disk::MemDisk;
+
+    fn sample_records() -> Vec<WalRecord> {
+        let p = PartitionId(1);
+        let o = ObjectId(0x100);
+        vec![
+            WalRecord::CreatePartition { p, quota: 1 << 20 },
+            WalRecord::Create {
+                p,
+                id: o,
+                preallocate: 4096,
+                cluster_with: None,
+                now: 10,
+            },
+            WalRecord::Write {
+                p,
+                o,
+                offset: 7,
+                data: (0..300u32).map(|i| (i % 251) as u8).collect(),
+                now: 11,
+            },
+            WalRecord::SetAttr {
+                p,
+                o,
+                mask: SetAttrMask {
+                    fs_specific: true,
+                    preallocated: false,
+                    cluster_with: true,
+                    bump_version: true,
+                },
+                fs_specific: Box::new([0xab; FS_SPECIFIC_ATTR_LEN]),
+                preallocated: 0,
+                cluster_with: Some(ObjectId(0x101)),
+                now: 12,
+            },
+            WalRecord::Resize {
+                p,
+                o,
+                new_size: 99,
+                now: 13,
+            },
+            WalRecord::Snapshot {
+                p,
+                o,
+                id: ObjectId(0x102),
+                now: 14,
+            },
+            WalRecord::Remove { p, o },
+            WalRecord::ResizePartition { p, quota: 2 << 20 },
+            WalRecord::RemovePartition { p },
+        ]
+    }
+
+    #[test]
+    fn record_bodies_roundtrip() {
+        for rec in sample_records() {
+            let body = rec.encode();
+            assert_eq!(WalRecord::decode(&body).unwrap(), rec, "{rec:?}");
+            // Truncations error rather than panic.
+            for cut in 0..body.len() {
+                assert!(WalRecord::decode(&body[..cut]).is_err() || cut == body.len());
+            }
+        }
+    }
+
+    #[test]
+    fn append_commit_recover_roundtrip() {
+        let layout = Layout::compute(512, 2048);
+        let mut d = MemDisk::new(512, 2048);
+        let mut wal = Wal::new(&layout);
+        wal.enabled = true;
+        wal.reset(3);
+        let recs = sample_records();
+        // Two commit groups: durability batches along the way.
+        for rec in &recs[..4] {
+            assert!(wal.append(rec));
+        }
+        wal.commit(&mut d).unwrap();
+        for rec in &recs[4..] {
+            assert!(wal.append(rec));
+        }
+        wal.commit(&mut d).unwrap();
+
+        let (rewal, replayed) = Wal::recover(&d, &layout, 3).unwrap();
+        assert_eq!(replayed, recs);
+        assert_eq!(rewal.durable_bytes(), wal.durable_bytes());
+        // A different epoch sees an empty log (logical truncation).
+        let (_, none) = Wal::recover(&d, &layout, 4).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn recovered_wal_appends_continue_the_stream() {
+        let layout = Layout::compute(512, 2048);
+        let mut d = MemDisk::new(512, 2048);
+        let mut wal = Wal::new(&layout);
+        wal.enabled = true;
+        wal.reset(1);
+        let recs = sample_records();
+        assert!(wal.append(&recs[0]));
+        wal.commit(&mut d).unwrap();
+
+        let (mut rewal, _) = Wal::recover(&d, &layout, 1).unwrap();
+        rewal.enabled = true;
+        assert!(rewal.append(&recs[1]));
+        rewal.commit(&mut d).unwrap();
+
+        let (_, all) = Wal::recover(&d, &layout, 1).unwrap();
+        assert_eq!(all, &recs[..2]);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let layout = Layout::compute(512, 2048);
+        let mut d = MemDisk::new(512, 2048);
+        let mut wal = Wal::new(&layout);
+        wal.enabled = true;
+        wal.reset(2);
+        let recs = sample_records();
+        for rec in &recs {
+            assert!(wal.append(rec));
+        }
+        wal.commit(&mut d).unwrap();
+
+        // Corrupt a byte inside the *last* record's frame.
+        let end = wal.durable_bytes() as usize;
+        let blk = layout.log_start + (end as u64 - 10) / 512;
+        let mut buf = vec![0u8; 512];
+        d.read_block(blk, &mut buf).unwrap();
+        buf[(end - 10) % 512] ^= 0x40;
+        d.write_block(blk, &buf).unwrap();
+
+        let (_, replayed) = Wal::recover(&d, &layout, 2).unwrap();
+        assert_eq!(replayed, &recs[..recs.len() - 1], "valid prefix survives");
+    }
+
+    #[test]
+    fn append_refuses_past_capacity() {
+        // 8-block log at 512 B/block = 4096 bytes of capacity.
+        let layout = Layout::compute(512, 64);
+        let mut wal = Wal::new(&layout);
+        wal.enabled = true;
+        wal.reset(0);
+        let rec = WalRecord::Write {
+            p: PartitionId(1),
+            o: ObjectId(0x100),
+            offset: 0,
+            data: vec![0u8; 1024],
+            now: 0,
+        };
+        let mut appended = 0;
+        while wal.append(&rec) {
+            appended += 1;
+            assert!(appended < 100, "append never refused");
+        }
+        assert!(appended >= 3, "several records fit first");
+    }
+
+    #[test]
+    fn disabled_wal_drops_appends() {
+        let layout = Layout::compute(512, 2048);
+        let mut wal = Wal::new(&layout);
+        assert!(wal.append(&WalRecord::RemovePartition { p: PartitionId(9) }));
+        assert!(!wal.has_pending());
+    }
+}

@@ -704,3 +704,552 @@ fn cheops_client_fails_cleanly_when_services_die() {
         "expected a clean drive-unavailable error, got {err}"
     );
 }
+
+// ===================================================================
+// Crash-point recovery sweep
+// ===================================================================
+//
+// The exhaustive durability harness for the drive's on-disk layout and
+// write-ahead log: run a seeded mixed workload against a durable drive,
+// learn how many device writes the whole run performs, then re-run it
+// killing the power at *every* possible write — once dropping the
+// crash-point write whole, once landing it torn (a seeded partial
+// sector). After each crash the media is remounted and the recovered
+// drive must contain exactly the acknowledged state (or acknowledged
+// state plus the one in-flight operation, which may have committed
+// without its ack escaping), with full structural invariants and a
+// byte-identical second remount.
+
+mod crash_sweep {
+    use super::{fnv, P1, SEEDS};
+    use bytes::Bytes;
+    use nasd::disk::{CrashDisk, MemDisk, SharedDisk};
+    use nasd::object::{DriveConfig, NasdDrive, StoreError, FIRST_DYNAMIC_OBJECT};
+    use nasd::proto::{
+        NasdStatus, ObjectId, ReplyBody, RequestBody, Rights, SetAttrMask, FS_SPECIFIC_ATTR_LEN,
+    };
+    use std::collections::BTreeMap;
+    use std::io::Write as _;
+
+    const DRIVE_NO: u64 = 9;
+
+    /// Small geometry so one full sweep stays fast: every device write
+    /// of the workload gets its own crash run.
+    fn sweep_config() -> DriveConfig {
+        DriveConfig {
+            block_size: 512,
+            capacity_blocks: 2_048,
+            cache_blocks: 32,
+            security_enabled: true,
+            durable_writes: true,
+        }
+    }
+
+    fn mix(seed: u64, i: u64) -> u64 {
+        let mut z = seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// One step of the seeded workload script. Object references are by
+    /// id so the script is a pure function of the seed — independent of
+    /// how far a crashed run got.
+    #[derive(Clone, Debug)]
+    enum SweepOp {
+        CreatePartition {
+            quota: u64,
+        },
+        Create {
+            preallocate: u64,
+        },
+        Write {
+            o: ObjectId,
+            offset: u64,
+            len: u64,
+            fill: u8,
+        },
+        Resize {
+            o: ObjectId,
+            new_size: u64,
+        },
+        SetAttr {
+            o: ObjectId,
+            tag: u8,
+        },
+        Snapshot {
+            o: ObjectId,
+        },
+        Remove {
+            o: ObjectId,
+        },
+    }
+
+    /// What the client believes the drive holds: only state whose ack it
+    /// has seen. `None` contents model "partition not created yet".
+    #[derive(Clone, Debug, Default, PartialEq)]
+    struct Shadow {
+        partition: bool,
+        /// Object contents and the fs_specific tag byte, per object.
+        objects: BTreeMap<ObjectId, (Vec<u8>, u8)>,
+        next_oid: u64,
+    }
+
+    impl Shadow {
+        fn apply(&mut self, op: &SweepOp) {
+            match *op {
+                SweepOp::CreatePartition { .. } => self.partition = true,
+                SweepOp::Create { .. } => {
+                    self.objects
+                        .insert(ObjectId(self.next_oid), (Vec::new(), 0));
+                    self.next_oid += 1;
+                }
+                SweepOp::Write {
+                    o,
+                    offset,
+                    len,
+                    fill,
+                } => {
+                    let (data, _) = self.objects.get_mut(&o).expect("script bug: write target");
+                    let end = (offset + len) as usize;
+                    if data.len() < end {
+                        data.resize(end, 0);
+                    }
+                    data[offset as usize..end].fill(fill);
+                }
+                SweepOp::Resize { o, new_size } => {
+                    let (data, _) = self.objects.get_mut(&o).expect("script bug: resize target");
+                    data.resize(new_size as usize, 0);
+                }
+                SweepOp::SetAttr { o, tag } => {
+                    self.objects
+                        .get_mut(&o)
+                        .expect("script bug: setattr target")
+                        .1 = tag;
+                }
+                SweepOp::Snapshot { o } => {
+                    let src = self
+                        .objects
+                        .get(&o)
+                        .expect("script bug: snapshot src")
+                        .clone();
+                    self.objects.insert(ObjectId(self.next_oid), src);
+                    self.next_oid += 1;
+                }
+                SweepOp::Remove { o } => {
+                    self.objects.remove(&o).expect("script bug: remove target");
+                }
+            }
+        }
+    }
+
+    /// Generate the seeded mixed workload: a fixed prologue that builds
+    /// some state, then seeded ops over the live object set.
+    fn script(seed: u64) -> Vec<SweepOp> {
+        let mut ops = vec![SweepOp::CreatePartition { quota: 1 << 20 }];
+        let mut live: Vec<ObjectId> = Vec::new();
+        let mut next = FIRST_DYNAMIC_OBJECT;
+        let create = |live: &mut Vec<ObjectId>, next: &mut u64, preallocate: u64| {
+            live.push(ObjectId(*next));
+            *next += 1;
+            SweepOp::Create { preallocate }
+        };
+        ops.push(create(&mut live, &mut next, 0));
+        ops.push(SweepOp::Write {
+            o: live[0],
+            offset: 0,
+            len: 700,
+            fill: 0xA1,
+        });
+        ops.push(create(&mut live, &mut next, 2_048));
+        for i in 0..14u64 {
+            let r = mix(seed, i);
+            let op = match r % 8 {
+                0 => create(&mut live, &mut next, (r >> 8) % 1_024),
+                1 if live.len() > 1 => {
+                    // Remove a mid-list object so ids stay non-contiguous.
+                    let victim = live.remove((r as usize >> 8) % live.len());
+                    SweepOp::Remove { o: victim }
+                }
+                2 => {
+                    let o = live[(r as usize >> 8) % live.len()];
+                    SweepOp::Resize {
+                        o,
+                        new_size: (r >> 16) % 3_000,
+                    }
+                }
+                3 => {
+                    let o = live[(r as usize >> 8) % live.len()];
+                    SweepOp::SetAttr {
+                        o,
+                        tag: (r >> 16) as u8 | 1,
+                    }
+                }
+                4 if live.len() < 6 => {
+                    let o = live[(r as usize >> 8) % live.len()];
+                    live.push(ObjectId(next));
+                    next += 1;
+                    SweepOp::Snapshot { o }
+                }
+                _ => {
+                    let o = live[(r as usize >> 8) % live.len()];
+                    SweepOp::Write {
+                        o,
+                        offset: (r >> 16) % 2_500,
+                        len: (r >> 32) % 1_400 + 1,
+                        fill: (r >> 56) as u8 | 1,
+                    }
+                }
+            };
+            ops.push(op);
+        }
+        ops
+    }
+
+    /// Execute one op through the drive's full signed request path.
+    fn perform(
+        drive: &mut NasdDrive<CrashDisk<SharedDisk>>,
+        op: &SweepOp,
+        predicted_oid: u64,
+    ) -> Result<(), NasdStatus> {
+        match *op {
+            SweepOp::CreatePartition { quota } => drive.admin_create_partition(P1, quota),
+            SweepOp::Create { preallocate } => {
+                let id = drive.admin_create_object(P1, preallocate)?;
+                assert_eq!(id.0, predicted_oid, "object names must be deterministic");
+                Ok(())
+            }
+            SweepOp::Write {
+                o,
+                offset,
+                len,
+                fill,
+            } => {
+                let cap = drive.issue_capability(P1, o, Rights::ALL, 3_600);
+                let c = drive.client(cap);
+                let n = c.write(drive, offset, &vec![fill; len as usize])?;
+                assert_eq!(n, len, "short write acked");
+                Ok(())
+            }
+            SweepOp::Resize { o, new_size } => {
+                let cap = drive.issue_capability(P1, o, Rights::ALL, 3_600);
+                let c = drive.client(cap);
+                let req = c.build(
+                    RequestBody::Resize {
+                        partition: P1,
+                        object: o,
+                        new_size,
+                    },
+                    Bytes::new(),
+                );
+                let (reply, _) = drive.handle(&req);
+                reply.status.is_ok().then_some(()).ok_or(reply.status)
+            }
+            SweepOp::SetAttr { o, tag } => {
+                let cap = drive.issue_capability(P1, o, Rights::ALL, 3_600);
+                let c = drive.client(cap);
+                let mut fs = Box::new([0u8; FS_SPECIFIC_ATTR_LEN]);
+                fs[0] = tag;
+                let req = c.build(
+                    RequestBody::SetAttr {
+                        partition: P1,
+                        object: o,
+                        mask: SetAttrMask::fs_specific_only(),
+                        fs_specific: fs,
+                        preallocated: 0,
+                        cluster_with: None,
+                    },
+                    Bytes::new(),
+                );
+                let (reply, _) = drive.handle(&req);
+                reply.status.is_ok().then_some(()).ok_or(reply.status)
+            }
+            SweepOp::Snapshot { o } => {
+                let cap = drive.issue_capability(P1, o, Rights::ALL, 3_600);
+                let c = drive.client(cap);
+                let req = c.build(
+                    RequestBody::Snapshot {
+                        partition: P1,
+                        object: o,
+                    },
+                    Bytes::new(),
+                );
+                let (reply, _) = drive.handle(&req);
+                match (reply.status, reply.body) {
+                    (NasdStatus::Ok, ReplyBody::Created(id)) => {
+                        assert_eq!(id.0, predicted_oid, "snapshot names must be deterministic");
+                        Ok(())
+                    }
+                    (s, _) => Err(s),
+                }
+            }
+            SweepOp::Remove { o } => {
+                let cap = drive.issue_capability(P1, o, Rights::ALL, 3_600);
+                let c = drive.client(cap);
+                let req = c.build(
+                    RequestBody::Remove {
+                        partition: P1,
+                        object: o,
+                    },
+                    Bytes::new(),
+                );
+                let (reply, _) = drive.handle(&req);
+                reply.status.is_ok().then_some(()).ok_or(reply.status)
+            }
+        }
+    }
+
+    /// Run the script until the first failure (the crash). Returns the
+    /// acked shadow and, when a crash interrupted an op, the shadow as
+    /// it would look had that in-flight op committed.
+    fn run_workload(
+        drive: &mut NasdDrive<CrashDisk<SharedDisk>>,
+        ops: &[SweepOp],
+    ) -> (Shadow, Option<Shadow>, usize) {
+        let mut acked = Shadow {
+            partition: false,
+            objects: BTreeMap::new(),
+            next_oid: FIRST_DYNAMIC_OBJECT,
+        };
+        for (i, op) in ops.iter().enumerate() {
+            let mut next = acked.clone();
+            next.apply(op);
+            match perform(drive, op, acked.next_oid) {
+                Ok(()) => acked = next,
+                Err(_) => return (acked, Some(next), i),
+            }
+        }
+        (acked, None, ops.len())
+    }
+
+    /// Check that a reopened drive holds exactly `want`. Returns a
+    /// description of the first divergence, if any.
+    fn diff_state(drive: &mut NasdDrive<SharedDisk>, want: &Shadow) -> Option<String> {
+        let listed = drive.store().list_objects(P1);
+        if !want.partition {
+            return match listed {
+                Err(StoreError::NoSuchPartition(_)) => None,
+                other => Some(format!("partition should not exist, got {other:?}")),
+            };
+        }
+        let listed = match listed {
+            Ok(ids) => ids,
+            Err(e) => return Some(format!("partition lost: {e}")),
+        };
+        let expect: Vec<ObjectId> = want.objects.keys().copied().collect();
+        if listed != expect {
+            return Some(format!("object set {listed:?}, want {expect:?}"));
+        }
+        for (&o, (data, tag)) in &want.objects {
+            let cap = drive.issue_capability(P1, o, Rights::READ | Rights::GETATTR, 3_600);
+            let c = drive.client(cap);
+            // Over-read by one byte: proves the recovered size too.
+            let back = match c.read(drive, 0, data.len() as u64 + 1) {
+                Ok(rope) => rope.flatten(),
+                Err(e) => return Some(format!("object {o:?} unreadable: {e:?}")),
+            };
+            if back[..] != data[..] {
+                let at = back
+                    .iter()
+                    .zip(data.iter())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(data.len().min(back.len()));
+                return Some(format!(
+                    "object {o:?} diverges at byte {at} (len {} vs {})",
+                    back.len(),
+                    data.len()
+                ));
+            }
+            let attrs = match c.get_attr(drive) {
+                Ok(a) => a,
+                Err(e) => return Some(format!("object {o:?} attrs unreadable: {e:?}")),
+            };
+            if attrs.fs_specific[0] != *tag {
+                return Some(format!(
+                    "object {o:?} fs_specific {} != {tag}",
+                    attrs.fs_specific[0]
+                ));
+            }
+        }
+        None
+    }
+
+    /// Digest a recovered drive's full logical state, for the
+    /// double-remount stability check.
+    fn state_digest(drive: &mut NasdDrive<SharedDisk>) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let Ok(ids) = drive.store().list_objects(P1) else {
+            return h;
+        };
+        for o in ids {
+            let cap = drive.issue_capability(P1, o, Rights::READ | Rights::GETATTR, 3_600);
+            let c = drive.client(cap);
+            h = fnv(&o.0.to_be_bytes(), h);
+            let back = c
+                .read(drive, 0, 1 << 20)
+                .expect("recovered object readable");
+            h = fnv(&back.flatten(), h);
+            let attrs = c.get_attr(drive).expect("recovered attrs readable");
+            h = fnv(&attrs.fs_specific[..], h);
+        }
+        h
+    }
+
+    /// On failure, persist everything needed to replay the crash by hand
+    /// and return the path for the panic message.
+    fn dump_trace(seed: u64, budget: u64, torn: bool, ops: &[SweepOp], detail: &str) -> String {
+        let dir = std::path::Path::new("target/recovery-traces");
+        std::fs::create_dir_all(dir).expect("create trace dir");
+        let path = dir.join(format!(
+            "seed-{seed:#x}-n{budget}{}.txt",
+            if torn { "-torn" } else { "" }
+        ));
+        let mut f = std::fs::File::create(&path).expect("create trace file");
+        writeln!(f, "seed: {seed:#x}").unwrap();
+        writeln!(f, "crash budget (writes allowed): {budget}").unwrap();
+        writeln!(f, "torn final sector: {torn}").unwrap();
+        writeln!(f, "failure: {detail}").unwrap();
+        writeln!(f, "workload script:").unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            writeln!(f, "  {i:3}: {op:?}").unwrap();
+        }
+        path.display().to_string()
+    }
+
+    /// One crash run: arm the disk to fail at write `budget`, run the
+    /// workload, remount, and verify no acked state was lost.
+    fn crash_run(seed: u64, ops: &[SweepOp], budget: u64, torn: bool) {
+        let media = SharedDisk::new(MemDisk::new(
+            sweep_config().block_size,
+            sweep_config().capacity_blocks,
+        ));
+        let mut disk = CrashDisk::new(media.clone(), seed);
+        disk.arm(budget, torn);
+        let mut drive = NasdDrive::builder(DRIVE_NO)
+            .config(sweep_config())
+            .build_on(disk);
+        let (acked, inflight, failed_at) = run_workload(&mut drive, ops);
+        assert!(
+            drive.store().cache().device().tripped(),
+            "budget {budget} never tripped — sweep bound is stale"
+        );
+        drop(drive);
+
+        let fail = |detail: String| -> ! {
+            let path = dump_trace(seed, budget, torn, ops, &detail);
+            panic!(
+                "seed {seed:#x} crash at write {budget} (torn={torn}, op {failed_at}): \
+                 {detail}\n  trace: {path}"
+            );
+        };
+
+        let mut reopened = match NasdDrive::builder(DRIVE_NO)
+            .config(sweep_config())
+            .open(media.clone())
+        {
+            Ok(d) => d,
+            Err(StoreError::NotFormatted) => {
+                // Legal only if nothing was ever acknowledged: the crash
+                // beat the very first commit (which formats the device).
+                if acked
+                    != (Shadow {
+                        partition: false,
+                        objects: BTreeMap::new(),
+                        next_oid: FIRST_DYNAMIC_OBJECT,
+                    })
+                {
+                    fail(format!("device unformatted but ops were acked: {acked:?}"));
+                }
+                return;
+            }
+            Err(e) => fail(format!("remount failed: {e}")),
+        };
+
+        if let Some(d) = diff_state(&mut reopened, &acked) {
+            // The in-flight op may have become durable without its ack
+            // escaping the drive — that is the other legal outcome.
+            match &inflight {
+                Some(committed) => {
+                    if let Some(d2) = diff_state(&mut reopened, committed) {
+                        fail(format!(
+                            "matches neither acked state ({d}) nor acked+in-flight ({d2})"
+                        ));
+                    }
+                }
+                None => fail(format!("acked state lost: {d}")),
+            }
+        }
+        let digest = state_digest(&mut reopened);
+        drop(reopened);
+
+        // Replay must be idempotent at the system level: remounting the
+        // same media again yields the identical logical state.
+        let mut second = NasdDrive::builder(DRIVE_NO)
+            .config(sweep_config())
+            .open(media)
+            .unwrap_or_else(|e| fail(format!("second remount failed: {e}")));
+        let second_digest = state_digest(&mut second);
+        if digest != second_digest {
+            fail(format!(
+                "double-remount digest diverged: {digest:#x} != {second_digest:#x}"
+            ));
+        }
+    }
+
+    /// Fault-free pass: learns the total device write count and proves
+    /// the workload script acks end-to-end, and that the final state
+    /// matches the shadow exactly.
+    fn count_writes(seed: u64, ops: &[SweepOp]) -> u64 {
+        let media = SharedDisk::new(MemDisk::new(
+            sweep_config().block_size,
+            sweep_config().capacity_blocks,
+        ));
+        let disk = CrashDisk::new(media.clone(), seed);
+        let mut drive = NasdDrive::builder(DRIVE_NO)
+            .config(sweep_config())
+            .build_on(disk);
+        let (acked, inflight, _) = run_workload(&mut drive, ops);
+        assert!(inflight.is_none(), "fault-free run must ack every op");
+        let writes = drive.store().cache().device().writes_completed();
+        assert!(writes > 0, "workload performed no durable writes");
+        drop(drive);
+        let mut reopened = NasdDrive::builder(DRIVE_NO)
+            .config(sweep_config())
+            .open(media)
+            .expect("fault-free remount");
+        assert_eq!(
+            diff_state(&mut reopened, &acked),
+            None,
+            "fault-free remount diverged from the shadow"
+        );
+        writes
+    }
+
+    /// The tentpole test: for every seed, power-cut the drive at every
+    /// single device write of the workload — dropping the crash-point
+    /// write whole — remount, and verify.
+    #[test]
+    fn crash_point_sweep_loses_no_acked_write() {
+        for &seed in &SEEDS {
+            let ops = script(seed);
+            let writes = count_writes(seed, &ops);
+            for budget in 0..writes {
+                crash_run(seed, &ops, budget, false);
+            }
+        }
+    }
+
+    /// Same sweep with the crash-point write landing *torn*: a seeded
+    /// partial sector that recovery must detect by checksum and roll
+    /// back cleanly.
+    #[test]
+    fn crash_point_sweep_survives_torn_final_sector() {
+        for &seed in &SEEDS {
+            let ops = script(seed);
+            let writes = count_writes(seed, &ops);
+            for budget in 0..writes {
+                crash_run(seed, &ops, budget, true);
+            }
+        }
+    }
+}
