@@ -33,6 +33,7 @@ pub struct Superblock {
 
 impl Superblock {
     /// Encode into the first bytes of a block buffer.
+    // nasd-lint: allow(transitive-panic, "FFS comparison baseline: mounts only images it formatted itself; indices derive from its own superblock constants, not hostile input")
     pub fn encode_into(&self, buf: &mut [u8]) {
         let fields = [
             self.magic,
@@ -108,6 +109,7 @@ impl DiskInode {
     }
 
     /// Encode into `INODE_SIZE` bytes.
+    // nasd-lint: allow(transitive-panic, "FFS comparison baseline: mounts only images it formatted itself; indices derive from its own superblock constants, not hostile input")
     pub fn encode_into(&self, buf: &mut [u8]) {
         buf[..2].copy_from_slice(&self.kind.to_be_bytes());
         buf[2..4].copy_from_slice(&self.nlink.to_be_bytes());

@@ -207,8 +207,14 @@ impl NasdAfs {
                     keep.push(holder);
                     continue;
                 }
-                if let Some(tx) = state.senders.get(&holder) {
-                    let _ = tx.send(CallbackEvent { fh });
+                let gone = match state.senders.get(&holder) {
+                    Some(tx) => tx.send(CallbackEvent { fh }).is_err(),
+                    None => false,
+                };
+                if gone {
+                    // The client's callback channel is dead: drop its
+                    // registration so future breaks stop signalling it.
+                    state.senders.remove(&holder);
                 }
             }
             if !keep.is_empty() {
@@ -270,8 +276,7 @@ impl NasdAfs {
                 // "The file manager no longer knows that a write operation
                 // arrived at a drive so must inform clients as soon as a
                 // write may occur": break callbacks at issue time.
-                let (cap0, attrs) = self.attrs_and_cap(fh, Rights::GETATTR, ByteRange::FULL)?;
-                let _ = cap0;
+                let (_, attrs) = self.attrs_and_cap(fh, Rights::GETATTR, ByteRange::FULL)?;
                 let region = ByteRange::new(0, attrs.size + escrow);
                 let (cap, attrs) = self.attrs_and_cap(
                     fh,

@@ -121,6 +121,7 @@ pub(crate) struct MgmtObs {
     pub(crate) scrub_objects: Arc<Counter>,
     pub(crate) scrub_bytes: Arc<Counter>,
     pub(crate) scrub_repairs: Arc<Counter>,
+    pub(crate) lease_release_failures: Arc<Counter>,
     pub(crate) trace: Option<Arc<TraceSink>>,
 }
 
@@ -137,6 +138,7 @@ impl MgmtObs {
             scrub_objects: registry.counter("mgmt/scrub/objects"),
             scrub_bytes: registry.counter("mgmt/scrub/bytes"),
             scrub_repairs: registry.counter("mgmt/scrub/repairs"),
+            lease_release_failures: registry.counter("mgmt/lease/release-failures"),
             trace,
         }
     }
@@ -363,11 +365,15 @@ impl NasdMgmt {
             }
         }
         let result = f();
-        // Best-effort release; expiry reclaims it anyway.
-        let _ = self.mgr_call(CheopsRequest::Unlease {
+        // Best-effort release; expiry reclaims it anyway — but a failed
+        // release stalls other lessees for a full TTL, so count it.
+        if let Err(e) = self.mgr_call(CheopsRequest::Unlease {
             id,
             client: self.config.client_id,
-        });
+        }) {
+            self.obs.lease_release_failures.inc();
+            self.trace("unlease-failed", None, format!("object {}: {e}", id.0));
+        }
         result.map(Some)
     }
 

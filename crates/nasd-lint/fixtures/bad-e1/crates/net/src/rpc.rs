@@ -1,0 +1,15 @@
+//! Fixture: E1 violations. The reply path discards the send and flush
+//! Results — a reply that silently fails to leave the drive breaks the
+//! acknowledgement promise.
+
+/// Both discard shapes: `let _ = …` and a statement-level `.ok()`.
+pub fn reply(tx: &Sender, frame: Frame) {
+    let _ = tx.send(frame);
+    tx.flush().ok();
+}
+
+/// Binding the Option is not a discard; E1 must not flag this one.
+pub fn keep(tx: &Sender) -> Option<Ticket> {
+    let rx = tx.register().ok();
+    rx
+}

@@ -1,0 +1,16 @@
+//! Fixture: P2 entry point. This file is in P1 scope and is itself
+//! panic-free — the panics live one and two calls away in `extent.rs`,
+//! so only the transitive analysis can see them.
+
+/// Dispatch a read. The panic is buried two hops away:
+/// `dispatch -> locate -> run_len`.
+pub fn dispatch(offset: u64) -> u64 {
+    locate(offset)
+}
+
+/// Encode the reply header. `encode` resolves by name to every impl in
+/// the workspace, including the panicking one in `extent.rs` — the
+/// checker cannot know which impl runs, so it must reach both.
+pub fn reply(hdr: &Header) -> u8 {
+    hdr.encode()
+}

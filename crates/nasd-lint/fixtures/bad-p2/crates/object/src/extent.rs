@@ -1,0 +1,37 @@
+//! Fixture: P2 targets. `locate` is panic-free but calls `run_len`,
+//! which indexes unchecked — two hops from the entry point in
+//! `drive.rs`. `encode` has two impls; only one panics, but a
+//! name-resolved call graph must reach both (trait-method
+//! over-approximation).
+
+/// Panic-free middle hop.
+pub fn locate(offset: u64) -> u64 {
+    run_len(offset)
+}
+
+/// Panics when `offset` is out of range.
+fn run_len(offset: u64) -> u64 {
+    let runs = [1u64, 2, 3];
+    runs[offset as usize]
+}
+
+pub struct Fixed;
+
+impl Fixed {
+    /// Panic-free impl: must NOT be reported.
+    pub fn encode(&self) -> u8 {
+        7
+    }
+}
+
+pub struct Raw {
+    pub data: Vec<u8>,
+}
+
+impl Raw {
+    /// Panics on an empty payload: must be reported even though the
+    /// entry point may actually call `Fixed::encode`.
+    pub fn encode(&self) -> u8 {
+        self.data[0]
+    }
+}

@@ -1,0 +1,402 @@
+//! Pass 1 of the workspace analyzer: a symbol table and intra-workspace
+//! call graph, plus the P2 transitive-panic rule built on top of it.
+//!
+//! The graph is deliberately name-resolved, not type-resolved: a call
+//! edge `foo(` or `.foo(` points at *every* workspace `fn foo`. That
+//! over-approximation is the point — a trait-method call must reach all
+//! of its impls, because the checker cannot know which one runs. Edges
+//! are pruned by crate dependency (from the workspace `Cargo.toml`
+//! manifests): `a::f` can only call `b::g` when crate `a` declares a
+//! dependency on crate `b` (or `a == b`). Without manifests (fixture
+//! trees), every edge is allowed.
+
+use crate::lexer::{matching, Tok, Token};
+use crate::rules::{in_file_scope, panic_at, P1_FILES};
+use crate::{crate_of, RawFinding, Source};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Identifiers that look like `name(` but are control flow, not calls.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "in", "loop", "match", "return", "break", "continue", "move",
+    "let", "mut", "ref", "as", "where", "unsafe", "async", "await", "dyn", "impl", "fn", "_",
+];
+
+/// One `fn` item: where it lives and which tokens it owns.
+pub(crate) struct FnDef {
+    pub(crate) name: String,
+    pub(crate) file: usize,
+    /// Line of the `fn` keyword — P2 findings anchor here, so one
+    /// reasoned allow above the definition covers the whole helper.
+    pub(crate) line: u32,
+    /// Body token range `(open_brace, close_brace)`; `None` for
+    /// body-less trait-method declarations.
+    pub(crate) body: Option<(usize, usize)>,
+    pub(crate) in_test: bool,
+}
+
+/// A call edge origin: callee name plus the call site's line.
+pub(crate) struct CallSite {
+    pub(crate) callee: String,
+    pub(crate) line: u32,
+}
+
+pub(crate) struct CallGraph {
+    pub(crate) defs: Vec<FnDef>,
+    /// Name → indices of every def with that name (the over-approximation).
+    pub(crate) by_name: BTreeMap<String, Vec<usize>>,
+    /// Per def: calls made from tokens the def owns (nested fns excluded).
+    pub(crate) calls: Vec<Vec<CallSite>>,
+    /// Per def: potential panic sites `(line, description, is_indexing)`.
+    pub(crate) panics: Vec<Vec<(u32, String, bool)>>,
+    /// Crate-dir dependency edges parsed from workspace manifests, or
+    /// `None` when no manifests were provided (then all edges resolve).
+    pub(crate) deps: Option<BTreeMap<String, BTreeSet<String>>>,
+}
+
+/// Parse the bits of a `Cargo.toml` the graph needs: the `[package]`
+/// name and the `[dependencies]` keys. Hand-rolled on purpose — the
+/// checker stays dependency-free.
+fn parse_manifest(text: &str) -> (Option<String>, Vec<String>) {
+    let mut section = String::new();
+    let mut pkg_name = None;
+    let mut deps = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            section = rest.trim_end_matches(']').trim().to_owned();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if section == "package" && key == "name" {
+            pkg_name = Some(value.trim().trim_matches('"').to_owned());
+        } else if section == "dependencies" {
+            // `nasd-disk.workspace = true` keys the dep before the dot.
+            let dep = key.split('.').next().unwrap_or(key);
+            deps.push(dep.trim().to_owned());
+        }
+    }
+    (pkg_name, deps)
+}
+
+/// Build the crate-dir dependency map from `(path, contents)` manifest
+/// pairs. Paths look like `crates/<dir>/Cargo.toml`; dependency keys are
+/// package names, mapped back to dirs via the other manifests.
+pub(crate) fn parse_dep_map(
+    manifests: &[(String, String)],
+) -> Option<BTreeMap<String, BTreeSet<String>>> {
+    if manifests.is_empty() {
+        return None;
+    }
+    let mut pkg_to_dir: BTreeMap<String, String> = BTreeMap::new();
+    let mut dir_pkgs: Vec<(String, Vec<String>)> = Vec::new();
+    for (path, text) in manifests {
+        let Some(dir) = crate_of(path) else {
+            continue;
+        };
+        let (pkg, deps) = parse_manifest(text);
+        if let Some(pkg) = pkg {
+            pkg_to_dir.insert(pkg, dir.to_owned());
+        }
+        dir_pkgs.push((dir.to_owned(), deps));
+    }
+    let mut map = BTreeMap::new();
+    for (dir, deps) in dir_pkgs {
+        let resolved: BTreeSet<String> = deps
+            .iter()
+            .filter_map(|d| pkg_to_dir.get(d).cloned())
+            .collect();
+        map.insert(dir, resolved);
+    }
+    Some(map)
+}
+
+/// Collect every `fn` item in one file: `fn` keyword, name, then the
+/// first `{` (body) or `;` (trait declaration) ends the signature.
+fn collect_defs(file: usize, toks: &[Token], defs: &mut Vec<FnDef>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        let Some(name) = name_tok.ident() else {
+            continue;
+        };
+        let mut body = None;
+        let mut k = i + 2;
+        while let Some(tk) = toks.get(k) {
+            if tk.is_punct('{') {
+                let close = matching(toks, k, '{', '}').unwrap_or(toks.len() - 1);
+                body = Some((k, close));
+                break;
+            }
+            if tk.is_punct(';') {
+                break;
+            }
+            k += 1;
+        }
+        defs.push(FnDef {
+            name: name.to_owned(),
+            file,
+            line: t.line,
+            body,
+            in_test: t.in_test,
+        });
+    }
+}
+
+/// Build the graph over all sources: defs, token ownership (innermost
+/// def wins, so a nested `fn` keeps its tokens out of its parent), call
+/// edges and panic sites.
+pub(crate) fn build(sources: &[Source], manifests: &[(String, String)]) -> CallGraph {
+    let mut defs = Vec::new();
+    for (fi, src) in sources.iter().enumerate() {
+        collect_defs(fi, &src.lexed.tokens, &mut defs);
+    }
+
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (d, def) in defs.iter().enumerate() {
+        by_name.entry(def.name.clone()).or_default().push(d);
+    }
+
+    let mut calls: Vec<Vec<CallSite>> = Vec::new();
+    let mut panics: Vec<Vec<(u32, String, bool)>> = Vec::new();
+    calls.resize_with(defs.len(), Vec::new);
+    panics.resize_with(defs.len(), Vec::new);
+
+    for (fi, src) in sources.iter().enumerate() {
+        let toks = &src.lexed.tokens;
+        // Innermost ownership: defs were collected in token order, so a
+        // nested fn (seen later) overwrites its parent's claim.
+        let mut owner: Vec<Option<usize>> = vec![None; toks.len()];
+        for (d, def) in defs.iter().enumerate() {
+            if def.file != fi {
+                continue;
+            }
+            if let Some((open, close)) = def.body {
+                for slot in owner.iter_mut().take(close + 1).skip(open) {
+                    *slot = Some(d);
+                }
+            }
+        }
+        for (k, t) in toks.iter().enumerate() {
+            let Some(&Some(d)) = owner.get(k) else {
+                continue;
+            };
+            if let Some(site) = panic_at(toks, k) {
+                if let Some(p) = panics.get_mut(d) {
+                    p.push(site);
+                }
+            }
+            let Tok::Ident(name) = &t.tok else {
+                continue;
+            };
+            if !toks.get(k + 1).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            if CALL_KEYWORDS.contains(&name.as_str()) {
+                continue;
+            }
+            if k > 0 && toks.get(k - 1).is_some_and(|p| p.is_ident("fn")) {
+                continue;
+            }
+            if let Some(c) = calls.get_mut(d) {
+                c.push(CallSite {
+                    callee: name.clone(),
+                    line: t.line,
+                });
+            }
+        }
+    }
+
+    CallGraph {
+        defs,
+        by_name,
+        calls,
+        panics,
+        deps: parse_dep_map(manifests),
+    }
+}
+
+impl CallGraph {
+    /// Whether a call from `from_crate` may resolve into `to_crate`.
+    fn edge_allowed(&self, from_crate: Option<&str>, to_crate: Option<&str>) -> bool {
+        let Some(deps) = &self.deps else {
+            return true; // fixture mode: no manifests, every edge resolves
+        };
+        match (from_crate, to_crate) {
+            (Some(a), Some(b)) => a == b || deps.get(a).is_some_and(|d| d.contains(b)),
+            _ => true,
+        }
+    }
+}
+
+/// P2: transitive panic-freedom. BFS the call graph from every fn
+/// defined in a P1 request-path file; any panic site in a *reached*
+/// helper outside those files is a finding (sites inside P1 files are
+/// P1's own business). Each finding carries one example call path so
+/// the report is actionable.
+pub(crate) fn check_p2(sources: &[Source], g: &CallGraph, out: &mut Vec<RawFinding>) {
+    let entry_file: Vec<bool> = sources
+        .iter()
+        .map(|s| in_file_scope(&s.path, P1_FILES, true))
+        .collect();
+    // Shim and umbrella sources are outside the workspace-crate model;
+    // they are neither entry points nor flagged targets.
+    let crate_dir: Vec<Option<&str>> = sources.iter().map(|s| crate_of(&s.path)).collect();
+
+    let ndefs = g.defs.len();
+    let mut visited = vec![false; ndefs];
+    let mut parent: Vec<Option<(usize, u32)>> = vec![None; ndefs];
+    let mut queue = VecDeque::new();
+    for (d, def) in g.defs.iter().enumerate() {
+        if def.in_test {
+            continue;
+        }
+        if entry_file.get(def.file).copied().unwrap_or(false) {
+            if let Some(v) = visited.get_mut(d) {
+                *v = true;
+            }
+            queue.push_back(d);
+        }
+    }
+    while let Some(d) = queue.pop_front() {
+        let Some(def) = g.defs.get(d) else { continue };
+        let from_crate = crate_dir.get(def.file).copied().flatten();
+        let Some(call_list) = g.calls.get(d) else {
+            continue;
+        };
+        for call in call_list {
+            let Some(targets) = g.by_name.get(&call.callee) else {
+                continue;
+            };
+            for &t in targets {
+                let Some(tdef) = g.defs.get(t) else { continue };
+                if visited.get(t).copied().unwrap_or(true) || tdef.in_test {
+                    continue;
+                }
+                let to_crate = crate_dir.get(tdef.file).copied().flatten();
+                if to_crate.is_none() {
+                    continue; // shims / umbrella: not analyzable targets
+                }
+                if !g.edge_allowed(from_crate, to_crate) {
+                    continue;
+                }
+                if let Some(v) = visited.get_mut(t) {
+                    *v = true;
+                }
+                if let Some(p) = parent.get_mut(t) {
+                    *p = Some((d, call.line));
+                }
+                queue.push_back(t);
+            }
+        }
+    }
+
+    for (d, def) in g.defs.iter().enumerate() {
+        if !visited.get(d).copied().unwrap_or(false) || def.in_test {
+            continue;
+        }
+        if entry_file.get(def.file).copied().unwrap_or(false) {
+            continue; // P1 already covers direct sites in entry files
+        }
+        let Some(sites) = g.panics.get(d) else {
+            continue;
+        };
+        if sites.is_empty() {
+            continue;
+        }
+        let path = example_path(g, &parent, d);
+        let Some(src) = sources.get(def.file) else {
+            continue;
+        };
+        // One finding per helper, anchored at the definition: the unit
+        // of transitive reachability is the function, and the fix (or
+        // the reasoned allow) belongs on the helper as a whole.
+        let mut kinds: Vec<String> = Vec::new();
+        for (line, what, _is_index) in sites {
+            let entry = format!("{what} at line {line}");
+            if !kinds.contains(&entry) {
+                kinds.push(entry);
+            }
+        }
+        let shown = kinds.len().min(4);
+        let mut detail = kinds.get(..shown).unwrap_or_default().join(", ");
+        if kinds.len() > shown {
+            detail.push_str(&format!(" (+{} more)", kinds.len() - shown));
+        }
+        out.push(RawFinding {
+            rule: "P2",
+            file: src.path.clone(),
+            line: def.line,
+            message: format!(
+                "`{}` is reachable from a request entry point (via {path}) \
+                 and may panic: {detail}; return typed errors or justify \
+                 with allow(transitive-panic)",
+                def.name
+            ),
+            allow: Some("transitive-panic"),
+        });
+    }
+}
+
+/// One example path `entry -> … -> def`, capped for readability.
+fn example_path(g: &CallGraph, parent: &[Option<(usize, u32)>], mut d: usize) -> String {
+    let mut names = Vec::new();
+    let mut hops = 0;
+    while let Some(def) = g.defs.get(d) {
+        names.push(def.name.clone());
+        match parent.get(d).copied().flatten() {
+            Some((p, _)) if hops < 8 => {
+                d = p;
+                hops += 1;
+            }
+            Some(_) => {
+                names.push("…".to_owned());
+                break;
+            }
+            None => break,
+        }
+    }
+    names.reverse();
+    names.join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parse_extracts_name_and_deps() {
+        let (pkg, deps) = parse_manifest(
+            "[package]\nname = \"nasd-object\"\n\n[dependencies]\nnasd-proto = { workspace = true }\nnasd-disk.workspace = true\n\n[dev-dependencies]\ntempfile = \"3\"\n",
+        );
+        assert_eq!(pkg.as_deref(), Some("nasd-object"));
+        assert_eq!(deps, vec!["nasd-proto".to_owned(), "nasd-disk".to_owned()]);
+    }
+
+    #[test]
+    fn nested_fn_tokens_belong_to_inner_def() {
+        let src = Source {
+            path: "crates/x/src/lib.rs".to_owned(),
+            lexed: crate::lexer::lex("fn outer() { fn inner() { a.unwrap(); } inner(); }"),
+        };
+        let g = build(std::slice::from_ref(&src), &[]);
+        assert_eq!(g.defs.len(), 2);
+        let outer = g.defs.iter().position(|d| d.name == "outer").unwrap_or(0);
+        let inner = g.defs.iter().position(|d| d.name == "inner").unwrap_or(0);
+        assert!(g.panics.get(outer).is_some_and(Vec::is_empty));
+        assert!(g.panics.get(inner).is_some_and(|p| p.len() == 1));
+        assert!(g
+            .calls
+            .get(outer)
+            .is_some_and(|c| c.iter().any(|c| c.callee == "inner")));
+    }
+}

@@ -66,8 +66,7 @@ pub fn lex(src: &str) -> Lexed {
     let mut out = Lexed::default();
     let mut line: u32 = 1;
     let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
+    while let Some(&c) = chars.get(i) {
         if c == '\n' {
             line += 1;
             i += 1;
@@ -75,28 +74,32 @@ pub fn lex(src: &str) -> Lexed {
             i += 1;
         } else if c == '/' && chars.get(i + 1) == Some(&'/') {
             let start = i;
-            while i < chars.len() && chars[i] != '\n' {
+            while chars.get(i).is_some_and(|&ch| ch != '\n') {
                 i += 1;
             }
             out.comments.push(Comment {
                 line,
-                text: chars[start..i].iter().collect(),
+                text: chars.get(start..i).unwrap_or_default().iter().collect(),
             });
         } else if c == '/' && chars.get(i + 1) == Some(&'*') {
             i += 2;
             let mut depth = 1;
-            while i < chars.len() && depth > 0 {
-                if chars[i] == '\n' {
-                    line += 1;
-                    i += 1;
-                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    i += 2;
-                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    i += 1;
+            while depth > 0 {
+                match chars.get(i) {
+                    None => break,
+                    Some('\n') => {
+                        line += 1;
+                        i += 1;
+                    }
+                    Some('/') if chars.get(i + 1) == Some(&'*') => {
+                        depth += 1;
+                        i += 2;
+                    }
+                    Some('*') if chars.get(i + 1) == Some(&'/') => {
+                        depth -= 1;
+                        i += 2;
+                    }
+                    Some(_) => i += 1,
                 }
             }
         } else if c == '"' {
@@ -116,7 +119,7 @@ pub fn lex(src: &str) -> Lexed {
                 && next != Some('\\');
             if is_lifetime {
                 i += 1;
-                while i < chars.len() && is_ident_continue(chars[i]) {
+                while chars.get(i).is_some_and(|&ch| is_ident_continue(ch)) {
                     i += 1;
                 }
             } else {
@@ -127,8 +130,11 @@ pub fn lex(src: &str) -> Lexed {
                 } else {
                     j += 1;
                 }
-                while j < chars.len() && chars[j] != '\'' {
-                    if chars[j] == '\n' {
+                while let Some(&cj) = chars.get(j) {
+                    if cj == '\'' {
+                        break;
+                    }
+                    if cj == '\n' {
                         line += 1;
                     }
                     j += 1;
@@ -142,10 +148,10 @@ pub fn lex(src: &str) -> Lexed {
             }
         } else if is_ident_start(c) {
             let start = i;
-            while i < chars.len() && is_ident_continue(chars[i]) {
+            while chars.get(i).is_some_and(|&ch| is_ident_continue(ch)) {
                 i += 1;
             }
-            let word: String = chars[start..i].iter().collect();
+            let word: String = chars.get(start..i).unwrap_or_default().iter().collect();
             // Raw / byte string prefixes glue onto the following quote.
             let raw_follows =
                 matches!(chars.get(i), Some(&'"') | Some(&'#')) && (word == "r" || word == "br");
@@ -172,7 +178,7 @@ pub fn lex(src: &str) -> Lexed {
                 });
             }
         } else if c.is_ascii_digit() {
-            while i < chars.len() && (is_ident_continue(chars[i])) {
+            while chars.get(i).is_some_and(|&ch| is_ident_continue(ch)) {
                 i += 1;
             }
             // Fractional part: `1.5` but not `1.foo()` / `1..n`.
@@ -180,7 +186,7 @@ pub fn lex(src: &str) -> Lexed {
                 && matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit())
             {
                 i += 1;
-                while i < chars.len() && is_ident_continue(chars[i]) {
+                while chars.get(i).is_some_and(|&ch| is_ident_continue(ch)) {
                     i += 1;
                 }
             }
@@ -206,12 +212,12 @@ pub fn lex(src: &str) -> Lexed {
 /// at a `b` prefix whose next char is the quote. Returns the index past the
 /// closing quote.
 fn scan_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
-    while i < chars.len() && chars[i] != '"' {
+    while chars.get(i).is_some_and(|&c| c != '"') {
         i += 1;
     }
     i += 1; // past opening quote
-    while i < chars.len() {
-        match chars[i] {
+    while let Some(&c) = chars.get(i) {
+        match c {
             '\\' => i += 2,
             '"' => return i + 1,
             '\n' => {
@@ -233,11 +239,11 @@ fn scan_raw_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
         i += 1;
     }
     i += 1; // past opening quote
-    while i < chars.len() {
-        if chars[i] == '\n' {
+    while let Some(&c) = chars.get(i) {
+        if c == '\n' {
             *line += 1;
             i += 1;
-        } else if chars[i] == '"' {
+        } else if c == '"' {
             let mut ok = true;
             for k in 0..hashes {
                 if chars.get(i + 1 + k) != Some(&'#') {
@@ -280,11 +286,15 @@ pub fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> O
 fn mark_test_regions(tokens: &mut [Token]) {
     let mut i = 0;
     while i < tokens.len() {
-        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+        if tokens.get(i).is_some_and(|t| t.is_punct('#'))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        {
             let Some(close) = matching(tokens, i + 1, '[', ']') else {
                 break;
             };
-            let idents: Vec<&str> = tokens[i + 1..close]
+            let idents: Vec<&str> = tokens
+                .get(i + 1..close)
+                .unwrap_or_default()
                 .iter()
                 .filter_map(|t| t.ident())
                 .collect();
@@ -293,8 +303,7 @@ fn mark_test_regions(tokens: &mut [Token]) {
             if is_test_attr {
                 let mut j = close + 1;
                 // Skip any further attributes on the same item.
-                while j < tokens.len()
-                    && tokens[j].is_punct('#')
+                while tokens.get(j).is_some_and(|t| t.is_punct('#'))
                     && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
                 {
                     match matching(tokens, j + 1, '[', ']') {
@@ -306,18 +315,18 @@ fn mark_test_regions(tokens: &mut [Token]) {
                 // brace of the first `{`.
                 let mut end = tokens.len() - 1;
                 let mut k = j;
-                while k < tokens.len() {
-                    if tokens[k].is_punct(';') {
+                while let Some(tk) = tokens.get(k) {
+                    if tk.is_punct(';') {
                         end = k;
                         break;
                     }
-                    if tokens[k].is_punct('{') {
+                    if tk.is_punct('{') {
                         end = matching(tokens, k, '{', '}').unwrap_or(tokens.len() - 1);
                         break;
                     }
                     k += 1;
                 }
-                for t in &mut tokens[i..=end] {
+                for t in tokens.get_mut(i..=end).into_iter().flatten() {
                     t.in_test = true;
                 }
                 i = end + 1;

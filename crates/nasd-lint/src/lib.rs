@@ -14,13 +14,30 @@
 //!   payload bytes casually: `.to_vec()`, `.copy_from_slice(..)`,
 //!   `.extend_from_slice(..)` and `Bytes::copy_from_slice` each need a
 //!   reasoned `allow(hot-path-copy)` explaining why the copy is the point.
+//! - **P2 transitive panic-freedom** — the same panic patterns reachable
+//!   *through helpers* from request entry points, found by BFS over a
+//!   workspace call graph (pass 1 of the two-pass analyzer, `graph.rs`).
+//! - **C1 cast/arithmetic safety** — narrowing `as` casts and unchecked
+//!   `+`/`*` on wire-decoded or on-disk integers in the codec and replay
+//!   modules must use `try_from`/`checked_*` or carry a reasoned allow.
+//! - **E1 swallowed results** — `let _ = …` and statement-level `.ok()`
+//!   on ack/durability/repair paths must handle, propagate or count the
+//!   error in an obs metric.
 //! - **W1 wire exhaustiveness** — every `RequestBody`, `ReplyBody` and
 //!   `NasdStatus` variant must appear in the wire encode arms, the wire
 //!   decode arms, and the fault-injection matrices.
 //! - **L1 lock order** — nested `Mutex::lock()` acquisitions must form an
 //!   acyclic global order.
+//! - **L2 guard-across-blocking** — no lock guard may be held across
+//!   `pace(..)`, `.observe(..)` or device I/O.
 //! - **F1 forbid-unsafe** — every crate root must carry
 //!   `#![forbid(unsafe_code)]`.
+//!
+//! The analyzer runs in two passes: pass 1 lexes every source file,
+//! builds a symbol table of `fn` definitions and an over-approximated
+//! name-resolved call graph (pruned by crate dependencies parsed from
+//! the workspace `Cargo.toml` manifests); pass 2 runs the per-file rules
+//! plus the graph-based P2 over it.
 //!
 //! Findings can be suppressed at a site with a reasoned comment:
 //!
@@ -37,11 +54,15 @@
 #![forbid(unsafe_code)]
 
 pub mod lexer;
+
+mod casts;
+mod graph;
 mod locks;
 mod rules;
 mod wire;
 
 use lexer::Lexed;
+use nasd_obs::Json;
 use std::fmt;
 
 /// A single lint finding: stable rule ID plus file:line location.
@@ -93,24 +114,39 @@ struct Suppression {
 
 /// Run every rule over `(path, contents)` pairs and return the findings
 /// that survive suppression, plus any suppression-hygiene findings.
+///
+/// Paths ending in `Cargo.toml` are treated as workspace manifests: they
+/// feed the call graph's crate-dependency map (pruning cross-crate P2
+/// edges) and are not lexed as Rust. Without manifests every call-graph
+/// edge resolves, which is what small fixture trees want.
 pub fn check_sources(files: &[(String, String)]) -> Vec<Finding> {
-    let sources: Vec<Source> = files
-        .iter()
-        .map(|(p, s)| Source {
-            path: p.replace('\\', "/"),
-            lexed: lexer::lex(s),
-        })
-        .collect();
+    let mut manifests: Vec<(String, String)> = Vec::new();
+    let mut sources: Vec<Source> = Vec::new();
+    for (p, s) in files {
+        let path = p.replace('\\', "/");
+        if path.ends_with("Cargo.toml") {
+            manifests.push((path, s.clone()));
+        } else {
+            sources.push(Source {
+                path,
+                lexed: lexer::lex(s),
+            });
+        }
+    }
 
     let mut raw: Vec<RawFinding> = Vec::new();
     for src in &sources {
         rules::check_d1(src, &mut raw);
         rules::check_p1(src, &mut raw);
+        rules::check_e1(src, &mut raw);
         rules::check_h1(src, &mut raw);
         rules::check_f1(src, &mut raw);
+        casts::check_c1(src, &mut raw);
     }
     wire::check_w1(&sources, &mut raw);
     locks::check_l1(&sources, &mut raw);
+    let call_graph = graph::build(&sources, &manifests);
+    graph::check_p2(&sources, &call_graph, &mut raw);
 
     let mut findings: Vec<Finding> = Vec::new();
     let mut supps: Vec<Suppression> = Vec::new();
@@ -121,7 +157,7 @@ pub fn check_sources(files: &[(String, String)]) -> Vec<Finding> {
     for r in raw {
         let suppressed = r.allow.is_some_and(|class| {
             supps.iter_mut().any(|s| {
-                let hit = sources[s.file_idx].path == r.file
+                let hit = sources.get(s.file_idx).is_some_and(|f| f.path == r.file)
                     && s.name == class
                     && s.target_line == Some(r.line);
                 if hit {
@@ -146,7 +182,9 @@ pub fn check_sources(files: &[(String, String)]) -> Vec<Finding> {
         if s.used {
             continue;
         }
-        let src = &sources[s.file_idx];
+        let Some(src) = sources.get(s.file_idx) else {
+            continue;
+        };
         let targets_test_code = s.target_line.is_some_and(|tl| {
             let on_line: Vec<_> = src.lexed.tokens.iter().filter(|t| t.line == tl).collect();
             !on_line.is_empty() && on_line.iter().all(|t| t.in_test)
@@ -233,11 +271,11 @@ fn parse_suppression(text: &str) -> Option<(String, Option<String>)> {
     let rest = rest.trim_start().strip_prefix("allow")?;
     let rest = rest.trim_start().strip_prefix('(')?;
     let end = rest.find([',', ')'])?;
-    let name = rest[..end].trim();
+    let name = rest.get(..end)?.trim();
     if name.is_empty() || !name.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
         return None;
     }
-    let after = &rest[end..];
+    let after = rest.get(end..)?;
     if let Some(tail) = after.strip_prefix(',') {
         let tail = tail.trim_start();
         let tail = tail.strip_prefix('"')?;
@@ -266,6 +304,180 @@ fn target_line(lexed: &Lexed, comment_line: u32) -> Option<u32> {
 pub(crate) fn crate_of(path: &str) -> Option<&str> {
     let (_, rest) = path.split_once("crates/")?;
     rest.split('/').next()
+}
+
+/// One entry in the rule registry, driving `explain <rule>` and the JSON
+/// report's rule table.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub title: &'static str,
+    /// Suppression class accepted at a site, `None` = unsuppressable.
+    pub allow: Option<&'static str>,
+    pub rationale: &'static str,
+}
+
+/// Every rule the analyzer runs, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D1",
+        title: "determinism in sim-visible crates",
+        allow: Some("wall-clock"),
+        rationale: "Chaos runs replay from a seed; any wall clock, OS entropy or \
+                    real-thread sleep in a sim-visible crate makes replays diverge. \
+                    All time comes from the simulated clock; real-thread pacing goes \
+                    through nasd_net::pace.",
+    },
+    RuleInfo {
+        id: "P1",
+        title: "panic-free request paths (direct)",
+        allow: Some("panic"),
+        rationale: "A drive promises every request completes or returns a typed \
+                    NasdStatus error; unwrap/expect/panic!/bare indexing in a request \
+                    module breaks the acknowledgement promise the chaos suite checks.",
+    },
+    RuleInfo {
+        id: "P2",
+        title: "panic-free request paths (transitive, call-graph)",
+        allow: Some("transitive-panic"),
+        rationale: "P1 is module-local; a helper two hops away can still panic on \
+                    behalf of a request. Pass 1 builds a workspace call graph (name- \
+                    resolved, so trait-method calls over-approximate to every impl, \
+                    pruned by crate dependencies); P2 BFS-reaches helpers from the \
+                    request entry modules and flags panic sites there, each with an \
+                    example call path.",
+    },
+    RuleInfo {
+        id: "C1",
+        title: "cast/arithmetic safety on wire and on-disk integers",
+        allow: Some("cast / arith"),
+        rationale: "A hostile frame length survives a narrowing `as` cast and \
+                    corrupts the replay cursor silently; unchecked +/* on decoded \
+                    offsets overflows the same way. Decode paths use try_from and \
+                    checked_add/checked_mul mapped to typed Corrupt errors.",
+    },
+    RuleInfo {
+        id: "E1",
+        title: "no swallowed Results on ack/durability/repair paths",
+        allow: Some("swallowed-error"),
+        rationale: "`let _ = send(..)` turns a lost acknowledgement or a failed \
+                    repair step into silence. Such sites must handle the error, \
+                    propagate it, or at minimum count it in an obs error metric so \
+                    operators can see the loss rate.",
+    },
+    RuleInfo {
+        id: "H1",
+        title: "hot-path copy discipline",
+        allow: Some("hot-path-copy"),
+        rationale: "The zero-copy read path dies one to_vec() at a time; every \
+                    payload copy on a data-path module must argue why the copy is \
+                    the point.",
+    },
+    RuleInfo {
+        id: "W1",
+        title: "wire exhaustiveness",
+        allow: None,
+        rationale: "Every RequestBody/ReplyBody/NasdStatus variant must appear in \
+                    wire encode, wire decode and the fault-injection matrices; a \
+                    missing arm is a silent protocol hole. Unsuppressable.",
+    },
+    RuleInfo {
+        id: "L1",
+        title: "lock-order acyclicity",
+        allow: Some("lock-order"),
+        rationale: "Nested Mutex acquisitions must follow one global order per \
+                    crate; any cycle is a latent deadlock.",
+    },
+    RuleInfo {
+        id: "L2",
+        title: "no lock guard held across blocking calls",
+        allow: Some("lock-across-blocking"),
+        rationale: "pace(..), .observe(..) and device I/O can block; holding a \
+                    guard across them serializes every contender for the whole \
+                    call. Benign under today's in-process transport, a real stall \
+                    under the threaded TCP transport the ROADMAP plans.",
+    },
+    RuleInfo {
+        id: "F1",
+        title: "forbid unsafe code",
+        allow: None,
+        rationale: "Every crate root carries #![forbid(unsafe_code)]; the \
+                    reproduction needs no unsafe and allowing any would undermine \
+                    the panic-freedom analysis. Unsuppressable.",
+    },
+    RuleInfo {
+        id: "S0",
+        title: "suppressions carry a reason",
+        allow: None,
+        rationale: "An allow() without a reason string is a finding itself: the \
+                    reason is the review artifact.",
+    },
+    RuleInfo {
+        id: "S1",
+        title: "suppressions stay load-bearing",
+        allow: None,
+        rationale: "An allow() that no longer matches any finding is stale and \
+                    must be removed, so the suppression inventory never outgrows \
+                    the real exception list.",
+    },
+];
+
+/// Registry lookup by rule id (case-insensitive) or allow class.
+#[must_use]
+pub fn rule_info(query: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| {
+        r.id.eq_ignore_ascii_case(query)
+            || r.allow
+                .is_some_and(|a| a.split('/').any(|c| c.trim() == query))
+    })
+}
+
+/// Build the machine-readable findings report (`nasd-lint-report/v1`),
+/// shaped like the bench reports CI already archives.
+#[must_use]
+pub fn report_json(files_checked: usize, findings: &[Finding]) -> Json {
+    let mut by_rule: Vec<(String, u64)> = Vec::new();
+    for f in findings {
+        match by_rule.iter_mut().find(|(r, _)| r == f.rule) {
+            Some((_, n)) => *n += 1,
+            None => by_rule.push((f.rule.to_owned(), 1)),
+        }
+    }
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::str("nasd-lint-report/v1")),
+        (
+            "files_checked".to_owned(),
+            Json::num_u64(files_checked as u64),
+        ),
+        (
+            "finding_count".to_owned(),
+            Json::num_u64(findings.len() as u64),
+        ),
+        (
+            "by_rule".to_owned(),
+            Json::Obj(
+                by_rule
+                    .into_iter()
+                    .map(|(r, n)| (r, Json::num_u64(n)))
+                    .collect(),
+            ),
+        ),
+        (
+            "findings".to_owned(),
+            Json::Arr(
+                findings
+                    .iter()
+                    .map(|f| {
+                        Json::Obj(vec![
+                            ("rule".to_owned(), Json::str(f.rule)),
+                            ("file".to_owned(), Json::str(f.file.clone())),
+                            ("line".to_owned(), Json::num_u64(u64::from(f.line))),
+                            ("message".to_owned(), Json::str(f.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! L1: lock-order analysis.
+//! L1 lock-order and L2 guard-across-blocking analysis.
 //!
 //! Scans each function body for `.lock()` call chains, names each lock by
 //! the field/variable it is called on (`self.state.lock()` → `state`),
@@ -8,6 +8,14 @@
 //! held. Edges are aggregated per crate into a digraph; any cycle — or a
 //! re-acquisition of a lock already held — is a finding. The sanctioned
 //! global order is documented in DESIGN.md §Static invariants.
+//!
+//! L2 reuses the same guard-scope tracking: a call to `pace(..)` (the
+//! sanctioned real-thread sleep), `.observe(..)` (histogram under its own
+//! lock) or device I/O (`.read_block(..)` / `.write_block(..)`) while any
+//! guard is live serializes every contender on that lock for the whole
+//! blocking call — benign today, a real stall once the threaded TCP
+//! transport lands (ROADMAP). Drop or scope the guard first, or justify
+//! with `allow(lock-across-blocking, "…")`.
 
 use crate::lexer::{matching, Tok, Token};
 use crate::{crate_of, RawFinding, Source};
@@ -28,12 +36,13 @@ pub(crate) fn check_l1(sources: &[Source], out: &mut Vec<RawFinding>) {
         };
         let toks = &src.lexed.tokens;
         let mut i = 0;
-        while i < toks.len() {
-            if !toks[i].in_test && toks[i].is_ident("fn") {
-                if let Some(open) =
-                    (i + 1..toks.len()).find(|&k| toks[k].is_punct('{') || toks[k].is_punct(';'))
-                {
-                    if toks[open].is_punct('{') {
+        while let Some(t) = toks.get(i) {
+            if !t.in_test && t.is_ident("fn") {
+                if let Some(open) = (i + 1..toks.len()).find(|&k| {
+                    toks.get(k)
+                        .is_some_and(|t| t.is_punct('{') || t.is_punct(';'))
+                }) {
+                    if toks.get(open).is_some_and(|t| t.is_punct('{')) {
                         if let Some(close) = matching(toks, open, '{', '}') {
                             scan_body(src, krate, toks, open, close, &mut edges, out);
                         }
@@ -57,8 +66,12 @@ pub(crate) fn check_l1(sources: &[Source], out: &mut Vec<RawFinding>) {
             m
         };
         for cycle in find_cycles(&adj) {
-            let (from, to) = (cycle[cycle.len() - 1], cycle[0]);
-            let site = &edges[&(krate.to_owned(), from.to_owned(), to.to_owned())];
+            let (Some(&from), Some(&to)) = (cycle.last(), cycle.first()) else {
+                continue;
+            };
+            let Some(site) = edges.get(&(krate.to_owned(), from.to_owned(), to.to_owned())) else {
+                continue;
+            };
             out.push(RawFinding {
                 rule: "L1",
                 file: site.file.clone(),
@@ -68,7 +81,7 @@ pub(crate) fn check_l1(sources: &[Source], out: &mut Vec<RawFinding>) {
                      global order documented in DESIGN.md",
                     krate,
                     cycle.join(" -> "),
-                    cycle[0]
+                    to
                 ),
                 allow: Some("lock-order"),
             });
@@ -81,6 +94,29 @@ struct Guard {
     lock: String,
     var: Option<String>,
     depth: usize,
+}
+
+/// Method calls L2 treats as blocking: histogram recording (takes the
+/// histogram's own lock) and the simulated-device I/O entry points.
+const BLOCKING_METHODS: &[&str] = &["observe", "read_block", "write_block"];
+
+/// L2: report `what` called at `line` while any guard is live.
+fn check_l2(src: &Source, line: u32, what: &str, guards: &[Guard], out: &mut Vec<RawFinding>) {
+    let Some(g) = guards.last() else {
+        return;
+    };
+    out.push(RawFinding {
+        rule: "L2",
+        file: src.path.clone(),
+        line,
+        message: format!(
+            "`{what}` called while a guard on `{}` is live; every contender \
+             on that lock stalls for the whole call — drop/scope the guard \
+             first, or justify with allow(lock-across-blocking)",
+            g.lock
+        ),
+        allow: Some("lock-across-blocking"),
+    });
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -98,7 +134,7 @@ fn scan_body(
     let mut stmt_start = open + 1;
     let mut k = open + 1;
     while k < close {
-        let t = &toks[k];
+        let Some(t) = toks.get(k) else { break };
         match &t.tok {
             Tok::Punct('{') => {
                 depth += 1;
@@ -111,6 +147,23 @@ fn scan_body(
             }
             Tok::Punct(';') => {
                 stmt_start = k + 1;
+            }
+            // L2: pace(..) while a guard is live blocks all contenders.
+            Tok::Ident(name)
+                if name == "pace" && toks.get(k + 1).is_some_and(|t| t.is_punct('(')) =>
+            {
+                check_l2(src, t.line, "pace(..)", &guards, out);
+            }
+            // L2: observe/device-I/O method calls while a guard is live.
+            Tok::Punct('.')
+                if toks.get(k + 2).is_some_and(|t| t.is_punct('('))
+                    && toks
+                        .get(k + 1)
+                        .is_some_and(|t| BLOCKING_METHODS.iter().any(|m| t.is_ident(m))) =>
+            {
+                if let Some(m) = toks.get(k + 1).and_then(|t| t.ident()) {
+                    check_l2(src, t.line, &format!(".{m}(..)"), &guards, out);
+                }
             }
             // drop(guard) releases a named guard early.
             Tok::Ident(name)
@@ -127,7 +180,7 @@ fn scan_body(
                     && toks.get(k + 2).is_some_and(|t| t.is_punct('('))
                     && toks.get(k + 3).is_some_and(|t| t.is_punct(')')) =>
             {
-                let line = toks[k + 1].line;
+                let line = toks.get(k + 1).map_or(t.line, |n| n.line);
                 if let Some(lock) = lock_name(toks, k) {
                     for g in &guards {
                         if g.lock == lock {
@@ -169,7 +222,7 @@ fn scan_body(
 fn lock_name(toks: &[Token], dot: usize) -> Option<String> {
     let mut j = dot.checked_sub(1)?;
     loop {
-        match &toks[j].tok {
+        match &toks.get(j)?.tok {
             Tok::Punct(']') => j = matching_back(toks, j, '[', ']')?.checked_sub(1)?,
             Tok::Punct(')') => j = matching_back(toks, j, '(', ')')?.checked_sub(1)?,
             Tok::Ident(s) => return Some(s.clone()),
@@ -182,10 +235,11 @@ fn lock_name(toks: &[Token], dot: usize) -> Option<String> {
 fn matching_back(toks: &[Token], close_idx: usize, open: char, close: char) -> Option<usize> {
     let mut depth = 0usize;
     for k in (0..=close_idx).rev() {
-        if toks[k].is_punct(close) {
+        let Some(t) = toks.get(k) else { continue };
+        if t.is_punct(close) {
             depth += 1;
-        } else if toks[k].is_punct(open) {
-            depth -= 1;
+        } else if t.is_punct(open) {
+            depth = depth.saturating_sub(1);
             if depth == 0 {
                 return Some(k);
             }
@@ -203,7 +257,7 @@ fn binding_of(toks: &[Token], stmt_start: usize, lock_dot: usize) -> Option<Opti
         return None;
     }
     let mut j = stmt_start + 1;
-    while j < lock_dot && toks[j].is_ident("mut") {
+    while j < lock_dot && toks.get(j).is_some_and(|t| t.is_ident("mut")) {
         j += 1;
     }
     match toks.get(j).map(|t| &t.tok) {

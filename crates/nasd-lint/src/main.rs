@@ -1,10 +1,15 @@
 //! nasd-lint CLI.
 //!
-//! Usage: `cargo run -p nasd-lint -- check [--root <workspace-dir>]`
+//! Usage:
+//!   `cargo run -p nasd-lint -- check [--root <workspace-dir>] [--json <path>]`
+//!   `cargo run -p nasd-lint -- explain <rule-or-allow-class>`
 //!
-//! Scans `crates/*/src/**/*.rs`, every shim crate root and the umbrella
-//! `src/lib.rs`, prints findings as `file:line: [RULE] message`, and exits
-//! nonzero if any finding survives suppression.
+//! `check` scans `crates/*/src/**/*.rs`, every shim crate root and the
+//! umbrella `src/lib.rs` (plus the `crates/*/Cargo.toml` manifests, which
+//! feed the call graph's crate-dependency map), prints findings as
+//! `file:line: [RULE] message`, optionally writes the machine-readable
+//! `nasd-lint-report/v1` JSON, and exits nonzero if any finding survives
+//! suppression. `explain` prints a rule's rationale and allow syntax.
 
 #![forbid(unsafe_code)]
 
@@ -13,21 +18,29 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut root = PathBuf::from(".");
-    let mut cmd = None;
     let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => check(it),
+        Some("explain") => explain(it),
+        _ => usage("expected the `check` or `explain` subcommand"),
+    }
+}
+
+fn check<'a>(mut it: impl Iterator<Item = &'a String>) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
     while let Some(a) = it.next() {
         match a.as_str() {
-            "check" => cmd = Some("check"),
             "--root" => match it.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => return usage("--root needs a directory"),
             },
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage("--json needs a file path"),
+            },
             other => return usage(&format!("unknown argument `{other}`")),
         }
-    }
-    if cmd != Some("check") {
-        return usage("expected the `check` subcommand");
     }
 
     // When invoked via `cargo run -p nasd-lint` the cwd is already the
@@ -51,6 +64,13 @@ fn main() -> ExitCode {
     if umbrella.is_file() {
         paths.push(umbrella);
     }
+    // Manifests prune cross-crate call-graph edges; not lexed as Rust.
+    for krate in list_dir(&root.join("crates")) {
+        let m = krate.join("Cargo.toml");
+        if m.is_file() {
+            paths.push(m);
+        }
+    }
     paths.sort();
 
     let mut files: Vec<(String, String)> = Vec::new();
@@ -63,6 +83,7 @@ fn main() -> ExitCode {
             }
         }
     }
+    let rs_count = files.iter().filter(|(p, _)| p.ends_with(".rs")).count();
 
     let findings = nasd_lint::check_sources(&files);
     for f in &findings {
@@ -70,10 +91,22 @@ fn main() -> ExitCode {
     }
     println!(
         "nasd-lint: {} files checked, {} finding{}",
-        files.len(),
+        rs_count,
         findings.len(),
         if findings.len() == 1 { "" } else { "s" }
     );
+
+    if let Some(path) = json_out {
+        let report = nasd_lint::report_json(rs_count, &findings);
+        let mut text = report.to_pretty_string();
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("nasd-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("nasd-lint: report written to {}", path.display());
+    }
+
     if findings.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -81,9 +114,43 @@ fn main() -> ExitCode {
     }
 }
 
+fn explain<'a>(mut it: impl Iterator<Item = &'a String>) -> ExitCode {
+    let Some(query) = it.next() else {
+        eprintln!("nasd-lint: explain needs a rule id or allow class; one of:");
+        for r in nasd_lint::RULES {
+            eprintln!("  {:3} {}", r.id, r.title);
+        }
+        return ExitCode::FAILURE;
+    };
+    let Some(rule) = nasd_lint::rule_info(query) else {
+        eprintln!("nasd-lint: no rule or allow class named `{query}`");
+        return ExitCode::FAILURE;
+    };
+    println!("{} — {}", rule.id, rule.title);
+    println!();
+    println!("{}", unwrap_ws(rule.rationale));
+    println!();
+    match rule.allow {
+        Some(class) => {
+            println!("suppress a reviewed site with (reason string required):");
+            for c in class.split('/') {
+                println!("  // nasd-lint: allow({}, \"why this is safe\")", c.trim());
+            }
+        }
+        None => println!("this rule is unsuppressable."),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Collapse the multi-line rationale literals' internal padding.
+fn unwrap_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("nasd-lint: {err}");
-    eprintln!("usage: cargo run -p nasd-lint -- check [--root <workspace-dir>]");
+    eprintln!("usage: cargo run -p nasd-lint -- check [--root <workspace-dir>] [--json <path>]");
+    eprintln!("       cargo run -p nasd-lint -- explain <rule-or-allow-class>");
     ExitCode::FAILURE
 }
 

@@ -1,5 +1,6 @@
 //! Token-scan rules: D1 determinism, P1 panic-free request paths, H1
-//! hot-path copy discipline, and F1 forbid-unsafe.
+//! hot-path copy discipline, E1 swallowed results, C1 cast/arithmetic
+//! safety (in `casts.rs`), and F1 forbid-unsafe.
 
 use crate::lexer::{Tok, Token};
 use crate::{crate_of, RawFinding, Source};
@@ -14,7 +15,8 @@ pub(crate) const D1_CRATES: &[&str] = &[
 
 /// Request-path modules that must return `NasdStatus` errors rather than
 /// panic: a drive that panics mid-request breaks the acknowledgement
-/// promise the chaos suite verifies dynamically.
+/// promise the chaos suite verifies dynamically. These files double as
+/// the *entry points* of the P2 transitive-panic analysis (`graph.rs`).
 pub(crate) const P1_FILES: &[&str] = &[
     "crates/object/src/drive.rs",
     "crates/object/src/store.rs",
@@ -40,6 +42,18 @@ pub(crate) const P1_FILES: &[&str] = &[
     "crates/obs/src/trace.rs",
 ];
 
+/// Path prefixes additionally swept by P1/E1 (and C1, see `casts.rs`):
+/// the checker itself must satisfy its own rules — a lint that panics on
+/// a hostile source file is no better than a drive that panics on a
+/// hostile frame.
+pub(crate) const SELF_CHECK_PREFIX: &str = "crates/nasd-lint/src/";
+
+/// Whether `path` is in scope for a rule given its file list, honouring
+/// the self-check prefix when `self_check` is set.
+pub(crate) fn in_file_scope(path: &str, files: &[&str], self_check: bool) -> bool {
+    files.iter().any(|f| path.ends_with(f)) || (self_check && path.contains(SELF_CHECK_PREFIX))
+}
+
 /// Keywords that can legitimately precede `[` without it being an index
 /// expression (slice patterns, array literals in returns, etc.).
 const NON_INDEX_KEYWORDS: &[&str] = &[
@@ -49,7 +63,7 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
 ];
 
 fn seq_path(toks: &[Token], i: usize, a: &str, b: &str) -> bool {
-    toks[i].is_ident(a)
+    toks.get(i).is_some_and(|t| t.is_ident(a))
         && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
         && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
         && toks.get(i + 3).is_some_and(|t| t.is_ident(b))
@@ -76,78 +90,163 @@ pub(crate) fn check_d1(src: &Source, out: &mut Vec<RawFinding>) {
             allow: Some("wall-clock"),
         });
     };
-    for i in 0..toks.len() {
-        if toks[i].in_test {
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
             continue;
         }
         if seq_path(toks, i, "Instant", "now") {
-            push(toks[i].line, "Instant::now");
-        } else if toks[i].is_ident("SystemTime") {
-            push(toks[i].line, "SystemTime");
-        } else if toks[i].is_ident("thread_rng") {
-            push(toks[i].line, "thread_rng");
+            push(t.line, "Instant::now");
+        } else if t.is_ident("SystemTime") {
+            push(t.line, "SystemTime");
+        } else if t.is_ident("thread_rng") {
+            push(t.line, "thread_rng");
         } else if seq_path(toks, i, "thread", "sleep") {
-            push(toks[i].line, "thread::sleep");
+            push(t.line, "thread::sleep");
         }
     }
 }
 
+/// A potential panic at token `i`: `(line, description, is_indexing)`.
+/// Shared between P1 (direct sites in request modules) and P2 (sites in
+/// helpers reachable from request modules through the call graph).
+pub(crate) fn panic_at(toks: &[Token], i: usize) -> Option<(u32, String, bool)> {
+    let t = toks.get(i)?;
+    if t.is_punct('.') && toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+        let next = toks.get(i + 1)?;
+        if let Some(name) = next.ident() {
+            if name == "unwrap" || name == "expect" {
+                return Some((next.line, format!("`.{name}()`"), false));
+            }
+        }
+    } else if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+        if let Some(name) = t.ident() {
+            if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented") {
+                return Some((t.line, format!("`{name}!`"), false));
+            }
+        }
+    } else if t.is_punct('[') && i > 0 {
+        let indexes = match toks.get(i - 1).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => !NON_INDEX_KEYWORDS.contains(&s.as_str()),
+            Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => true,
+            _ => false,
+        };
+        if indexes {
+            return Some((t.line, "bare indexing".to_owned(), true));
+        }
+    }
+    None
+}
+
 /// P1: no panics or bare indexing in request-path modules.
 pub(crate) fn check_p1(src: &Source, out: &mut Vec<RawFinding>) {
-    if !P1_FILES.iter().any(|f| src.path.ends_with(f)) {
+    if !in_file_scope(&src.path, P1_FILES, true) {
         return;
     }
     let toks = &src.lexed.tokens;
-    let mut push = |line: u32, msg: String| {
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Some((line, what, is_index)) = panic_at(toks, i) else {
+            continue;
+        };
+        let message = if is_index {
+            "bare indexing may panic on out-of-range; use .get()/.get_mut() \
+             and map None to a NasdStatus error"
+                .to_owned()
+        } else {
+            format!("{what} in request path; return a NasdStatus error instead")
+        };
         out.push(RawFinding {
             rule: "P1",
             file: src.path.clone(),
             line,
-            message: msg,
+            message,
             allow: Some("panic"),
         });
+    }
+}
+
+/// Ack/durability/repair paths where a silently discarded `Result` hides
+/// a failure the protocol promised to surface: the RPC reply path, the
+/// drive's durable-write stack, the Cheops managers, and the nasd-mgmt
+/// repair bookkeeping.
+pub(crate) const E1_FILES: &[&str] = &[
+    "crates/net/src/rpc.rs",
+    "crates/mgmt/src/service.rs",
+    "crates/mgmt/src/rebuild.rs",
+    "crates/mgmt/src/scrub.rs",
+    "crates/mgmt/src/health.rs",
+    "crates/mgmt/src/spare.rs",
+    "crates/object/src/drive.rs",
+    "crates/object/src/store.rs",
+    "crates/object/src/persist.rs",
+    "crates/object/src/wal.rs",
+    "crates/cheops/src/manager.rs",
+    "crates/cheops/src/client.rs",
+    "crates/fm/src/server.rs",
+    "crates/fm/src/drives.rs",
+    "crates/fm/src/nfs.rs",
+    "crates/fm/src/afs.rs",
+];
+
+/// E1: swallowed results on ack/durability/repair paths. Flags
+/// `let _ = …;` discards and statement-level `.ok();` — each surviving
+/// site must handle the error, propagate it, count it in an obs metric,
+/// or justify the discard with `allow(swallowed-error, "…")`.
+pub(crate) fn check_e1(src: &Source, out: &mut Vec<RawFinding>) {
+    if !in_file_scope(&src.path, E1_FILES, true) {
+        return;
+    }
+    let toks = &src.lexed.tokens;
+    let mut push = |line: u32, what: &str| {
+        out.push(RawFinding {
+            rule: "E1",
+            file: src.path.clone(),
+            line,
+            message: format!(
+                "{what} swallows a Result on an ack/durability/repair path; \
+                 handle it, propagate it, or count it in an obs error metric \
+                 (or justify with allow(swallowed-error))"
+            ),
+            allow: Some("swallowed-error"),
+        });
     };
-    for i in 0..toks.len() {
-        if toks[i].in_test {
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
             continue;
         }
-        if toks[i].is_punct('.') && toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
-            if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
-                if name == "unwrap" || name == "expect" {
-                    push(
-                        toks[i + 1].line,
-                        format!(
-                            "`.{name}()` in request path; return a NasdStatus \
-                             error instead"
-                        ),
-                    );
-                }
-            }
-        } else if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
-            if let Some(name) = toks[i].ident() {
-                if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented") {
-                    push(
-                        toks[i].line,
-                        format!("`{name}!` in request path; return a NasdStatus error instead"),
-                    );
-                }
-            }
-        } else if toks[i].is_punct('[') && i > 0 {
-            let indexes = match &toks[i - 1].tok {
-                Tok::Ident(s) => !NON_INDEX_KEYWORDS.contains(&s.as_str()),
-                Tok::Punct(')') | Tok::Punct(']') => true,
-                _ => false,
-            };
-            if indexes {
-                push(
-                    toks[i].line,
-                    "bare indexing may panic on out-of-range; use .get()/.get_mut() \
-                     and map None to a NasdStatus error"
-                        .to_owned(),
-                );
-            }
+        if t.is_ident("let")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("_"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+        {
+            push(t.line, "`let _ = …`");
+        } else if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("ok"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct(';'))
+            && ok_result_discarded(toks, i)
+        {
+            push(t.line, "statement-level `.ok()`");
         }
     }
+}
+
+/// Whether the `.ok()` ending at token `dot` throws its Option away.
+/// `let rx = x.ok();` or `return x.ok();` keeps the value — only a bare
+/// expression statement discards it. Walk back to the statement start
+/// looking for a binding (`=`) or a value-producing keyword.
+fn ok_result_discarded(toks: &[Token], dot: usize) -> bool {
+    for t in toks.iter().take(dot).rev() {
+        match &t.tok {
+            Tok::Punct(';' | '{' | '}') => return true,
+            Tok::Punct('=') => return false,
+            Tok::Ident(w) if w == "return" || w == "break" => return false,
+            _ => {}
+        }
+    }
+    true
 }
 
 /// Data-path modules where every payload memcpy must be deliberate.
@@ -177,7 +276,7 @@ const H1_METHODS: &[&str] = &["to_vec", "copy_from_slice", "extend_from_slice"];
 /// surviving site must justify itself with
 /// `// nasd-lint: allow(hot-path-copy, "why the copy is the point")`.
 pub(crate) fn check_h1(src: &Source, out: &mut Vec<RawFinding>) {
-    if !H1_FILES.iter().any(|f| src.path.ends_with(f)) {
+    if !in_file_scope(&src.path, H1_FILES, false) {
         return;
     }
     let toks = &src.lexed.tokens;
@@ -194,18 +293,20 @@ pub(crate) fn check_h1(src: &Source, out: &mut Vec<RawFinding>) {
             allow: Some("hot-path-copy"),
         });
     };
-    for i in 0..toks.len() {
-        if toks[i].in_test {
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
             continue;
         }
-        if toks[i].is_punct('.') && toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+        if t.is_punct('.') && toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
             if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
                 if H1_METHODS.contains(&name) {
-                    push(toks[i + 1].line, &format!(".{name}()"));
+                    if let Some(next) = toks.get(i + 1) {
+                        push(next.line, &format!(".{name}()"));
+                    }
                 }
             }
         } else if seq_path(toks, i, "Bytes", "copy_from_slice") {
-            push(toks[i].line, "Bytes::copy_from_slice");
+            push(t.line, "Bytes::copy_from_slice");
         }
     }
 }
@@ -217,7 +318,7 @@ pub(crate) fn check_f1(src: &Source, out: &mut Vec<RawFinding>) {
     }
     let toks = &src.lexed.tokens;
     let found = (0..toks.len()).any(|i| {
-        toks[i].is_punct('#')
+        toks.get(i).is_some_and(|t| t.is_punct('#'))
             && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
             && toks.get(i + 2).is_some_and(|t| t.is_punct('['))
             && toks.get(i + 3).is_some_and(|t| t.is_ident("forbid"))

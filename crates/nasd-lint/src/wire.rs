@@ -86,7 +86,9 @@ pub(crate) fn check_w1(sources: &[Source], out: &mut Vec<RawFinding>) {
         let Some((def_idx, enum_start, variants)) = find_enum(sources, spec.enum_name) else {
             continue; // enum not in this source set (e.g. fixtures)
         };
-        let def = &sources[def_idx];
+        let Some(def) = sources.get(def_idx) else {
+            continue;
+        };
         let crate_prefix = def
             .path
             .rsplit_once("/src/")
@@ -99,7 +101,7 @@ pub(crate) fn check_w1(sources: &[Source], out: &mut Vec<RawFinding>) {
                 out.push(RawFinding {
                     rule: "W1",
                     file: def.path.clone(),
-                    line: def.lexed.tokens[enum_start].line,
+                    line: def.lexed.tokens.get(enum_start).map_or(0, |t| t.line),
                     message: format!(
                         "`{}` has no {} region; the codec/matrix is missing entirely",
                         spec.enum_name, region.label
@@ -110,12 +112,15 @@ pub(crate) fn check_w1(sources: &[Source], out: &mut Vec<RawFinding>) {
             }
             for (vname, vline) in &variants {
                 let covered = spans.iter().any(|(src_idx, lo, hi)| {
-                    let toks = &sources[*src_idx].lexed.tokens;
-                    (*lo..*hi).any(|i| {
-                        (toks[i].is_ident(spec.enum_name) || toks[i].is_ident("Self"))
-                            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
-                            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
-                            && toks.get(i + 3).is_some_and(|t| t.is_ident(vname))
+                    sources.get(*src_idx).is_some_and(|s| {
+                        let toks = &s.lexed.tokens;
+                        (*lo..*hi).any(|i| {
+                            toks.get(i)
+                                .is_some_and(|t| t.is_ident(spec.enum_name) || t.is_ident("Self"))
+                                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                                && toks.get(i + 3).is_some_and(|t| t.is_ident(vname))
+                        })
                     })
                 });
                 if !covered {
@@ -143,14 +148,15 @@ type EnumDef = (usize, usize, Vec<(String, u32)>);
 fn find_enum(sources: &[Source], name: &str) -> Option<EnumDef> {
     for (si, src) in sources.iter().enumerate() {
         let toks = &src.lexed.tokens;
-        for i in 0..toks.len() {
-            if toks[i].in_test || !toks[i].is_ident("enum") {
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test || !t.is_ident("enum") {
                 continue;
             }
             if !toks.get(i + 1).is_some_and(|t| t.is_ident(name)) {
                 continue;
             }
-            let open = (i + 2..toks.len()).find(|&k| toks[k].is_punct('{'))?;
+            let open =
+                (i + 2..toks.len()).find(|&k| toks.get(k).is_some_and(|t| t.is_punct('{')))?;
             let close = matching(toks, open, '{', '}')?;
             return Some((si, i, extract_variants(toks, open, close)));
         }
@@ -167,7 +173,7 @@ fn extract_variants(toks: &[Token], open: usize, close: usize) -> Vec<(String, u
     let mut expecting = true;
     let mut i = open + 1;
     while i < close {
-        let t = &toks[i];
+        let Some(t) = toks.get(i) else { break };
         // Skip attribute groups like `#[doc = "…"]`.
         if t.is_punct('#') && toks.get(i + 1).is_some_and(|n| n.is_punct('[')) {
             if let Some(end) = matching(toks, i + 1, '[', ']') {
@@ -206,13 +212,13 @@ fn find_regions(
             continue;
         }
         let toks = &src.lexed.tokens;
-        for i in 0..toks.len() {
-            if toks[i].in_test {
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test {
                 continue;
             }
             let body_start = match kind {
                 RegionKind::ImplFor(trait_name) => {
-                    if toks[i].is_ident("impl")
+                    if t.is_ident("impl")
                         && toks.get(i + 1).is_some_and(|t| t.is_ident(trait_name))
                         && toks.get(i + 2).is_some_and(|t| t.is_ident("for"))
                         && toks.get(i + 3).is_some_and(|t| t.is_ident(enum_name))
@@ -223,9 +229,7 @@ fn find_regions(
                     }
                 }
                 RegionKind::Fn(fn_name) => {
-                    if toks[i].is_ident("fn")
-                        && toks.get(i + 1).is_some_and(|t| t.is_ident(fn_name))
-                    {
+                    if t.is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.is_ident(fn_name)) {
                         Some(i + 2)
                     } else {
                         None
@@ -235,12 +239,13 @@ fn find_regions(
             let Some(from) = body_start else { continue };
             // Find the body's opening brace (a `;` first means a trait
             // method declaration with no body — not a region).
-            let Some(open) =
-                (from..toks.len()).find(|&k| toks[k].is_punct('{') || toks[k].is_punct(';'))
-            else {
+            let Some(open) = (from..toks.len()).find(|&k| {
+                toks.get(k)
+                    .is_some_and(|t| t.is_punct('{') || t.is_punct(';'))
+            }) else {
                 continue;
             };
-            if toks[open].is_punct(';') {
+            if toks.get(open).is_some_and(|t| t.is_punct(';')) {
                 continue;
             }
             if let Some(close) = matching(toks, open, '{', '}') {

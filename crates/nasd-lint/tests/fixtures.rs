@@ -86,6 +86,156 @@ fn suppressions_require_a_reason() {
 }
 
 #[test]
+fn p2_two_hop_panic_is_reported_with_its_path() {
+    expect_bad("bad-p2", "P2");
+    let out = run_on("bad-p2");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("dispatch -> locate -> run_len"),
+        "the two-hop call path should be spelled out\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("[P1]"),
+        "helpers outside the entry files are P2's business, not P1's\n{stdout}"
+    );
+}
+
+#[test]
+fn p2_name_resolution_reaches_every_same_named_method() {
+    // `reply` calls `.encode()`; two impls share the name, one panics.
+    // The over-approximating graph must flag the panicking impl (line
+    // 34) and must NOT flag the clean one (line 22).
+    let out = run_on("bad-p2");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("extent.rs:34") && stdout.contains("`encode`"),
+        "the panicking encode impl must be reached by name\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("extent.rs:22"),
+        "the panic-free encode impl must not be flagged\n{stdout}"
+    );
+}
+
+#[test]
+fn c1_narrowing_and_tainted_arith_are_reported() {
+    expect_bad("bad-c1", "C1");
+    let out = run_on("bad-c1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("narrowing `as u16`"),
+        "bad-c1 should flag the narrowing cast\n{stdout}"
+    );
+    assert!(
+        stdout.contains("unchecked `+`/`*` on wire-derived integer `len`"),
+        "bad-c1 should flag arithmetic on the wire-read binding\n{stdout}"
+    );
+    assert_eq!(
+        stdout.matches("[C1]").count(),
+        2,
+        "exactly the cast and the `+` — `u64::from` widening is fine\n{stdout}"
+    );
+}
+
+#[test]
+fn e1_discards_are_reported_but_bindings_are_not() {
+    expect_bad("bad-e1", "E1");
+    let out = run_on("bad-e1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("`let _ = …`") && stdout.contains("statement-level `.ok()`"),
+        "both discard shapes should be flagged\n{stdout}"
+    );
+    assert_eq!(
+        stdout.matches("[E1]").count(),
+        2,
+        "`let rx = ….ok();` keeps the Option and must not be flagged\n{stdout}"
+    );
+}
+
+#[test]
+fn l2_blocking_calls_under_a_guard_are_reported() {
+    expect_bad("bad-l2", "L2");
+    let out = run_on("bad-l2");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(".write_block(..)") && stdout.contains("pace(..)"),
+        "device I/O and pace under the guard should both be flagged\n{stdout}"
+    );
+    assert_eq!(
+        stdout.matches("[L2]").count(),
+        2,
+        "dropping the guard before pace is the sanctioned shape\n{stdout}"
+    );
+}
+
+#[test]
+fn json_report_is_valid_and_counts_match() {
+    let report = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("bad-c1-report.json");
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("bad-c1");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_nasd-lint"))
+        .args(["check", "--root"])
+        .arg(&root)
+        .arg("--json")
+        .arg(&report)
+        .output()
+        .expect("spawn nasd-lint");
+    assert!(!out.status.success(), "bad-c1 has findings");
+    let text = std::fs::read_to_string(&report).expect("report file written");
+    let json = nasd_obs::json::Json::parse(&text).expect("report parses as JSON");
+    let get = |k: &str| match &json {
+        nasd_obs::json::Json::Obj(fields) => fields
+            .iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, v)| v.clone())
+            .expect("key present"),
+        other => panic!("report root should be an object, got {other:?}"),
+    };
+    assert_eq!(
+        get("schema"),
+        nasd_obs::json::Json::str("nasd-lint-report/v1")
+    );
+    assert_eq!(get("finding_count"), nasd_obs::json::Json::num_u64(2));
+    match get("findings") {
+        nasd_obs::json::Json::Arr(items) => assert_eq!(items.len(), 2),
+        other => panic!("findings should be an array, got {other:?}"),
+    }
+}
+
+#[test]
+fn explain_covers_every_new_rule_and_allow_class() {
+    for query in [
+        "P2",
+        "C1",
+        "E1",
+        "L2",
+        "transitive-panic",
+        "swallowed-error",
+    ] {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_nasd-lint"))
+            .args(["explain", query])
+            .output()
+            .expect("spawn nasd-lint");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "explain {query} should succeed\n{stdout}"
+        );
+        assert!(
+            stdout.contains("nasd-lint: allow("),
+            "explain {query} should show the allow syntax\n{stdout}"
+        );
+    }
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_nasd-lint"))
+        .args(["explain", "no-such-rule"])
+        .output()
+        .expect("spawn nasd-lint");
+    assert!(!out.status.success(), "unknown rules should fail");
+}
+
+#[test]
 fn h1_hot_path_copies_are_reported() {
     expect_bad("bad-h1", "H1");
     let out = run_on("bad-h1");

@@ -147,6 +147,7 @@ impl NetworkModel {
     /// # Panics
     ///
     /// Panics if either node is not attached.
+    // nasd-lint: allow(transitive-panic, "sim-model contract: nodes attach at topology build time; a missing node is a harness bug, documented under Panics")
     pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
         if let Some(metrics) = &self.metrics {
             metrics.messages.inc();

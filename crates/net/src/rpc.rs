@@ -110,6 +110,7 @@ impl<Req: Send + Clone + 'static, Resp: Send + 'static> Rpc<Req, Resp> {
                 // caller listens to the first. For signed drive traffic
                 // the second delivery trips the replay window.
                 let rx = self.send_one(req.clone())?;
+                // nasd-lint: allow(swallowed-error, "fault injection: the duplicate copy is best-effort; the caller waits on the first delivery")
                 let _ = self.send_one(req);
                 Ok(Ticket::Wait(rx))
             }
@@ -139,6 +140,7 @@ impl<Req: Send + Clone + 'static, Resp: Send + 'static> Rpc<Req, Resp> {
         match self.dispatch(req)? {
             Ticket::Wait(rx) => wait(rx),
             Ticket::WaitDiscard(rx) => {
+                // nasd-lint: allow(swallowed-error, "fault injection: the reply is discarded by design; waiting only sequences the service")
                 let _ = wait(rx);
                 Err(RpcError::TimedOut)
             }
@@ -249,6 +251,7 @@ impl<Req: Send + Clone + 'static, Resp: Send + 'static> Rpc<Req, Resp> {
             }
             FaultAction::Duplicate => {
                 let rx = self.send_one(req.clone())?;
+                // nasd-lint: allow(swallowed-error, "fault injection: the duplicate copy is best-effort; the caller waits on the first delivery")
                 let _ = self.send_one(req);
                 Ok(rx)
             }
@@ -276,6 +279,7 @@ impl<Req: Send + Clone + 'static, Resp: Send + 'static> Rpc<Req, Resp> {
 pub struct ServiceHandle {
     stop: Option<Box<dyn FnOnce() + Send + Sync>>,
     thread: Option<JoinHandle<()>>,
+    replies_dropped: Arc<nasd_obs::Counter>,
 }
 
 impl ServiceHandle {
@@ -284,13 +288,29 @@ impl ServiceHandle {
     /// message, and later calls return [`RpcError::Disconnected`].
     /// Dropping the handle without calling this detaches the thread (it
     /// exits when the last [`Rpc`] clone drops).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the service closure's panic, if it had one — a crashed
+    /// service must not look like a clean shutdown.
     pub fn shutdown(mut self) {
         if let Some(stop) = self.stop.take() {
             stop();
         }
         if let Some(t) = self.thread.take() {
-            let _ = t.join();
+            if let Err(payload) = t.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
+    }
+
+    /// Replies the service computed but could not deliver because the
+    /// caller had already given up (timed out or dropped its receiver).
+    /// A steadily climbing value means callers' timeouts are shorter
+    /// than the service's latency.
+    #[must_use]
+    pub fn replies_dropped(&self) -> u64 {
+        self.replies_dropped.value()
     }
 }
 
@@ -303,8 +323,8 @@ impl fmt::Debug for ServiceHandle {
 impl Drop for ServiceHandle {
     fn drop(&mut self) {
         // Detach: the thread exits when all Rpc senders drop.
-        let _ = self.stop.take();
-        let _ = self.thread.take();
+        self.stop = None;
+        self.thread = None;
     }
 }
 
@@ -324,13 +344,18 @@ where
     F: FnMut(Req) -> Resp + Send + 'static,
 {
     let (tx, rx) = unbounded::<Envelope<Req, Resp>>();
+    let replies_dropped = Arc::new(nasd_obs::Counter::new());
+    let dropped = Arc::clone(&replies_dropped);
     let thread = std::thread::spawn(move || {
         while let Ok(env) = rx.recv() {
             match env {
                 Envelope::Call(req, reply_tx) => {
                     let resp = service(req);
-                    // The caller may have given up; that is its business.
-                    let _ = reply_tx.send(resp);
+                    // The caller may have given up; count the orphaned
+                    // reply instead of silently discarding it.
+                    if reply_tx.send(resp).is_err() {
+                        dropped.inc();
+                    }
                 }
                 Envelope::Stop => break,
             }
@@ -341,9 +366,11 @@ where
         Rpc { tx, faults: None },
         ServiceHandle {
             stop: Some(Box::new(move || {
+                // nasd-lint: allow(swallowed-error, "failure means the loop already exited; shutdown's join still observes the thread's fate")
                 let _ = stop_tx.send(Envelope::Stop);
             })),
             thread: Some(thread),
+            replies_dropped,
         },
     )
 }
@@ -421,6 +448,42 @@ mod tests {
             rpc.call_timeout((), Duration::from_millis(5)),
             Err(RpcError::TimedOut)
         );
+    }
+
+    #[test]
+    fn late_replies_to_departed_callers_are_counted() {
+        let (rpc, h) = spawn_service(|(): ()| {
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        // The caller gives up long before the service answers; the
+        // orphaned reply must be counted, not silently discarded.
+        assert_eq!(
+            rpc.call_timeout((), Duration::from_millis(5)),
+            Err(RpcError::TimedOut)
+        );
+        for _ in 0..200 {
+            if h.replies_dropped() > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(h.replies_dropped(), 1);
+        // A caller that waits is never counted.
+        assert!(rpc.call(()).is_ok());
+        assert_eq!(h.replies_dropped(), 1);
+    }
+
+    #[test]
+    fn shutdown_propagates_a_service_panic() {
+        let (rpc, h) = spawn_service(|x: u64| {
+            assert!(x != 13, "unlucky");
+            x
+        });
+        assert_eq!(rpc.call(7).unwrap(), 7);
+        assert_eq!(rpc.call(13), Err(RpcError::Disconnected));
+        // The crashed service must not look like a clean shutdown.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.shutdown()));
+        assert!(err.is_err(), "shutdown should re-raise the service panic");
     }
 
     #[test]

@@ -85,7 +85,7 @@ impl Layout {
     #[must_use]
     pub fn compute(block_size: usize, total_blocks: u64) -> Layout {
         let payload = block_size.saturating_sub(BITMAP_TRAILER).max(1) as u64;
-        let bits_per_block = payload * 8;
+        let bits_per_block = payload.saturating_mul(8);
         let bitmap_blocks = total_blocks.div_ceil(bits_per_block).max(1);
         let log_blocks = (total_blocks / 64).clamp(8, 1024);
         let index_blocks = (total_blocks / 64).max(8);
@@ -118,7 +118,11 @@ impl Layout {
     /// Byte capacity of one index copy.
     #[must_use]
     pub(crate) fn index_bytes(&self) -> usize {
-        self.index_blocks as usize * self.block_size
+        // Saturation is safe here: the result only ever bounds payload
+        // lengths from disk, and a saturated bound still rejects them.
+        usize::try_from(self.index_blocks)
+            .unwrap_or(usize::MAX)
+            .saturating_mul(self.block_size)
     }
 
     /// First block of the bitmap copy for `epoch` (even epochs in copy
@@ -172,6 +176,7 @@ impl Superblock {
         let mut buf = Vec::with_capacity(l.block_size.max(SB_BYTES));
         buf.extend_from_slice(&SB_MAGIC.to_be_bytes());
         buf.extend_from_slice(&LAYOUT_VERSION.to_be_bytes());
+        // nasd-lint: allow(cast, "encode direction: block sizes are small powers of two, far below u32::MAX")
         buf.extend_from_slice(&(l.block_size as u32).to_be_bytes());
         for field in [
             l.total_blocks,
@@ -212,14 +217,17 @@ impl Superblock {
         if version != LAYOUT_VERSION {
             return Err(StoreError::Corrupt("unknown layout version"));
         }
-        let block_size = read_u32(buf, 12)? as usize;
+        let block_size = usize::try_from(read_u32(buf, 12)?)
+            .map_err(|_| StoreError::Corrupt("superblock block size exceeds address space"))?;
         let mut fields = [0u64; 10];
         for (i, f) in fields.iter_mut().enumerate() {
             *f = read_u64(buf, 16 + i * 8)?;
         }
         let [total_blocks, bitmap_start, bitmap_blocks, log_start, log_blocks, index_start, index_blocks, checkpoint_seq, checkpoint_len, checkpoint_crc] =
             fields;
-        let full = index_start + 2 * index_blocks;
+        // Hostile field values must not wrap: a saturated `full` simply
+        // clamps data_start to the device end (zero data capacity).
+        let full = index_start.saturating_add(index_blocks.saturating_mul(2));
         Ok(Some(Superblock {
             layout: Layout {
                 block_size,
@@ -297,7 +305,9 @@ impl Superblock {
 
 /// Set bit `b` in a bit array.
 pub(crate) fn bit_set(bits: &mut [u8], b: u64) {
-    if let Some(byte) = bits.get_mut((b / 8) as usize) {
+    // try_from (not a narrowing cast): a block index past the address
+    // space must fall outside the bitmap, not alias a smaller bit.
+    if let Some(byte) = usize::try_from(b / 8).ok().and_then(|i| bits.get_mut(i)) {
         *byte |= 1u8 << (b % 8);
     }
 }
@@ -325,9 +335,12 @@ pub(crate) fn write_bitmap<D: BlockDevice>(
     let mut block = vec![0u8; bs];
     for i in 0..layout.bitmap_blocks {
         block.iter_mut().for_each(|b| *b = 0);
-        let lo = (i as usize) * payload;
+        let lo = usize::try_from(i)
+            .ok()
+            .and_then(|i| i.checked_mul(payload))
+            .ok_or(StoreError::Internal("bitmap extent exceeds address space"))?;
         if lo < bits.len() {
-            let hi = (lo + payload).min(bits.len());
+            let hi = lo.saturating_add(payload).min(bits.len());
             let src = bits
                 .get(lo..hi)
                 .ok_or(StoreError::Internal("bitmap slice out of range"))?;
@@ -336,7 +349,7 @@ pub(crate) fn write_bitmap<D: BlockDevice>(
                 .ok_or(StoreError::Internal("bitmap block shorter than payload"))?
                 .copy_from_slice(src);
         }
-        let mut crc_input = Vec::with_capacity(payload + 16);
+        let mut crc_input = Vec::with_capacity(payload.saturating_add(16));
         crc_input.extend_from_slice(block.get(..payload).unwrap_or(&block));
         crc_input.extend_from_slice(&epoch.to_be_bytes());
         crc_input.extend_from_slice(&i.to_be_bytes());
@@ -370,18 +383,19 @@ pub(crate) fn read_bitmap<D: BlockDevice>(
     let bs = layout.block_size;
     let payload = bs.saturating_sub(BITMAP_TRAILER).max(1);
     let base = layout.bitmap_copy_start(epoch);
-    let nbytes = (layout.total_blocks.div_ceil(8)) as usize;
+    let nbytes = usize::try_from(layout.total_blocks.div_ceil(8))
+        .map_err(|_| StoreError::Corrupt("bitmap larger than the address space"))?;
     let mut bits = Vec::with_capacity(nbytes);
     let mut block = vec![0u8; bs];
     for i in 0..layout.bitmap_blocks {
         device.read_block(base + i, &mut block)?;
         let got_epoch = read_u64(&block, payload)
             .map_err(|_| StoreError::Corrupt("bitmap block shorter than trailer"))?;
-        let got_index = read_u64(&block, payload + 8)
+        let got_index = read_u64(&block, payload.saturating_add(8))
             .map_err(|_| StoreError::Corrupt("bitmap block shorter than trailer"))?;
-        let got_crc = read_u64(&block, payload + 16)
+        let got_crc = read_u64(&block, payload.saturating_add(16))
             .map_err(|_| StoreError::Corrupt("bitmap block shorter than trailer"))?;
-        let mut crc_input = Vec::with_capacity(payload + 16);
+        let mut crc_input = Vec::with_capacity(payload.saturating_add(16));
         crc_input.extend_from_slice(block.get(..payload).unwrap_or(&block));
         crc_input.extend_from_slice(&epoch.to_be_bytes());
         crc_input.extend_from_slice(&i.to_be_bytes());
@@ -409,7 +423,7 @@ pub(crate) fn write_region<D: BlockDevice>(
     block_size: usize,
     payload: &[u8],
 ) -> Result<(), StoreError> {
-    if payload.len() as u64 > capacity_blocks * block_size as u64 {
+    if payload.len() as u64 > capacity_blocks.saturating_mul(block_size as u64) {
         return Err(StoreError::NoSpace);
     }
     let mut block = vec![0u8; block_size];

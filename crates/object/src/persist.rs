@@ -57,7 +57,9 @@ fn block_runs(blocks: &[u64]) -> Vec<(u64, u64)> {
     let mut runs: Vec<(u64, u64)> = Vec::new();
     for &b in blocks {
         match runs.last_mut() {
-            Some((start, len)) if *start + *len == b => *len += 1,
+            Some((start, len)) if start.saturating_add(*len) == b => {
+                *len = len.saturating_add(1);
+            }
             _ => runs.push((b, 1)),
         }
     }
@@ -69,6 +71,7 @@ fn block_runs(blocks: &[u64]) -> Vec<(u64, u64)> {
 fn encode_extents(main: &mut WireWriter, overflow: &mut WireWriter, blocks: &[u64]) {
     let runs = block_runs(blocks);
     let inline = runs.len().min(NDIRECT);
+    // nasd-lint: allow(cast, "encode direction: `inline` is at most NDIRECT = 4")
     main.u8(inline as u8);
     for (start, len) in runs.iter().take(inline) {
         main.u64(*start).u64(*len);
@@ -76,6 +79,7 @@ fn encode_extents(main: &mut WireWriter, overflow: &mut WireWriter, blocks: &[u6
     if runs.len() > inline {
         main.u8(1)
             .u64(overflow.as_slice().len() as u64)
+            // nasd-lint: allow(cast, "encode direction: in-memory run counts are far below u32::MAX")
             .u32((runs.len() - inline) as u32);
         for (start, len) in runs.iter().skip(inline) {
             overflow.u64(*start).u64(*len);
@@ -85,17 +89,40 @@ fn encode_extents(main: &mut WireWriter, overflow: &mut WireWriter, blocks: &[u6
     }
 }
 
-fn decode_extents(main: &mut WireReader<'_>, overflow: &[u8]) -> Result<Vec<u64>, DecodeError> {
-    let mut blocks = Vec::new();
-    let inline = main.u8()? as usize;
+/// Decode one object's extent map, materializing the block list.
+///
+/// `max_blocks` bounds the *total* blocks an extent map may reference —
+/// the device capacity on the open path. Without it a single hostile
+/// run length (`len = u64::MAX`) would make the `extend` below try to
+/// materialize the entire u64 range: an unbounded allocation driven by
+/// 16 bytes of disk.
+fn decode_extents(
+    main: &mut WireReader<'_>,
+    overflow: &[u8],
+    max_blocks: u64,
+) -> Result<Vec<u64>, DecodeError> {
+    let mut blocks: Vec<u64> = Vec::new();
+    let take = |blocks: &mut Vec<u64>, start: u64, len: u64| {
+        if len > max_blocks || (blocks.len() as u64).saturating_add(len) > max_blocks {
+            return Err(DecodeError::BadTag {
+                context: "extent run length exceeds the device",
+                value: len,
+            });
+        }
+        blocks.extend(start..start.saturating_add(len));
+        Ok(())
+    };
+    let inline = usize::from(main.u8()?);
     for _ in 0..inline {
         let start = main.u64()?;
         let len = main.u64()?;
-        blocks.extend(start..start.saturating_add(len));
+        take(&mut blocks, start, len)?;
     }
     if main.u8()? != 0 {
-        let off = main.u64()? as usize;
-        let extra = main.u32()? as usize;
+        // Saturating on 32-bit targets: an unrepresentable offset is
+        // past any real overflow region and fails the range check.
+        let off = usize::try_from(main.u64()?).unwrap_or(usize::MAX);
+        let extra = usize::try_from(main.u32()?).unwrap_or(usize::MAX);
         let tail = overflow.get(off..).ok_or(DecodeError::Truncated {
             needed: off,
             remaining: overflow.len(),
@@ -104,7 +131,7 @@ fn decode_extents(main: &mut WireReader<'_>, overflow: &[u8]) -> Result<Vec<u64>
         for _ in 0..extra {
             let start = r.u64()?;
             let len = r.u64()?;
-            blocks.extend(start..start.saturating_add(len));
+            take(&mut blocks, start, len)?;
         }
     }
     Ok(blocks)
@@ -117,12 +144,14 @@ fn encode_store<D: BlockDevice>(store: &ObjectStore<D>) -> Vec<u8> {
     let mut overflow = WireWriter::new();
     let mut parts: Vec<_> = store.partitions.iter().collect();
     parts.sort_by_key(|(pid, _)| **pid);
+    // nasd-lint: allow(cast, "encode direction: in-memory partition count is far below u32::MAX")
     main.u32(parts.len() as u32);
     for (pid, part) in parts {
         pid.encode(&mut main);
         main.u64(part.quota).u64(part.used).u64(part.next_object);
         let mut objs: Vec<_> = part.objects.iter().collect();
         objs.sort_by_key(|(oid, _)| **oid);
+        // nasd-lint: allow(cast, "encode direction: in-memory object count is far below u32::MAX")
         main.u32(objs.len() as u32);
         for (oid, meta) in objs {
             oid.encode(&mut main);
@@ -133,13 +162,17 @@ fn encode_store<D: BlockDevice>(store: &ObjectStore<D>) -> Vec<u8> {
     // COW refcounts.
     let mut refs: Vec<(u64, u32)> = store.refcounts.iter().map(|(&b, &c)| (b, c)).collect();
     refs.sort_unstable();
+    // nasd-lint: allow(cast, "encode direction: in-memory refcount table is far below u32::MAX")
     main.u32(refs.len() as u32);
     for (block, count) in refs {
         main.u64(block).u32(count);
     }
 
-    let mut payload =
-        WireWriter::with_capacity(8 + overflow.as_slice().len() + main.as_slice().len());
+    let mut payload = WireWriter::with_capacity(
+        8usize
+            .saturating_add(overflow.as_slice().len())
+            .saturating_add(main.as_slice().len()),
+    );
     payload
         .u64(overflow.as_slice().len() as u64)
         .raw(overflow.as_slice())
@@ -152,24 +185,30 @@ struct DecodedState {
     refcounts: HashMap<u64, u32>,
 }
 
-fn decode_store(payload: &[u8]) -> Result<DecodedState, DecodeError> {
+/// Capacity hints for containers sized by wire-decoded counts: a
+/// hostile count must cost a failed decode, not a giant pre-allocation.
+const DECODE_CAPACITY_HINT: usize = 1_024;
+
+fn decode_store(payload: &[u8], max_blocks: u64) -> Result<DecodedState, DecodeError> {
     let mut head = WireReader::new(payload);
-    let overflow_len = head.u64()? as usize;
+    // Saturating on 32-bit targets: `raw` rejects any length beyond the
+    // buffer, and a saturated length certainly is.
+    let overflow_len = usize::try_from(head.u64()?).unwrap_or(usize::MAX);
     let overflow = head.raw(overflow_len)?;
     let mut r = WireReader::new(head.rest());
-    let nparts = r.u32()? as usize;
-    let mut partitions = HashMap::with_capacity(nparts);
+    let nparts = usize::try_from(r.u32()?).unwrap_or(usize::MAX);
+    let mut partitions = HashMap::with_capacity(nparts.min(DECODE_CAPACITY_HINT));
     for _ in 0..nparts {
         let pid = PartitionId::decode(&mut r)?;
         let quota = r.u64()?;
         let used = r.u64()?;
         let next_object = r.u64()?;
-        let nobjects = r.u32()? as usize;
-        let mut objects = HashMap::with_capacity(nobjects);
+        let nobjects = usize::try_from(r.u32()?).unwrap_or(usize::MAX);
+        let mut objects = HashMap::with_capacity(nobjects.min(DECODE_CAPACITY_HINT));
         for _ in 0..nobjects {
             let oid = ObjectId::decode(&mut r)?;
             let attrs = ObjectAttributes::decode(&mut r)?;
-            let blocks = decode_extents(&mut r, overflow)?;
+            let blocks = decode_extents(&mut r, overflow, max_blocks)?;
             objects.insert(oid, ObjectMeta { attrs, blocks });
         }
         partitions.insert(
@@ -182,8 +221,8 @@ fn decode_store(payload: &[u8]) -> Result<DecodedState, DecodeError> {
             },
         );
     }
-    let nrefs = r.u32()? as usize;
-    let mut refcounts = HashMap::with_capacity(nrefs);
+    let nrefs = usize::try_from(r.u32()?).unwrap_or(usize::MAX);
+    let mut refcounts = HashMap::with_capacity(nrefs.min(DECODE_CAPACITY_HINT));
     for _ in 0..nrefs {
         let block = r.u64()?;
         let count = r.u32()?;
@@ -201,6 +240,7 @@ impl<D: BlockDevice> ObjectStore<D> {
     /// block referenced by any object's extent map. This is both what
     /// the checkpoint persists and what `open` recomputes to verify it.
     fn in_use_bits(&self) -> Vec<u8> {
+        // nasd-lint: allow(cast, "geometry is validated against the device in Superblock::load, not taken from the wire")
         let mut bits = vec![0u8; (self.layout.total_blocks.div_ceil(8)) as usize];
         for b in 0..self.layout.data_start {
             bit_set(&mut bits, b);
@@ -291,17 +331,25 @@ impl<D: BlockDevice> ObjectStore<D> {
         let total_blocks = device.num_blocks();
         let sb = Superblock::load(&device)?;
         let layout = sb.layout;
+        // `checkpoint_len` is raw disk state the geometry check does not
+        // cover: bound it by the index area before it sizes a read.
+        let checkpoint_len = usize::try_from(sb.checkpoint_len)
+            .ok()
+            .filter(|&n| n <= layout.index_bytes())
+            .ok_or(StoreError::Corrupt(
+                "checkpoint length exceeds the index area",
+            ))?;
         let payload = read_region(
             &device,
             layout.index_copy_start(sb.checkpoint_seq),
             bs,
-            sb.checkpoint_len as usize,
+            checkpoint_len,
         )?;
         if checksum64(&payload) != sb.checkpoint_crc {
             return Err(StoreError::Corrupt("index checkpoint checksum mismatch"));
         }
-        let state =
-            decode_store(&payload).map_err(|_| StoreError::Corrupt("index checkpoint garbled"))?;
+        let state = decode_store(&payload, layout.total_blocks)
+            .map_err(|_| StoreError::Corrupt("index checkpoint garbled"))?;
 
         // Rebuild the allocator from first principles: reserve the
         // metadata area, then carve out every block referenced by any
@@ -552,9 +600,58 @@ mod tests {
             let main = main.into_vec();
             let overflow = overflow.into_vec();
             let mut r = WireReader::new(&main);
-            assert_eq!(decode_extents(&mut r, &overflow).unwrap(), blocks);
+            assert_eq!(decode_extents(&mut r, &overflow, 1 << 20).unwrap(), blocks);
             r.finish().unwrap();
         }
+    }
+
+    #[test]
+    fn hostile_extent_length_is_rejected() {
+        // 16 bytes of disk must not be able to demand 2^64 block
+        // numbers: a run length beyond the device fails the decode
+        // instead of materializing the run.
+        for len in [u64::MAX, 4_097] {
+            let mut main = WireWriter::new();
+            main.u8(1); // one inline run
+            main.u64(0).u64(len);
+            main.u8(0); // no indirect extents
+            let buf = main.into_vec();
+            let mut r = WireReader::new(&buf);
+            assert!(matches!(
+                decode_extents(&mut r, &[], 4_096),
+                Err(DecodeError::BadTag { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn hostile_checkpoint_length_is_rejected() {
+        // A superblock whose checkpoint_len points past the index area
+        // must fail cleanly instead of sizing a read (and allocation)
+        // from the hostile value.
+        let mut store = ObjectStore::new(MemDisk::new(BS, 2_048), 64);
+        store.create_partition(P, 16 << 20).unwrap();
+        store.checkpoint(&mut t()).unwrap();
+        let epoch = store.checkpoint_seq;
+        let layout = *store.layout();
+        let mut device = store.cache().device().clone();
+        drop(store);
+
+        // Rewrite both superblock copies with a huge checkpoint_len and
+        // a recomputed checksum so only the length check can object.
+        let sb = Superblock {
+            layout,
+            checkpoint_seq: epoch,
+            checkpoint_len: u64::MAX / 2,
+            checkpoint_crc: 0,
+        };
+        sb.store(&mut device).unwrap();
+        assert!(matches!(
+            ObjectStore::open(device, 8),
+            Err(StoreError::Corrupt(
+                "checkpoint length exceeds the index area"
+            ))
+        ));
     }
 
     #[test]

@@ -327,10 +327,11 @@ impl WalRecord {
 /// checksummed.
 fn frame(rec: &WalRecord, epoch: u64, lsn: u64) -> Vec<u8> {
     let body = rec.encode();
-    let mut inner = WireWriter::with_capacity(16 + body.len());
+    let mut inner = WireWriter::with_capacity(body.len().saturating_add(16));
     inner.u64(epoch).u64(lsn).raw(&body);
     let crc = checksum64(inner.as_slice());
-    let mut w = WireWriter::with_capacity(FRAME_OVERHEAD + body.len());
+    let mut w = WireWriter::with_capacity(body.len().saturating_add(FRAME_OVERHEAD));
+    // nasd-lint: allow(cast, "encode direction: record bodies are fixed-layout, far below u32::MAX")
     w.u32(body.len() as u32).raw(inner.as_slice()).u64(crc);
     w.into_vec()
 }
@@ -399,8 +400,8 @@ impl Wal {
             return true;
         }
         let f = frame(rec, self.epoch, self.next_lsn);
-        let used = self.durable_bytes + self.pending.len() as u64;
-        if used + f.len() as u64 > self.capacity() {
+        let used = self.durable_bytes.saturating_add(self.pending.len() as u64);
+        if used.saturating_add(f.len() as u64) > self.capacity() {
             return false;
         }
         self.next_lsn += 1;
@@ -461,19 +462,42 @@ impl Wal {
         epoch: u64,
     ) -> Result<(Wal, Vec<WalRecord>), StoreError> {
         let bs = layout.block_size;
-        let area_bytes = (layout.log_blocks as usize) * bs;
+        let area_bytes = usize::try_from(layout.log_blocks)
+            .ok()
+            .and_then(|blocks| blocks.checked_mul(bs))
+            .ok_or(StoreError::Corrupt(
+                "wal log area exceeds the address space",
+            ))?;
         let image = crate::layout::read_region(device, layout.log_start, bs, area_bytes)?;
         let mut records = Vec::new();
         let mut pos = 0usize;
         let mut lsn = 0u64;
-        while let Some(head) = image.get(pos..pos + 4) {
-            let body_len = u32::from_be_bytes(head.try_into().unwrap_or([0; 4])) as usize;
-            let frame_len = FRAME_OVERHEAD + body_len;
-            let Some(rest) = image.get(pos + 4..pos + frame_len) else {
+        while let Some(head) = image.get(pos..pos.saturating_add(4)) {
+            let Ok(head4) = <[u8; 4]>::try_from(head) else {
                 break;
             };
-            let (inner, crc_bytes) = rest.split_at(16 + body_len);
-            let stored = u64::from_be_bytes(crc_bytes.try_into().unwrap_or([0; 8]));
+            // A frame length the area cannot hold is a torn or hostile
+            // head: stop the valid prefix here instead of letting a
+            // narrowing conversion quietly shrink it into plausibility.
+            let Ok(body_len) = usize::try_from(u32::from_be_bytes(head4)) else {
+                break;
+            };
+            let Some(frame_len) = body_len.checked_add(FRAME_OVERHEAD) else {
+                break;
+            };
+            let Some(end) = pos.checked_add(frame_len) else {
+                break;
+            };
+            let Some(rest) = image.get(pos.saturating_add(4)..end) else {
+                break;
+            };
+            // `rest` is exactly `body_len + 24` bytes: 16 of epoch/lsn,
+            // the body, then the 8-byte crc trailer.
+            let (inner, crc_bytes) = rest.split_at(rest.len().saturating_sub(8));
+            let Ok(crc8) = <[u8; 8]>::try_from(crc_bytes) else {
+                break;
+            };
+            let stored = u64::from_be_bytes(crc8);
             if checksum64(inner) != stored {
                 break;
             }
@@ -490,7 +514,7 @@ impl Wal {
             };
             records.push(rec);
             lsn += 1;
-            pos += frame_len;
+            pos = end;
         }
         let mut wal = Wal::new(layout);
         wal.epoch = epoch;
@@ -652,6 +676,45 @@ mod tests {
 
         let (_, replayed) = Wal::recover(&d, &layout, 2).unwrap();
         assert_eq!(replayed, &recs[..recs.len() - 1], "valid prefix survives");
+    }
+
+    #[test]
+    fn hostile_frame_length_stops_recovery_cleanly() {
+        let layout = Layout::compute(512, 2048);
+        let mut d = MemDisk::new(512, 2048);
+        let mut wal = Wal::new(&layout);
+        wal.enabled = true;
+        wal.reset(5);
+        let recs = sample_records();
+        for rec in &recs[..2] {
+            assert!(wal.append(rec));
+        }
+        wal.commit(&mut d).unwrap();
+
+        // Plant a frame head right after the valid prefix claiming a
+        // u32::MAX-byte body. A narrowing conversion would shrink that
+        // length back into plausibility and steer the replay cursor;
+        // recovery must instead stop cleanly at the valid prefix.
+        let end = wal.durable_bytes() as usize;
+        let blk = layout.log_start + end as u64 / 512;
+        let mut buf = vec![0u8; 512];
+        d.read_block(blk, &mut buf).unwrap();
+        let off = end % 512;
+        buf[off..off + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        d.write_block(blk, &buf).unwrap();
+
+        let (rewal, replayed) = Wal::recover(&d, &layout, 5).unwrap();
+        assert_eq!(replayed, recs[..2], "valid prefix survives");
+        assert_eq!(rewal.durable_bytes(), wal.durable_bytes());
+
+        // Same planted head at the very start of the log: recovery of an
+        // effectively-empty log must also terminate cleanly.
+        let mut head_blk = vec![0u8; 512];
+        d.read_block(layout.log_start, &mut head_blk).unwrap();
+        head_blk[..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        d.write_block(layout.log_start, &head_blk).unwrap();
+        let (_, none) = Wal::recover(&d, &layout, 5).unwrap();
+        assert!(none.is_empty());
     }
 
     #[test]

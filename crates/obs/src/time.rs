@@ -114,6 +114,7 @@ impl SimTime {
 
 impl Add for SimTime {
     type Output = SimTime;
+    // nasd-lint: allow(transitive-panic, "simulated-clock arithmetic: checked_add makes overflow a deliberate abort; it means a sim bug, not hostile input")
     fn add(self, rhs: SimTime) -> SimTime {
         SimTime(self.0.checked_add(rhs.0).expect("sim time overflow"))
     }

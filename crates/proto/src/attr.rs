@@ -156,7 +156,7 @@ impl WireEncode for ObjectAttributes {
                 w.u8(0);
             }
         }
-        w.raw(&self.fs_specific[..]);
+        w.raw(self.fs_specific.as_slice());
     }
 }
 

@@ -197,8 +197,12 @@ impl WireEncode for RequestDigest {
 
 impl WireDecode for RequestDigest {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
-        let raw = r.raw(32)?;
-        let arr: [u8; 32] = raw.try_into().expect("raw(32) returns 32 bytes");
+        // `raw(32)` guarantees the length; the fallback is a typed
+        // error, not a panic, keeping the decode path panic-free.
+        let arr = <[u8; 32]>::try_from(r.raw(32)?).map_err(|_| DecodeError::Truncated {
+            needed: 32,
+            remaining: r.remaining(),
+        })?;
         Ok(RequestDigest(Digest::from(arr)))
     }
 }

@@ -266,7 +266,7 @@ impl WireEncode for RequestBody {
                 partition.encode(w);
                 object.encode(w);
                 mask.encode(w);
-                w.raw(&fs_specific[..]);
+                w.raw(fs_specific.as_slice());
                 w.u64(*preallocated);
                 match cluster_with {
                     Some(id) => {
@@ -619,7 +619,8 @@ impl Reply {
             ReplyBody::Created(_) | ReplyBody::Written(_) => 8,
             ReplyBody::Objects(v) => 4 + v.len() * 8,
         };
-        1 + 1 + payload
+        // status byte + body tag + payload
+        2usize.saturating_add(payload)
     }
 }
 
@@ -647,6 +648,7 @@ impl WireEncode for ReplyBody {
             }
             ReplyBody::Objects(ids) => {
                 w.u8(5);
+                // nasd-lint: allow(cast, "encode direction: in-memory object list is far below u32::MAX")
                 w.u32(ids.len() as u32);
                 for id in ids {
                     id.encode(w);
@@ -679,13 +681,13 @@ impl ReplyBody {
 }
 
 fn decode_object_list(r: &mut WireReader<'_>) -> Result<Vec<ObjectId>, DecodeError> {
-    let count = r.u32()? as usize;
+    let count = usize::try_from(r.u32()?).unwrap_or(usize::MAX);
     // Each id occupies 8 bytes: reject impossible counts before
     // allocating, so a corrupt length prefix cannot force a huge
-    // allocation.
-    if r.remaining() < count * 8 {
+    // allocation. Saturated arithmetic only strengthens the rejection.
+    if r.remaining() < count.saturating_mul(8) {
         return Err(DecodeError::Truncated {
-            needed: count * 8,
+            needed: count.saturating_mul(8),
             remaining: r.remaining(),
         });
     }

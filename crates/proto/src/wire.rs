@@ -115,6 +115,12 @@ impl WireWriter {
     }
 
     /// Append a length-prefixed byte string.
+    ///
+    /// # Panics
+    ///
+    /// If the field exceeds the 4 GiB wire limit — a caller bug, not
+    /// reachable from network input.
+    // nasd-lint: allow(transitive-panic, "encode-side length guard: a >4 GiB field is a local caller bug, never network input")
     pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
         self.u32(u32::try_from(v.len()).expect("field under 4 GiB"));
         // nasd-lint: allow(hot-path-copy, "serializer sink: building the contiguous wire image is the copy")
@@ -132,6 +138,12 @@ impl WireWriter {
     /// Append a length-prefixed byte string from a scatter-gather rope,
     /// byte-identical to [`bytes`](WireWriter::bytes) of its flattened
     /// content but without materializing a flat copy first.
+    ///
+    /// # Panics
+    ///
+    /// If the rope exceeds the 4 GiB wire limit — a caller bug, not
+    /// reachable from network input.
+    // nasd-lint: allow(transitive-panic, "encode-side length guard: a >4 GiB field is a local caller bug, never network input")
     pub fn rope(&mut self, v: &bytes::ByteRope) -> &mut Self {
         self.u32(u32::try_from(v.len()).expect("field under 4 GiB"));
         for seg in v.iter_slices() {
@@ -191,29 +203,43 @@ impl<'a> WireReader<'a> {
         Ok(head)
     }
 
+    /// Read exactly `N` bytes as an array. `take` already guarantees the
+    /// length, so the fallback arm is unreachable — but it is a typed
+    /// error, not a panic, keeping the whole decode path panic-free.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let head = self.take(N)?;
+        <[u8; N]>::try_from(head).map_err(|_| DecodeError::Truncated {
+            needed: N,
+            remaining: head.len(),
+        })
+    }
+
     /// Read a byte.
     pub fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array()?;
+        Ok(b)
     }
 
     /// Read a big-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2")))
+        Ok(u16::from_be_bytes(self.array()?))
     }
 
     /// Read a big-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_be_bytes(self.array()?))
     }
 
     /// Read a big-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_be_bytes(self.array()?))
     }
 
     /// Read a length-prefixed byte string.
     pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
-        let len = self.u32()? as usize;
+        // Saturating on 16-bit targets only; `take` rejects any length
+        // beyond the buffer either way.
+        let len = usize::try_from(self.u32()?).unwrap_or(usize::MAX);
         self.take(len)
     }
 
@@ -294,7 +320,9 @@ impl OwnedReader {
         &mut self,
         f: impl FnOnce(&mut WireReader<'_>) -> Result<T, DecodeError>,
     ) -> Result<T, DecodeError> {
-        let rest = &self.buf.as_ref()[self.pos..];
+        // `pos <= len` is a structural invariant; an empty slice (never
+        // a panic) is the benign answer if it were ever violated.
+        let rest = self.buf.as_ref().get(self.pos..).unwrap_or(&[]);
         let mut r = WireReader::new(rest);
         let v = f(&mut r)?;
         self.pos += rest.len() - r.remaining();
@@ -326,15 +354,19 @@ impl OwnedReader {
     ///
     /// [`DecodeError::Truncated`] when the prefix overruns the buffer.
     pub fn bytes_shared(&mut self) -> Result<bytes::Bytes, DecodeError> {
-        let len = self.with_borrowed(|r| r.u32())? as usize;
+        // Saturating on 16-bit targets only; the remaining() check
+        // rejects any length beyond the buffer either way.
+        let len = usize::try_from(self.with_borrowed(|r| r.u32())?).unwrap_or(usize::MAX);
         if self.remaining() < len {
             return Err(DecodeError::Truncated {
                 needed: len,
                 remaining: self.remaining(),
             });
         }
-        let out = self.buf.slice(self.pos..self.pos + len);
-        self.pos += len;
+        // `remaining() >= len` above makes this end in-bounds.
+        let end = self.pos.saturating_add(len);
+        let out = self.buf.slice(self.pos..end);
+        self.pos = end;
         Ok(out)
     }
 
