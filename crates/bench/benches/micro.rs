@@ -105,8 +105,9 @@ fn bench_drive_ops(c: &mut Criterion) {
 }
 
 fn bench_striping(c: &mut Criterion) {
-    use nasd::cheops::{CheopsClient, CheopsManager, Redundancy};
+    use nasd::cheops::{CheopsConnect, CheopsManager, Redundancy};
     use nasd::fm::DriveFleet;
+    use nasd::net::Connector;
     use std::sync::Arc;
 
     let mut g = c.benchmark_group("cheops");
@@ -117,7 +118,7 @@ fn bench_striping(c: &mut Criterion) {
                 .unwrap(),
         );
         let (mgr, _h) = CheopsManager::new(Arc::clone(&fleet)).spawn();
-        let client = CheopsClient::new(1, mgr, Arc::clone(&fleet));
+        let client = Connector::new().cheops(1, mgr, Arc::clone(&fleet));
         let id = client.create(width, 64 * 1024, Redundancy::None).unwrap();
         let file = client.open(id, Rights::ALL).unwrap();
         let data = vec![0u8; 1 << 20];

@@ -14,7 +14,8 @@
 //! measured on a simulator host.
 
 use bytes::Bytes;
-use nasd::fm::{DriveFleet, NasdNfs, NfsClient, NfsServer, ServerRequest, ServerResponse};
+use nasd::fm::{DriveFleet, FmConnect, NasdNfs, NfsServer, ServerRequest, ServerResponse};
+use nasd::net::{CallOptions, Connector};
 use nasd::object::{CostMeter, DriveConfig, OpKind};
 use nasd::proto::PartitionId;
 use nasd::sim::{CpuModel, SimTime};
@@ -74,7 +75,7 @@ fn run_nasd(ndrives: usize) -> OpCounts {
     );
     let fm = NasdNfs::new(Arc::clone(&fleet)).unwrap();
     let (rpc, _h) = fm.spawn();
-    let client = NfsClient::connect(rpc, Arc::clone(&fleet)).unwrap();
+    let client = Connector::new().nfs(rpc, Arc::clone(&fleet)).unwrap();
     let mut counts = OpCounts::default();
 
     client.mkdir("/src", 0o755, 0).unwrap();
@@ -135,7 +136,8 @@ fn run_server(ndisks: usize) -> OpCounts {
     let (rpc, _h) = NfsServer::new(ndisks, 8_192).unwrap().spawn();
     let mut counts = OpCounts::default();
 
-    let call = |req: ServerRequest| -> ServerResponse { rpc.call(req).unwrap() };
+    let opts = CallOptions::blocking();
+    let call = |req: ServerRequest| -> ServerResponse { rpc.call_with(req, &opts).unwrap() };
     call(ServerRequest::Mkdir("/src".into()));
     let mut counts_control = 1u64;
 

@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! perf [--json <path>] [--max-allocs-per-cached-read <n>]
+//!      [--max-allocs-per-socket-read <n>]
 //! ```
 //!
 //! Prints one row per workload (cached reads, sequential writes, a
-//! request-size sweep, simulator stepping) with wall-clock ns/op,
-//! throughput, heap allocations, and payload bytes memcpied per
-//! operation. `--max-allocs-per-cached-read` turns the harness into a CI
-//! tripwire: exit non-zero when a cached 64 KiB read allocates more than
-//! the committed budget.
+//! request-size sweep, socket round-trips, simulator stepping) with
+//! wall-clock ns/op, throughput, heap allocations, and payload bytes
+//! memcpied per operation. The `--max-allocs-per-*` flags turn the
+//! harness into a CI tripwire: exit non-zero when a cached 64 KiB read
+//! (in-proc or over the real UDS transport) allocates more than the
+//! committed budget.
 //!
 //! The counting allocator lives here, not in the library: installing a
 //! `#[global_allocator]` requires `unsafe impl GlobalAlloc`, and every
@@ -56,14 +58,35 @@ fn probe() -> (u64, u64) {
     )
 }
 
-fn max_allocs_arg() -> Option<f64> {
+fn flag_arg(flag: &str) -> Option<f64> {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--max-allocs-per-cached-read" {
+        if a == flag {
             return args.next().and_then(|v| v.parse().ok());
         }
     }
     None
+}
+
+/// Fail the run if `workload`'s allocs/op exceeds `budget`.
+fn tripwire(rows: &[perf::PerfRow], workload: &str, budget: f64) -> Result<(), ()> {
+    let row = rows
+        .iter()
+        .find(|r| r.workload == workload)
+        .unwrap_or_else(|| panic!("{workload} row missing"));
+    if row.allocs_per_op > budget {
+        eprintln!(
+            "perf: {workload} allocates {:.2}/op, budget is {budget} — \
+             the zero-copy data path regressed",
+            row.allocs_per_op
+        );
+        return Err(());
+    }
+    eprintln!(
+        "perf: {workload} allocs/op {:.2} within budget {budget}",
+        row.allocs_per_op
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -99,23 +122,16 @@ fn main() -> ExitCode {
 
     report::emit(&report::perf_report(&rows, true));
 
-    if let Some(budget) = max_allocs_arg() {
-        let cached = rows
-            .iter()
-            .find(|r| r.workload == "cached_read")
-            .expect("cached_read row");
-        if cached.allocs_per_op > budget {
-            eprintln!(
-                "perf: cached 64 KiB read allocates {:.2}/op, budget is {budget} — \
-                 the zero-copy data path regressed",
-                cached.allocs_per_op
-            );
-            return ExitCode::FAILURE;
-        }
-        eprintln!(
-            "perf: cached read allocs/op {:.2} within budget {budget}",
-            cached.allocs_per_op
-        );
+    let mut ok = true;
+    if let Some(budget) = flag_arg("--max-allocs-per-cached-read") {
+        ok &= tripwire(&rows, "cached_read", budget).is_ok();
     }
-    ExitCode::SUCCESS
+    if let Some(budget) = flag_arg("--max-allocs-per-socket-read") {
+        ok &= tripwire(&rows, "socket_read", budget).is_ok();
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -15,9 +15,10 @@
 //! until the rebuild completes. The `no rebuild` row is the degraded
 //! baseline with no reconstruction running.
 
-use nasd::cheops::{CheopsClient, CheopsFile, CheopsManager, Redundancy};
+use nasd::cheops::{CheopsClient, CheopsConnect, CheopsFile, CheopsManager, Redundancy};
 use nasd::fm::DriveFleet;
 use nasd::mgmt::{MgmtConfig, MgmtRequest, MgmtResponse, NasdMgmt};
+use nasd::net::{CallOptions, Channel, Connector};
 use nasd::object::DriveConfig;
 use nasd::proto::{PartitionId, Rights};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -72,7 +73,7 @@ fn measure(setting: &'static str, rate: Option<u64>) -> RebuildRow {
             .unwrap(),
     );
     let (mgr, _mgr_handle) = CheopsManager::new(Arc::clone(&fleet)).spawn();
-    let client = CheopsClient::new(1, mgr.clone(), Arc::clone(&fleet));
+    let client = Connector::new().cheops(1, mgr.clone(), Arc::clone(&fleet));
     let id = client
         .create(WIDTH, STRIPE_UNIT, Redundancy::Parity)
         .unwrap();
@@ -102,7 +103,7 @@ fn measure(setting: &'static str, rate: Option<u64>) -> RebuildRow {
 
     let mgmt = NasdMgmt::new(
         Arc::clone(&fleet),
-        mgr.clone(),
+        Channel::in_proc(mgr.clone()),
         vec![spare],
         MgmtConfig::standard().rebuild_rate(rate),
     );
@@ -112,7 +113,12 @@ fn measure(setting: &'static str, rate: Option<u64>) -> RebuildRow {
         let done = Arc::clone(&done);
         std::thread::spawn(move || {
             let t0 = Instant::now();
-            let resp = rpc.call(MgmtRequest::Rebuild { drive: failed }).unwrap();
+            let resp = rpc
+                .call_with(
+                    MgmtRequest::Rebuild { drive: failed },
+                    &CallOptions::blocking(),
+                )
+                .unwrap();
             let secs = t0.elapsed().as_secs_f64();
             done.store(true, Ordering::SeqCst);
             match resp {

@@ -287,6 +287,11 @@ pub fn perf_report(rows: &[perf::PerfRow], probe_installed: bool) -> BenchReport
                 cached.bytes_copied_per_op,
             );
     }
+    if let Some(sock) = rows.iter().find(|r| r.workload == "socket_read") {
+        r = r
+            .with_derived("socket_read_allocs_per_op", sock.allocs_per_op)
+            .with_derived("socket_read_ns_per_op", sock.ns_per_op);
+    }
     r
 }
 

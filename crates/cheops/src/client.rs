@@ -10,7 +10,7 @@ use crate::manager::{CheopsRequest, CheopsResponse, LeaseKind};
 use crate::map::{Layout, LogicalObjectId, Redundancy};
 use bytes::{ByteRope, Bytes};
 use nasd_fm::{DriveFleet, FmError};
-use nasd_net::{CallOptions, RetryPolicy, Rpc, RpcError};
+use nasd_net::{CallOptions, Channel, RetryPolicy, RpcError};
 use nasd_proto::{Capability, NasdStatus, Reply, ReplyBody, RequestBody, Rights};
 use std::sync::Arc;
 
@@ -56,15 +56,20 @@ impl CheopsFile {
 /// Client library handle.
 pub struct CheopsClient {
     id: u64,
-    mgr: Rpc<CheopsRequest, CheopsResponse>,
+    mgr: Channel<CheopsRequest, CheopsResponse>,
     fleet: Arc<DriveFleet>,
     opts: CallOptions,
 }
 
 impl CheopsClient {
-    /// Connect client `id` to a manager and drive fleet.
+    /// Attach client `id` over an already-built manager channel. Obtain
+    /// clients through [`CheopsConnect::cheops`](crate::CheopsConnect::cheops).
     #[must_use]
-    pub fn new(id: u64, mgr: Rpc<CheopsRequest, CheopsResponse>, fleet: Arc<DriveFleet>) -> Self {
+    pub(crate) fn attach(
+        id: u64,
+        mgr: Channel<CheopsRequest, CheopsResponse>,
+        fleet: Arc<DriveFleet>,
+    ) -> Self {
         CheopsClient {
             id,
             mgr,
@@ -250,7 +255,7 @@ impl CheopsClient {
             );
             // A crashed drive fails the send; recovery happens per-run
             // below (signed retry, then mirror/parity fallback).
-            pending.push(ep.rpc().call_async(req).ok());
+            pending.push(ep.channel().call_async(req).ok());
         }
 
         // Single-run reads (the common small-file case) pass the drive's
@@ -395,7 +400,7 @@ impl CheopsClient {
                     },
                     chunk.clone(),
                 );
-                let rx = ep.rpc().call_async(req).ok();
+                let rx = ep.channel().call_async(req).ok();
                 pending.push((rx, component, cap, run.local_offset, chunk.clone()));
             }
         }
@@ -569,7 +574,7 @@ impl CheopsClient {
                 },
                 Bytes::new(),
             );
-            pending.push(ep.rpc().call_async(req).ok());
+            pending.push(ep.channel().call_async(req).ok());
         }
         let mut size = 0u64;
         for (column, rx) in pending.into_iter().enumerate() {
@@ -623,7 +628,10 @@ mod tests {
             DriveFleet::spawn_memory(n, DriveConfig::small(), PartitionId(1), 32 << 20).unwrap(),
         );
         let (rpc, _h) = CheopsManager::new(Arc::clone(&fleet)).spawn();
-        (CheopsClient::new(7, rpc, Arc::clone(&fleet)), fleet)
+        (
+            CheopsClient::attach(7, Channel::in_proc(rpc), Arc::clone(&fleet)),
+            fleet,
+        )
     }
 
     const RW: Rights = Rights::ALL;
@@ -737,7 +745,7 @@ mod tests {
         let (client, _fleet) = setup(2);
         let id = client.create(2, 4 * 1024, Redundancy::None).unwrap();
         client.lease(id, LeaseKind::Exclusive, 50).unwrap();
-        let other = CheopsClient::new(99, client.mgr.clone(), Arc::clone(&client.fleet));
+        let other = CheopsClient::attach(99, client.mgr.clone(), Arc::clone(&client.fleet));
         assert!(matches!(
             other.lease(id, LeaseKind::Shared, 50),
             Err(FmError::Permission)
@@ -759,7 +767,10 @@ mod parity_tests {
             DriveFleet::spawn_memory(n, DriveConfig::small(), PartitionId(1), 32 << 20).unwrap(),
         );
         let (rpc, _h) = CheopsManager::new(Arc::clone(&fleet)).spawn();
-        (CheopsClient::new(7, rpc, Arc::clone(&fleet)), fleet)
+        (
+            CheopsClient::attach(7, Channel::in_proc(rpc), Arc::clone(&fleet)),
+            fleet,
+        )
     }
 
     #[test]

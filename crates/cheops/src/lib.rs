@@ -20,10 +20,12 @@
 #![warn(missing_docs)]
 
 mod client;
+mod connect;
 mod manager;
 mod map;
 
 pub use client::{CheopsClient, CheopsFile};
+pub use connect::CheopsConnect;
 pub use manager::{
     CheopsManager, CheopsRequest, CheopsResponse, LeaseKind, RepairPhase, RepairRecord,
 };

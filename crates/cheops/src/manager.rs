@@ -475,6 +475,7 @@ impl std::fmt::Debug for CheopsManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nasd_net::CallOptions;
     use nasd_object::DriveConfig;
     use nasd_proto::PartitionId;
 
@@ -490,20 +491,26 @@ mod tests {
     fn create_and_open_yields_capability_set() {
         let (rpc, _fleet) = setup(4);
         let CheopsResponse::Created(id) = rpc
-            .call(CheopsRequest::Create {
-                width: 4,
-                stripe_unit: 512 * 1024,
-                redundancy: Redundancy::None,
-            })
+            .call_with(
+                CheopsRequest::Create {
+                    width: 4,
+                    stripe_unit: 512 * 1024,
+                    redundancy: Redundancy::None,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!("create failed");
         };
         let CheopsResponse::Opened(layout, caps) = rpc
-            .call(CheopsRequest::Open {
-                id,
-                rights: Rights::READ | Rights::WRITE,
-            })
+            .call_with(
+                CheopsRequest::Open {
+                    id,
+                    rights: Rights::READ | Rights::WRITE,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!("open failed");
@@ -519,20 +526,26 @@ mod tests {
     fn mirrored_layout_doubles_capabilities() {
         let (rpc, _fleet) = setup(3);
         let CheopsResponse::Created(id) = rpc
-            .call(CheopsRequest::Create {
-                width: 2,
-                stripe_unit: 4096,
-                redundancy: Redundancy::Mirrored,
-            })
+            .call_with(
+                CheopsRequest::Create {
+                    width: 2,
+                    stripe_unit: 4096,
+                    redundancy: Redundancy::Mirrored,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!();
         };
         let CheopsResponse::Opened(layout, caps) = rpc
-            .call(CheopsRequest::Open {
-                id,
-                rights: Rights::READ,
-            })
+            .call_with(
+                CheopsRequest::Open {
+                    id,
+                    rights: Rights::READ,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!();
@@ -548,25 +561,32 @@ mod tests {
     fn remove_destroys_components() {
         let (rpc, fleet) = setup(2);
         let CheopsResponse::Created(id) = rpc
-            .call(CheopsRequest::Create {
-                width: 2,
-                stripe_unit: 4096,
-                redundancy: Redundancy::None,
-            })
+            .call_with(
+                CheopsRequest::Create {
+                    width: 2,
+                    stripe_unit: 4096,
+                    redundancy: Redundancy::None,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!();
         };
         let CheopsResponse::Opened(layout, _) = rpc
-            .call(CheopsRequest::Open {
-                id,
-                rights: Rights::READ,
-            })
+            .call_with(
+                CheopsRequest::Open {
+                    id,
+                    rights: Rights::READ,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!();
         };
-        rpc.call(CheopsRequest::Remove { id }).unwrap();
+        rpc.call_with(CheopsRequest::Remove { id }, &CallOptions::blocking())
+            .unwrap();
         // Component objects are gone from the drives.
         let c = layout.columns[0].primary;
         let ep = fleet.by_id(c.drive).unwrap();
@@ -581,10 +601,13 @@ mod tests {
         assert!(ep.read(&cap, 0, 1).is_err());
         // And the map is gone.
         let CheopsResponse::Err(FmError::NotFound(_)) = rpc
-            .call(CheopsRequest::Open {
-                id,
-                rights: Rights::READ,
-            })
+            .call_with(
+                CheopsRequest::Open {
+                    id,
+                    rights: Rights::READ,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!("open after remove should fail");
@@ -595,22 +618,28 @@ mod tests {
     fn exclusive_lease_blocks_others() {
         let (rpc, fleet) = setup(2);
         let CheopsResponse::Created(id) = rpc
-            .call(CheopsRequest::Create {
-                width: 2,
-                stripe_unit: 4096,
-                redundancy: Redundancy::None,
-            })
+            .call_with(
+                CheopsRequest::Create {
+                    width: 2,
+                    stripe_unit: 4096,
+                    redundancy: Redundancy::None,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!();
         };
         let CheopsResponse::Leased { .. } = rpc
-            .call(CheopsRequest::Lease {
-                id,
-                client: 1,
-                kind: LeaseKind::Exclusive,
-                ttl: 100,
-            })
+            .call_with(
+                CheopsRequest::Lease {
+                    id,
+                    client: 1,
+                    kind: LeaseKind::Exclusive,
+                    ttl: 100,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!("lease failed");
@@ -618,26 +647,36 @@ mod tests {
         // Another client is refused, shared or exclusive.
         for kind in [LeaseKind::Shared, LeaseKind::Exclusive] {
             let CheopsResponse::LeaseBusy { .. } = rpc
-                .call(CheopsRequest::Lease {
-                    id,
-                    client: 2,
-                    kind,
-                    ttl: 100,
-                })
+                .call_with(
+                    CheopsRequest::Lease {
+                        id,
+                        client: 2,
+                        kind,
+                        ttl: 100,
+                    },
+                    &CallOptions::blocking(),
+                )
                 .unwrap()
             else {
                 panic!("lease should be busy");
             };
         }
         // Release, then client 2 succeeds.
-        rpc.call(CheopsRequest::Unlease { id, client: 1 }).unwrap();
+        rpc.call_with(
+            CheopsRequest::Unlease { id, client: 1 },
+            &CallOptions::blocking(),
+        )
+        .unwrap();
         let CheopsResponse::Leased { .. } = rpc
-            .call(CheopsRequest::Lease {
-                id,
-                client: 2,
-                kind: LeaseKind::Exclusive,
-                ttl: 100,
-            })
+            .call_with(
+                CheopsRequest::Lease {
+                    id,
+                    client: 2,
+                    kind: LeaseKind::Exclusive,
+                    ttl: 100,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!("lease after release failed");
@@ -645,12 +684,15 @@ mod tests {
         // Leases also expire with the clock.
         fleet.advance_clock(1_000);
         let CheopsResponse::Leased { .. } = rpc
-            .call(CheopsRequest::Lease {
-                id,
-                client: 3,
-                kind: LeaseKind::Exclusive,
-                ttl: 100,
-            })
+            .call_with(
+                CheopsRequest::Lease {
+                    id,
+                    client: 3,
+                    kind: LeaseKind::Exclusive,
+                    ttl: 100,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!("expired lease should evaporate");
@@ -661,11 +703,14 @@ mod tests {
     fn stale_client_cannot_renew_after_expiry() {
         let (rpc, fleet) = setup(2);
         let CheopsResponse::Created(id) = rpc
-            .call(CheopsRequest::Create {
-                width: 2,
-                stripe_unit: 4096,
-                redundancy: Redundancy::None,
-            })
+            .call_with(
+                CheopsRequest::Create {
+                    width: 2,
+                    stripe_unit: 4096,
+                    redundancy: Redundancy::None,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!();
@@ -674,27 +719,37 @@ mod tests {
         // Under the old group-level expiry this left a stale far-future
         // deadline on the lease record.
         let CheopsResponse::Leased { .. } = rpc
-            .call(CheopsRequest::Lease {
-                id,
-                client: 1,
-                kind: LeaseKind::Exclusive,
-                ttl: 10_000,
-            })
+            .call_with(
+                CheopsRequest::Lease {
+                    id,
+                    client: 1,
+                    kind: LeaseKind::Exclusive,
+                    ttl: 10_000,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!("long lease failed");
         };
-        rpc.call(CheopsRequest::Unlease { id, client: 1 }).unwrap();
+        rpc.call_with(
+            CheopsRequest::Unlease { id, client: 1 },
+            &CallOptions::blocking(),
+        )
+        .unwrap();
         // Client 2 takes a short exclusive lease; its expiry must be its
         // own `now + ttl`, not the polluted group deadline.
         let now = fleet.now();
         let CheopsResponse::Leased { until } = rpc
-            .call(CheopsRequest::Lease {
-                id,
-                client: 2,
-                kind: LeaseKind::Exclusive,
-                ttl: 50,
-            })
+            .call_with(
+                CheopsRequest::Lease {
+                    id,
+                    client: 2,
+                    kind: LeaseKind::Exclusive,
+                    ttl: 50,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!("short lease failed");
@@ -703,24 +758,30 @@ mod tests {
         // Past client 2's expiry a third client must be granted...
         fleet.advance_clock(100);
         let CheopsResponse::Leased { .. } = rpc
-            .call(CheopsRequest::Lease {
-                id,
-                client: 3,
-                kind: LeaseKind::Exclusive,
-                ttl: 50,
-            })
+            .call_with(
+                CheopsRequest::Lease {
+                    id,
+                    client: 3,
+                    kind: LeaseKind::Exclusive,
+                    ttl: 50,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!("expired exclusive lease must evaporate");
         };
         // ...and the stale client id must NOT renew over client 3.
         let CheopsResponse::LeaseBusy { .. } = rpc
-            .call(CheopsRequest::Lease {
-                id,
-                client: 2,
-                kind: LeaseKind::Exclusive,
-                ttl: 50,
-            })
+            .call_with(
+                CheopsRequest::Lease {
+                    id,
+                    client: 2,
+                    kind: LeaseKind::Exclusive,
+                    ttl: 50,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!("stale client renewed an expired lease");
@@ -732,10 +793,21 @@ mod tests {
         let (rpc, _fleet) = setup(2);
         let d = DriveId(1);
         let s = DriveId(9);
-        rpc.call(CheopsRequest::ReportFailure { drive: d }).unwrap();
+        rpc.call_with(
+            CheopsRequest::ReportFailure { drive: d },
+            &CallOptions::blocking(),
+        )
+        .unwrap();
         // Reporting twice keeps the record.
-        rpc.call(CheopsRequest::ReportFailure { drive: d }).unwrap();
-        let CheopsResponse::Repairs(r) = rpc.call(CheopsRequest::RebuildStatus).unwrap() else {
+        rpc.call_with(
+            CheopsRequest::ReportFailure { drive: d },
+            &CallOptions::blocking(),
+        )
+        .unwrap();
+        let CheopsResponse::Repairs(r) = rpc
+            .call_with(CheopsRequest::RebuildStatus, &CallOptions::blocking())
+            .unwrap()
+        else {
             panic!();
         };
         assert_eq!(
@@ -746,11 +818,20 @@ mod tests {
                 spare: None
             }]
         );
-        rpc.call(CheopsRequest::StartRebuild { drive: d, spare: s })
-            .unwrap();
-        rpc.call(CheopsRequest::CompleteRebuild { drive: d })
-            .unwrap();
-        let CheopsResponse::Repairs(r) = rpc.call(CheopsRequest::RebuildStatus).unwrap() else {
+        rpc.call_with(
+            CheopsRequest::StartRebuild { drive: d, spare: s },
+            &CallOptions::blocking(),
+        )
+        .unwrap();
+        rpc.call_with(
+            CheopsRequest::CompleteRebuild { drive: d },
+            &CallOptions::blocking(),
+        )
+        .unwrap();
+        let CheopsResponse::Repairs(r) = rpc
+            .call_with(CheopsRequest::RebuildStatus, &CallOptions::blocking())
+            .unwrap()
+        else {
             panic!();
         };
         assert_eq!(
@@ -767,11 +848,14 @@ mod tests {
     fn swap_component_changes_subsequent_opens() {
         let (rpc, fleet) = setup(3);
         let CheopsResponse::Created(id) = rpc
-            .call(CheopsRequest::Create {
-                width: 2,
-                stripe_unit: 4096,
-                redundancy: Redundancy::None,
-            })
+            .call_with(
+                CheopsRequest::Create {
+                    width: 2,
+                    stripe_unit: 4096,
+                    redundancy: Redundancy::None,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!();
@@ -787,26 +871,35 @@ mod tests {
         };
         // A bogus slot is rejected without touching the map.
         let CheopsResponse::Err(_) = rpc
-            .call(CheopsRequest::SwapComponent {
-                id,
-                slot: ComponentSlot::Mirror(0),
-                new,
-            })
+            .call_with(
+                CheopsRequest::SwapComponent {
+                    id,
+                    slot: ComponentSlot::Mirror(0),
+                    new,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!("swap into a missing mirror slot must fail");
         };
-        rpc.call(CheopsRequest::SwapComponent {
-            id,
-            slot: ComponentSlot::Primary(1),
-            new,
-        })
+        rpc.call_with(
+            CheopsRequest::SwapComponent {
+                id,
+                slot: ComponentSlot::Primary(1),
+                new,
+            },
+            &CallOptions::blocking(),
+        )
         .unwrap();
         let CheopsResponse::Opened(layout, caps) = rpc
-            .call(CheopsRequest::Open {
-                id,
-                rights: Rights::READ,
-            })
+            .call_with(
+                CheopsRequest::Open {
+                    id,
+                    rights: Rights::READ,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!();
@@ -822,23 +915,29 @@ mod tests {
     fn shared_leases_coexist() {
         let (rpc, _fleet) = setup(2);
         let CheopsResponse::Created(id) = rpc
-            .call(CheopsRequest::Create {
-                width: 1,
-                stripe_unit: 4096,
-                redundancy: Redundancy::None,
-            })
+            .call_with(
+                CheopsRequest::Create {
+                    width: 1,
+                    stripe_unit: 4096,
+                    redundancy: Redundancy::None,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!();
         };
         for client in 1..=3 {
             let CheopsResponse::Leased { .. } = rpc
-                .call(CheopsRequest::Lease {
-                    id,
-                    client,
-                    kind: LeaseKind::Shared,
-                    ttl: 100,
-                })
+                .call_with(
+                    CheopsRequest::Lease {
+                        id,
+                        client,
+                        kind: LeaseKind::Shared,
+                        ttl: 100,
+                    },
+                    &CallOptions::blocking(),
+                )
                 .unwrap()
             else {
                 panic!("shared lease {client} failed");
@@ -846,12 +945,15 @@ mod tests {
         }
         // Writer blocked while readers hold.
         let CheopsResponse::LeaseBusy { .. } = rpc
-            .call(CheopsRequest::Lease {
-                id,
-                client: 9,
-                kind: LeaseKind::Exclusive,
-                ttl: 100,
-            })
+            .call_with(
+                CheopsRequest::Lease {
+                    id,
+                    client: 9,
+                    kind: LeaseKind::Exclusive,
+                    ttl: 100,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!("exclusive lease should be busy");
@@ -863,11 +965,14 @@ mod tests {
         let (rpc, _fleet) = setup(2);
         for (width, su) in [(0usize, 4096u64), (3, 4096), (2, 0)] {
             let CheopsResponse::Err(_) = rpc
-                .call(CheopsRequest::Create {
-                    width,
-                    stripe_unit: su,
-                    redundancy: Redundancy::None,
-                })
+                .call_with(
+                    CheopsRequest::Create {
+                        width,
+                        stripe_unit: su,
+                        redundancy: Redundancy::None,
+                    },
+                    &CallOptions::blocking(),
+                )
                 .unwrap()
             else {
                 panic!("width {width} su {su} should fail");
@@ -879,14 +984,20 @@ mod tests {
     fn list_reports_objects() {
         let (rpc, _fleet) = setup(2);
         for _ in 0..3 {
-            rpc.call(CheopsRequest::Create {
-                width: 2,
-                stripe_unit: 4096,
-                redundancy: Redundancy::None,
-            })
+            rpc.call_with(
+                CheopsRequest::Create {
+                    width: 2,
+                    stripe_unit: 4096,
+                    redundancy: Redundancy::None,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap();
         }
-        let CheopsResponse::Objects(ids) = rpc.call(CheopsRequest::List).unwrap() else {
+        let CheopsResponse::Objects(ids) = rpc
+            .call_with(CheopsRequest::List, &CallOptions::blocking())
+            .unwrap()
+        else {
             panic!();
         };
         assert_eq!(ids.len(), 3);

@@ -21,7 +21,7 @@ use crate::handle::{FileHandle, FmAttrs, FmError};
 use crate::nfs::DEFAULT_TTL;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use nasd_net::{spawn_service, CallOptions, RetryPolicy, Rpc, RpcError, ServiceHandle};
+use nasd_net::{spawn_service, CallOptions, Channel, RetryPolicy, Rpc, RpcError, ServiceHandle};
 use nasd_proto::{ByteRange, Capability, Rights, Version};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -411,7 +411,7 @@ impl std::fmt::Debug for NasdAfs {
 /// fetches/relinquishes capabilities explicitly.
 pub struct AfsClient {
     id: u64,
-    fm: Rpc<AfsRequest, AfsResponse>,
+    fm: Channel<AfsRequest, AfsResponse>,
     fleet: Arc<DriveFleet>,
     root: FileHandle,
     callbacks: Receiver<CallbackEvent>,
@@ -421,27 +421,28 @@ pub struct AfsClient {
 }
 
 impl AfsClient {
-    /// Connect client `id`: registers the callback channel and fetches
-    /// the root.
-    ///
-    /// # Errors
-    ///
-    /// Transport or manager errors.
-    pub fn connect(
+    /// Attach client `id` over an already-built channel: registers the
+    /// callback channel and fetches the root. Obtain clients through
+    /// [`FmConnect::afs`](crate::FmConnect::afs).
+    pub(crate) fn attach(
         id: u64,
-        fm: Rpc<AfsRequest, AfsResponse>,
+        fm: Channel<AfsRequest, AfsResponse>,
         fleet: Arc<DriveFleet>,
     ) -> Result<Self, FmError> {
+        let opts = CallOptions::retry(RetryPolicy::control());
         let (tx, rx) = unbounded();
-        match fm.call(AfsRequest::Register {
-            client: id,
-            sender: tx,
-        })? {
+        match fm.call_with(
+            AfsRequest::Register {
+                client: id,
+                sender: tx,
+            },
+            &opts,
+        )? {
             AfsResponse::Ok => {}
             AfsResponse::Err(e) => return Err(e),
             _ => return Err(FmError::Transport),
         }
-        let root = match fm.call(AfsRequest::GetRoot)? {
+        let root = match fm.call_with(AfsRequest::GetRoot, &opts)? {
             AfsResponse::Root(fh) => fh,
             AfsResponse::Err(e) => return Err(e),
             _ => return Err(FmError::Transport),
@@ -453,7 +454,7 @@ impl AfsClient {
             root,
             callbacks: rx,
             cache: Mutex::new(HashMap::new()),
-            opts: CallOptions::retry(RetryPolicy::control()),
+            opts,
         })
     }
 
@@ -669,7 +670,7 @@ mod tests {
     #[test]
     fn create_write_read_cycle() {
         let (rpc, fleet) = setup(1 << 20);
-        let a = AfsClient::connect(1, rpc, fleet).unwrap();
+        let a = AfsClient::attach(1, Channel::in_proc(rpc), fleet).unwrap();
         let fh = a.create(a.root(), "notes.txt").unwrap();
         a.write_file(fh, b"afs on nasd").unwrap();
         assert_eq!(&a.read_file(fh).unwrap()[..], b"afs on nasd");
@@ -681,7 +682,7 @@ mod tests {
     #[test]
     fn local_directory_parsing() {
         let (rpc, fleet) = setup(1 << 20);
-        let a = AfsClient::connect(1, rpc, fleet).unwrap();
+        let a = AfsClient::attach(1, Channel::in_proc(rpc), fleet).unwrap();
         a.create(a.root(), "x").unwrap();
         a.create(a.root(), "y").unwrap();
         let names: Vec<String> = a
@@ -698,8 +699,8 @@ mod tests {
     #[test]
     fn write_capability_breaks_reader_callbacks() {
         let (rpc, fleet) = setup(1 << 20);
-        let a = AfsClient::connect(1, rpc.clone(), Arc::clone(&fleet)).unwrap();
-        let b = AfsClient::connect(2, rpc, fleet).unwrap();
+        let a = AfsClient::attach(1, Channel::in_proc(rpc.clone()), Arc::clone(&fleet)).unwrap();
+        let b = AfsClient::attach(2, Channel::in_proc(rpc), fleet).unwrap();
         let fh = a.create(a.root(), "shared").unwrap();
         a.write_file(fh, b"v1").unwrap();
 
@@ -719,8 +720,8 @@ mod tests {
     #[test]
     fn reads_blocked_while_writer_outstanding() {
         let (rpc, fleet) = setup(1 << 20);
-        let a = AfsClient::connect(1, rpc.clone(), Arc::clone(&fleet)).unwrap();
-        let b = AfsClient::connect(2, rpc, fleet).unwrap();
+        let a = AfsClient::attach(1, Channel::in_proc(rpc.clone()), Arc::clone(&fleet)).unwrap();
+        let b = AfsClient::attach(2, Channel::in_proc(rpc), fleet).unwrap();
         let fh = a.create(a.root(), "locked").unwrap();
 
         let (_wcap, _) = a.fetch_write(fh, 4096).unwrap();
@@ -733,8 +734,8 @@ mod tests {
     #[test]
     fn writer_block_bounded_by_expiry() {
         let (rpc, fleet) = setup(1 << 20);
-        let a = AfsClient::connect(1, rpc.clone(), Arc::clone(&fleet)).unwrap();
-        let b = AfsClient::connect(2, rpc, Arc::clone(&fleet)).unwrap();
+        let a = AfsClient::attach(1, Channel::in_proc(rpc.clone()), Arc::clone(&fleet)).unwrap();
+        let b = AfsClient::attach(2, Channel::in_proc(rpc), Arc::clone(&fleet)).unwrap();
         let fh = a.create(a.root(), "expiring").unwrap();
         let _ = a.fetch_write(fh, 4096).unwrap();
         assert!(b.fetch_read(fh).is_err());
@@ -746,7 +747,7 @@ mod tests {
     #[test]
     fn quota_escrow_enforced_and_settled() {
         let (rpc, fleet) = setup(10_000);
-        let a = AfsClient::connect(1, rpc.clone(), Arc::clone(&fleet)).unwrap();
+        let a = AfsClient::attach(1, Channel::in_proc(rpc.clone()), Arc::clone(&fleet)).unwrap();
         let fh = a.create(a.root(), "quota").unwrap();
 
         // Escrow larger than the volume quota is refused.
@@ -762,7 +763,10 @@ mod tests {
         ep.write(&cap, 0, Bytes::from(vec![1u8; 6_000])).unwrap();
         a.relinquish(fh, true).unwrap();
 
-        match rpc.call(AfsRequest::VolumeStat).unwrap() {
+        match rpc
+            .call_with(AfsRequest::VolumeStat, &CallOptions::blocking())
+            .unwrap()
+        {
             AfsResponse::Volume(quota, used) => {
                 assert_eq!(quota, 10_000);
                 assert_eq!(used, 6_000);
@@ -781,7 +785,7 @@ mod tests {
     #[test]
     fn escrow_region_caps_file_growth() {
         let (rpc, fleet) = setup(1 << 20);
-        let a = AfsClient::connect(1, rpc, Arc::clone(&fleet)).unwrap();
+        let a = AfsClient::attach(1, Channel::in_proc(rpc), Arc::clone(&fleet)).unwrap();
         let fh = a.create(a.root(), "capped").unwrap();
         let (cap, _) = a.fetch_write(fh, 1_000).unwrap();
         let ep = fleet.resolve(fh).unwrap();

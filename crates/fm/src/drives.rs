@@ -11,7 +11,8 @@ use bytes::{ByteRope, Bytes};
 use nasd_crypto::KeyHierarchy;
 use nasd_disk::{MemDisk, SharedDisk};
 use nasd_net::{
-    spawn_service, ChannelFaults, FaultConfig, FaultPlan, RetryPolicy, Rpc, RpcError, ServiceHandle,
+    spawn_service, BindAddr, CallOptions, Channel, ChannelFaults, Connector, FaultConfig,
+    FaultPlan, RetryPolicy, Rpc, RpcError, ServiceHandle, WireServer,
 };
 use nasd_object::{DriveConfig, DriveFaultConfig, DriveSecurity, NasdDrive};
 use nasd_proto::wire::WireEncode;
@@ -31,7 +32,7 @@ static NEXT_SIGNER: AtomicU64 = AtomicU64::new(1000);
 /// it (the file manager's position in the architecture).
 pub struct DriveEndpoint {
     id: DriveId,
-    rpc: RwLock<Rpc<Request, Reply>>,
+    channel: RwLock<Channel<Request, Reply>>,
     hierarchy: KeyHierarchy,
     signer: u64,
     counter: AtomicU64,
@@ -53,20 +54,21 @@ impl DriveEndpoint {
         self.id
     }
 
-    /// A snapshot of the RPC channel (for custom or pipelined requests).
-    /// After a drive crash/restart the endpoint is rewired, so take a
-    /// fresh snapshot per batch rather than caching one across faults.
+    /// A snapshot of the transport channel (for custom or pipelined
+    /// requests via [`Channel::call_async`]). After a drive
+    /// crash/restart the endpoint is rewired, so take a fresh snapshot
+    /// per batch rather than caching one across faults.
     #[must_use]
-    pub fn rpc(&self) -> Rpc<Request, Reply> {
-        self.rpc.read().clone()
+    pub fn channel(&self) -> Channel<Request, Reply> {
+        self.channel.read().clone()
     }
 
-    /// Swap in a fresh RPC channel (drive restart). Snapshots taken
-    /// earlier keep pointing at the dead service and surface
+    /// Swap in a fresh transport channel (drive restart). Snapshots
+    /// taken earlier keep pointing at the dead service and surface
     /// [`nasd_net::RpcError::Disconnected`]; retried signed calls pick
     /// up the new channel automatically.
-    pub fn reconnect(&self, rpc: Rpc<Request, Reply>) {
-        *self.rpc.write() = rpc;
+    pub fn reconnect(&self, channel: Channel<Request, Reply>) {
+        *self.channel.write() = channel;
     }
 
     /// The retry policy governing the signed call paths.
@@ -93,7 +95,10 @@ impl DriveEndpoint {
             let pause = policy.backoff(attempt);
             // Backoff happens with no endpoint or slot lock held.
             nasd_net::pace(pause);
-            match self.rpc().call_timeout(sign(), policy.timeout) {
+            match self
+                .channel()
+                .call_with(sign(), &CallOptions::once(policy.timeout))
+            {
                 Ok(reply) if reply.status.is_transient() => {}
                 Ok(reply) => return Ok(reply),
                 Err(RpcError::TimedOut | RpcError::Disconnected) => {}
@@ -249,7 +254,10 @@ impl DriveEndpoint {
             partition: PartitionId(0),
         };
         for _ in 0..attempts.max(1) {
-            match self.rpc().call_timeout(self.sign_admin(&body), timeout) {
+            match self
+                .channel()
+                .call_with(self.sign_admin(&body), &CallOptions::once(timeout))
+            {
                 Ok(_) => return true,
                 Err(RpcError::TimedOut | RpcError::Disconnected) => {}
             }
@@ -433,16 +441,58 @@ pub fn spawn_drive<D: nasd_disk::BlockDevice + 'static>(
     let hierarchy = drive.hierarchy().clone();
     let (rpc, handle) = spawn_rpc(drive, clock);
     (
+        DriveEndpoint::over(id, Channel::in_proc(rpc), hierarchy),
+        handle,
+    )
+}
+
+impl DriveEndpoint {
+    /// An endpoint over an already-built transport channel — the
+    /// terminal step both [`spawn_drive`] (in-proc) and
+    /// [`serve_drive_socket`] (real sockets) share. The key hierarchy
+    /// stands in for the key material a file manager obtains over the
+    /// administrative channel.
+    #[must_use]
+    pub fn over(id: DriveId, channel: Channel<Request, Reply>, hierarchy: KeyHierarchy) -> Self {
         DriveEndpoint {
             id,
-            rpc: RwLock::new(rpc),
+            channel: RwLock::new(channel),
             hierarchy,
             signer: NEXT_SIGNER.fetch_add(1, Ordering::Relaxed),
             counter: AtomicU64::new(1),
             retry: RwLock::new(RetryPolicy::standard()),
-        },
-        handle,
-    )
+        }
+    }
+}
+
+/// Serve `drive` over a real TCP/UDS socket and return the running
+/// server plus an endpoint dialed back to it through `connector` — the
+/// paper's drive-on-the-network shape. The drive itself stays
+/// single-threaded behind a mutex (its request handling is serialized
+/// by design); the win is that framing, decode and socket I/O for many
+/// connections overlap freely around it.
+///
+/// # Errors
+///
+/// Propagates bind/dial failures.
+pub fn serve_drive_socket<D: nasd_disk::BlockDevice + 'static>(
+    drive: NasdDrive<D>,
+    clock: Arc<AtomicU64>,
+    addr: &BindAddr,
+    workers: usize,
+    connector: &Connector,
+) -> std::io::Result<(WireServer, DriveEndpoint)> {
+    let id = drive.id();
+    let hierarchy = drive.hierarchy().clone();
+    let guarded = Mutex::new(drive);
+    let server = nasd_net::serve(addr, workers, move |req: Request| {
+        let mut d = guarded.lock();
+        d.set_clock(clock.load(Ordering::Relaxed));
+        let (reply, _report) = d.handle(&req);
+        reply
+    })?;
+    let channel = connector.dial(server.addr())?;
+    Ok((server, DriveEndpoint::over(id, channel, hierarchy)))
 }
 
 /// Master secret rooting every fleet drive's key hierarchy (matches the
@@ -548,7 +598,7 @@ impl DriveFleet {
     pub fn set_faults(&self, plan: &Arc<FaultPlan>, config: FaultConfig) {
         for (ep, slot) in self.endpoints.iter().zip(self.slots.iter()) {
             let ch = plan.channel(ep.id().0, config);
-            ep.reconnect(ep.rpc().with_faults(Arc::clone(&ch)));
+            ep.reconnect(ep.channel().with_faults(Arc::clone(&ch)));
             slot.lock().net_faults = Some(ch);
         }
     }
@@ -599,11 +649,12 @@ impl DriveFleet {
             .open(slot.device.clone())
             .map_err(|_| FmError::Drive(NasdStatus::DriveError))?;
         let (rpc, handle) = spawn_rpc(drive, Arc::clone(&self.clock));
-        let rpc = match &slot.net_faults {
-            Some(ch) => rpc.with_faults(Arc::clone(ch)),
-            None => rpc,
+        let channel = Channel::in_proc(rpc);
+        let channel = match &slot.net_faults {
+            Some(ch) => channel.with_faults(Arc::clone(ch)),
+            None => channel,
         };
-        ep.reconnect(rpc);
+        ep.reconnect(channel);
         slot.handle = Some(handle);
         Ok(())
     }

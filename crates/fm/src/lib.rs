@@ -26,15 +26,17 @@
 #![warn(missing_docs)]
 
 mod afs;
+mod connect;
 mod dirfmt;
 mod drives;
 mod handle;
 mod nfs;
 mod server;
 
-pub use afs::{AfsClient, CallbackEvent, NasdAfs};
+pub use afs::{AfsClient, AfsRequest, AfsResponse, CallbackEvent, NasdAfs};
+pub use connect::FmConnect;
 pub use dirfmt::{decode_dir, encode_dir, DirRecord};
-pub use drives::{spawn_drive, DriveEndpoint, DriveFleet};
+pub use drives::{serve_drive_socket, spawn_drive, DriveEndpoint, DriveFleet};
 pub use handle::{FileHandle, FileType, FmAttrs, FmError};
 pub use nfs::{NasdNfs, NfsClient, NfsFile, NfsRequest, NfsResponse};
 pub use server::{NfsServer, ServerRequest, ServerResponse};

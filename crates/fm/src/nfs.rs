@@ -11,7 +11,7 @@ use crate::dirfmt::{decode_dir, encode_dir, DirRecord};
 use crate::drives::{DriveEndpoint, DriveFleet};
 use crate::handle::{FileHandle, FileType, FmAttrs, FmError};
 use bytes::{ByteRope, Bytes};
-use nasd_net::{spawn_service, CallOptions, RetryPolicy, Rpc, RpcError, ServiceHandle};
+use nasd_net::{spawn_service, CallOptions, Channel, RetryPolicy, Rpc, RpcError, ServiceHandle};
 use nasd_proto::{
     ByteRange, Capability, NasdStatus, ObjectAttributes, RequestBody, Rights, Version,
 };
@@ -492,23 +492,22 @@ pub struct NfsFile {
 /// Client library for [`NasdNfs`]: control through the manager, data
 /// directly to the drives.
 pub struct NfsClient {
-    fm: Rpc<NfsRequest, NfsResponse>,
+    fm: Channel<NfsRequest, NfsResponse>,
     fleet: Arc<DriveFleet>,
     root: FileHandle,
     opts: CallOptions,
 }
 
 impl NfsClient {
-    /// Connect: fetches the root handle from the manager.
-    ///
-    /// # Errors
-    ///
-    /// Transport failures or a manager error.
-    pub fn connect(
-        fm: Rpc<NfsRequest, NfsResponse>,
+    /// Attach over an already-built channel: fetches the root handle
+    /// from the manager. Obtain clients through
+    /// [`FmConnect::nfs`](crate::FmConnect::nfs).
+    pub(crate) fn attach(
+        fm: Channel<NfsRequest, NfsResponse>,
         fleet: Arc<DriveFleet>,
     ) -> Result<Self, FmError> {
-        let root = match fm.call(NfsRequest::GetRoot)? {
+        let opts = CallOptions::retry(RetryPolicy::control());
+        let root = match fm.call_with(NfsRequest::GetRoot, &opts)? {
             NfsResponse::Root(fh, _) => fh,
             NfsResponse::Err(e) => return Err(e),
             _ => return Err(FmError::Transport),
@@ -517,7 +516,7 @@ impl NfsClient {
             fm,
             fleet,
             root,
-            opts: CallOptions::retry(RetryPolicy::control()),
+            opts,
         })
     }
 
@@ -823,7 +822,7 @@ mod tests {
         );
         let fm = NasdNfs::new(Arc::clone(&fleet)).unwrap();
         let (rpc, _handle) = fm.spawn();
-        let client = NfsClient::connect(rpc, Arc::clone(&fleet)).unwrap();
+        let client = NfsClient::attach(Channel::in_proc(rpc), Arc::clone(&fleet)).unwrap();
         (client, fleet)
     }
 

@@ -186,6 +186,7 @@ impl std::fmt::Debug for NfsServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nasd_net::CallOptions;
 
     fn server() -> Rpc<ServerRequest, ServerResponse> {
         let (rpc, _h) = NfsServer::new(8, 2_048).unwrap().spawn();
@@ -195,21 +196,30 @@ mod tests {
     #[test]
     fn files_through_the_server() {
         let rpc = server();
-        let ServerResponse::Ino(ino) = rpc.call(ServerRequest::Create("/f".into())).unwrap() else {
+        let ServerResponse::Ino(ino) = rpc
+            .call_with(ServerRequest::Create("/f".into()), &CallOptions::blocking())
+            .unwrap()
+        else {
             panic!("create failed");
         };
-        rpc.call(ServerRequest::Write {
-            ino,
-            offset: 0,
-            data: Bytes::from_static(b"store and forward"),
-        })
+        rpc.call_with(
+            ServerRequest::Write {
+                ino,
+                offset: 0,
+                data: Bytes::from_static(b"store and forward"),
+            },
+            &CallOptions::blocking(),
+        )
         .unwrap();
         let ServerResponse::Data(d) = rpc
-            .call(ServerRequest::Read {
-                ino,
-                offset: 6,
-                len: 3,
-            })
+            .call_with(
+                ServerRequest::Read {
+                    ino,
+                    offset: 6,
+                    len: 3,
+                },
+                &CallOptions::blocking(),
+            )
             .unwrap()
         else {
             panic!("read failed");
@@ -220,16 +230,40 @@ mod tests {
     #[test]
     fn namespace_operations() {
         let rpc = server();
-        rpc.call(ServerRequest::Mkdir("/d".into())).unwrap();
-        rpc.call(ServerRequest::Create("/d/a".into())).unwrap();
-        rpc.call(ServerRequest::Create("/d/b".into())).unwrap();
-        let ServerResponse::Names(names) = rpc.call(ServerRequest::Readdir("/d".into())).unwrap()
+        rpc.call_with(ServerRequest::Mkdir("/d".into()), &CallOptions::blocking())
+            .unwrap();
+        rpc.call_with(
+            ServerRequest::Create("/d/a".into()),
+            &CallOptions::blocking(),
+        )
+        .unwrap();
+        rpc.call_with(
+            ServerRequest::Create("/d/b".into()),
+            &CallOptions::blocking(),
+        )
+        .unwrap();
+        let ServerResponse::Names(names) = rpc
+            .call_with(
+                ServerRequest::Readdir("/d".into()),
+                &CallOptions::blocking(),
+            )
+            .unwrap()
         else {
             panic!("readdir failed");
         };
         assert_eq!(names.len(), 2);
-        rpc.call(ServerRequest::Remove("/d/a".into())).unwrap();
-        let ServerResponse::Err(e) = rpc.call(ServerRequest::Lookup("/d/a".into())).unwrap() else {
+        rpc.call_with(
+            ServerRequest::Remove("/d/a".into()),
+            &CallOptions::blocking(),
+        )
+        .unwrap();
+        let ServerResponse::Err(e) = rpc
+            .call_with(
+                ServerRequest::Lookup("/d/a".into()),
+                &CallOptions::blocking(),
+            )
+            .unwrap()
+        else {
             panic!("lookup should fail");
         };
         assert!(matches!(e, FmError::NotFound(_)));
@@ -242,23 +276,33 @@ mod tests {
         for c in 0..4u64 {
             let rpc = rpc.clone();
             joins.push(std::thread::spawn(move || {
-                let ServerResponse::Ino(ino) =
-                    rpc.call(ServerRequest::Create(format!("/c{c}"))).unwrap()
+                let ServerResponse::Ino(ino) = rpc
+                    .call_with(
+                        ServerRequest::Create(format!("/c{c}")),
+                        &CallOptions::blocking(),
+                    )
+                    .unwrap()
                 else {
                     panic!("create failed");
                 };
-                rpc.call(ServerRequest::Write {
-                    ino,
-                    offset: 0,
-                    data: Bytes::from(vec![c as u8; 10_000]),
-                })
-                .unwrap();
-                let ServerResponse::Data(d) = rpc
-                    .call(ServerRequest::Read {
+                rpc.call_with(
+                    ServerRequest::Write {
                         ino,
                         offset: 0,
-                        len: 10_000,
-                    })
+                        data: Bytes::from(vec![c as u8; 10_000]),
+                    },
+                    &CallOptions::blocking(),
+                )
+                .unwrap();
+                let ServerResponse::Data(d) = rpc
+                    .call_with(
+                        ServerRequest::Read {
+                            ino,
+                            offset: 0,
+                            len: 10_000,
+                        },
+                        &CallOptions::blocking(),
+                    )
                     .unwrap()
                 else {
                     panic!("read failed");
@@ -274,17 +318,27 @@ mod tests {
     #[test]
     fn sync_and_getattr() {
         let rpc = server();
-        let ServerResponse::Ino(ino) = rpc.call(ServerRequest::Create("/s".into())).unwrap() else {
+        let ServerResponse::Ino(ino) = rpc
+            .call_with(ServerRequest::Create("/s".into()), &CallOptions::blocking())
+            .unwrap()
+        else {
             panic!();
         };
-        rpc.call(ServerRequest::Write {
-            ino,
-            offset: 0,
-            data: Bytes::from(vec![0u8; 12345]),
-        })
+        rpc.call_with(
+            ServerRequest::Write {
+                ino,
+                offset: 0,
+                data: Bytes::from(vec![0u8; 12345]),
+            },
+            &CallOptions::blocking(),
+        )
         .unwrap();
-        rpc.call(ServerRequest::Sync).unwrap();
-        let ServerResponse::Attrs(a) = rpc.call(ServerRequest::GetAttr(ino)).unwrap() else {
+        rpc.call_with(ServerRequest::Sync, &CallOptions::blocking())
+            .unwrap();
+        let ServerResponse::Attrs(a) = rpc
+            .call_with(ServerRequest::GetAttr(ino), &CallOptions::blocking())
+            .unwrap()
+        else {
             panic!();
         };
         assert_eq!(a.size, 12345);

@@ -13,7 +13,7 @@ use nasd_cheops::{
     RepairRecord,
 };
 use nasd_fm::{DriveEndpoint, DriveFleet, FmError};
-use nasd_net::{pace, spawn_service, RatePacer, Rpc, ServiceHandle};
+use nasd_net::{pace, spawn_service, CallOptions, Channel, RatePacer, Rpc, ServiceHandle};
 use nasd_obs::{Counter, Gauge, Registry, SimTime, TraceEvent, TraceSink, Utilization};
 use nasd_proto::{ByteRange, Capability, DriveId, ObjectId, Rights, Version};
 use std::sync::Arc;
@@ -150,7 +150,7 @@ impl MgmtObs {
 /// `SwapComponent`, ...) and to the drives directly.
 pub struct NasdMgmt {
     pub(crate) fleet: Arc<DriveFleet>,
-    pub(crate) mgr: Rpc<CheopsRequest, CheopsResponse>,
+    pub(crate) mgr: Channel<CheopsRequest, CheopsResponse>,
     pub(crate) config: MgmtConfig,
     pub(crate) health: HealthMonitor,
     pub(crate) spares: SparePool,
@@ -174,7 +174,7 @@ impl NasdMgmt {
     #[must_use]
     pub fn new(
         fleet: Arc<DriveFleet>,
-        mgr: Rpc<CheopsRequest, CheopsResponse>,
+        mgr: Channel<CheopsRequest, CheopsResponse>,
         spares: Vec<DriveId>,
         config: MgmtConfig,
     ) -> Self {
@@ -300,7 +300,7 @@ impl NasdMgmt {
     // ---- manager plumbing shared with rebuild.rs / scrub.rs ----
 
     pub(crate) fn mgr_call(&self, req: CheopsRequest) -> Result<CheopsResponse, MgmtError> {
-        match self.mgr.call(req) {
+        match self.mgr.call_with(req, &CallOptions::blocking()) {
             Ok(CheopsResponse::Err(e)) => Err(MgmtError::Fm(e)),
             Ok(r) => Ok(r),
             Err(_) => Err(MgmtError::Transport),
@@ -486,7 +486,8 @@ pub(crate) fn write_chunk(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nasd_cheops::{CheopsClient, CheopsManager, Redundancy};
+    use nasd_cheops::{CheopsClient, CheopsConnect, CheopsManager, Redundancy};
+    use nasd_net::Connector;
     use nasd_object::DriveConfig;
     use nasd_proto::PartitionId;
     use std::time::Duration;
@@ -502,7 +503,7 @@ mod tests {
             DriveFleet::spawn_memory(n, DriveConfig::small(), PartitionId(1), 64 << 20).unwrap(),
         );
         let (mgr, _h) = CheopsManager::new(Arc::clone(&fleet)).spawn();
-        let client = CheopsClient::new(77, mgr.clone(), Arc::clone(&fleet));
+        let client = Connector::new().cheops(77, mgr.clone(), Arc::clone(&fleet));
         (fleet, mgr, client)
     }
 
@@ -539,7 +540,12 @@ mod tests {
         fleet.crash(1);
 
         let spare = fleet.endpoint(4).id();
-        let mgmt = NasdMgmt::new(Arc::clone(&fleet), mgr.clone(), vec![spare], quick_config());
+        let mgmt = NasdMgmt::new(
+            Arc::clone(&fleet),
+            Channel::in_proc(mgr.clone()),
+            vec![spare],
+            quick_config(),
+        );
         let report = detect_and_rebuild(&mgmt);
         assert_eq!(report.newly_failed, vec![failed]);
         assert_eq!(report.rebuilt.len(), 1, "deferred: {:?}", report.deferred);
@@ -586,7 +592,12 @@ mod tests {
         let failed = fleet.endpoint(1).id();
         fleet.crash(1);
         let spare = fleet.endpoint(3).id();
-        let mgmt = NasdMgmt::new(Arc::clone(&fleet), mgr.clone(), vec![spare], quick_config());
+        let mgmt = NasdMgmt::new(
+            Arc::clone(&fleet),
+            Channel::in_proc(mgr.clone()),
+            vec![spare],
+            quick_config(),
+        );
         let report = detect_and_rebuild(&mgmt);
         assert_eq!(report.rebuilt.len(), 1, "deferred: {:?}", report.deferred);
         assert_eq!(report.rebuilt[0].1.components, 2, "primary + mirror slot");
@@ -620,7 +631,12 @@ mod tests {
         pep.write(&pcap, 4_000, Bytes::from(vec![0xAA; 2_000]))
             .unwrap();
 
-        let mgmt = NasdMgmt::new(Arc::clone(&fleet), mgr.clone(), vec![], quick_config());
+        let mgmt = NasdMgmt::new(
+            Arc::clone(&fleet),
+            Channel::in_proc(mgr.clone()),
+            vec![],
+            quick_config(),
+        );
         let outcome = mgmt.scrub().unwrap();
         assert_eq!(outcome.objects, 1);
         assert!(outcome.mismatches >= 1, "corruption must be found");
@@ -657,7 +673,12 @@ mod tests {
         );
         mep.write(&mcap, 100, Bytes::from(vec![0x55; 300])).unwrap();
 
-        let mgmt = NasdMgmt::new(Arc::clone(&fleet), mgr.clone(), vec![], quick_config());
+        let mgmt = NasdMgmt::new(
+            Arc::clone(&fleet),
+            Channel::in_proc(mgr.clone()),
+            vec![],
+            quick_config(),
+        );
         let outcome = mgmt.scrub().unwrap();
         assert!(outcome.mismatches >= 1);
         // The mirror again matches the primary: kill the primary's drive
@@ -679,7 +700,12 @@ mod tests {
 
         let failed = fleet.endpoint(1).id();
         fleet.crash(1);
-        let mgmt = NasdMgmt::new(Arc::clone(&fleet), mgr.clone(), vec![], quick_config());
+        let mgmt = NasdMgmt::new(
+            Arc::clone(&fleet),
+            Channel::in_proc(mgr.clone()),
+            vec![],
+            quick_config(),
+        );
         let report = detect_and_rebuild(&mgmt);
         assert_eq!(report.newly_failed, vec![failed]);
         assert!(report.rebuilt.is_empty());
@@ -706,7 +732,12 @@ mod tests {
     fn failed_spare_is_dropped_not_rebuilt() {
         let (fleet, mgr, _client) = setup(3);
         let spare = fleet.endpoint(2).id();
-        let mgmt = NasdMgmt::new(Arc::clone(&fleet), mgr.clone(), vec![spare], quick_config());
+        let mgmt = NasdMgmt::new(
+            Arc::clone(&fleet),
+            Channel::in_proc(mgr.clone()),
+            vec![spare],
+            quick_config(),
+        );
         fleet.crash(2);
         let report = detect_and_rebuild(&mgmt);
         assert_eq!(report.spares_lost, vec![spare]);
@@ -726,12 +757,25 @@ mod tests {
         client.write(&file, 0, &pattern(32 << 10, 1)).unwrap();
 
         let spare = fleet.endpoint(3).id();
-        let mgmt = NasdMgmt::new(Arc::clone(&fleet), mgr.clone(), vec![], quick_config());
+        let mgmt = NasdMgmt::new(
+            Arc::clone(&fleet),
+            Channel::in_proc(mgr.clone()),
+            vec![],
+            quick_config(),
+        );
         let (rpc, handle) = mgmt.spawn();
-        let MgmtResponse::Ok = rpc.call(MgmtRequest::AddSpare { drive: spare }).unwrap() else {
+        let MgmtResponse::Ok = rpc
+            .call_with(
+                MgmtRequest::AddSpare { drive: spare },
+                &CallOptions::blocking(),
+            )
+            .unwrap()
+        else {
             panic!("add spare failed");
         };
-        let MgmtResponse::Status { spares, repairs } = rpc.call(MgmtRequest::Status).unwrap()
+        let MgmtResponse::Status { spares, repairs } = rpc
+            .call_with(MgmtRequest::Status, &CallOptions::blocking())
+            .unwrap()
         else {
             panic!("status failed");
         };
@@ -742,7 +786,10 @@ mod tests {
         fleet.crash(1);
         let mut rebuilt = false;
         for _ in 0..4 {
-            let MgmtResponse::Check(report) = rpc.call(MgmtRequest::Check).unwrap() else {
+            let MgmtResponse::Check(report) = rpc
+                .call_with(MgmtRequest::Check, &CallOptions::blocking())
+                .unwrap()
+            else {
                 panic!("check failed");
             };
             if report.rebuilt.iter().any(|(d, _)| *d == failed) {
@@ -751,7 +798,10 @@ mod tests {
             }
         }
         assert!(rebuilt, "service loop must drive the rebuild");
-        let MgmtResponse::Scrub(outcome) = rpc.call(MgmtRequest::Scrub).unwrap() else {
+        let MgmtResponse::Scrub(outcome) = rpc
+            .call_with(MgmtRequest::Scrub, &CallOptions::blocking())
+            .unwrap()
+        else {
             panic!("scrub failed");
         };
         assert_eq!(outcome.mismatches, 0, "fresh rebuild scrubs clean");
@@ -771,7 +821,7 @@ mod tests {
         // roughly 250 ms (wall-clock assertions stay loose).
         let mgmt = NasdMgmt::new(
             Arc::clone(&fleet),
-            mgr.clone(),
+            Channel::in_proc(mgr.clone()),
             vec![spare],
             quick_config().rebuild_rate(1 << 20).rebuild_chunk(32 << 10),
         );
@@ -798,8 +848,13 @@ mod tests {
         let registry = Registry::new();
         let trace = TraceSink::new(256);
         let spare = fleet.endpoint(3).id();
-        let mgmt = NasdMgmt::new(Arc::clone(&fleet), mgr.clone(), vec![spare], quick_config())
-            .observed(&registry, Some(Arc::clone(&trace)));
+        let mgmt = NasdMgmt::new(
+            Arc::clone(&fleet),
+            Channel::in_proc(mgr.clone()),
+            vec![spare],
+            quick_config(),
+        )
+        .observed(&registry, Some(Arc::clone(&trace)));
         fleet.crash(1);
         detect_and_rebuild(&mgmt);
         assert_eq!(registry.counter("mgmt/failures").value(), 1);

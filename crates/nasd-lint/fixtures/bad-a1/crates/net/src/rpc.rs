@@ -1,0 +1,14 @@
+//! Fixture: A1 violation. A fresh `fn call(` in the transport crate
+//! resurrects the deleted blocking surface.
+
+impl Rpc {
+    /// The deleted API, sneaking back in.
+    pub fn call(&self, req: Req) -> Result<Resp, RpcError> {
+        self.call_with(req, &CallOptions::blocking())
+    }
+}
+
+/// Same name as a free function with generics: still flagged.
+pub fn call_timeout<T>(t: T) -> T {
+    t
+}

@@ -32,6 +32,10 @@
 //!   `pace(..)`, `.observe(..)` or device I/O.
 //! - **F1 forbid-unsafe** — every crate root must carry
 //!   `#![forbid(unsafe_code)]`.
+//! - **A1 one call surface** — the deleted `Rpc::call` /
+//!   `call_timeout` / `call_retry` methods must not be redefined in the
+//!   transport crate; every caller goes through
+//!   `call_with(&CallOptions)`.
 //!
 //! The analyzer runs in two passes: pass 1 lexes every source file,
 //! builds a symbol table of `fn` definitions and an over-approximated
@@ -141,6 +145,7 @@ pub fn check_sources(files: &[(String, String)]) -> Vec<Finding> {
         rules::check_e1(src, &mut raw);
         rules::check_h1(src, &mut raw);
         rules::check_f1(src, &mut raw);
+        rules::check_a1(src, &mut raw);
         casts::check_c1(src, &mut raw);
     }
     wire::check_w1(&sources, &mut raw);
@@ -403,6 +408,16 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "Every crate root carries #![forbid(unsafe_code)]; the \
                     reproduction needs no unsafe and allowing any would undermine \
                     the panic-freedom analysis. Unsuppressable.",
+    },
+    RuleInfo {
+        id: "A1",
+        title: "one call surface on the transport",
+        allow: None,
+        rationale: "The transport exposes exactly one blocking entry, \
+                    call_with(&CallOptions), shared by the in-proc and socket \
+                    implementations; redefining the deleted call/call_timeout/\
+                    call_retry methods in crates/net would fork retry/timeout \
+                    policy away from CallOptions again. Unsuppressable.",
     },
     RuleInfo {
         id: "S0",

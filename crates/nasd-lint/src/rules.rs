@@ -40,6 +40,10 @@ pub(crate) const P1_FILES: &[&str] = &[
     "crates/mgmt/src/spare.rs",
     "crates/obs/src/metrics.rs",
     "crates/obs/src/trace.rs",
+    "crates/net/src/frame.rs",
+    "crates/net/src/socket.rs",
+    "crates/net/src/transport.rs",
+    "crates/net/src/connect.rs",
 ];
 
 /// Path prefixes additionally swept by P1/E1 (and C1, see `casts.rs`):
@@ -173,6 +177,10 @@ pub(crate) fn check_p1(src: &Source, out: &mut Vec<RawFinding>) {
 /// repair bookkeeping.
 pub(crate) const E1_FILES: &[&str] = &[
     "crates/net/src/rpc.rs",
+    "crates/net/src/frame.rs",
+    "crates/net/src/socket.rs",
+    "crates/net/src/transport.rs",
+    "crates/net/src/connect.rs",
     "crates/mgmt/src/service.rs",
     "crates/mgmt/src/rebuild.rs",
     "crates/mgmt/src/scrub.rs",
@@ -265,6 +273,8 @@ pub(crate) const H1_FILES: &[&str] = &[
     "crates/fm/src/afs.rs",
     "crates/cheops/src/client.rs",
     "crates/pfs/src/sio.rs",
+    "crates/net/src/frame.rs",
+    "crates/net/src/socket.rs",
 ];
 
 /// Copying method calls H1 flags when they appear as `.name(`.
@@ -307,6 +317,47 @@ pub(crate) fn check_h1(src: &Source, out: &mut Vec<RawFinding>) {
             }
         } else if seq_path(toks, i, "Bytes", "copy_from_slice") {
             push(t.line, "Bytes::copy_from_slice");
+        }
+    }
+}
+
+/// The deleted blocking call surface: defining any of these in the
+/// transport crate resurrects the pre-`CallOptions` API.
+const A1_LEGACY_METHODS: &[&str] = &["call", "call_timeout", "call_retry"];
+
+/// A1: the deprecated blocking call methods stay deleted. PR 8 collapsed
+/// `Rpc::call` / `call_timeout` / `call_retry` onto the single
+/// `call_with(&CallOptions)` surface shared by every transport; a fresh
+/// `fn call(` in `crates/net` would fork the API again, and callers
+/// would silently lose retry/timeout/stats policy. Unsuppressable.
+pub(crate) fn check_a1(src: &Source, out: &mut Vec<RawFinding>) {
+    if crate_of(&src.path) != Some("net") {
+        return;
+    }
+    let toks = &src.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|n| n.ident()) else {
+            continue;
+        };
+        if A1_LEGACY_METHODS.contains(&name)
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.is_punct('(') || n.is_punct('<'))
+        {
+            out.push(RawFinding {
+                rule: "A1",
+                file: src.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`fn {name}` reintroduces the deleted blocking call surface; \
+                     route callers through `call_with(&CallOptions)` on a \
+                     Channel/Transport instead"
+                ),
+                allow: None,
+            });
         }
     }
 }

@@ -249,3 +249,18 @@ fn h1_hot_path_copies_are_reported() {
         "test-only copies must not be flagged\n{stdout}"
     );
 }
+
+#[test]
+fn a1_resurrected_call_surface_is_reported() {
+    expect_bad("bad-a1", "A1");
+    let out = run_on("bad-a1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("`fn call`") && stdout.contains("`fn call_timeout`"),
+        "bad-a1 should flag both legacy definitions\n{stdout}"
+    );
+    assert!(
+        stdout.contains("call_with"),
+        "the finding should point at the one surviving surface\n{stdout}"
+    );
+}

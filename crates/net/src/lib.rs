@@ -8,23 +8,38 @@
 //!   protocol CPU-cost model ([`RpcCostModel`]) reproducing the paper's
 //!   observation that "DCE RPC cannot push more than 80 Mb/s through a
 //!   155 Mb/s ATM link before the receiving client saturates" (§4.3).
-//! * **Functional** ([`spawn_service`], [`Rpc`]): a threaded in-process
-//!   request/reply transport over crossbeam channels, used by the real
-//!   file managers, Cheops and PFS to talk to real drives.
+//! * **Functional**: a unified [`Transport`] abstraction behind the
+//!   [`Channel`] handle every client holds — with two implementations:
+//!   the threaded in-process [`Rpc`] over crossbeam channels
+//!   ([`spawn_service`]), and a real TCP/UDS socket transport
+//!   ([`serve`], [`SocketClient`]) speaking the length-prefixed wire
+//!   protocol with tagged frames, request pipelining and reply
+//!   batching. [`Connector`] is how endpoints are built; `call_with`
+//!   ([`CallOptions`]) is the single call surface on both.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod connect;
 mod fault;
+mod frame;
 mod model;
 mod options;
 mod pacing;
 mod rpc;
+mod socket;
+mod transport;
 
+pub use connect::Connector;
 pub use fault::{
     splitmix64, ChannelFaults, FaultAction, FaultConfig, FaultEvent, FaultPlan, RetryPolicy,
+};
+pub use frame::{
+    classify_io, read_frame, write_frames, Frame, FrameBuf, FrameError, HEADER_LEN, MAX_FRAME_LEN,
 };
 pub use model::{LinkSpec, NetworkModel, NodeId, RpcCostModel};
 pub use options::{CallOptions, CallStats};
 pub use pacing::{pace, RatePacer};
 pub use rpc::{spawn_service, Rpc, RpcError, ServiceHandle};
+pub use socket::{serve, BindAddr, ServerStats, SocketClient, WireServer, MAX_BATCH};
+pub use transport::{Channel, Pending, Transport};

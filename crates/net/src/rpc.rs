@@ -14,7 +14,7 @@
 //! [`RpcError::TimedOut`] — the client cannot distinguish a dropped
 //! request from a dropped reply, exactly as on a real network.
 
-use crate::fault::{ChannelFaults, FaultAction, RetryPolicy};
+use crate::fault::{ChannelFaults, FaultAction};
 use crate::options::CallOptions;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::fmt;
@@ -129,7 +129,11 @@ impl<Req: Send + Clone + 'static, Resp: Send + 'static> Rpc<Req, Resp> {
 
     /// One transport attempt: dispatch through fault injection, then wait
     /// for the reply — bounded by `timeout` when given, forever otherwise.
-    fn attempt(&self, req: Req, timeout: Option<Duration>) -> Result<Resp, RpcError> {
+    pub(crate) fn attempt_once(
+        &self,
+        req: Req,
+        timeout: Option<Duration>,
+    ) -> Result<Resp, RpcError> {
         let wait = |rx: Receiver<Resp>| match timeout {
             None => rx.recv().map_err(|_| RpcError::Disconnected),
             Some(t) => rx.recv_timeout(t).map_err(|e| match e {
@@ -163,68 +167,7 @@ impl<Req: Send + Clone + 'static, Resp: Send + 'static> Rpc<Req, Resp> {
     /// faults lost a single blocking attempt's message);
     /// [`RpcError::Disconnected`] as soon as the service is gone.
     pub fn call_with(&self, req: Req, opts: &CallOptions) -> Result<Resp, RpcError> {
-        if let Some(stats) = &opts.stats {
-            stats.calls.inc();
-        }
-        let attempts = opts.policy.max_attempts.max(1);
-        for attempt in 0..attempts {
-            crate::pacing::pace(opts.policy.backoff(attempt));
-            if let Some(stats) = &opts.stats {
-                stats.attempts.inc();
-            }
-            match self.attempt(req.clone(), opts.attempt_timeout) {
-                Ok(resp) => return Ok(resp),
-                Err(RpcError::TimedOut) => {
-                    if let Some(stats) = &opts.stats {
-                        stats.timeouts.inc();
-                    }
-                }
-                Err(RpcError::Disconnected) => {
-                    if let Some(stats) = &opts.stats {
-                        stats.disconnects.inc();
-                    }
-                    return Err(RpcError::Disconnected);
-                }
-            }
-        }
-        if let Some(stats) = &opts.stats {
-            stats.exhausted.inc();
-        }
-        Err(RpcError::TimedOut)
-    }
-
-    /// Synchronous call: send `req`, wait for the reply. Shim for
-    /// [`Rpc::call_with`] with [`CallOptions::blocking`].
-    ///
-    /// # Errors
-    ///
-    /// [`RpcError::Disconnected`] if the service has stopped;
-    /// [`RpcError::TimedOut`] if injected faults lost the message.
-    pub fn call(&self, req: Req) -> Result<Resp, RpcError> {
-        self.call_with(req, &CallOptions::blocking())
-    }
-
-    /// Synchronous call that gives up after `timeout`. Shim for
-    /// [`Rpc::call_with`] with [`CallOptions::once`].
-    ///
-    /// # Errors
-    ///
-    /// [`RpcError::TimedOut`] when no reply arrives in time (including
-    /// when a fault lost the message); [`RpcError::Disconnected`] when
-    /// the service has stopped.
-    pub fn call_timeout(&self, req: Req, timeout: Duration) -> Result<Resp, RpcError> {
-        self.call_with(req, &CallOptions::once(timeout))
-    }
-
-    /// Retrying call with capped exponential backoff per `policy`. Shim
-    /// for [`Rpc::call_with`] with [`CallOptions::retry`].
-    ///
-    /// # Errors
-    ///
-    /// [`RpcError::TimedOut`] when every attempt timed out;
-    /// [`RpcError::Disconnected`] as soon as the service is gone.
-    pub fn call_retry(&self, req: Req, policy: RetryPolicy) -> Result<Resp, RpcError> {
-        self.call_with(req, &CallOptions::retry(policy))
+        crate::transport::retry_loop(req, opts, false, |r, t| self.attempt_once(r, t))
     }
 
     /// Fire a request without waiting; returns a receiver for the reply
@@ -335,7 +278,8 @@ impl Drop for ServiceHandle {
 ///
 /// ```
 /// let (rpc, _handle) = nasd_net::spawn_service(|x: u64| x * 2);
-/// assert_eq!(rpc.call(21).unwrap(), 42);
+/// let opts = nasd_net::CallOptions::blocking();
+/// assert_eq!(rpc.call_with(21, &opts).unwrap(), 42);
 /// ```
 pub fn spawn_service<Req, Resp, F>(mut service: F) -> (Rpc<Req, Resp>, ServiceHandle)
 where
@@ -378,12 +322,16 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::{FaultConfig, FaultPlan};
+    use crate::fault::{FaultConfig, FaultPlan, RetryPolicy};
 
     #[test]
     fn call_roundtrip() {
         let (rpc, _h) = spawn_service(|s: String| s.len());
-        assert_eq!(rpc.call("hello".to_string()).unwrap(), 5);
+        assert_eq!(
+            rpc.call_with("hello".to_string(), &CallOptions::blocking())
+                .unwrap(),
+            5
+        );
     }
 
     #[test]
@@ -396,8 +344,8 @@ mod tests {
             }
         });
         let rpc2 = rpc.clone();
-        assert_eq!(rpc.call(()).unwrap(), 1);
-        assert_eq!(rpc2.call(()).unwrap(), 2);
+        assert_eq!(rpc.call_with((), &CallOptions::blocking()).unwrap(), 1);
+        assert_eq!(rpc2.call_with((), &CallOptions::blocking()).unwrap(), 2);
     }
 
     #[test]
@@ -414,7 +362,9 @@ mod tests {
         let mut joins = Vec::new();
         for i in 0..8u64 {
             let rpc = rpc.clone();
-            joins.push(std::thread::spawn(move || rpc.call(i).unwrap()));
+            joins.push(std::thread::spawn(move || {
+                rpc.call_with(i, &CallOptions::blocking()).unwrap()
+            }));
         }
         let mut results: Vec<u64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
         results.sort_unstable();
@@ -425,18 +375,24 @@ mod tests {
     fn disconnected_after_shutdown_with_live_clients() {
         let (rpc, handle) = spawn_service(|(): ()| ());
         let rpc2 = rpc.clone();
-        assert!(rpc.call(()).is_ok());
+        assert!(rpc.call_with((), &CallOptions::blocking()).is_ok());
         // Clients still hold handles; shutdown must not block on them.
         handle.shutdown();
-        assert_eq!(rpc.call(()), Err(RpcError::Disconnected));
-        assert_eq!(rpc2.call(()), Err(RpcError::Disconnected));
+        assert_eq!(
+            rpc.call_with((), &CallOptions::blocking()),
+            Err(RpcError::Disconnected)
+        );
+        assert_eq!(
+            rpc2.call_with((), &CallOptions::blocking()),
+            Err(RpcError::Disconnected)
+        );
     }
 
     #[test]
     fn dropping_the_handle_detaches() {
         let (rpc, handle) = spawn_service(|(): ()| ());
         drop(handle); // detached; still serving
-        assert!(rpc.call(()).is_ok());
+        assert!(rpc.call_with((), &CallOptions::blocking()).is_ok());
     }
 
     #[test]
@@ -445,7 +401,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(200));
         });
         assert_eq!(
-            rpc.call_timeout((), Duration::from_millis(5)),
+            rpc.call_with((), &CallOptions::once(Duration::from_millis(5))),
             Err(RpcError::TimedOut)
         );
     }
@@ -458,7 +414,7 @@ mod tests {
         // The caller gives up long before the service answers; the
         // orphaned reply must be counted, not silently discarded.
         assert_eq!(
-            rpc.call_timeout((), Duration::from_millis(5)),
+            rpc.call_with((), &CallOptions::once(Duration::from_millis(5))),
             Err(RpcError::TimedOut)
         );
         for _ in 0..200 {
@@ -469,7 +425,7 @@ mod tests {
         }
         assert_eq!(h.replies_dropped(), 1);
         // A caller that waits is never counted.
-        assert!(rpc.call(()).is_ok());
+        assert!(rpc.call_with((), &CallOptions::blocking()).is_ok());
         assert_eq!(h.replies_dropped(), 1);
     }
 
@@ -479,8 +435,11 @@ mod tests {
             assert!(x != 13, "unlucky");
             x
         });
-        assert_eq!(rpc.call(7).unwrap(), 7);
-        assert_eq!(rpc.call(13), Err(RpcError::Disconnected));
+        assert_eq!(rpc.call_with(7, &CallOptions::blocking()).unwrap(), 7);
+        assert_eq!(
+            rpc.call_with(13, &CallOptions::blocking()),
+            Err(RpcError::Disconnected)
+        );
         // The crashed service must not look like a clean shutdown.
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.shutdown()));
         assert!(err.is_err(), "shutdown should re-raise the service panic");
@@ -504,13 +463,16 @@ mod tests {
         let mut timeouts = 0;
         for i in 0..50 {
             // Every individual call either succeeds or times out...
-            match faulty.call(i) {
+            match faulty.call_with(i, &CallOptions::blocking()) {
                 Ok(v) => assert_eq!(v, i + 1),
                 Err(RpcError::TimedOut) => timeouts += 1,
                 Err(e) => panic!("unexpected error: {e}"),
             }
             // ...and the retry wrapper always gets through at 50% loss.
-            assert_eq!(faulty.call_retry(i, policy).unwrap(), i + 1);
+            assert_eq!(
+                faulty.call_with(i, &CallOptions::retry(policy)).unwrap(),
+                i + 1
+            );
         }
         assert!(timeouts > 0, "the seed should drop some of 50 calls");
         assert!(!plan.trace().is_empty());
@@ -562,7 +524,7 @@ mod tests {
         let (rpc, handle) = spawn_service(|x: u64| x);
         handle.shutdown();
         assert_eq!(
-            rpc.call_retry(1, RetryPolicy::standard()),
+            rpc.call_with(1, &CallOptions::retry(RetryPolicy::standard())),
             Err(RpcError::Disconnected)
         );
     }
@@ -584,10 +546,10 @@ mod tests {
         let faulty = rpc.with_faults(plan.channel(1, config));
         // Every call is duplicated: the service sees two deliveries but
         // the caller gets exactly one answer.
-        let first = faulty.call(()).unwrap();
+        let first = faulty.call_with((), &CallOptions::blocking()).unwrap();
         assert_eq!(first, 1);
         // Drain: by the next exchange the duplicate has also run.
-        let second = rpc.call(()).unwrap();
+        let second = rpc.call_with((), &CallOptions::blocking()).unwrap();
         assert!(second >= 3, "duplicate delivery should have run: {second}");
     }
 

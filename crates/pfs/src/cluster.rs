@@ -3,9 +3,9 @@
 
 use crate::name::NameService;
 use crate::sio::PfsClient;
-use nasd_cheops::{CheopsClient, CheopsManager, CheopsRequest, CheopsResponse};
+use nasd_cheops::{CheopsConnect, CheopsManager, CheopsRequest, CheopsResponse};
 use nasd_fm::{DriveFleet, FmError};
-use nasd_net::{Rpc, ServiceHandle};
+use nasd_net::{Connector, Rpc, ServiceHandle};
 use nasd_object::DriveConfig;
 use nasd_proto::PartitionId;
 use std::sync::Arc;
@@ -79,8 +79,13 @@ impl PfsCluster {
     /// thread).
     #[must_use]
     pub fn client(&self, node: u64) -> PfsClient {
-        let storage = CheopsClient::new(node, self.cheops.clone(), Arc::clone(&self.fleet));
-        PfsClient::new(self.names.clone(), storage, self.stripe_unit)
+        let connector = Connector::new();
+        let storage = connector.cheops(node, self.cheops.clone(), Arc::clone(&self.fleet));
+        PfsClient::new(
+            connector.in_proc(self.names.clone()),
+            storage,
+            self.stripe_unit,
+        )
     }
 }
 

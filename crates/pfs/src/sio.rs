@@ -11,7 +11,7 @@ use crate::name::{NameRequest, NameResponse};
 use bytes::ByteRope;
 use nasd_cheops::{CheopsClient, CheopsFile, LogicalObjectId, Redundancy};
 use nasd_fm::FmError;
-use nasd_net::Rpc;
+use nasd_net::{CallOptions, Channel};
 use nasd_proto::Rights;
 use std::fmt;
 
@@ -87,7 +87,7 @@ impl PfsFile {
 
 /// A PFS client — one per compute node.
 pub struct PfsClient {
-    names: Rpc<NameRequest, NameResponse>,
+    names: Channel<NameRequest, NameResponse>,
     storage: CheopsClient,
     stripe_unit: u64,
 }
@@ -96,7 +96,7 @@ impl PfsClient {
     /// Assemble a client from its services.
     #[must_use]
     pub fn new(
-        names: Rpc<NameRequest, NameResponse>,
+        names: Channel<NameRequest, NameResponse>,
         storage: CheopsClient,
         stripe_unit: u64,
     ) -> Self {
@@ -116,10 +116,13 @@ impl PfsClient {
         let id = self
             .storage
             .create(width, self.stripe_unit, Redundancy::None)?;
-        match self.names.call(NameRequest::Bind {
-            path: path.to_string(),
-            id,
-        })? {
+        match self.names.call_with(
+            NameRequest::Bind {
+                path: path.to_string(),
+                id,
+            },
+            &CallOptions::blocking(),
+        )? {
             NameResponse::Ok => {}
             NameResponse::Exists => {
                 self.storage.remove(id)?;
@@ -136,9 +139,12 @@ impl PfsClient {
     ///
     /// `NotFound`, storage failures.
     pub fn open(&self, path: &str) -> Result<PfsFile, PfsError> {
-        let id = match self.names.call(NameRequest::Lookup {
-            path: path.to_string(),
-        })? {
+        let id = match self.names.call_with(
+            NameRequest::Lookup {
+                path: path.to_string(),
+            },
+            &CallOptions::blocking(),
+        )? {
             NameResponse::Id(id) => id,
             NameResponse::NotFound => return Err(PfsError::NotFound(path.to_string())),
             _ => return Err(PfsError::Transport),
@@ -157,16 +163,22 @@ impl PfsClient {
     ///
     /// `NotFound`, storage failures.
     pub fn unlink(&self, path: &str) -> Result<(), PfsError> {
-        let id = match self.names.call(NameRequest::Lookup {
-            path: path.to_string(),
-        })? {
+        let id = match self.names.call_with(
+            NameRequest::Lookup {
+                path: path.to_string(),
+            },
+            &CallOptions::blocking(),
+        )? {
             NameResponse::Id(id) => id,
             NameResponse::NotFound => return Err(PfsError::NotFound(path.to_string())),
             _ => return Err(PfsError::Transport),
         };
-        match self.names.call(NameRequest::Unbind {
-            path: path.to_string(),
-        })? {
+        match self.names.call_with(
+            NameRequest::Unbind {
+                path: path.to_string(),
+            },
+            &CallOptions::blocking(),
+        )? {
             NameResponse::Ok => {}
             _ => return Err(PfsError::Transport),
         }
@@ -180,9 +192,12 @@ impl PfsClient {
     ///
     /// Transport failures.
     pub fn list(&self, prefix: &str) -> Result<Vec<String>, PfsError> {
-        match self.names.call(NameRequest::List {
-            prefix: prefix.to_string(),
-        })? {
+        match self.names.call_with(
+            NameRequest::List {
+                prefix: prefix.to_string(),
+            },
+            &CallOptions::blocking(),
+        )? {
             NameResponse::Paths(p) => Ok(p),
             _ => Err(PfsError::Transport),
         }

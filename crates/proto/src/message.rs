@@ -546,6 +546,34 @@ impl WireEncode for Request {
     }
 }
 
+impl Request {
+    /// Encode for scatter-gather transmission: everything except the bulk
+    /// payload (including the payload's length prefix) goes into `head`,
+    /// while the payload itself is appended to `segments` as an O(1)
+    /// shared handle — no copy. Concatenating `head` and `segments` in
+    /// order yields exactly [`WireEncode::to_wire`], so the socket
+    /// transport can `writev` the pieces without gluing them first.
+    // nasd-lint: allow(transitive-panic, "encode-side length guard: a >4 GiB field is a local caller bug, never network input")
+    pub fn encode_frame(&self, head: &mut WireWriter, segments: &mut Vec<Bytes>) {
+        self.header.encode(head);
+        match &self.capability {
+            Some(c) => {
+                head.u8(1);
+                c.encode(head);
+            }
+            None => {
+                head.u8(0);
+            }
+        }
+        self.body.encode(head);
+        self.digest.encode(head);
+        head.u32(u32::try_from(self.data.len()).expect("field under 4 GiB"));
+        if !self.data.is_empty() {
+            segments.push(self.data.clone());
+        }
+    }
+}
+
 impl WireDecode for Request {
     /// Thin copy-in wrapper over [`Request::decode_owned`]: the borrowed
     /// input is copied into an owned buffer once, then decoded with O(1)
@@ -717,6 +745,28 @@ impl WireEncode for Reply {
 }
 
 impl Reply {
+    /// Encode for scatter-gather transmission: status, body tag and the
+    /// payload's length prefix go into `head`; a `Data` rope's segments
+    /// are appended to `segments` as O(1) shared handles — no copy.
+    /// Concatenating `head` and `segments` in order yields exactly
+    /// [`WireEncode::to_wire`], so the socket transport can `writev` a
+    /// cached-read reply without ever flattening the rope.
+    // nasd-lint: allow(transitive-panic, "encode-side length guard: a >4 GiB field is a local caller bug, never network input")
+    pub fn encode_frame(&self, head: &mut WireWriter, segments: &mut Vec<Bytes>) {
+        self.status.encode(head);
+        if let ReplyBody::Data(d) = &self.body {
+            head.u8(1);
+            head.u32(u32::try_from(d.len()).expect("field under 4 GiB"));
+            for seg in d.segments() {
+                if !seg.is_empty() {
+                    segments.push(seg.clone());
+                }
+            }
+        } else {
+            self.body.encode(head);
+        }
+    }
+
     /// Decode from a shared receive buffer; see [`ReplyBody::decode_owned`].
     pub fn decode_owned(r: &mut OwnedReader) -> Result<Self, DecodeError> {
         Ok(Reply {
@@ -906,5 +956,110 @@ mod tests {
     fn reply_constructors() {
         assert!(Reply::ok(ReplyBody::Empty).status.is_ok());
         assert!(!Reply::error(NasdStatus::Replay).status.is_ok());
+    }
+
+    fn glue(head: &WireWriter, segments: &[Bytes]) -> Vec<u8> {
+        let mut flat = head.as_slice().to_vec();
+        for seg in segments {
+            flat.extend_from_slice(seg);
+        }
+        flat
+    }
+
+    #[test]
+    fn request_frame_matches_to_wire_and_copies_nothing() {
+        let req = Request {
+            header: SecurityHeader {
+                protection: ProtectionLevel::ArgsIntegrity,
+                nonce: Nonce::new(4, 9),
+            },
+            capability: None,
+            body: RequestBody::Write {
+                partition: PartitionId(1),
+                object: ObjectId(2),
+                offset: 0,
+                len: 64,
+            },
+            digest: RequestDigest(nasd_crypto::Sha256::digest(b"frame")),
+            data: Bytes::from(vec![0xabu8; 64]),
+        };
+        let mut head = WireWriter::new();
+        let mut segments = Vec::new();
+        let before = bytes::stats::bytes_copied();
+        req.encode_frame(&mut head, &mut segments);
+        assert_eq!(
+            bytes::stats::bytes_copied(),
+            before,
+            "encode_frame must not copy the bulk payload"
+        );
+        assert_eq!(glue(&head, &segments), req.to_wire());
+        // The segment is the caller's buffer, not a copy of it.
+        assert_eq!(segments.len(), 1);
+        assert_eq!(
+            segments.first().map(|s| s.as_ref().as_ptr()),
+            Some(req.data.as_ref().as_ptr())
+        );
+    }
+
+    #[test]
+    fn empty_data_request_frame_matches_to_wire() {
+        let req = Request {
+            header: SecurityHeader {
+                protection: ProtectionLevel::ArgsIntegrity,
+                nonce: Nonce::new(1, 1),
+            },
+            capability: None,
+            body: RequestBody::GetAttr {
+                partition: PartitionId(1),
+                object: ObjectId(2),
+            },
+            digest: RequestDigest(nasd_crypto::Sha256::digest(b"x")),
+            data: Bytes::new(),
+        };
+        let mut head = WireWriter::new();
+        let mut segments = Vec::new();
+        req.encode_frame(&mut head, &mut segments);
+        assert!(segments.is_empty());
+        assert_eq!(glue(&head, &segments), req.to_wire());
+    }
+
+    #[test]
+    fn reply_frames_match_to_wire_for_every_body() {
+        let mut rope = ByteRope::new();
+        rope.push(Bytes::from(vec![1u8; 10]));
+        rope.push(Bytes::from(vec![2u8; 20]));
+        let replies = vec![
+            Reply::ok(ReplyBody::Empty),
+            Reply::ok(ReplyBody::Data(rope)),
+            Reply::ok(ReplyBody::Created(ObjectId(77))),
+            Reply::ok(ReplyBody::Written(4096)),
+            Reply::ok(ReplyBody::Objects(vec![ObjectId(1), ObjectId(2)])),
+            Reply::error(NasdStatus::NoSpace),
+        ];
+        for reply in replies {
+            let mut head = WireWriter::new();
+            let mut segments = Vec::new();
+            reply.encode_frame(&mut head, &mut segments);
+            assert_eq!(glue(&head, &segments), reply.to_wire(), "{reply:?}");
+        }
+    }
+
+    #[test]
+    fn data_reply_frame_shares_rope_segments() {
+        let seg = Bytes::from(vec![9u8; 128]);
+        let reply = Reply::ok(ReplyBody::Data(ByteRope::from(seg.clone())));
+        let mut head = WireWriter::new();
+        let mut segments = Vec::new();
+        let before = bytes::stats::bytes_copied();
+        reply.encode_frame(&mut head, &mut segments);
+        assert_eq!(
+            bytes::stats::bytes_copied(),
+            before,
+            "encode_frame must not copy rope segments"
+        );
+        assert_eq!(
+            segments.first().map(|s| s.as_ref().as_ptr()),
+            Some(seg.as_ref().as_ptr())
+        );
     }
 }

@@ -6,7 +6,9 @@
 //! cargo run --example distributed_fs
 //! ```
 
-use nasd::fm::{AfsClient, DriveFleet, NasdAfs, NasdNfs, NfsClient};
+use nasd::fm::FmConnect;
+use nasd::fm::{DriveFleet, NasdAfs, NasdNfs};
+use nasd::net::Connector;
 use nasd::object::DriveConfig;
 use nasd::proto::PartitionId;
 use std::sync::Arc;
@@ -21,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         32 << 20,
     )?);
     let (fm, _fm_handle) = NasdNfs::new(Arc::clone(&fleet))?.spawn();
-    let nfs = NfsClient::connect(fm, Arc::clone(&fleet))?;
+    let nfs = Connector::new().nfs(fm, Arc::clone(&fleet))?;
 
     nfs.mkdir("/home", 0o755, 0)?;
     let mut file = nfs.create("/home/notes.txt", 0o644, 501)?;
@@ -52,8 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         32 << 20,
     )?);
     let (afs_rpc, _afs_handle) = NasdAfs::new(Arc::clone(&fleet2), 1 << 20)?.spawn();
-    let alice = AfsClient::connect(1, afs_rpc.clone(), Arc::clone(&fleet2))?;
-    let bob = AfsClient::connect(2, afs_rpc, Arc::clone(&fleet2))?;
+    let alice = Connector::new().afs(1, afs_rpc.clone(), Arc::clone(&fleet2))?;
+    let bob = Connector::new().afs(2, afs_rpc, Arc::clone(&fleet2))?;
 
     let fh = alice.create(alice.root(), "shared.doc")?;
     alice.write_file(fh, b"version 1")?;

@@ -7,9 +7,11 @@
 //! cargo run --example storage_mgmt
 //! ```
 
-use nasd::cheops::{CheopsClient, CheopsManager, Redundancy, RepairPhase};
+use nasd::cheops::CheopsConnect;
+use nasd::cheops::{CheopsManager, Redundancy, RepairPhase};
 use nasd::fm::DriveFleet;
 use nasd::mgmt::{MgmtConfig, NasdMgmt};
+use nasd::net::{Channel, Connector};
 use nasd::object::DriveConfig;
 use nasd::proto::{ByteRange, PartitionId, Rights, Version};
 use std::sync::Arc;
@@ -25,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         64 << 20,
     )?);
     let (mgr, _h) = CheopsManager::new(Arc::clone(&fleet)).spawn();
-    let client = CheopsClient::new(7, mgr.clone(), Arc::clone(&fleet));
+    let client = Connector::new().cheops(7, mgr.clone(), Arc::clone(&fleet));
 
     let id = client.create(3, 32 * 1024, Redundancy::Parity)?;
     let file = client.open(id, Rights::ALL)?;
@@ -51,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spare = fleet.endpoint(4).id();
     let mgmt = NasdMgmt::new(
         Arc::clone(&fleet),
-        mgr,
+        Channel::in_proc(mgr),
         vec![spare],
         MgmtConfig::standard()
             .probe_timeout(Duration::from_millis(30))

@@ -6,8 +6,10 @@
 //! cargo run --example striped_objects
 //! ```
 
-use nasd::cheops::{CheopsClient, CheopsManager, LeaseKind, Redundancy};
+use nasd::cheops::CheopsConnect;
+use nasd::cheops::{CheopsManager, LeaseKind, Redundancy};
 use nasd::fm::DriveFleet;
+use nasd::net::Connector;
 use nasd::object::DriveConfig;
 use nasd::proto::{ByteRange, PartitionId, Rights, Version};
 use std::sync::Arc;
@@ -20,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         256 << 20,
     )?);
     let (mgr, _h) = CheopsManager::new(Arc::clone(&fleet)).spawn();
-    let client = CheopsClient::new(7, mgr, Arc::clone(&fleet));
+    let client = Connector::new().cheops(7, mgr, Arc::clone(&fleet));
 
     // A striped logical object: one control message to Cheops buys the
     // layout and a capability per component; data then moves in parallel,

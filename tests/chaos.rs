@@ -12,11 +12,14 @@
 //! * errors surface cleanly once retries exhaust, and
 //! * the injected-fault trace is bit-for-bit reproducible per seed.
 
-use nasd::cheops::{CheopsClient, CheopsManager, Redundancy, RepairPhase};
-use nasd::fm::{AfsClient, DriveFleet, FmError, NasdAfs, NasdNfs, NfsClient};
+use nasd::cheops::CheopsConnect;
+use nasd::cheops::{CheopsManager, Redundancy, RepairPhase};
+use nasd::fm::FmConnect;
+use nasd::fm::{AfsClient, DriveFleet, FmError, NasdAfs, NasdNfs};
 use nasd::mgmt::{MgmtConfig, NasdMgmt};
 use nasd::mining::parallel::parallel_frequent_items;
 use nasd::mining::{apriori, TransactionGenerator, TransactionReader};
+use nasd::net::{Channel, Connector};
 use nasd::net::{FaultConfig, FaultEvent, FaultPlan, RetryPolicy};
 use nasd::object::{DriveConfig, DriveFaultConfig};
 use nasd::pfs::PfsCluster;
@@ -213,7 +216,7 @@ fn nfs_workload_survives_seeded_chaos() {
             let fm = fm.clone();
             let fleet = Arc::clone(&fleet);
             joins.push(std::thread::spawn(move || {
-                let client = NfsClient::connect(fm, fleet).unwrap();
+                let client = Connector::new().nfs(fm, fleet).unwrap();
                 let dir = format!("/w{t}");
                 client.mkdir(&dir, 0o755, t as u32).unwrap();
                 for i in 0..4u64 {
@@ -235,7 +238,7 @@ fn nfs_workload_survives_seeded_chaos() {
 
         // Calm weather: a fresh client over the same manager must see
         // every file every worker acked, intact.
-        let client = NfsClient::connect(fm, Arc::clone(&fleet)).unwrap();
+        let client = Connector::new().nfs(fm, Arc::clone(&fleet)).unwrap();
         assert_eq!(client.readdir("/").unwrap().len(), 3);
         for t in 0..3u64 {
             for i in 0..4u64 {
@@ -277,9 +280,15 @@ fn afs_callbacks_survive_seeded_chaos() {
             2_000,
             FaultConfig::delay_only(0.25, Duration::from_micros(400)),
         ));
-        let writer = AfsClient::connect(1, afs.clone(), Arc::clone(&fleet)).unwrap();
+        let writer = Connector::new()
+            .afs(1, afs.clone(), Arc::clone(&fleet))
+            .unwrap();
         let readers: Vec<AfsClient> = (2..5)
-            .map(|i| AfsClient::connect(i, afs.clone(), Arc::clone(&fleet)).unwrap())
+            .map(|i| {
+                Connector::new()
+                    .afs(i, afs.clone(), Arc::clone(&fleet))
+                    .unwrap()
+            })
             .collect();
         plan.set_enabled(true);
 
@@ -424,7 +433,7 @@ fn cheops_mirrored_file_survives_column_crash() {
         ep.set_retry(quick);
     }
     let (mgr, _mh) = CheopsManager::new(Arc::clone(&fleet)).spawn();
-    let client = CheopsClient::new(1, mgr, Arc::clone(&fleet));
+    let client = Connector::new().cheops(1, mgr, Arc::clone(&fleet));
     let id = client.create(2, 64 * 1024, Redundancy::Mirrored).unwrap();
     let file = client.open(id, Rights::ALL).unwrap();
     let data: Vec<u8> = (0..400_000usize).map(|i| (i * 31 % 251) as u8).collect();
@@ -480,7 +489,7 @@ fn rebuild_scenario(seed: u64, chaos: bool) -> Vec<u8> {
         fleet.set_faults(&plan, FaultConfig::lossy(0.3));
     }
     let (mgr, _mh) = CheopsManager::new(Arc::clone(&fleet)).spawn();
-    let client = CheopsClient::new(1, mgr.clone(), Arc::clone(&fleet));
+    let client = Connector::new().cheops(1, mgr.clone(), Arc::clone(&fleet));
     // 3 data columns (drive idx 0..=2) + parity (idx 3); idx 4 is spare.
     let id = client.create(3, 32 * 1024, Redundancy::Parity).unwrap();
     let file = client.open(id, Rights::ALL).unwrap();
@@ -496,7 +505,7 @@ fn rebuild_scenario(seed: u64, chaos: bool) -> Vec<u8> {
         // stay byte-exact while the column is reconstructed behind them.
         let stop = Arc::new(AtomicBool::new(false));
         let reader = {
-            let client = CheopsClient::new(2, mgr.clone(), Arc::clone(&fleet));
+            let client = Connector::new().cheops(2, mgr.clone(), Arc::clone(&fleet));
             let stop = Arc::clone(&stop);
             let phase1 = phase1.clone();
             std::thread::spawn(move || {
@@ -521,7 +530,7 @@ fn rebuild_scenario(seed: u64, chaos: bool) -> Vec<u8> {
         fleet.crash(1);
         let mgmt = NasdMgmt::new(
             Arc::clone(&fleet),
-            mgr,
+            Channel::in_proc(mgr),
             vec![spare],
             MgmtConfig::standard().probe_timeout(Duration::from_millis(30)),
         );
@@ -631,7 +640,7 @@ fn pfs_mining_pipeline_agrees_under_chaos() {
 fn nfs_client_fails_cleanly_after_manager_shutdown() {
     let fleet = Arc::new(DriveFleet::spawn_memory(2, DriveConfig::small(), P1, 64 << 20).unwrap());
     let (fm, handle) = NasdNfs::new(Arc::clone(&fleet)).unwrap().spawn();
-    let client = NfsClient::connect(fm, Arc::clone(&fleet)).unwrap();
+    let client = Connector::new().nfs(fm, Arc::clone(&fleet)).unwrap();
     client.mkdir("/d", 0o755, 0).unwrap();
     handle.shutdown();
     let err = client.readdir("/").expect_err("manager is gone");
@@ -647,7 +656,7 @@ fn nfs_client_fails_cleanly_after_manager_shutdown() {
 fn afs_client_fails_cleanly_after_manager_shutdown() {
     let fleet = Arc::new(DriveFleet::spawn_memory(2, DriveConfig::small(), P1, 64 << 20).unwrap());
     let (afs, handle) = NasdAfs::new(Arc::clone(&fleet), 8 << 20).unwrap().spawn();
-    let client = AfsClient::connect(1, afs, Arc::clone(&fleet)).unwrap();
+    let client = Connector::new().afs(1, afs, Arc::clone(&fleet)).unwrap();
     let fh = client.create(client.root(), "a").unwrap();
     client.write_file(fh, b"payload").unwrap();
     handle.shutdown();
@@ -675,7 +684,7 @@ fn cheops_client_fails_cleanly_when_services_die() {
         });
     }
     let (mgr, handle) = CheopsManager::new(Arc::clone(&fleet)).spawn();
-    let client = CheopsClient::new(1, mgr, Arc::clone(&fleet));
+    let client = Connector::new().cheops(1, mgr, Arc::clone(&fleet));
     let id = client.create(1, 64 * 1024, Redundancy::None).unwrap();
     let file = client.open(id, Rights::ALL).unwrap();
     client.write(&file, 0, &[7u8; 4_096]).unwrap();

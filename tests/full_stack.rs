@@ -1,10 +1,13 @@
 //! Integration tests spanning the whole stack: drives, file managers,
 //! Cheops, PFS and the mining workload working together.
 
-use nasd::cheops::{CheopsClient, CheopsManager, Redundancy};
-use nasd::fm::{AfsClient, DriveFleet, NasdAfs, NasdNfs, NfsClient};
+use nasd::cheops::CheopsConnect;
+use nasd::cheops::{CheopsManager, Redundancy};
+use nasd::fm::FmConnect;
+use nasd::fm::{AfsClient, DriveFleet, NasdAfs, NasdNfs};
 use nasd::mining::parallel::parallel_frequent_items;
 use nasd::mining::{apriori, TransactionGenerator, TransactionReader};
+use nasd::net::Connector;
 use nasd::object::DriveConfig;
 use nasd::pfs::PfsCluster;
 use nasd::proto::{PartitionId, Rights};
@@ -24,7 +27,7 @@ fn nfs_many_concurrent_clients() {
         let fm = fm.clone();
         let fleet = Arc::clone(&fleet);
         joins.push(std::thread::spawn(move || {
-            let client = NfsClient::connect(fm, fleet).unwrap();
+            let client = Connector::new().nfs(fm, fleet).unwrap();
             let dir = format!("/worker{t}");
             client.mkdir(&dir, 0o755, t as u32).unwrap();
             for i in 0..10 {
@@ -47,7 +50,7 @@ fn nfs_many_concurrent_clients() {
     }
 
     // A fresh client over the same manager sees the merged namespace.
-    let client = NfsClient::connect(fm, Arc::clone(&fleet)).unwrap();
+    let client = Connector::new().nfs(fm, Arc::clone(&fleet)).unwrap();
     let root_entries = client.readdir("/").unwrap();
     assert_eq!(root_entries.len(), 6);
 }
@@ -56,8 +59,10 @@ fn nfs_many_concurrent_clients() {
 fn nfs_namespace_shared_between_connections() {
     let fleet = fleet(2);
     let (fm, _h) = NasdNfs::new(Arc::clone(&fleet)).unwrap().spawn();
-    let a = NfsClient::connect(fm.clone(), Arc::clone(&fleet)).unwrap();
-    let b = NfsClient::connect(fm, Arc::clone(&fleet)).unwrap();
+    let a = Connector::new()
+        .nfs(fm.clone(), Arc::clone(&fleet))
+        .unwrap();
+    let b = Connector::new().nfs(fm, Arc::clone(&fleet)).unwrap();
 
     a.mkdir("/shared", 0o755, 0).unwrap();
     let mut f = a.create("/shared/x", 0o644, 0).unwrap();
@@ -73,9 +78,15 @@ fn afs_and_nfs_style_consistency_models_differ() {
     // clients simply refetch. Exercise the AFS side's guarantee.
     let fleet = fleet(2);
     let (afs, _h) = NasdAfs::new(Arc::clone(&fleet), 8 << 20).unwrap().spawn();
-    let writer = AfsClient::connect(1, afs.clone(), Arc::clone(&fleet)).unwrap();
+    let writer = Connector::new()
+        .afs(1, afs.clone(), Arc::clone(&fleet))
+        .unwrap();
     let readers: Vec<AfsClient> = (2..6)
-        .map(|i| AfsClient::connect(i, afs.clone(), Arc::clone(&fleet)).unwrap())
+        .map(|i| {
+            Connector::new()
+                .afs(i, afs.clone(), Arc::clone(&fleet))
+                .unwrap()
+        })
         .collect();
 
     let fh = writer.create(writer.root(), "hot").unwrap();
@@ -97,7 +108,7 @@ fn cheops_object_survives_manager_restart_equivalent() {
     // core asynchronous-oversight property at the Cheops level.
     let fleet = fleet(3);
     let (mgr, handle) = CheopsManager::new(Arc::clone(&fleet)).spawn();
-    let client = CheopsClient::new(1, mgr, Arc::clone(&fleet));
+    let client = Connector::new().cheops(1, mgr, Arc::clone(&fleet));
     let id = client.create(3, 32 * 1024, Redundancy::None).unwrap();
     let file = client.open(id, Rights::ALL).unwrap();
     client.write(&file, 0, &vec![9u8; 500_000]).unwrap();
@@ -135,7 +146,7 @@ fn quota_pressure_surfaces_cleanly_through_the_stack() {
         DriveFleet::spawn_memory(1, DriveConfig::small(), PartitionId(1), 600 * 1024).unwrap(),
     );
     let (fm, _h) = NasdNfs::new(Arc::clone(&fleet)).unwrap().spawn();
-    let client = NfsClient::connect(fm, Arc::clone(&fleet)).unwrap();
+    let client = Connector::new().nfs(fm, Arc::clone(&fleet)).unwrap();
 
     let mut wrote = 0u64;
     let mut failed = false;
