@@ -19,6 +19,7 @@
 //! | [`rebuild`] | degraded bandwidth vs. nasd-mgmt reconstruction throttle |
 //! | [`perf`] | wall-clock/allocation costs of the zero-copy data path |
 //! | [`recovery`] | crash-recovery (WAL replay) time vs. log length |
+//! | [`backup`] | dedup backup lifecycle: full, incremental, restore, GC |
 //!
 //! Every binary also accepts `--json <path>` and writes a versioned
 //! [`nasd::obs::BenchReport`](nasd::obs) built by the [`report`] module;
@@ -31,6 +32,7 @@
 pub mod ablations;
 pub mod active;
 pub mod andrew;
+pub mod backup;
 pub mod fig4;
 pub mod fig6;
 pub mod fig7;

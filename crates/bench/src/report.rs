@@ -11,7 +11,9 @@ use nasd::obs::{BenchReport, Json, Registry};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use crate::{ablations, active, andrew, fig4, fig6, fig7, fig9, perf, rebuild, recovery, table1};
+use crate::{
+    ablations, active, andrew, backup, fig4, fig6, fig7, fig9, perf, rebuild, recovery, table1,
+};
 
 /// Parse `--json <path>` from the process arguments.
 #[must_use]
@@ -43,6 +45,40 @@ pub fn emit(report: &BenchReport) {
 
 fn num(v: f64) -> Json {
     Json::Num(v)
+}
+
+/// Attach `name = numerator / denominator` as a derived column.
+///
+/// Every derived ratio goes through here so the zero-denominator guard
+/// lives in one place: a ratio with nothing to divide by is *omitted*
+/// rather than emitted as the inf/NaN the JSON schema cannot carry.
+#[must_use]
+pub fn with_derived_ratio(
+    r: BenchReport,
+    name: &str,
+    numerator: f64,
+    denominator: f64,
+) -> BenchReport {
+    if denominator == 0.0 {
+        return r;
+    }
+    r.with_derived(name, numerator / denominator)
+}
+
+/// Attach a derived column read off the last row of a sweep — the
+/// common "the endpoint is the summary" shape (longest log, most
+/// clients). Empty sweeps get no column.
+#[must_use]
+pub fn with_derived_from_last<T>(
+    r: BenchReport,
+    name: &str,
+    rows: &[T],
+    f: impl Fn(&T) -> f64,
+) -> BenchReport {
+    match rows.last() {
+        Some(row) => r.with_derived(name, f(row)),
+        None => r,
+    }
 }
 
 /// Figure 6 rows as a report.
@@ -82,10 +118,7 @@ pub fn fig7_report(rows: &[fig7::Fig7Row]) -> BenchReport {
             ("drive_idle_pct", num(row.drive_idle_pct)),
         ]);
     }
-    if let Some(last) = rows.last() {
-        r = r.with_derived("max_aggregate_mb_s", last.aggregate_mb_s);
-    }
-    r
+    with_derived_from_last(r, "max_aggregate_mb_s", rows, |row| row.aggregate_mb_s)
 }
 
 /// Figure 9 rows as a report.
@@ -241,6 +274,18 @@ pub fn rebuild_report(rows: &[rebuild::RebuildRow]) -> BenchReport {
             ("rebuilt_bytes", Json::num_u64(row.rebuilt_bytes)),
         ]);
     }
+    // Headline ratio: what fraction of degraded-baseline bandwidth the
+    // foreground keeps while an unthrottled rebuild competes with it.
+    let baseline = rows.iter().find(|row| row.setting == "no rebuild");
+    let unthrottled = rows.iter().find(|row| row.setting == "unthrottled");
+    if let (Some(b), Some(u)) = (baseline, unthrottled) {
+        r = with_derived_ratio(
+            r,
+            "unthrottled_foreground_fraction",
+            u.foreground_mb_s,
+            b.foreground_mb_s,
+        );
+    }
     r
 }
 
@@ -315,13 +360,53 @@ pub fn recovery_report(rows: &[recovery::RecoveryRow]) -> BenchReport {
             ("recovered_objects", Json::num_u64(row.recovered_objects)),
         ]);
     }
-    if let Some(longest) = rows.last() {
-        r = r.with_derived("max_log_open_ms", longest.open_ms);
+    with_derived_from_last(r, "max_log_open_ms", rows, |row| row.open_ms)
+}
+
+/// Backup/dedup lifecycle rows as a report.
+#[must_use]
+pub fn backup_report(rows: &[backup::BackupRow]) -> BenchReport {
+    let mut r = BenchReport::new("backup")
+        .with_config("data_bytes", Json::num_u64(backup::DATA))
+        .with_config("drives", Json::num_u64(backup::NDRIVES as u64))
+        .with_config(
+            "chunker",
+            Json::str("content-defined 4K/16K/64K; 64K image grid"),
+        );
+    for row in rows {
+        r.push_row(vec![
+            ("phase", Json::str(row.phase)),
+            ("logical_bytes", Json::num_u64(row.logical_bytes)),
+            ("stored_bytes", Json::num_u64(row.stored_bytes)),
+            ("chunks", Json::num_u64(row.chunks)),
+            ("chunks_stored", Json::num_u64(row.chunks_stored)),
+            ("secs", num(row.secs)),
+            ("mb_s", num(row.mb_s)),
+            ("dedup_ratio", num(row.dedup_ratio)),
+        ]);
+    }
+    // The two numbers CI trips on: how well the incremental deduped, and
+    // what fraction of physical bytes the prune+GC pass reclaimed.
+    if let Some(incr) = rows.iter().find(|row| row.phase == "incremental") {
+        r = with_derived_ratio(
+            r,
+            "incremental_dedup_ratio",
+            incr.logical_bytes as f64,
+            incr.stored_bytes as f64,
+        );
+    }
+    if let Some(gc) = rows.iter().find(|row| row.phase == "prune+gc") {
+        r = with_derived_ratio(
+            r,
+            "gc_reclaim_fraction",
+            gc.logical_bytes.saturating_sub(gc.stored_bytes) as f64,
+            gc.logical_bytes as f64,
+        );
     }
     r
 }
 
-/// Run every experiment and return all eleven reports — the payload of
+/// Run every experiment and return all twelve reports — the payload of
 /// `BENCH_baseline.json`. `probe` is the producing binary's counting
 /// allocator, when it installed one (see [`perf_report`]).
 #[must_use]
@@ -338,6 +423,7 @@ pub fn suite_with(probe: Option<perf::AllocProbe>) -> Vec<BenchReport> {
         rebuild_report(&rebuild::run()),
         perf_report(&perf::run(probe), probe.is_some()),
         recovery_report(&recovery::run()),
+        backup_report(&backup::run()),
     ]
 }
 
@@ -357,6 +443,43 @@ mod tests {
         let back = BenchReport::from_json_str(&report.to_json_string()).unwrap();
         assert_eq!(back.bench, "fig4");
         assert_eq!(back.rows.len(), report.rows.len());
+    }
+
+    #[test]
+    fn derived_ratio_guards_zero_denominator() {
+        let r = BenchReport::new("x");
+        let r = with_derived_ratio(r, "ok", 3.0, 2.0);
+        let r = with_derived_ratio(r, "skipped", 1.0, 0.0);
+        assert_eq!(r.derived, vec![("ok".to_owned(), 1.5)]);
+    }
+
+    #[test]
+    fn derived_from_last_skips_empty_sweeps() {
+        let r = with_derived_from_last(BenchReport::new("x"), "last", &[1.0f64, 4.0], |v| *v);
+        assert_eq!(r.derived, vec![("last".to_owned(), 4.0)]);
+        let empty: [f64; 0] = [];
+        let r = with_derived_from_last(BenchReport::new("x"), "last", &empty, |v| *v);
+        assert!(r.derived.is_empty());
+    }
+
+    #[test]
+    fn backup_report_derives_tripwire_ratios() {
+        let row = |phase, logical, stored| backup::BackupRow {
+            phase,
+            logical_bytes: logical,
+            stored_bytes: stored,
+            chunks: 10,
+            chunks_stored: 1,
+            secs: 0.5,
+            mb_s: 1.0,
+            dedup_ratio: 0.0,
+        };
+        let rows = vec![row("incremental", 100, 5), row("prune+gc", 10, 4)];
+        let r = backup_report(&rows);
+        assert_eq!(r.rows.len(), 2);
+        let derived: std::collections::BTreeMap<_, _> = r.derived.iter().cloned().collect();
+        assert_eq!(derived.get("incremental_dedup_ratio"), Some(&20.0));
+        assert_eq!(derived.get("gc_reclaim_fraction"), Some(&0.6));
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Checksumming stream adapters.
+//!
+//! [`ChecksumWriter`] and [`ChecksumReader`] wrap any `io::Write` /
+//! `io::Read` and fold every byte that passes through them into a
+//! running SHA-256. Archive writers stack them under the framing layer
+//! to stamp archives with a whole-stream digest; restore stacks a
+//! reader over the fetched bytes and verifies the stamp, so *every*
+//! read path re-checks end-to-end integrity — corruption that slips
+//! past per-chunk checksums (wrong chunk order, a stale index) is
+//! still caught here.
+
+use nasd_crypto::Sha256;
+use std::io;
+
+/// An `io::Write` adapter that digests everything written through it.
+pub struct ChecksumWriter<W> {
+    inner: W,
+    hasher: Sha256,
+    written: u64,
+}
+
+impl<W: io::Write> ChecksumWriter<W> {
+    /// Wrap `inner`.
+    pub fn new(inner: W) -> Self {
+        ChecksumWriter {
+            inner,
+            hasher: Sha256::new(),
+            written: 0,
+        }
+    }
+
+    /// Total bytes written through this adapter.
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Finish: return the inner writer and the digest of every byte
+    /// that went through.
+    pub fn finish(self) -> (W, [u8; 32]) {
+        (self.inner, self.hasher.finalize().into_bytes())
+    }
+}
+
+impl<W: io::Write> io::Write for ChecksumWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        // Digest only what the inner sink accepted, or the digest and
+        // the sink would disagree after a short write.
+        if let Some(accepted) = buf.get(..n) {
+            self.hasher.update(accepted);
+            self.written += n as u64;
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// An `io::Read` adapter that digests everything read through it and
+/// can verify the stream against an expected digest at EOF.
+pub struct ChecksumReader<R> {
+    inner: R,
+    hasher: Sha256,
+    read: u64,
+}
+
+impl<R: io::Read> ChecksumReader<R> {
+    /// Wrap `inner`.
+    pub fn new(inner: R) -> Self {
+        ChecksumReader {
+            inner,
+            hasher: Sha256::new(),
+            read: 0,
+        }
+    }
+
+    /// Total bytes read through this adapter.
+    pub fn bytes_read(&self) -> u64 {
+        self.read
+    }
+
+    /// Finish: the digest of every byte read so far.
+    pub fn finish(self) -> [u8; 32] {
+        self.hasher.finalize().into_bytes()
+    }
+
+    /// Drain the stream to EOF and verify its digest equals `expected`
+    /// (constant-time compare). Returns the number of bytes drained.
+    pub fn verify(mut self, expected: &[u8; 32]) -> io::Result<u64> {
+        let mut sink = [0u8; 4096];
+        loop {
+            let n = io::Read::read(&mut self, &mut sink)?;
+            if n == 0 {
+                break;
+            }
+        }
+        let total = self.read;
+        let got = self.finish();
+        if nasd_crypto::ct_eq(&got, expected) {
+            Ok(total)
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stream digest mismatch",
+            ))
+        }
+    }
+}
+
+impl<R: io::Read> io::Read for ChecksumReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if let Some(filled) = buf.get(..n) {
+            self.hasher.update(filled);
+            self.read += n as u64;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn writer_and_reader_agree() {
+        let mut w = ChecksumWriter::new(Vec::new());
+        w.write_all(b"hello ").unwrap();
+        w.write_all(b"world").unwrap();
+        let (buf, wrote_digest) = w.finish();
+        assert_eq!(buf, b"hello world");
+
+        let mut r = ChecksumReader::new(&buf[..]);
+        let mut out = String::new();
+        r.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello world");
+        assert_eq!(r.finish(), wrote_digest);
+        assert_eq!(wrote_digest, Sha256::digest(b"hello world").into_bytes());
+    }
+
+    #[test]
+    fn verify_accepts_good_rejects_bad() {
+        let digest = Sha256::digest(b"payload").into_bytes();
+        let ok = ChecksumReader::new(&b"payload"[..]).verify(&digest);
+        assert_eq!(ok.unwrap(), 7);
+        let bad = ChecksumReader::new(&b"payl0ad"[..]).verify(&digest);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn counts_track_partial_reads() {
+        let data = vec![7u8; 10_000];
+        let mut r = ChecksumReader::new(&data[..]);
+        let mut buf = [0u8; 512];
+        let n = r.read(&mut buf).unwrap();
+        assert_eq!(r.bytes_read(), n as u64);
+    }
+}

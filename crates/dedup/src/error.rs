@@ -1,0 +1,77 @@
+//! The dedup store's error surface.
+
+use nasd_fm::FmError;
+use nasd_proto::wire::DecodeError;
+use std::fmt;
+
+/// Everything that can go wrong between a backup client and the drives.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DedupError {
+    /// A drive or transport failure surfaced by the client library.
+    Fm(FmError),
+    /// Stored bytes failed a structural decode (bad magic, truncated
+    /// frame, malformed index or manifest).
+    Decode(DecodeError),
+    /// Stored bytes decoded but failed a checksum or digest check —
+    /// corruption the blob framing exists to catch.
+    Corrupt(&'static str),
+    /// A chunk digest referenced by an index is not in the store.
+    MissingChunk([u8; 32]),
+    /// A snapshot name was not found in the store's catalog.
+    NoSuchSnapshot(String),
+    /// A snapshot with this name already exists.
+    SnapshotExists(String),
+}
+
+impl fmt::Display for DedupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DedupError::Fm(e) => write!(f, "drive error: {e}"),
+            DedupError::Decode(e) => write!(f, "malformed stored bytes: {e}"),
+            DedupError::Corrupt(what) => write!(f, "corruption detected: {what}"),
+            DedupError::MissingChunk(d) => {
+                write!(f, "missing chunk {}", hex_prefix(d))
+            }
+            DedupError::NoSuchSnapshot(name) => write!(f, "no such snapshot: {name}"),
+            DedupError::SnapshotExists(name) => write!(f, "snapshot exists: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DedupError {}
+
+impl From<FmError> for DedupError {
+    fn from(e: FmError) -> Self {
+        DedupError::Fm(e)
+    }
+}
+
+impl From<DecodeError> for DedupError {
+    fn from(e: DecodeError) -> Self {
+        DedupError::Decode(e)
+    }
+}
+
+/// First 8 hex digits of a digest — enough to identify it in a message.
+fn hex_prefix(d: &[u8; 32]) -> String {
+    let mut s = String::with_capacity(8);
+    for b in d.iter().take(4) {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DedupError::MissingChunk([0xab; 32]);
+        assert_eq!(e.to_string(), "missing chunk abababab");
+        assert!(DedupError::NoSuchSnapshot("host/1".into())
+            .to_string()
+            .contains("host/1"));
+    }
+}

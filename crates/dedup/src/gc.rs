@@ -1,0 +1,236 @@
+//! Mark-and-sweep garbage collection and pack compaction.
+//!
+//! Chunks become garbage when the last snapshot referencing them is
+//! pruned. GC runs in three steps:
+//!
+//! 1. **Mark + sweep** — one critical section: the live set is the
+//!    union of every catalogued manifest's digests plus every pinned
+//!    digest (in-progress backups), and unmarked index entries are
+//!    dropped. Doing both under one lock means a manifest published
+//!    the instant before the sweep is always seen, and a backup in
+//!    flight is protected by its pins — there is no window where a
+//!    chunk is referenced but collectable.
+//! 2. **Compact** — packs whose live fraction fell below half have
+//!    their live frames re-appended to the drive's open pack; an
+//!    entry is repointed only if it still names the old location
+//!    (compare-and-swap under the lock), so racing GCs or inserts
+//!    never clobber each other.
+//! 3. **Reap** — packs with no live frames left are removed.
+//!
+//! Every step is idempotent and crash-restartable: a crash mid-compact
+//! leaves both copies (the index still names a valid one); a crash
+//! after reap but before the next index flush leaves stale index
+//! entries that [`ChunkStore::open`](crate::ChunkStore::open) drops
+//! when it finds their pack gone. Re-running GC converges.
+
+use crate::error::DedupError;
+use crate::index::ChunkDigest;
+use crate::store::{ChunkLoc, ChunkStore, PackState};
+use bytes::Bytes;
+use nasd_proto::ObjectId;
+use std::collections::BTreeSet;
+
+/// Live fraction below which a pack is compacted.
+const COMPACT_THRESHOLD_NUM: u64 = 1;
+const COMPACT_THRESHOLD_DEN: u64 = 2;
+
+/// What one GC pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Live chunks at mark time (manifest-referenced or pinned).
+    pub marked: u64,
+    /// Index entries swept.
+    pub swept: u64,
+    /// Frame bytes dereferenced by the sweep.
+    pub reclaimed_bytes: u64,
+    /// Frames moved by compaction.
+    pub moved: u64,
+    /// Pack objects removed.
+    pub packs_removed: u64,
+}
+
+impl ChunkStore {
+    /// Run one full GC pass. Safe to run concurrently with backups
+    /// (see module docs); re-running after any failure converges.
+    pub fn gc(&self) -> Result<GcReport, DedupError> {
+        let (runs, marked_c, swept_c, reclaimed_c) = self.metrics_gc();
+        runs.inc();
+        let mut report = GcReport::default();
+
+        // Mark + sweep in one critical section.
+        {
+            let mut inner = self.inner_for_gc().lock();
+            let mut live: BTreeSet<ChunkDigest> = BTreeSet::new();
+            for (_, _, m) in inner.manifests.values() {
+                for a in &m.archives {
+                    for d in a.index.digests() {
+                        live.insert(*d);
+                    }
+                }
+            }
+            for d in inner.pins.keys() {
+                live.insert(*d);
+            }
+            report.marked = live.len() as u64;
+            let dead: Vec<ChunkDigest> = inner
+                .index
+                .keys()
+                .filter(|d| !live.contains(*d))
+                .copied()
+                .collect();
+            for d in dead {
+                if let Some(loc) = inner.index.remove(&d) {
+                    report.swept += 1;
+                    report.reclaimed_bytes += u64::from(loc.frame_len);
+                    inner.stored = inner.stored.saturating_sub(u64::from(loc.frame_len));
+                }
+            }
+            self.update_ratio(&inner);
+        }
+        marked_c.add(report.marked);
+        swept_c.add(report.swept);
+        reclaimed_c.add(report.reclaimed_bytes);
+
+        // Compact low-occupancy packs, then reap empty ones.
+        let candidates = self.compaction_candidates();
+        for (drive, pack) in candidates {
+            report.moved += self.compact_pack(drive, pack)?;
+        }
+        report.packs_removed = self.reap_empty_packs()?;
+        Ok(report)
+    }
+
+    /// Non-open packs whose live bytes fell under the threshold.
+    fn compaction_candidates(&self) -> Vec<(u32, PackState)> {
+        let inner = self.inner_for_gc().lock();
+        let mut out = Vec::new();
+        for (di, drive_packs) in inner.packs.iter().enumerate() {
+            // The last pack is the open one; never compact it.
+            let Some((_open, closed)) = drive_packs.split_last() else {
+                continue;
+            };
+            for p in closed {
+                let live: u64 = inner
+                    .index
+                    .values()
+                    .filter(|loc| loc.drive == di as u32 && loc.object == p.object)
+                    .map(|loc| u64::from(loc.frame_len))
+                    .sum();
+                if p.covered > 0 && live * COMPACT_THRESHOLD_DEN < p.covered * COMPACT_THRESHOLD_NUM
+                {
+                    out.push((di as u32, *p));
+                }
+            }
+        }
+        out
+    }
+
+    /// Move the live frames of `pack` to the drive's open pack,
+    /// repointing each index entry only if it still names the old
+    /// location. Returns the number of frames moved.
+    fn compact_pack(&self, drive: u32, pack: PackState) -> Result<u64, DedupError> {
+        let victims: Vec<(ChunkDigest, ChunkLoc)> = {
+            let inner = self.inner_for_gc().lock();
+            inner
+                .index
+                .iter()
+                .filter(|(_, loc)| loc.drive == drive && loc.object == pack.object)
+                .map(|(d, loc)| (*d, *loc))
+                .collect()
+        };
+        let mut moved = 0u64;
+        let ep = self.endpoint(drive)?;
+        for (digest, old) in victims {
+            let src_cap = self.ro_cap(&ep, old.object);
+            let frame = ep
+                .read(&src_cap, old.offset, u64::from(old.frame_len))?
+                .to_vec();
+            // Only verified bytes are worth moving; a frame that fails
+            // to decode is dead weight and is simply left behind.
+            if crate::blob::decode(&frame).is_err() {
+                continue;
+            }
+            let dst = self.append_to_open_pack(drive, &frame)?;
+            let new = ChunkLoc {
+                drive,
+                object: dst.0,
+                offset: dst.1,
+                frame_len: old.frame_len,
+                unc_len: old.unc_len,
+            };
+            let mut inner = self.inner_for_gc().lock();
+            match inner.index.get_mut(&digest) {
+                // CAS: repoint only if nobody moved or removed it since.
+                Some(loc) if *loc == old => {
+                    *loc = new;
+                    moved += 1;
+                }
+                _ => {}
+            }
+            Self::cover(
+                &mut inner,
+                drive,
+                new.object,
+                new.offset + u64::from(new.frame_len),
+            );
+        }
+        Ok(moved)
+    }
+
+    /// Remove packs no index entry references. The open pack is spared
+    /// unless it is also unwritten-to garbage beyond the threshold of
+    /// usefulness (i.e. fully covered and fully dead).
+    fn reap_empty_packs(&self) -> Result<u64, DedupError> {
+        let doomed: Vec<(u32, ObjectId)> = {
+            let mut inner = self.inner_for_gc().lock();
+            let mut doomed = Vec::new();
+            let index_live: BTreeSet<(u32, u64)> = inner
+                .index
+                .values()
+                .map(|loc| (loc.drive, loc.object.0))
+                .collect();
+            for (di, drive_packs) in inner.packs.iter_mut().enumerate() {
+                let n = drive_packs.len();
+                let mut kept = Vec::with_capacity(n);
+                for (pi, p) in drive_packs.drain(..).enumerate() {
+                    let is_open = pi + 1 == n;
+                    let dead = !index_live.contains(&(di as u32, p.object.0));
+                    // Keep the open pack even when empty: inserts are
+                    // racing toward it.
+                    if dead && !is_open && p.covered > 0 {
+                        doomed.push((di as u32, p.object));
+                    } else {
+                        kept.push(p);
+                    }
+                }
+                *drive_packs = kept;
+            }
+            doomed
+        };
+        let mut removed = 0u64;
+        for (drive, object) in doomed {
+            let ep = self.endpoint(drive)?;
+            let cap = self.rw_cap(&ep, object);
+            // Idempotence: the pack may already be gone if a previous
+            // GC crashed between dropping it from state and removing
+            // the object — open() re-adopts such packs as empty, and
+            // this pass removes them again.
+            match ep.remove(&cap) {
+                Ok(()) => removed += 1,
+                Err(nasd_fm::FmError::Drive(nasd_proto::NasdStatus::NoSuchObject)) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Append raw frame bytes to the drive's open pack (compaction
+    /// path), returning where they landed.
+    fn append_to_open_pack(&self, drive: u32, frame: &[u8]) -> Result<(ObjectId, u64), DedupError> {
+        let object = self.open_pack(drive)?;
+        let ep = self.endpoint(drive)?;
+        let cap = self.rw_cap(&ep, object);
+        let offset = ep.append(&cap, Bytes::from(frame.to_vec()))?;
+        Ok((object, offset))
+    }
+}

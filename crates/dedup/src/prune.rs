@@ -1,0 +1,170 @@
+//! Retention policy: which snapshots to keep, which to prune.
+//!
+//! The policy engine is a pure function over `(name, created)` pairs so
+//! it can be tested exhaustively without a store. Semantics follow the
+//! usual backup-tool conventions:
+//!
+//! - `keep_last = N` keeps the N newest snapshots outright.
+//! - `keep_daily = N` additionally keeps the newest snapshot of each of
+//!   the N most recent *days that have snapshots* (days already covered
+//!   by `keep_last` count toward N).
+//! - Both zero means "no policy": everything is kept — a prune run
+//!   with an all-default config must never be a mass delete.
+//!
+//! Applying a decision is [`BackupClient::prune`](crate::BackupClient):
+//! removed manifests make their chunks unreferenced, and the next GC
+//! pass reclaims them.
+
+/// Seconds per retention day (logical drive-clock time).
+const DAY: u64 = 86_400;
+
+/// Retention knobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneOptions {
+    /// Keep this many newest snapshots unconditionally.
+    pub keep_last: usize,
+    /// Keep the newest snapshot per day for this many snapshot-days.
+    pub keep_daily: usize,
+}
+
+/// The outcome of evaluating a policy.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PruneDecision {
+    /// Snapshots to keep, newest first.
+    pub keep: Vec<String>,
+    /// Snapshots to remove, newest first.
+    pub remove: Vec<String>,
+}
+
+/// Evaluate `opts` over `(name, created)` snapshots. Order of the
+/// input does not matter; ties on `created` break by name so the
+/// decision is deterministic.
+#[must_use]
+pub fn plan(snapshots: &[(String, u64)], opts: &PruneOptions) -> PruneDecision {
+    let mut decision = PruneDecision::default();
+    if opts.keep_last == 0 && opts.keep_daily == 0 {
+        decision.keep = sorted_names(snapshots);
+        return decision;
+    }
+    let mut ordered: Vec<&(String, u64)> = snapshots.iter().collect();
+    ordered.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| b.0.cmp(&a.0)));
+    let mut kept_days: Vec<u64> = Vec::new();
+    for (i, (name, created)) in ordered.iter().enumerate() {
+        let day = created / DAY;
+        let day_seen = kept_days.contains(&day);
+        let by_last = i < opts.keep_last;
+        let by_daily = !day_seen && kept_days.len() < opts.keep_daily;
+        if by_last || by_daily {
+            if !day_seen && kept_days.len() < opts.keep_daily {
+                kept_days.push(day);
+            }
+            decision.keep.push(name.clone());
+        } else {
+            decision.remove.push(name.clone());
+        }
+    }
+    decision
+}
+
+fn sorted_names(snapshots: &[(String, u64)]) -> Vec<String> {
+    let mut ordered: Vec<&(String, u64)> = snapshots.iter().collect();
+    ordered.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| b.0.cmp(&a.0)));
+    ordered.iter().map(|(n, _)| n.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snaps(specs: &[(&str, u64)]) -> Vec<(String, u64)> {
+        specs.iter().map(|(n, t)| ((*n).to_owned(), *t)).collect()
+    }
+
+    #[test]
+    fn no_policy_keeps_everything() {
+        let s = snaps(&[("a", 10), ("b", 20)]);
+        let d = plan(&s, &PruneOptions::default());
+        assert_eq!(d.keep, vec!["b", "a"]);
+        assert!(d.remove.is_empty());
+    }
+
+    #[test]
+    fn keep_last_keeps_newest() {
+        let s = snaps(&[("a", 10), ("b", 20), ("c", 30)]);
+        let d = plan(
+            &s,
+            &PruneOptions {
+                keep_last: 2,
+                keep_daily: 0,
+            },
+        );
+        assert_eq!(d.keep, vec!["c", "b"]);
+        assert_eq!(d.remove, vec!["a"]);
+    }
+
+    #[test]
+    fn keep_daily_keeps_newest_per_day() {
+        // Two snapshots on day 1, two on day 2, one on day 5.
+        let s = snaps(&[
+            ("d1-early", DAY + 100),
+            ("d1-late", DAY + 900),
+            ("d2-early", 2 * DAY + 100),
+            ("d2-late", 2 * DAY + 900),
+            ("d5", 5 * DAY + 10),
+        ]);
+        let d = plan(
+            &s,
+            &PruneOptions {
+                keep_last: 0,
+                keep_daily: 2,
+            },
+        );
+        assert_eq!(d.keep, vec!["d5", "d2-late"]);
+        assert_eq!(d.remove, vec!["d2-early", "d1-late", "d1-early"]);
+    }
+
+    #[test]
+    fn keep_last_days_count_toward_daily() {
+        let s = snaps(&[
+            ("d1", DAY + 10),
+            ("d2", 2 * DAY + 10),
+            ("d3-early", 3 * DAY + 10),
+            ("d3-late", 3 * DAY + 900),
+        ]);
+        let d = plan(
+            &s,
+            &PruneOptions {
+                keep_last: 1,
+                keep_daily: 2,
+            },
+        );
+        // keep_last takes d3-late (day 3 now covered); keep_daily=2 has
+        // one day budget left, spent on d2. d3-early's day is already
+        // covered, d1 is out of budget.
+        assert_eq!(d.keep, vec!["d3-late", "d2"]);
+        assert_eq!(d.remove, vec!["d3-early", "d1"]);
+    }
+
+    #[test]
+    fn deterministic_on_created_ties() {
+        let s = snaps(&[("x", 100), ("y", 100)]);
+        let d1 = plan(
+            &s,
+            &PruneOptions {
+                keep_last: 1,
+                keep_daily: 0,
+            },
+        );
+        let mut rev = s.clone();
+        rev.reverse();
+        let d2 = plan(
+            &rev,
+            &PruneOptions {
+                keep_last: 1,
+                keep_daily: 0,
+            },
+        );
+        assert_eq!(d1, d2);
+        assert_eq!(d1.keep, vec!["y"]);
+    }
+}

@@ -1,0 +1,905 @@
+//! The content-addressed chunk store.
+//!
+//! A [`ChunkStore`] maps SHA-256 digests to extents of *pack objects* —
+//! plain NASD objects that grow append-only via the drive-side `Append`
+//! op (the drive chooses the landing offset, so concurrent writers
+//! sharing a pack never collide). Chunks are placed across the fleet by
+//! digest, manifests and the persisted index are ordinary tagged
+//! objects, and everything the store needs to reopen after a crash is
+//! discoverable from the drives themselves:
+//!
+//! - each store object carries a magic + role + generation tag in its
+//!   `fs_specific` attribute block,
+//! - the index object (role `index`) snapshots the digest map plus how
+//!   many bytes of each pack it covers; on open the store loads the
+//!   newest valid index and *rescans* pack bytes beyond its coverage,
+//!   re-adopting chunks whose frames landed after the last flush,
+//! - a torn append (crash mid-frame) fails the frame checksum and ends
+//!   the rescan for that pack; the dead tail is overwritten-around by
+//!   placing the next pack generation in a fresh object.
+//!
+//! Concurrency contract with GC: a backup session holds a [`PinGuard`];
+//! [`ChunkStore::insert`] pins the digest *before* reporting it
+//! deduplicated, and the sweep in [`ChunkStore::gc`](crate::GcReport)
+//! skips pinned digests — so a chunk can never be collected between the
+//! moment a backup decides to rely on it and the moment the snapshot
+//! manifest referencing it lands.
+
+use crate::blob;
+use crate::error::DedupError;
+use crate::index::ChunkDigest;
+use crate::manifest::SnapshotManifest;
+use bytes::Bytes;
+use nasd_crypto::Sha256;
+use nasd_fm::{DriveEndpoint, DriveFleet};
+use nasd_obs::Registry;
+use nasd_proto::wire::{DecodeError, WireReader, WireWriter};
+use nasd_proto::{ByteRange, ObjectId, PartitionId, Rights, Version, FS_SPECIFIC_ATTR_LEN};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Store-object tag magic in `fs_specific[..8]`.
+const TAG_MAGIC: &[u8; 8] = b"NASDDUP\0";
+/// Tag roles.
+const ROLE_PACK: u8 = 1;
+const ROLE_INDEX: u8 = 2;
+const ROLE_MANIFEST: u8 = 3;
+
+/// Persisted-index magic (`DIDX`).
+const INDEX_MAGIC: u32 = 0x4449_4458;
+/// Sanity bounds for index decode.
+const MAX_INDEX_CHUNKS: u32 = 1 << 24;
+const MAX_PACKS: u32 = 1 << 16;
+
+/// Store layout and behaviour knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Partition holding all store objects on every drive.
+    pub partition: PartitionId,
+    /// Roll to a fresh pack object once the current one covers this
+    /// many bytes.
+    pub pack_target_bytes: u64,
+    /// RLE-compress chunk payloads when that is smaller.
+    pub compress: bool,
+    /// Capability lifetime in seconds (drive clock).
+    pub cap_lifetime: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            partition: PartitionId(1),
+            pack_target_bytes: 8 << 20,
+            compress: true,
+            cap_lifetime: 3600,
+        }
+    }
+}
+
+/// Where one chunk lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct ChunkLoc {
+    /// Fleet index of the drive.
+    pub(crate) drive: u32,
+    /// Pack object on that drive.
+    pub(crate) object: ObjectId,
+    /// Frame start within the pack.
+    pub(crate) offset: u64,
+    /// Whole frame length (header + encoded payload).
+    pub(crate) frame_len: u32,
+    /// Uncompressed chunk length.
+    pub(crate) unc_len: u32,
+}
+
+/// One pack object and how many of its bytes the in-memory index covers.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PackState {
+    pub(crate) object: ObjectId,
+    pub(crate) covered: u64,
+}
+
+/// Mutable store state, all under one lock: the digest map, per-drive
+/// pack lists, pin refcounts and the snapshot catalog share a lock so
+/// "is this chunk present?" and "pin it" are one atomic step.
+#[derive(Default)]
+pub(crate) struct Inner {
+    pub(crate) index: BTreeMap<ChunkDigest, ChunkLoc>,
+    /// Per fleet-drive: pack objects in creation order; the last is the
+    /// open pack new chunks append to.
+    pub(crate) packs: Vec<Vec<PackState>>,
+    /// Pin refcounts held by live [`PinGuard`]s.
+    pub(crate) pins: BTreeMap<ChunkDigest, u32>,
+    /// Snapshot catalog: name → (drive, manifest object, parsed).
+    pub(crate) manifests: BTreeMap<String, (u32, ObjectId, SnapshotManifest)>,
+    /// Persisted-index generation (the newest flushed, or loaded).
+    pub(crate) generation: u64,
+    /// Index objects currently on drives: `(drive, object, generation)`.
+    pub(crate) index_objects: Vec<(u32, ObjectId, u64)>,
+    /// Logical bytes ingested and physical frame bytes stored, feeding
+    /// the dedup-ratio gauge. `stored` is rebuilt from the index on
+    /// open; `ingested` counts this process's inserts.
+    pub(crate) ingested: u64,
+    pub(crate) stored: u64,
+}
+
+/// Counters the store maintains (see DESIGN.md §14).
+struct Metrics {
+    chunks_stored: Arc<nasd_obs::Counter>,
+    chunks_deduped: Arc<nasd_obs::Counter>,
+    bytes_ingested: Arc<nasd_obs::Counter>,
+    bytes_stored: Arc<nasd_obs::Counter>,
+    dedup_ratio: Arc<nasd_obs::Gauge>,
+    pub(crate) gc_runs: Arc<nasd_obs::Counter>,
+    pub(crate) gc_marked: Arc<nasd_obs::Counter>,
+    pub(crate) gc_swept: Arc<nasd_obs::Counter>,
+    pub(crate) gc_reclaimed: Arc<nasd_obs::Counter>,
+}
+
+/// Outcome of an insert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The chunk was new and its frame was written.
+    Stored,
+    /// The chunk was already present (or won a write race); no new
+    /// bytes are referenced.
+    Deduped,
+}
+
+/// Point-in-time store statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct chunks indexed.
+    pub chunks: u64,
+    /// Logical bytes ingested through [`ChunkStore::insert`].
+    pub ingested_bytes: u64,
+    /// Physical frame bytes written for stored chunks.
+    pub stored_bytes: u64,
+    /// Pack objects across the fleet.
+    pub packs: u64,
+    /// Snapshots in the catalog.
+    pub snapshots: u64,
+}
+
+impl StoreStats {
+    /// Logical/physical dedup ratio (1.0 when nothing dedups).
+    #[must_use]
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            return 1.0;
+        }
+        self.ingested_bytes as f64 / self.stored_bytes as f64
+    }
+}
+
+/// RAII pin over the chunks one backup session relies on. Digests
+/// recorded here are immune to GC until the guard drops; drop it only
+/// after the snapshot manifest referencing them is in the catalog.
+pub struct PinGuard {
+    inner: Arc<Mutex<Inner>>,
+    digests: Vec<ChunkDigest>,
+}
+
+impl PinGuard {
+    fn record(&mut self, digest: ChunkDigest) {
+        self.digests.push(digest);
+    }
+
+    /// Number of pinned digests (with multiplicity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// Whether nothing is pinned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
+    }
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        let mut inner = self.inner.lock();
+        for d in &self.digests {
+            if let Some(count) = inner.pins.get_mut(d) {
+                *count = count.saturating_sub(1);
+                if *count == 0 {
+                    inner.pins.remove(d);
+                }
+            }
+        }
+    }
+}
+
+/// The content-addressed chunk store (see module docs).
+pub struct ChunkStore {
+    fleet: Arc<DriveFleet>,
+    config: StoreConfig,
+    inner: Arc<Mutex<Inner>>,
+    metrics: Metrics,
+}
+
+impl std::fmt::Debug for ChunkStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkStore")
+            .field("drives", &self.fleet.len())
+            .field("partition", &self.config.partition)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChunkStore {
+    /// Open (or create) the store on `fleet`: discover tagged objects,
+    /// load the newest valid persisted index, rescan pack bytes beyond
+    /// its coverage and load the snapshot catalog. On a fresh fleet
+    /// this finds nothing and yields an empty store — creation and
+    /// crash recovery are the same code path, which is what makes
+    /// reopening after a crash trivially correct.
+    pub fn open(
+        fleet: Arc<DriveFleet>,
+        config: StoreConfig,
+        registry: &Registry,
+    ) -> Result<Self, DedupError> {
+        let metrics = Metrics {
+            chunks_stored: registry.counter("dedup/chunks-stored"),
+            chunks_deduped: registry.counter("dedup/chunks-deduped"),
+            bytes_ingested: registry.counter("dedup/bytes-ingested"),
+            bytes_stored: registry.counter("dedup/bytes-stored"),
+            dedup_ratio: registry.gauge("dedup/ratio-milli"),
+            gc_runs: registry.counter("dedup/gc/runs"),
+            gc_marked: registry.counter("dedup/gc/marked"),
+            gc_swept: registry.counter("dedup/gc/swept"),
+            gc_reclaimed: registry.counter("dedup/gc/reclaimed-bytes"),
+        };
+        let store = ChunkStore {
+            fleet,
+            config,
+            inner: Arc::new(Mutex::new(Inner::default())),
+            metrics,
+        };
+        store.discover()?;
+        Ok(store)
+    }
+
+    /// The store's configuration.
+    #[must_use]
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The fleet the store runs on.
+    #[must_use]
+    pub fn fleet(&self) -> &Arc<DriveFleet> {
+        &self.fleet
+    }
+
+    /// Start a pin session for a backup. Chunks inserted (or found
+    /// deduplicated) through this guard survive any concurrent GC.
+    #[must_use]
+    pub fn pin_session(&self) -> PinGuard {
+        PinGuard {
+            inner: Arc::clone(&self.inner),
+            digests: Vec::new(),
+        }
+    }
+
+    /// Insert one chunk, pinning it in `session`. Returns its digest
+    /// and whether new bytes were written.
+    ///
+    /// The fast path — digest already indexed — takes the lock once:
+    /// present-check and pin are atomic, so GC can never reap a chunk
+    /// this call just reported [`InsertOutcome::Deduped`]. The slow
+    /// path appends a frame *outside* the lock (drive `Append`
+    /// serializes racing writers) and re-checks on completion; a lost
+    /// race leaves a harmless orphan frame for GC.
+    pub fn insert(
+        &self,
+        session: &mut PinGuard,
+        data: &[u8],
+    ) -> Result<(ChunkDigest, InsertOutcome), DedupError> {
+        let digest = Sha256::digest(data).into_bytes();
+        self.metrics.bytes_ingested.add(data.len() as u64);
+        {
+            let mut inner = self.inner.lock();
+            inner.ingested = inner.ingested.saturating_add(data.len() as u64);
+            *inner.pins.entry(digest).or_insert(0) += 1;
+            if inner.index.contains_key(&digest) {
+                session.record(digest);
+                self.metrics.chunks_deduped.inc();
+                self.update_ratio(&inner);
+                return Ok((digest, InsertOutcome::Deduped));
+            }
+            session.record(digest);
+        }
+        let frame = blob::encode(&digest, data, self.config.compress);
+        let frame_len = frame.len() as u32;
+        let drive = self.place(&digest);
+        let object = self.open_pack(drive)?;
+        let ep = self.endpoint(drive)?;
+        let cap = self.rw_cap(&ep, object);
+        let offset = ep.append(&cap, Bytes::from(frame))?;
+        let loc = ChunkLoc {
+            drive,
+            object,
+            offset,
+            frame_len,
+            unc_len: data.len() as u32,
+        };
+        let mut inner = self.inner.lock();
+        let newly_stored = match inner.index.entry(digest) {
+            // An occupied slot means we lost the write race; our frame
+            // is orphan garbage the next GC reclaims.
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(loc);
+                true
+            }
+        };
+        let outcome = if newly_stored {
+            inner.stored = inner.stored.saturating_add(u64::from(frame_len));
+            self.metrics.chunks_stored.inc();
+            self.metrics.bytes_stored.add(u64::from(frame_len));
+            InsertOutcome::Stored
+        } else {
+            self.metrics.chunks_deduped.inc();
+            InsertOutcome::Deduped
+        };
+        Self::cover(&mut inner, drive, object, offset + u64::from(frame_len));
+        self.update_ratio(&inner);
+        Ok((digest, outcome))
+    }
+
+    /// Read one chunk back, fully verified (frame checksum + content
+    /// digest + match against the requested digest).
+    pub fn read_chunk(&self, digest: &ChunkDigest) -> Result<Vec<u8>, DedupError> {
+        let loc = {
+            let inner = self.inner.lock();
+            *inner
+                .index
+                .get(digest)
+                .ok_or(DedupError::MissingChunk(*digest))?
+        };
+        let ep = self.endpoint(loc.drive)?;
+        let cap = self.ro_cap(&ep, loc.object);
+        let rope = ep.read(&cap, loc.offset, u64::from(loc.frame_len))?;
+        // nasd-lint: allow(hot-path-copy, "frame decode needs one contiguous chunk-sized buffer off the rope")
+        let decoded = blob::decode(&rope.to_vec())?;
+        if !nasd_crypto::ct_eq(&decoded.digest, digest) {
+            return Err(DedupError::Corrupt("chunk digest does not match address"));
+        }
+        Ok(decoded.data)
+    }
+
+    /// Whether `digest` is currently indexed.
+    #[must_use]
+    pub fn contains(&self, digest: &ChunkDigest) -> bool {
+        self.inner.lock().index.contains_key(digest)
+    }
+
+    /// Point-in-time statistics.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            chunks: inner.index.len() as u64,
+            ingested_bytes: inner.ingested,
+            stored_bytes: inner.stored,
+            packs: inner.packs.iter().map(|p| p.len() as u64).sum(),
+            snapshots: inner.manifests.len() as u64,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot catalog.
+
+    /// Store `manifest` durably and add it to the catalog. Fails with
+    /// [`DedupError::SnapshotExists`] on a name collision.
+    pub fn insert_manifest(&self, manifest: &SnapshotManifest) -> Result<(), DedupError> {
+        if self.inner.lock().manifests.contains_key(&manifest.name) {
+            return Err(DedupError::SnapshotExists(manifest.name.clone()));
+        }
+        let wire = manifest.to_wire_checksummed();
+        let drive = self.place(Sha256::digest(manifest.name.as_bytes()).as_bytes());
+        let ep = self.endpoint(drive)?;
+        let object = ep.create_object(
+            self.config.partition,
+            wire.len() as u64,
+            None,
+            self.expiry(),
+        )?;
+        let cap = self.rw_cap(&ep, object);
+        ep.write(&cap, 0, Bytes::from(wire))?;
+        ep.set_fs_specific(&cap, Self::tag(ROLE_MANIFEST, 0))?;
+        let mut inner = self.inner.lock();
+        if inner.manifests.contains_key(&manifest.name) {
+            // Lost a publish race: drop our copy, keep the winner.
+            drop(inner);
+            let _removed = ep.remove(&cap);
+            return Err(DedupError::SnapshotExists(manifest.name.clone()));
+        }
+        inner
+            .manifests
+            .insert(manifest.name.clone(), (drive, object, manifest.clone()));
+        Ok(())
+    }
+
+    /// Fetch a snapshot manifest from the catalog.
+    pub fn manifest(&self, name: &str) -> Result<SnapshotManifest, DedupError> {
+        self.inner
+            .lock()
+            .manifests
+            .get(name)
+            .map(|(_, _, m)| m.clone())
+            .ok_or_else(|| DedupError::NoSuchSnapshot(name.to_owned()))
+    }
+
+    /// Snapshot names, sorted.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<String> {
+        self.inner.lock().manifests.keys().cloned().collect()
+    }
+
+    /// All catalogued manifests, sorted by name.
+    #[must_use]
+    pub fn all_manifests(&self) -> Vec<SnapshotManifest> {
+        self.inner
+            .lock()
+            .manifests
+            .values()
+            .map(|(_, _, m)| m.clone())
+            .collect()
+    }
+
+    /// Remove a snapshot from the catalog and the drives. The chunks it
+    /// referenced become garbage for the next [`gc`](crate::GcReport).
+    pub fn remove_manifest(&self, name: &str) -> Result<(), DedupError> {
+        let (drive, object) = {
+            let mut inner = self.inner.lock();
+            let (drive, object, _) = inner
+                .manifests
+                .remove(name)
+                .ok_or_else(|| DedupError::NoSuchSnapshot(name.to_owned()))?;
+            (drive, object)
+        };
+        let ep = self.endpoint(drive)?;
+        let cap = self.rw_cap(&ep, object);
+        ep.remove(&cap)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Index persistence and recovery.
+
+    /// Persist the digest map as a new generation index object, then
+    /// retire older index objects. A crash between the two steps leaves
+    /// two indexes; open() picks the newest valid one.
+    pub fn flush(&self) -> Result<u64, DedupError> {
+        let (wire, generation, stale) = {
+            let mut inner = self.inner.lock();
+            inner.generation += 1;
+            (
+                Self::encode_index(&inner),
+                inner.generation,
+                std::mem::take(&mut inner.index_objects),
+            )
+        };
+        let drive = self.place(&generation.to_be_bytes());
+        let ep = self.endpoint(drive)?;
+        let object = ep.create_object(
+            self.config.partition,
+            wire.len() as u64,
+            None,
+            self.expiry(),
+        )?;
+        let cap = self.rw_cap(&ep, object);
+        ep.write(&cap, 0, Bytes::from(wire))?;
+        ep.set_fs_specific(&cap, Self::tag(ROLE_INDEX, generation))?;
+        self.inner
+            .lock()
+            .index_objects
+            .push((drive, object, generation));
+        for (sdrive, sobject, _) in stale {
+            if let Ok(sep) = self.endpoint(sdrive) {
+                let scap = self.rw_cap(&sep, sobject);
+                // Best-effort: a failure leaves a stale index object
+                // that loses the generation race forever; the next
+                // successful flush retries the removal.
+                if sep.remove(&scap).is_err() {
+                    self.inner.lock().index_objects.push((sdrive, sobject, 0));
+                }
+            }
+        }
+        Ok(generation)
+    }
+
+    /// Discovery pass for [`ChunkStore::open`].
+    fn discover(&self) -> Result<(), DedupError> {
+        let ndrives = self.fleet.len();
+        let mut packs_by_drive: Vec<Vec<ObjectId>> = vec![Vec::new(); ndrives];
+        let mut indexes: Vec<(u32, ObjectId, u64)> = Vec::new();
+        let mut manifest_objs: Vec<(u32, ObjectId)> = Vec::new();
+        for (di, ep) in self.fleet.endpoints().iter().enumerate() {
+            let list_cap = ep.mint_partition(self.config.partition, Rights::GETATTR, self.expiry());
+            let ids = match ep.call(
+                &list_cap,
+                nasd_proto::RequestBody::ListObjects {
+                    partition: self.config.partition,
+                },
+                Bytes::new(),
+            ) {
+                Ok(nasd_proto::ReplyBody::Objects(ids)) => ids,
+                Ok(_) => Vec::new(),
+                // A real drive error aborts open: recovery must never
+                // silently proceed with a partial view of the store.
+                Err(e) => return Err(e.into()),
+            };
+            for id in ids {
+                let cap = self.ro_cap(ep, id);
+                let attrs = ep.get_attr(&cap)?;
+                let Some((role, generation)) = Self::parse_tag(&attrs.fs_specific) else {
+                    continue;
+                };
+                match role {
+                    ROLE_PACK => packs_by_drive.get_mut(di).map(|v| v.push(id)).unwrap_or(()),
+                    ROLE_INDEX => indexes.push((di as u32, id, generation)),
+                    ROLE_MANIFEST => manifest_objs.push((di as u32, id)),
+                    _ => {}
+                }
+            }
+        }
+        // Newest-generation valid index wins; invalid ones (torn
+        // writes) are skipped, not fatal.
+        indexes.sort_by_key(|&(_, _, generation)| std::cmp::Reverse(generation));
+        let mut loaded: Option<Inner> = None;
+        for &(di, id, generation) in &indexes {
+            match self.load_index(di, id) {
+                Ok(mut inner) => {
+                    inner.generation = generation;
+                    loaded = Some(inner);
+                    break;
+                }
+                Err(_) => continue,
+            }
+        }
+        let mut inner = loaded.unwrap_or_default();
+        inner.index_objects = indexes;
+        inner.packs.resize(ndrives, Vec::new());
+        // Adopt packs the index has never seen (created after the last
+        // flush, or on a fresh store).
+        for (di, ids) in packs_by_drive.iter().enumerate() {
+            for &id in ids {
+                let known = inner
+                    .packs
+                    .get(di)
+                    .is_some_and(|v| v.iter().any(|p| p.object == id));
+                if !known {
+                    if let Some(v) = inner.packs.get_mut(di) {
+                        v.push(PackState {
+                            object: id,
+                            covered: 0,
+                        });
+                    }
+                }
+            }
+        }
+        // Rescan every pack beyond its covered prefix: frames that
+        // landed after the last flush are re-adopted; the first torn or
+        // corrupt frame ends that pack's scan.
+        for di in 0..ndrives {
+            let packs = inner.packs.get(di).cloned().unwrap_or_default();
+            for pack in packs {
+                self.rescan_pack(&mut inner, di as u32, pack)?;
+            }
+        }
+        // Load the snapshot catalog; a torn manifest write is skipped.
+        for (di, id) in manifest_objs {
+            let ep = self.endpoint(di)?;
+            let cap = self.ro_cap(&ep, id);
+            let attrs = ep.get_attr(&cap)?;
+            let rope = ep.read(&cap, 0, attrs.size)?;
+            // nasd-lint: allow(hot-path-copy, "manifests are small and decoded once per discovery")
+            match SnapshotManifest::from_wire_checksummed(&rope.to_vec()) {
+                Ok(m) => {
+                    inner.manifests.entry(m.name.clone()).or_insert((di, id, m));
+                }
+                Err(_) => continue,
+            }
+        }
+        *self.inner.lock() = inner;
+        Ok(())
+    }
+
+    /// Re-adopt frames in `pack` beyond its covered prefix.
+    fn rescan_pack(
+        &self,
+        inner: &mut Inner,
+        drive: u32,
+        pack: PackState,
+    ) -> Result<(), DedupError> {
+        let ep = self.endpoint(drive)?;
+        let cap = self.ro_cap(&ep, pack.object);
+        let size = ep.get_attr(&cap)?.size;
+        if size <= pack.covered {
+            return Ok(());
+        }
+        // nasd-lint: allow(hot-path-copy, "crash rescan reads the uncovered pack tail once into a scan buffer")
+        let tail = ep.read(&cap, pack.covered, size - pack.covered)?.to_vec();
+        let mut pos = 0usize;
+        while pos < tail.len() {
+            let Some(window) = tail.get(pos..) else { break };
+            let Ok(decoded) = blob::decode(window) else {
+                // Torn append: everything from here on is dead tail.
+                break;
+            };
+            let offset = pack.covered + pos as u64;
+            let loc = ChunkLoc {
+                drive,
+                object: pack.object,
+                offset,
+                frame_len: decoded.frame_len as u32,
+                unc_len: decoded.data.len() as u32,
+            };
+            inner.index.entry(decoded.digest).or_insert(loc);
+            pos += decoded.frame_len;
+        }
+        Self::cover(inner, drive, pack.object, pack.covered + pos as u64);
+        Ok(())
+    }
+
+    /// Serialize the digest map + pack coverage, checksummed.
+    fn encode_index(inner: &Inner) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u32(INDEX_MAGIC).u64(inner.generation);
+        w.u32(inner.packs.len() as u32);
+        for drive_packs in &inner.packs {
+            w.u32(drive_packs.len() as u32);
+            for p in drive_packs {
+                w.u64(p.object.0).u64(p.covered);
+            }
+        }
+        w.u32(inner.index.len() as u32);
+        for (digest, loc) in &inner.index {
+            w.raw(digest);
+            w.u32(loc.drive)
+                .u64(loc.object.0)
+                .u64(loc.offset)
+                .u32(loc.frame_len)
+                .u32(loc.unc_len);
+        }
+        let csum = {
+            let d = Sha256::digest(w.as_slice()).into_bytes();
+            d.iter()
+                .take(8)
+                .fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
+        };
+        w.u64(csum);
+        w.into_vec()
+    }
+
+    /// Load and verify one persisted index object.
+    fn load_index(&self, drive: u32, object: ObjectId) -> Result<Inner, DedupError> {
+        let ep = self.endpoint(drive)?;
+        let cap = self.ro_cap(&ep, object);
+        let size = ep.get_attr(&cap)?.size;
+        // nasd-lint: allow(hot-path-copy, "the persisted index is decoded once per open; decode needs contiguous bytes")
+        let buf = ep.read(&cap, 0, size)?.to_vec();
+        let body_len =
+            buf.len()
+                .checked_sub(8)
+                .ok_or(DedupError::Decode(DecodeError::Truncated {
+                    needed: 8,
+                    remaining: buf.len(),
+                }))?;
+        let body = buf.get(..body_len).unwrap_or_default();
+        let mut tr = WireReader::new(buf.get(body_len..).unwrap_or_default());
+        let want = {
+            let d = Sha256::digest(body).into_bytes();
+            d.iter()
+                .take(8)
+                .fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
+        };
+        if tr.u64()? != want {
+            return Err(DedupError::Corrupt("index checksum mismatch"));
+        }
+        let mut r = WireReader::new(body);
+        if r.u32()? != INDEX_MAGIC {
+            return Err(DedupError::Corrupt("bad index magic"));
+        }
+        let generation = r.u64()?;
+        let ndrives = r.u32()?;
+        if ndrives > MAX_PACKS {
+            return Err(DedupError::Corrupt("index drive count absurd"));
+        }
+        let mut packs = Vec::with_capacity(ndrives as usize);
+        for _ in 0..ndrives {
+            let n = r.u32()?;
+            if n > MAX_PACKS {
+                return Err(DedupError::Corrupt("index pack count absurd"));
+            }
+            let mut v = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                v.push(PackState {
+                    object: ObjectId(r.u64()?),
+                    covered: r.u64()?,
+                });
+            }
+            packs.push(v);
+        }
+        let n = r.u32()?;
+        if n > MAX_INDEX_CHUNKS {
+            return Err(DedupError::Corrupt("index chunk count absurd"));
+        }
+        let mut index = BTreeMap::new();
+        let mut stored = 0u64;
+        for _ in 0..n {
+            let mut digest = [0u8; 32];
+            // nasd-lint: allow(hot-path-copy, "32-byte content address out of the persisted index, not payload")
+            digest.copy_from_slice(r.raw(32)?);
+            let loc = ChunkLoc {
+                drive: r.u32()?,
+                object: ObjectId(r.u64()?),
+                offset: r.u64()?,
+                frame_len: r.u32()?,
+                unc_len: r.u32()?,
+            };
+            stored = stored.saturating_add(u64::from(loc.frame_len));
+            index.insert(digest, loc);
+        }
+        r.finish().map_err(DedupError::Decode)?;
+        Ok(Inner {
+            index,
+            packs,
+            generation,
+            stored,
+            ..Inner::default()
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Internals shared with gc.rs.
+
+    /// Digest-driven drive placement.
+    pub(crate) fn place(&self, key: &[u8]) -> u32 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (h % self.fleet.len().max(1) as u64) as u32
+    }
+
+    pub(crate) fn endpoint(&self, drive: u32) -> Result<Arc<DriveEndpoint>, DedupError> {
+        self.fleet
+            .endpoints()
+            .get(drive as usize)
+            .cloned()
+            .ok_or(DedupError::Corrupt("chunk placed on unknown drive"))
+    }
+
+    fn expiry(&self) -> u64 {
+        self.fleet.now().saturating_add(self.config.cap_lifetime)
+    }
+
+    pub(crate) fn rw_cap(&self, ep: &DriveEndpoint, object: ObjectId) -> nasd_proto::Capability {
+        ep.mint(
+            self.config.partition,
+            object,
+            Version(0),
+            Rights::READ | Rights::WRITE | Rights::GETATTR | Rights::SETATTR | Rights::REMOVE,
+            ByteRange::FULL,
+            self.expiry(),
+        )
+    }
+
+    pub(crate) fn ro_cap(&self, ep: &DriveEndpoint, object: ObjectId) -> nasd_proto::Capability {
+        ep.mint(
+            self.config.partition,
+            object,
+            Version(0),
+            Rights::READ | Rights::GETATTR,
+            ByteRange::FULL,
+            self.expiry(),
+        )
+    }
+
+    /// The open pack on `drive`, rolling to a fresh object when the
+    /// current one is past target size.
+    pub(crate) fn open_pack(&self, drive: u32) -> Result<ObjectId, DedupError> {
+        {
+            let inner = self.inner.lock();
+            if let Some(p) = inner
+                .packs
+                .get(drive as usize)
+                .and_then(|v| v.last())
+                .filter(|p| p.covered < self.config.pack_target_bytes)
+            {
+                return Ok(p.object);
+            }
+        }
+        let ep = self.endpoint(drive)?;
+        let object = ep.create_object(
+            self.config.partition,
+            self.config.pack_target_bytes,
+            None,
+            self.expiry(),
+        )?;
+        let cap = self.rw_cap(&ep, object);
+        ep.set_fs_specific(&cap, Self::tag(ROLE_PACK, 0))?;
+        let mut inner = self.inner.lock();
+        if inner.packs.len() <= drive as usize {
+            inner.packs.resize(drive as usize + 1, Vec::new());
+        }
+        if let Some(v) = inner.packs.get_mut(drive as usize) {
+            // A racing inserter may have rolled first; adopt whichever
+            // open pack exists, keeping ours as an extra (it will fill
+            // later or stay empty — both harmless).
+            v.push(PackState { object, covered: 0 });
+        }
+        Ok(object)
+    }
+
+    /// Raise the covered watermark of `(drive, object)` to `upto`.
+    pub(crate) fn cover(inner: &mut Inner, drive: u32, object: ObjectId, upto: u64) {
+        if let Some(p) = inner
+            .packs
+            .get_mut(drive as usize)
+            .and_then(|v| v.iter_mut().find(|p| p.object == object))
+        {
+            p.covered = p.covered.max(upto);
+        }
+    }
+
+    pub(crate) fn update_ratio(&self, inner: &Inner) {
+        let milli = inner
+            .ingested
+            .saturating_mul(1000)
+            .checked_div(inner.stored)
+            .unwrap_or(1000) as i64;
+        self.metrics.dedup_ratio.set(milli);
+    }
+
+    /// Build a store-object tag.
+    fn tag(role: u8, generation: u64) -> [u8; FS_SPECIFIC_ATTR_LEN] {
+        let mut t = [0u8; FS_SPECIFIC_ATTR_LEN];
+        let mut w = WireWriter::with_capacity(17);
+        w.raw(TAG_MAGIC).u8(role).u64(generation);
+        for (dst, src) in t.iter_mut().zip(w.as_slice()) {
+            *dst = *src;
+        }
+        t
+    }
+
+    /// Parse a store-object tag; `None` for foreign objects.
+    fn parse_tag(fs_specific: &[u8; FS_SPECIFIC_ATTR_LEN]) -> Option<(u8, u64)> {
+        let mut r = WireReader::new(fs_specific);
+        if r.raw(8).ok()? != TAG_MAGIC {
+            return None;
+        }
+        let role = r.u8().ok()?;
+        let generation = r.u64().ok()?;
+        Some((role, generation))
+    }
+
+    /// Borrow the metrics block (gc.rs).
+    pub(crate) fn metrics_gc(
+        &self,
+    ) -> (
+        &Arc<nasd_obs::Counter>,
+        &Arc<nasd_obs::Counter>,
+        &Arc<nasd_obs::Counter>,
+        &Arc<nasd_obs::Counter>,
+    ) {
+        (
+            &self.metrics.gc_runs,
+            &self.metrics.gc_marked,
+            &self.metrics.gc_swept,
+            &self.metrics.gc_reclaimed,
+        )
+    }
+
+    /// Shared mutable state (gc.rs).
+    pub(crate) fn inner_for_gc(&self) -> &Arc<Mutex<Inner>> {
+        &self.inner
+    }
+}

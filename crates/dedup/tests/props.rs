@@ -1,0 +1,221 @@
+//! Property suites for the dedup formats and the content-defined
+//! chunker.
+//!
+//! Three families:
+//!
+//! * **Shift-invariance** — inserting one byte near the front of a
+//!   stream must change only O(1) chunks; everything past the chunker's
+//!   resynchronization point keeps its old content addresses. This is
+//!   the property that makes incrementals cheap.
+//! * **Wire round-trips** — randomly-shaped archive indexes and
+//!   snapshot manifests survive encode/decode exactly.
+//! * **Corruption rejection** — truncating or bit-flipping an encoded
+//!   manifest/index never yields a *different* successfully-decoded
+//!   value; the checksums catch it.
+
+use nasd_dedup::{
+    ArchiveEntry, ArchiveIndex, ChunkerParams, DynamicChunker, DynamicIndex, FixedChunker,
+    FixedIndex, SnapshotManifest,
+};
+use nasd_proto::wire::{WireDecode, WireEncode};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Deterministic pseudo-random bytes from a seed (xorshift-free LCG —
+/// incompressible, which keeps chunk boundaries content-driven).
+fn gen_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+/// The distinct chunk payloads of `data` under `params`.
+fn chunk_set(params: ChunkerParams, data: &[u8]) -> HashSet<Vec<u8>> {
+    DynamicChunker::new(params)
+        .boundaries(data)
+        .iter()
+        .map(|&(s, e)| data[s..e].to_vec())
+        .collect()
+}
+
+proptest! {
+    // ------------------------------------------------- shift-invariance
+
+    #[test]
+    fn insert_near_front_changes_o1_chunks(
+        seed: u64,
+        len in 20_000usize..50_000,
+        pos in 0usize..4_000,
+        byte: u8,
+    ) {
+        let params = ChunkerParams::small();
+        let data = gen_bytes(seed, len);
+        let mut shifted = data.clone();
+        shifted.insert(pos, byte);
+
+        let before = chunk_set(params, &data);
+        let after = chunk_set(params, &shifted);
+        // Chunks the edit minted that existed nowhere in the original:
+        // the chunk holding the insertion plus at most a few neighbours
+        // before the content-defined boundaries resynchronize. O(1),
+        // independent of stream length.
+        let fresh = after.difference(&before).count();
+        prop_assert!(
+            fresh <= 6,
+            "1-byte insert at {pos} minted {fresh} fresh chunks (len {len})"
+        );
+    }
+
+    #[test]
+    fn boundaries_partition_the_input(seed: u64, len in 0usize..60_000) {
+        let params = ChunkerParams::small();
+        let data = gen_bytes(seed, len);
+        let bounds = DynamicChunker::new(params).boundaries(&data);
+        let mut cursor = 0;
+        for &(s, e) in &bounds {
+            prop_assert_eq!(s, cursor, "gap or overlap at {}", s);
+            prop_assert!(e > s, "empty chunk at {}", s);
+            prop_assert!(e - s <= params.max_size, "oversized chunk at {}", s);
+            cursor = e;
+        }
+        prop_assert_eq!(cursor, data.len(), "chunks do not cover the input");
+    }
+
+    #[test]
+    fn fixed_grid_is_exact(seed: u64, len in 0usize..40_000, block in 1usize..10_000) {
+        let data = gen_bytes(seed, len);
+        let bounds = FixedChunker::new(block).boundaries(&data);
+        for (i, &(s, e)) in bounds.iter().enumerate() {
+            prop_assert_eq!(s, i * block);
+            prop_assert!(e == s + block || e == data.len());
+        }
+    }
+
+    // ---------------------------------------------------- wire formats
+
+    #[test]
+    fn archive_index_round_trips(
+        seed: u64,
+        nchunks in 0usize..40,
+        fixed: bool,
+        chunk_size in 1u64..1 << 20,
+    ) {
+        let index = random_index(seed, nchunks, fixed, chunk_size);
+        let wire = index.to_wire();
+        let back = ArchiveIndex::from_wire(&wire).expect("round trip failed");
+        prop_assert_eq!(back, index);
+    }
+
+    #[test]
+    fn archive_index_rejects_every_truncation(
+        seed: u64,
+        nchunks in 0usize..12,
+        fixed: bool,
+    ) {
+        let index = random_index(seed, nchunks, fixed, 4096);
+        let wire = index.to_wire();
+        for cut in 0..wire.len() {
+            prop_assert!(
+                ArchiveIndex::from_wire(&wire[..cut]).is_err(),
+                "truncation to {cut} of {} decoded",
+                wire.len()
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips(seed: u64, narchives in 0usize..5, created: u64) {
+        let manifest = random_manifest(seed, narchives, created);
+        let wire = manifest.to_wire_checksummed();
+        let back = SnapshotManifest::from_wire_checksummed(&wire).expect("round trip");
+        prop_assert_eq!(back, manifest);
+    }
+
+    // ---------------------------------------------- corruption rejection
+
+    #[test]
+    fn manifest_rejects_truncation_and_bit_flips(
+        seed: u64,
+        narchives in 1usize..4,
+        flip_bit in 0usize..8,
+    ) {
+        let manifest = random_manifest(seed, narchives, 777);
+        let wire = manifest.to_wire_checksummed();
+        for cut in 0..wire.len() {
+            prop_assert!(
+                SnapshotManifest::from_wire_checksummed(&wire[..cut]).is_err(),
+                "truncation to {cut} decoded"
+            );
+        }
+        // Flip one bit in every byte position: the trailer checksum (or
+        // a structural check) must catch each one.
+        for pos in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[pos] ^= 1 << flip_bit;
+            prop_assert!(
+                SnapshotManifest::from_wire_checksummed(&bad).is_err(),
+                "bit {flip_bit} of byte {pos} flipped undetected"
+            );
+        }
+    }
+}
+
+/// A random but *consistent* archive index (decode enforces shape).
+fn random_index(seed: u64, nchunks: usize, fixed: bool, chunk_size: u64) -> ArchiveIndex {
+    let digests: Vec<[u8; 32]> = (0..nchunks)
+        .map(|i| {
+            let mut d = [0u8; 32];
+            let b = gen_bytes(seed ^ i as u64, 32);
+            d.copy_from_slice(&b);
+            d
+        })
+        .collect();
+    if fixed {
+        // total_len must be consistent with the digest count: full
+        // chunks for all but the last, which is 1..=chunk_size bytes.
+        let total_len = match nchunks {
+            0 => 0,
+            n => chunk_size * (n as u64 - 1) + 1 + (seed % chunk_size),
+        };
+        ArchiveIndex::Fixed(FixedIndex {
+            chunk_size,
+            total_len,
+            digests,
+        })
+    } else {
+        let mut end = 0u64;
+        let entries = digests
+            .into_iter()
+            .map(|d| {
+                end += 1 + (seed % 9000);
+                (end, d)
+            })
+            .collect();
+        ArchiveIndex::Dynamic(DynamicIndex { entries })
+    }
+}
+
+fn random_manifest(seed: u64, narchives: usize, created: u64) -> SnapshotManifest {
+    let archives = (0..narchives)
+        .map(|i| {
+            let mut csum = [0u8; 32];
+            csum.copy_from_slice(&gen_bytes(seed ^ (i as u64) << 8, 32));
+            ArchiveEntry {
+                name: format!("archive-{i}.pxar"),
+                index: random_index(seed ^ i as u64, (seed as usize + i) % 6, i % 2 == 0, 1024),
+                csum,
+            }
+        })
+        .collect();
+    SnapshotManifest {
+        name: format!("snap-{seed:x}"),
+        created,
+        archives,
+    }
+}

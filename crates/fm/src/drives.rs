@@ -339,6 +339,31 @@ impl DriveEndpoint {
         }
     }
 
+    /// Append object data at the drive-chosen end of data with `cap`;
+    /// returns the offset where the data landed. Safe for concurrent
+    /// appenders: the drive serializes the offset choice, so two clients
+    /// sharing a pack object never overwrite each other.
+    ///
+    /// # Errors
+    ///
+    /// Drive statuses and transport failures.
+    pub fn append(&self, cap: &Capability, data: Bytes) -> Result<u64, FmError> {
+        let (partition, object) = (cap.public.partition, cap.public.object);
+        let len = data.len() as u64;
+        match self.call(
+            cap,
+            RequestBody::Append {
+                partition,
+                object,
+                len,
+            },
+            data,
+        )? {
+            ReplyBody::Appended(offset) => Ok(offset),
+            _ => Err(FmError::Drive(NasdStatus::DriveError)),
+        }
+    }
+
     /// Read attributes with `cap`.
     ///
     /// # Errors
@@ -772,6 +797,26 @@ mod tests {
         assert_eq!(ep.read(&cap, 5, 3).unwrap(), b"the");
         let attrs = ep.get_attr(&cap).unwrap();
         assert_eq!(attrs.size, 13);
+        f.shutdown();
+    }
+
+    #[test]
+    fn append_lands_at_end_of_data_and_reports_offset() {
+        let f = fleet(1);
+        let ep = f.endpoint(0);
+        let p = f.partition();
+        let obj = ep.create_object(p, 0, None, 100).unwrap();
+        let cap = ep.mint(
+            p,
+            obj,
+            Version(0),
+            Rights::READ | Rights::WRITE,
+            ByteRange::FULL,
+            100,
+        );
+        assert_eq!(ep.append(&cap, Bytes::from_static(b"first ")).unwrap(), 0);
+        assert_eq!(ep.append(&cap, Bytes::from_static(b"second")).unwrap(), 6);
+        assert_eq!(ep.read(&cap, 0, 12).unwrap(), b"first second");
         f.shutdown();
     }
 

@@ -23,6 +23,9 @@ pub(crate) const C1_FILES: &[&str] = &[
     "crates/object/src/layout.rs",
     "crates/object/src/wal.rs",
     "crates/object/src/persist.rs",
+    "crates/dedup/src/blob.rs",
+    "crates/dedup/src/index.rs",
+    "crates/dedup/src/manifest.rs",
 ];
 
 /// Path prefixes in C1 scope: the whole wire codec, and the checker

@@ -10,7 +10,7 @@ use crate::{crate_of, RawFinding, Source};
 /// replays diverge. `net` is included: its single legitimate pacing sleep
 /// carries an explicit suppression.
 pub(crate) const D1_CRATES: &[&str] = &[
-    "sim", "disk", "object", "proto", "cheops", "fm", "pfs", "net", "obs", "mgmt",
+    "sim", "disk", "object", "proto", "cheops", "fm", "pfs", "net", "obs", "mgmt", "dedup",
 ];
 
 /// Request-path modules that must return `NasdStatus` errors rather than
@@ -44,6 +44,16 @@ pub(crate) const P1_FILES: &[&str] = &[
     "crates/net/src/socket.rs",
     "crates/net/src/transport.rs",
     "crates/net/src/connect.rs",
+    "crates/dedup/src/blob.rs",
+    "crates/dedup/src/checksum.rs",
+    "crates/dedup/src/chunker.rs",
+    "crates/dedup/src/client.rs",
+    "crates/dedup/src/error.rs",
+    "crates/dedup/src/gc.rs",
+    "crates/dedup/src/index.rs",
+    "crates/dedup/src/manifest.rs",
+    "crates/dedup/src/prune.rs",
+    "crates/dedup/src/store.rs",
 ];
 
 /// Path prefixes additionally swept by P1/E1 (and C1, see `casts.rs`):
@@ -196,6 +206,9 @@ pub(crate) const E1_FILES: &[&str] = &[
     "crates/fm/src/drives.rs",
     "crates/fm/src/nfs.rs",
     "crates/fm/src/afs.rs",
+    "crates/dedup/src/store.rs",
+    "crates/dedup/src/gc.rs",
+    "crates/dedup/src/client.rs",
 ];
 
 /// E1: swallowed results on ack/durability/repair paths. Flags
@@ -275,6 +288,10 @@ pub(crate) const H1_FILES: &[&str] = &[
     "crates/pfs/src/sio.rs",
     "crates/net/src/frame.rs",
     "crates/net/src/socket.rs",
+    "crates/dedup/src/blob.rs",
+    "crates/dedup/src/checksum.rs",
+    "crates/dedup/src/client.rs",
+    "crates/dedup/src/store.rs",
 ];
 
 /// Copying method calls H1 flags when they appear as `.name(`.

@@ -26,6 +26,7 @@
 //! | [`mining`] | frequent-sets mining and the transaction generator |
 //! | [`active`] | Active Disks: on-drive functions |
 //! | [`cost`] | Figure 4 server-cost and Figure 3 ASIC models |
+//! | [`dedup`] | content-addressed chunk store, backup/restore, prune and GC |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@ pub use nasd_active as active;
 pub use nasd_cheops as cheops;
 pub use nasd_cost as cost;
 pub use nasd_crypto as crypto;
+pub use nasd_dedup as dedup;
 pub use nasd_disk as disk;
 pub use nasd_ffs as ffs;
 pub use nasd_fm as fm;

@@ -680,6 +680,31 @@ impl<D: nasd_disk::BlockDevice> NasdDrive<D> {
                     Err(e) => (Reply::error(Self::status_of(&e)), OpKind::Write, 0),
                 }
             }
+            RequestBody::Append {
+                partition,
+                object,
+                len,
+            } => {
+                if *len != req.data.len() as u64 {
+                    return (Reply::error(NasdStatus::BadRequest), OpKind::Write, 0);
+                }
+                let version = object_version!(*partition, *object);
+                // The drive chooses the offset: current end of data. The
+                // capability's region must cover the landing range, so an
+                // append-authorized client still cannot exceed its window.
+                let offset = match self.store.get_attr(*partition, *object, now) {
+                    Ok(attrs) => attrs.size,
+                    Err(e) => return (Reply::error(Self::status_of(&e)), OpKind::Write, 0),
+                };
+                verify!(Rights::WRITE, version, Some((offset, *len)));
+                match self
+                    .store
+                    .write(*partition, *object, offset, &req.data, now, trace)
+                {
+                    Ok(n) => (Reply::ok(ReplyBody::Appended(offset)), OpKind::Write, n),
+                    Err(e) => (Reply::error(Self::status_of(&e)), OpKind::Write, 0),
+                }
+            }
             RequestBody::GetAttr { partition, object } => {
                 let version = object_version!(*partition, *object);
                 verify!(Rights::GETATTR, version, None);

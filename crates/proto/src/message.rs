@@ -43,6 +43,19 @@ pub enum RequestBody {
         /// Length of the bulk data that accompanies this request.
         len: u64,
     },
+    /// Append the accompanying data at the object's current end of data
+    /// (length is the data length). The drive chooses the offset, so
+    /// concurrent appenders never race a read-modify-write cycle — the
+    /// primitive a shared append-only log (e.g. a dedup chunk pack)
+    /// needs. The reply reports the offset where the data landed.
+    Append {
+        /// Partition holding the object.
+        partition: PartitionId,
+        /// Object to append to.
+        object: ObjectId,
+        /// Length of the bulk data that accompanies this request.
+        len: u64,
+    },
     /// Read object attributes.
     GetAttr {
         /// Partition holding the object.
@@ -149,6 +162,7 @@ impl RequestBody {
         match self {
             RequestBody::Read { partition, .. }
             | RequestBody::Write { partition, .. }
+            | RequestBody::Append { partition, .. }
             | RequestBody::GetAttr { partition, .. }
             | RequestBody::SetAttr { partition, .. }
             | RequestBody::Create { partition, .. }
@@ -170,6 +184,7 @@ impl RequestBody {
         match self {
             RequestBody::Read { object, .. }
             | RequestBody::Write { object, .. }
+            | RequestBody::Append { object, .. }
             | RequestBody::GetAttr { object, .. }
             | RequestBody::SetAttr { object, .. }
             | RequestBody::Remove { object, .. }
@@ -195,6 +210,7 @@ impl RequestBody {
             | RequestBody::GetAttr { .. }
             | RequestBody::ListObjects { .. } => false,
             RequestBody::Write { .. }
+            | RequestBody::Append { .. }
             | RequestBody::SetAttr { .. }
             | RequestBody::Create { .. }
             | RequestBody::Remove { .. }
@@ -224,6 +240,7 @@ impl RequestBody {
             RequestBody::RemovePartition { .. } => 11,
             RequestBody::ListObjects { .. } => 12,
             RequestBody::SetKey { .. } => 13,
+            RequestBody::Append { .. } => 14,
         }
     }
 }
@@ -320,6 +337,15 @@ impl WireEncode for RequestBody {
                 partition.encode(w);
                 w.u8(kind.to_byte());
                 w.bytes(wrapped_key);
+            }
+            RequestBody::Append {
+                partition,
+                object,
+                len,
+            } => {
+                partition.encode(w);
+                object.encode(w);
+                w.u64(*len);
             }
         }
     }
@@ -441,6 +467,11 @@ impl WireDecode for RequestBody {
                     wrapped_key,
                 }
             }
+            14 => RequestBody::Append {
+                partition: PartitionId::decode(r)?,
+                object: ObjectId::decode(r)?,
+                len: r.u64()?,
+            },
             t => {
                 return Err(DecodeError::BadTag {
                     context: "request",
@@ -606,6 +637,8 @@ pub enum ReplyBody {
     Written(u64),
     /// Allocated object names.
     Objects(Vec<ObjectId>),
+    /// Offset at which an [`RequestBody::Append`] landed its data.
+    Appended(u64),
 }
 
 /// A complete reply.
@@ -644,7 +677,7 @@ impl Reply {
             ReplyBody::Empty => 0,
             ReplyBody::Data(d) => d.len(),
             ReplyBody::Attr(_) => 321, // fixed encoding size of attributes
-            ReplyBody::Created(_) | ReplyBody::Written(_) => 8,
+            ReplyBody::Created(_) | ReplyBody::Written(_) | ReplyBody::Appended(_) => 8,
             ReplyBody::Objects(v) => 4 + v.len() * 8,
         };
         // status byte + body tag + payload
@@ -682,6 +715,10 @@ impl WireEncode for ReplyBody {
                     id.encode(w);
                 }
             }
+            ReplyBody::Appended(offset) => {
+                w.u8(6);
+                w.u64(*offset);
+            }
         }
     }
 }
@@ -697,6 +734,7 @@ impl ReplyBody {
             3 => ReplyBody::Created(r.decode::<ObjectId>()?),
             4 => ReplyBody::Written(r.with_borrowed(|r| r.u64())?),
             5 => ReplyBody::Objects(r.with_borrowed(decode_object_list)?),
+            6 => ReplyBody::Appended(r.with_borrowed(|r| r.u64())?),
             t => {
                 return Err(DecodeError::BadTag {
                     context: "reply body",
@@ -820,6 +858,11 @@ mod tests {
                 object: o,
                 offset: 512,
                 len: 1024,
+            },
+            RequestBody::Append {
+                partition: p,
+                object: o,
+                len: 2048,
             },
             RequestBody::GetAttr {
                 partition: p,
@@ -1033,6 +1076,7 @@ mod tests {
             Reply::ok(ReplyBody::Data(rope)),
             Reply::ok(ReplyBody::Created(ObjectId(77))),
             Reply::ok(ReplyBody::Written(4096)),
+            Reply::ok(ReplyBody::Appended(8192)),
             Reply::ok(ReplyBody::Objects(vec![ObjectId(1), ObjectId(2)])),
             Reply::error(NasdStatus::NoSpace),
         ];

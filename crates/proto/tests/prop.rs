@@ -43,6 +43,13 @@ fn arb_body() -> impl Strategy<Value = RequestBody> {
                 }
             }
         ),
+        (p.clone(), o.clone(), any::<u64>()).prop_map(|(partition, object, len)| {
+            RequestBody::Append {
+                partition,
+                object,
+                len,
+            }
+        }),
         (p.clone(), o.clone())
             .prop_map(|(partition, object)| RequestBody::GetAttr { partition, object }),
         (p.clone(), o.clone())
