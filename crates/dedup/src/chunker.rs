@@ -85,12 +85,15 @@ impl ChunkerParams {
     /// Clamp the fields into a usable shape: `avg` is rounded down to a
     /// power of two and the bounds are ordered `min <= avg <= max`,
     /// with `min` at least the window size (a boundary decision needs a
-    /// full window).
+    /// full window). Because `min` can never go below [`WINDOW`], `avg`
+    /// is floored at the next power of two above it — a sub-window
+    /// average would force `min > avg`.
     #[must_use]
     pub fn normalized(self) -> Self {
         let avg = self.avg_size.max(2).next_power_of_two();
         let avg = if avg > self.avg_size { avg / 2 } else { avg };
-        let min = self.min_size.max(WINDOW).min(avg);
+        let avg = avg.max(WINDOW.next_power_of_two());
+        let min = self.min_size.clamp(WINDOW, avg);
         let max = self.max_size.max(avg);
         ChunkerParams {
             min_size: min,
@@ -279,6 +282,30 @@ mod tests {
         let ranges = f.boundaries(&[0u8; 10_000]);
         assert_eq!(ranges, vec![(0, 4096), (4096, 8192), (8192, 10_000)]);
         assert!(FixedChunker::new(0).size() == 1);
+    }
+
+    #[test]
+    fn sub_window_average_is_clamped_and_does_not_underflow() {
+        let p = ChunkerParams {
+            min_size: 0,
+            avg_size: 8,
+            max_size: 0,
+        }
+        .normalized();
+        assert!(p.avg_size >= WINDOW && p.avg_size.is_power_of_two());
+        assert!(p.min_size >= WINDOW && p.min_size <= p.avg_size);
+        assert!(p.max_size >= p.avg_size);
+        // Regression: with avg < WINDOW the old normalization produced
+        // min < WINDOW, and next_cut's `start + min - WINDOW` warm-up
+        // offset underflowed usize (a panic in debug builds).
+        let c = DynamicChunker::new(ChunkerParams {
+            min_size: 1,
+            avg_size: 8,
+            max_size: 64,
+        });
+        let data = pseudo_random(10_000, 3);
+        let ranges = c.boundaries(&data);
+        assert_eq!(ranges.last().map(|r| r.1), Some(data.len()));
     }
 
     #[test]

@@ -15,7 +15,12 @@
 //!    entry is repointed only if it still names the old location
 //!    (compare-and-swap under the lock), so racing GCs or inserts
 //!    never clobber each other.
-//! 3. **Reap** — packs with no live frames left are removed.
+//! 3. **Reap** — packs with no live frames left *and no in-flight
+//!    appends* are removed. An insert registers its target pack as
+//!    in-flight (under the lock that picks the pack) before appending
+//!    and deregisters only after the frame's index entry lands, so a
+//!    pack that rolls closed and is fully swept mid-insert still
+//!    cannot be reaped out from under the landing frame.
 //!
 //! Every step is idempotent and crash-restartable: a crash mid-compact
 //! leaves both copies (the index still names a valid one); a crash
@@ -25,7 +30,7 @@
 
 use crate::error::DedupError;
 use crate::index::ChunkDigest;
-use crate::store::{ChunkLoc, ChunkStore, PackState};
+use crate::store::{AppendGuard, ChunkLoc, ChunkStore, PackState};
 use bytes::Bytes;
 use nasd_proto::ObjectId;
 use std::collections::BTreeSet;
@@ -150,11 +155,13 @@ impl ChunkStore {
             if crate::blob::decode(&frame).is_err() {
                 continue;
             }
-            let dst = self.append_to_open_pack(drive, &frame)?;
+            // The guard keeps the destination pack un-reapable until
+            // the CAS below has (or has declined to) repoint the entry.
+            let (dst, offset) = self.append_to_open_pack(drive, &frame)?;
             let new = ChunkLoc {
                 drive,
-                object: dst.0,
-                offset: dst.1,
+                object: dst.object,
+                offset,
                 frame_len: old.frame_len,
                 unc_len: old.unc_len,
             };
@@ -183,6 +190,7 @@ impl ChunkStore {
     fn reap_empty_packs(&self) -> Result<u64, DedupError> {
         let doomed: Vec<(u32, ObjectId)> = {
             let mut inner = self.inner_for_gc().lock();
+            let inner = &mut *inner;
             let mut doomed = Vec::new();
             let index_live: BTreeSet<(u32, u64)> = inner
                 .index
@@ -195,9 +203,13 @@ impl ChunkStore {
                 for (pi, p) in drive_packs.drain(..).enumerate() {
                     let is_open = pi + 1 == n;
                     let dead = !index_live.contains(&(di as u32, p.object.0));
+                    // A registered in-flight append means a frame may
+                    // have landed without an index entry yet; the pack
+                    // is off-limits until the appender settles.
+                    let inflight = inner.inflight.contains_key(&(di as u32, p.object.0));
                     // Keep the open pack even when empty: inserts are
                     // racing toward it.
-                    if dead && !is_open && p.covered > 0 {
+                    if dead && !is_open && !inflight && p.covered > 0 {
                         doomed.push((di as u32, p.object));
                     } else {
                         kept.push(p);
@@ -225,12 +237,71 @@ impl ChunkStore {
     }
 
     /// Append raw frame bytes to the drive's open pack (compaction
-    /// path), returning where they landed.
-    fn append_to_open_pack(&self, drive: u32, frame: &[u8]) -> Result<(ObjectId, u64), DedupError> {
-        let object = self.open_pack(drive)?;
+    /// path), returning the pack's append guard and the landing offset.
+    fn append_to_open_pack(
+        &self,
+        drive: u32,
+        frame: &[u8],
+    ) -> Result<(AppendGuard<'_>, u64), DedupError> {
+        let pack = self.open_pack_for_append(drive)?;
         let ep = self.endpoint(drive)?;
-        let cap = self.rw_cap(&ep, object);
+        let cap = self.rw_cap(&ep, pack.object);
         let offset = ep.append(&cap, Bytes::from(frame.to_vec()))?;
-        Ok((object, offset))
+        Ok((pack, offset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::store::{ChunkStore, StoreConfig};
+    use nasd_fm::DriveFleet;
+    use nasd_obs::Registry;
+    use nasd_object::DriveConfig;
+    use nasd_proto::PartitionId;
+    use std::sync::Arc;
+
+    #[test]
+    fn reap_spares_packs_with_inflight_appends() {
+        let fleet = Arc::new(
+            DriveFleet::spawn_memory(1, DriveConfig::small(), PartitionId(1), 64 << 20).unwrap(),
+        );
+        let registry = Registry::new();
+        let config = StoreConfig {
+            partition: PartitionId(1),
+            pack_target_bytes: 1 << 10,
+            compress: false,
+            cap_lifetime: 1 << 30,
+        };
+        let store = ChunkStore::open(Arc::clone(&fleet), config, &registry).unwrap();
+
+        // Claim an append slot on the open pack, then roll past it so
+        // it becomes a closed, fully-dead pack — exactly the state a
+        // racing insert leaves between its append and its index entry.
+        let guard = store.open_pack_for_append(0).unwrap();
+        let victim = guard.object;
+        {
+            let mut session = store.pin_session();
+            store.insert(&mut session, &[0xab; 2_000]).unwrap(); // fills victim past target
+            store.insert(&mut session, &[0xcd; 2_000]).unwrap(); // rolls to a fresh pack
+        }
+
+        // Pins are gone, so everything sweeps; reap must still spare
+        // the victim while the append slot is held...
+        store.gc().unwrap();
+        let ep = store.endpoint(0).unwrap();
+        let cap = store.ro_cap(&ep, victim);
+        assert!(
+            ep.get_attr(&cap).is_ok(),
+            "reap removed a pack with an in-flight append"
+        );
+
+        // ...and may collect it once the slot is released.
+        drop(guard);
+        let report = store.gc().unwrap();
+        assert!(report.packs_removed >= 1);
+        assert!(matches!(
+            ep.get_attr(&cap),
+            Err(nasd_fm::FmError::Drive(nasd_proto::NasdStatus::NoSuchObject))
+        ));
     }
 }

@@ -112,6 +112,12 @@ pub(crate) struct Inner {
     pub(crate) pins: BTreeMap<ChunkDigest, u32>,
     /// Snapshot catalog: name → (drive, manifest object, parsed).
     pub(crate) manifests: BTreeMap<String, (u32, ObjectId, SnapshotManifest)>,
+    /// In-flight append refcounts per `(drive, pack object id)`. An
+    /// insert (or compaction move) registers here, under the same lock
+    /// acquisition that picks the pack, before its frame has an index
+    /// entry; GC's reap spares registered packs, so a racing roll +
+    /// sweep can never remove the object a frame just landed in.
+    pub(crate) inflight: BTreeMap<(u32, u64), u32>,
     /// Persisted-index generation (the newest flushed, or loaded).
     pub(crate) generation: u64,
     /// Index objects currently on drives: `(drive, object, generation)`.
@@ -207,6 +213,30 @@ impl Drop for PinGuard {
                 if *count == 0 {
                     inner.pins.remove(d);
                 }
+            }
+        }
+    }
+}
+
+/// RAII registration of one in-flight append against a pack object.
+/// While any guard on a pack is live, [`ChunkStore::gc`](crate::GcReport)
+/// will not reap that pack: the appended frame may not have its index
+/// entry yet, and removing the object would strand it. Hold the guard
+/// until the frame's index entry is settled (inserted, or deliberately
+/// abandoned).
+pub(crate) struct AppendGuard<'a> {
+    store: &'a ChunkStore,
+    drive: u32,
+    pub(crate) object: ObjectId,
+}
+
+impl Drop for AppendGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.store.inner.lock();
+        if let Some(count) = inner.inflight.get_mut(&(self.drive, self.object.0)) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                inner.inflight.remove(&(self.drive, self.object.0));
             }
         }
     }
@@ -315,7 +345,11 @@ impl ChunkStore {
         let frame = blob::encode(&digest, data, self.config.compress);
         let frame_len = frame.len() as u32;
         let drive = self.place(&digest);
-        let object = self.open_pack(drive)?;
+        // The guard lives past the index insertion below: until then the
+        // pack may be rolled closed and fully swept by a concurrent GC,
+        // and only the in-flight registration keeps reap off it.
+        let pack = self.open_pack_for_append(drive)?;
+        let object = pack.object;
         let ep = self.endpoint(drive)?;
         let cap = self.rw_cap(&ep, object);
         let offset = ep.append(&cap, Bytes::from(frame))?;
@@ -484,17 +518,16 @@ impl ChunkStore {
                 std::mem::take(&mut inner.index_objects),
             )
         };
-        let drive = self.place(&generation.to_be_bytes());
-        let ep = self.endpoint(drive)?;
-        let object = ep.create_object(
-            self.config.partition,
-            wire.len() as u64,
-            None,
-            self.expiry(),
-        )?;
-        let cap = self.rw_cap(&ep, object);
-        ep.write(&cap, 0, Bytes::from(wire))?;
-        ep.set_fs_specific(&cap, Self::tag(ROLE_INDEX, generation))?;
+        let (drive, object) = match self.write_index_object(wire, generation) {
+            Ok(placed) => placed,
+            Err(e) => {
+                // Put the taken stale list back: those objects are
+                // still on the drives, and only this list lets a later
+                // successful flush retire them instead of leaking them.
+                self.inner.lock().index_objects.extend(stale);
+                return Err(e);
+            }
+        };
         self.inner
             .lock()
             .index_objects
@@ -511,6 +544,26 @@ impl ChunkStore {
             }
         }
         Ok(generation)
+    }
+
+    /// Create, write and tag one generation-`generation` index object.
+    fn write_index_object(
+        &self,
+        wire: Vec<u8>,
+        generation: u64,
+    ) -> Result<(u32, ObjectId), DedupError> {
+        let drive = self.place(&generation.to_be_bytes());
+        let ep = self.endpoint(drive)?;
+        let object = ep.create_object(
+            self.config.partition,
+            wire.len() as u64,
+            None,
+            self.expiry(),
+        )?;
+        let cap = self.rw_cap(&ep, object);
+        ep.write(&cap, 0, Bytes::from(wire))?;
+        ep.set_fs_specific(&cap, Self::tag(ROLE_INDEX, generation))?;
+        Ok((drive, object))
     }
 
     /// Discovery pass for [`ChunkStore::open`].
@@ -610,7 +663,13 @@ impl ChunkStore {
         Ok(())
     }
 
-    /// Re-adopt frames in `pack` beyond its covered prefix.
+    /// Re-adopt frames in `pack` beyond its covered prefix. A pack the
+    /// persisted index lists but the drive no longer holds was reaped
+    /// by a GC that crashed (or simply exited) before the next flush:
+    /// that is "pack gone", not an error — the pack and every index
+    /// entry naming it are dropped, so open() converges instead of
+    /// failing forever and insert() never dedups against unreadable
+    /// chunks.
     fn rescan_pack(
         &self,
         inner: &mut Inner,
@@ -619,12 +678,26 @@ impl ChunkStore {
     ) -> Result<(), DedupError> {
         let ep = self.endpoint(drive)?;
         let cap = self.ro_cap(&ep, pack.object);
-        let size = ep.get_attr(&cap)?.size;
+        let size = match ep.get_attr(&cap) {
+            Ok(attrs) => attrs.size,
+            Err(nasd_fm::FmError::Drive(nasd_proto::NasdStatus::NoSuchObject)) => {
+                Self::forget_pack(inner, drive, pack.object);
+                return Ok(());
+            }
+            Err(e) => return Err(e.into()),
+        };
         if size <= pack.covered {
             return Ok(());
         }
-        // nasd-lint: allow(hot-path-copy, "crash rescan reads the uncovered pack tail once into a scan buffer")
-        let tail = ep.read(&cap, pack.covered, size - pack.covered)?.to_vec();
+        let tail = match ep.read(&cap, pack.covered, size - pack.covered) {
+            // nasd-lint: allow(hot-path-copy, "crash rescan reads the uncovered pack tail once into a scan buffer")
+            Ok(rope) => rope.to_vec(),
+            Err(nasd_fm::FmError::Drive(nasd_proto::NasdStatus::NoSuchObject)) => {
+                Self::forget_pack(inner, drive, pack.object);
+                return Ok(());
+            }
+            Err(e) => return Err(e.into()),
+        };
         let mut pos = 0usize;
         while pos < tail.len() {
             let Some(window) = tail.get(pos..) else { break };
@@ -645,6 +718,26 @@ impl ChunkStore {
         }
         Self::cover(inner, drive, pack.object, pack.covered + pos as u64);
         Ok(())
+    }
+
+    /// Drop `(drive, object)` from the pack list and purge every index
+    /// entry naming it: the object is gone from the drive, so any such
+    /// entry is unreadable and must not satisfy dedup lookups.
+    fn forget_pack(inner: &mut Inner, drive: u32, object: ObjectId) {
+        if let Some(v) = inner.packs.get_mut(drive as usize) {
+            v.retain(|p| p.object != object);
+        }
+        let doomed: Vec<ChunkDigest> = inner
+            .index
+            .iter()
+            .filter(|(_, loc)| loc.drive == drive && loc.object == object)
+            .map(|(d, _)| *d)
+            .collect();
+        for d in doomed {
+            if let Some(loc) = inner.index.remove(&d) {
+                inner.stored = inner.stored.saturating_sub(u64::from(loc.frame_len));
+            }
+        }
     }
 
     /// Serialize the digest map + pack coverage, checksummed.
@@ -804,17 +897,26 @@ impl ChunkStore {
     }
 
     /// The open pack on `drive`, rolling to a fresh object when the
-    /// current one is past target size.
-    pub(crate) fn open_pack(&self, drive: u32) -> Result<ObjectId, DedupError> {
+    /// current one is past target size. The returned guard registers an
+    /// in-flight append on the pack under the same lock acquisition
+    /// that picks it, so GC's reap cannot remove the object between
+    /// this call and the moment the appended frame is indexed.
+    pub(crate) fn open_pack_for_append(&self, drive: u32) -> Result<AppendGuard<'_>, DedupError> {
         {
-            let inner = self.inner.lock();
-            if let Some(p) = inner
+            let mut inner = self.inner.lock();
+            let open = inner
                 .packs
                 .get(drive as usize)
                 .and_then(|v| v.last())
                 .filter(|p| p.covered < self.config.pack_target_bytes)
-            {
-                return Ok(p.object);
+                .map(|p| p.object);
+            if let Some(object) = open {
+                *inner.inflight.entry((drive, object.0)).or_insert(0) += 1;
+                return Ok(AppendGuard {
+                    store: self,
+                    drive,
+                    object,
+                });
             }
         }
         let ep = self.endpoint(drive)?;
@@ -836,7 +938,12 @@ impl ChunkStore {
             // later or stay empty — both harmless).
             v.push(PackState { object, covered: 0 });
         }
-        Ok(object)
+        *inner.inflight.entry((drive, object.0)).or_insert(0) += 1;
+        Ok(AppendGuard {
+            store: self,
+            drive,
+            object,
+        })
     }
 
     /// Raise the covered watermark of `(drive, object)` to `upto`.
@@ -901,5 +1008,42 @@ impl ChunkStore {
     /// Shared mutable state (gc.rs).
     pub(crate) fn inner_for_gc(&self) -> &Arc<Mutex<Inner>> {
         &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasd_object::DriveConfig;
+
+    #[test]
+    fn failed_flush_keeps_stale_index_objects_tracked() {
+        let fleet = Arc::new(
+            DriveFleet::spawn_memory(1, DriveConfig::small().durable(), PartitionId(1), 64 << 20)
+                .unwrap(),
+        );
+        let registry = Registry::new();
+        let store =
+            ChunkStore::open(Arc::clone(&fleet), StoreConfig::default(), &registry).unwrap();
+        let mut session = store.pin_session();
+        store.insert(&mut session, b"flush me durably").unwrap();
+        store.flush().unwrap();
+        let before = store.inner.lock().index_objects.clone();
+        assert_eq!(before.len(), 1);
+
+        // A flush that cannot reach the drive must fail *without*
+        // forgetting the previous index object: dropping it from the
+        // tracked list would leak it on the drive forever.
+        fleet.crash(0);
+        assert!(store.flush().is_err());
+        assert_eq!(store.inner.lock().index_objects, before);
+
+        // Once the drive is back, the next flush retires it as usual.
+        fleet.restart(0).unwrap();
+        let generation = store.flush().unwrap();
+        let after = store.inner.lock().index_objects.clone();
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].2, generation);
+        assert!(generation > before[0].2);
     }
 }

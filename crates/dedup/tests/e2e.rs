@@ -255,6 +255,62 @@ fn reopen_after_drive_crash_rescans_unflushed_chunks() {
 }
 
 #[test]
+fn reopen_after_gc_reap_without_flush_purges_stale_entries() {
+    let fleet = spawn_durable(1);
+    let registry = Registry::new();
+    let config = StoreConfig {
+        pack_target_bytes: 8 << 10, // tiny packs => several reapable packs
+        ..small_store_config()
+    };
+    let mut digests = Vec::new();
+    {
+        let store = ChunkStore::open(Arc::clone(&fleet), config, &registry).unwrap();
+        let mut session = store.pin_session();
+        for i in 0..30u64 {
+            let (d, _) = store.insert(&mut session, &data(4_000, 700 + i)).unwrap();
+            digests.push(d);
+        }
+        // The persisted index now lists every pack and chunk.
+        store.flush().unwrap();
+        drop(session);
+        // Nothing references the chunks any more: GC sweeps them all
+        // and reaps the closed packs — and the process "stops" before
+        // any further flush, so the newest persisted index still names
+        // the reaped packs.
+        let report = store.gc().unwrap();
+        assert!(
+            report.packs_removed > 0,
+            "test needs at least one reaped pack: {report:?}"
+        );
+    }
+    for i in 0..fleet.len() {
+        fleet.crash(i);
+    }
+    for i in 0..fleet.len() {
+        fleet.restart(i).unwrap();
+    }
+    // Reopen must treat the index's reaped packs as gone (dropping
+    // their entries), not abort on NoSuchObject.
+    let store = ChunkStore::open(Arc::clone(&fleet), config, &registry).unwrap();
+    // Whatever the reopened index still claims to hold must actually be
+    // readable — a stale entry naming a reaped pack would dedup new
+    // backups against unreadable bytes.
+    for (i, d) in digests.iter().enumerate() {
+        if store.contains(d) {
+            let chunk = store.read_chunk(d).unwrap();
+            assert_eq!(chunk, data(4_000, 700 + i as u64), "chunk {i} unreadable");
+        }
+    }
+    // And the store keeps working end to end: everything can be
+    // re-inserted and persisted again.
+    let mut session = store.pin_session();
+    for i in 0..30u64 {
+        store.insert(&mut session, &data(4_000, 700 + i)).unwrap();
+    }
+    store.flush().unwrap();
+}
+
+#[test]
 fn gc_concurrent_with_backup_loses_nothing() {
     let fleet = spawn(2);
     let registry = Registry::new();
