@@ -67,7 +67,7 @@ fn baseline(rest: &[String]) -> ExitCode {
         eprintln!("usage: benchjson baseline <out.json>");
         return ExitCode::FAILURE;
     };
-    eprintln!("running the full bench suite (12 experiments)...");
+    eprintln!("running the full bench suite (13 experiments)...");
     let suite = report::suite_with(Some(probe));
     let json = BenchReport::suite_to_json(&suite);
     if let Err(e) = std::fs::write(out, json.to_pretty_string()) {

@@ -3,6 +3,7 @@
 //! ```text
 //! perf [--json <path>] [--max-allocs-per-cached-read <n>]
 //!      [--max-allocs-per-socket-read <n>]
+//!      [--max-event-allocs-per-dispatch <n>] [--min-dispatch-speedup <x>]
 //! ```
 //!
 //! Prints one row per workload (cached reads, sequential writes, a
@@ -128,6 +129,47 @@ fn main() -> ExitCode {
     }
     if let Some(budget) = flag_arg("--max-allocs-per-socket-read") {
         ok &= tripwire(&rows, "socket_read", budget).is_ok();
+    }
+    if let Some(budget) = flag_arg("--max-event-allocs-per-dispatch") {
+        // Steady-state calendar-queue dispatch must grow no event
+        // infrastructure (slab or heap) — CI pins this at 0.
+        let cal = rows
+            .iter()
+            .find(|r| r.workload == "dispatch_cal_100k")
+            .expect("dispatch_cal_100k row missing");
+        if cal.event_allocs_per_op > budget {
+            eprintln!(
+                "perf: dispatch_cal_100k event allocs {:.3}/op, budget is {budget} — \
+                 steady-state dispatch is no longer allocation-free",
+                cal.event_allocs_per_op
+            );
+            ok = false;
+        } else {
+            eprintln!(
+                "perf: dispatch event allocs/op {:.3} within budget {budget}",
+                cal.event_allocs_per_op
+            );
+        }
+    }
+    if let Some(min) = flag_arg("--min-dispatch-speedup") {
+        let cal = rows
+            .iter()
+            .find(|r| r.workload == "dispatch_cal_100k")
+            .expect("dispatch_cal_100k row missing");
+        let heap = rows
+            .iter()
+            .find(|r| r.workload == "dispatch_heap_100k")
+            .expect("dispatch_heap_100k row missing");
+        let speedup = heap.ns_per_op / cal.ns_per_op;
+        if speedup < min {
+            eprintln!(
+                "perf: calendar-queue dispatch is only {speedup:.1}x the BinaryHeap \
+                 baseline at 10^5 pending, {min}x required"
+            );
+            ok = false;
+        } else {
+            eprintln!("perf: dispatch speedup {speedup:.1}x (>= {min}x required)");
+        }
     }
     if ok {
         ExitCode::SUCCESS

@@ -20,6 +20,7 @@
 //! | [`perf`] | wall-clock/allocation costs of the zero-copy data path |
 //! | [`recovery`] | crash-recovery (WAL replay) time vs. log length |
 //! | [`backup`] | dedup backup lifecycle: full, incremental, restore, GC |
+//! | [`scale`] | Fig 7 extended 10–100×: 13–128 drives × 100–1000 clients |
 //!
 //! Every binary also accepts `--json <path>` and writes a versioned
 //! [`nasd::obs::BenchReport`](nasd::obs) built by the [`report`] module;
@@ -41,5 +42,6 @@ pub mod perf;
 pub mod rebuild;
 pub mod recovery;
 pub mod report;
+pub mod scale;
 pub mod table;
 pub mod table1;

@@ -12,7 +12,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use crate::{
-    ablations, active, andrew, backup, fig4, fig6, fig7, fig9, perf, rebuild, recovery, table1,
+    ablations, active, andrew, backup, fig4, fig6, fig7, fig9, perf, rebuild, recovery, scale,
+    table1,
 };
 
 /// Parse `--json <path>` from the process arguments.
@@ -337,7 +338,42 @@ pub fn perf_report(rows: &[perf::PerfRow], probe_installed: bool) -> BenchReport
             .with_derived("socket_read_allocs_per_op", sock.allocs_per_op)
             .with_derived("socket_read_ns_per_op", sock.ns_per_op);
     }
+    // Old-vs-new kernel headline: dispatch speedup at 10^5 pending and
+    // the new kernel's steady-state event-infrastructure allocations.
+    let cal = rows.iter().find(|r| r.workload == "dispatch_cal_100k");
+    let heap = rows.iter().find(|r| r.workload == "dispatch_heap_100k");
+    if let (Some(cal), Some(heap)) = (cal, heap) {
+        r = with_derived_ratio(r, "dispatch_speedup_100k", heap.ns_per_op, cal.ns_per_op);
+        r = r.with_derived("dispatch_event_allocs_per_op", cal.event_allocs_per_op);
+    }
     r
+}
+
+/// Scale-matrix rows as a report.
+///
+/// The bandwidth, op-rate and bottleneck columns are simulated and
+/// deterministic; `events_per_wall_sec` is a host measurement (the
+/// kernel's dispatch rate) and varies run to run like the perf rows.
+#[must_use]
+pub fn scale_report(rows: &[scale::ScaleRow]) -> BenchReport {
+    let mut r = BenchReport::new("scale")
+        .with_config("transfer", Json::num_u64(scale::TRANSFER))
+        .with_config("zipf_theta", num(0.99))
+        .with_config("mix", Json::str("read 60 / write 15 / getattr 25"));
+    for row in rows {
+        r.push_row(vec![
+            ("drives", Json::num_u64(row.drives as u64)),
+            ("clients", Json::num_u64(row.clients as u64)),
+            ("fm_shards", Json::num_u64(row.shards as u64)),
+            ("aggregate_mb_s", num(row.aggregate_mb_s)),
+            ("ops_per_sec", num(row.ops_per_sec)),
+            ("events_per_wall_sec", num(row.events_per_wall_sec)),
+            ("cap_hit_rate", num(row.cap_hit_rate)),
+            ("bottleneck", Json::str(row.bottleneck)),
+            ("bottleneck_util_pct", num(row.bottleneck_util_pct)),
+        ]);
+    }
+    with_derived_from_last(r, "max_aggregate_mb_s", rows, |row| row.aggregate_mb_s)
 }
 
 /// Recovery (WAL replay time vs. log length) rows as a report.
@@ -406,8 +442,8 @@ pub fn backup_report(rows: &[backup::BackupRow]) -> BenchReport {
     r
 }
 
-/// Run every experiment and return all twelve reports — the payload of
-/// `BENCH_baseline.json`. `probe` is the producing binary's counting
+/// Run every experiment and return all thirteen reports — the payload
+/// of `BENCH_baseline.json`. `probe` is the producing binary's counting
 /// allocator, when it installed one (see [`perf_report`]).
 #[must_use]
 pub fn suite_with(probe: Option<perf::AllocProbe>) -> Vec<BenchReport> {
@@ -424,6 +460,7 @@ pub fn suite_with(probe: Option<perf::AllocProbe>) -> Vec<BenchReport> {
         perf_report(&perf::run(probe), probe.is_some()),
         recovery_report(&recovery::run()),
         backup_report(&backup::run()),
+        scale_report(&scale::run()),
     ]
 }
 

@@ -1,0 +1,393 @@
+//! Scale-out saturation: Figure 7 extended 10–100× (ISSUE 10 tentpole).
+//!
+//! Figure 7 stops at 13 drives and 10 clients because that is all the
+//! hardware the paper had. This experiment asks the question the paper
+//! could only gesture at: *where does the architecture saturate when
+//! the installation is production-sized?* The matrix runs 13/32/64/128
+//! drives against 100/400/1000 clients — the scales §5.2 argues a
+//! file-manager-per-server design cannot reach.
+//!
+//! The model keeps Figure 7's discrete-event skeleton (per-component
+//! FIFO service centers on the calendar-queue kernel) and adds the two
+//! pieces a scaled installation needs:
+//!
+//! * **File-manager shards.** Capability issue is a contended FM
+//!   resource; shards scale with the fleet (one per 16 drives). A
+//!   capability-cache *miss* costs a trip through the object's home
+//!   shard before the drive transfer can start; a *hit* goes straight
+//!   to the drive, exactly like the real `NfsClient` cache.
+//! * **Generated traffic.** Each client is a closed-loop user from
+//!   `nasd-workload`: zipf-popular objects (θ = 0.99), the paper's
+//!   read/getattr-heavy op mix, exponential think times. Zipf skew is
+//!   what makes the capability cache earn its keep — and what keeps
+//!   the per-drive load uneven enough to matter.
+//!
+//! Per point the bench reports aggregate delivered bandwidth, the
+//! kernel's wall-clock event rate, the capability-cache hit rate, and
+//! the **saturating component** (the resource class with the highest
+//! utilization): drives at small fleets, client links once the fleet
+//! outgrows the population's demand.
+
+use crate::fig7;
+use nasd::object::{CostMeter, OpKind as DriveOp};
+use nasd::sim::{BandwidthShare, CpuModel, FifoResource, SimTime, Simulator, Throughput};
+use nasd::workload::{ClosedLoop, OpKind, RequestStream, WorkloadSpec};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Drive-count axis of the matrix (13 = the paper's testbed).
+pub const DRIVE_MATRIX: [usize; 4] = [13, 32, 64, 128];
+/// Client-count axis of the matrix (the paper stops at 10).
+pub const CLIENT_MATRIX: [usize; 3] = [100, 400, 1000];
+/// Bytes moved per data operation (the Cheops stripe-unit sweet spot).
+pub const TRANSFER: u64 = 64 * 1024;
+/// Attribute-operation message size on the links.
+const ATTR_BYTES: u64 = 512;
+/// Distinct objects per drive in the namespace.
+const OBJECTS_PER_DRIVE: usize = 64;
+/// Per-client capability-cache capacity (entries), matching the real
+/// `NfsClient` cache the `Connector` enables.
+const CAP_CACHE_CAP: usize = 4096;
+/// Hot ranks each client already holds capabilities for at t = 0. The
+/// measurement window is seconds, not the hours a real installation
+/// runs; pre-warming the head of each client's working set measures
+/// steady-state behaviour instead of cold-boot warmup.
+const CAP_PREWARM: usize = 128;
+/// FM instructions to validate a lookup and mint one capability
+/// (directory parse + policy check + HMAC, per Table 1's comm costs).
+const CAP_ISSUE_INSTR: u64 = 40_000;
+/// Mean client think time between operations.
+fn think_mean() -> SimTime {
+    SimTime::from_millis(1)
+}
+/// Simulated measurement window.
+fn window() -> SimTime {
+    SimTime::from_secs(2)
+}
+
+/// FM shards for a fleet: one per 16 drives, at least one.
+#[must_use]
+pub fn shards_for(ndrives: usize) -> usize {
+    (ndrives / 16).max(1)
+}
+
+/// One point of the scale matrix.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// Drives in the fleet.
+    pub drives: usize,
+    /// Closed-loop clients offered.
+    pub clients: usize,
+    /// File-manager shards serving capability misses.
+    pub shards: usize,
+    /// Aggregate delivered data bandwidth, MB/s.
+    pub aggregate_mb_s: f64,
+    /// Completed operations per simulated second.
+    pub ops_per_sec: f64,
+    /// Kernel events dispatched per wall-clock second (host measure).
+    pub events_per_wall_sec: f64,
+    /// Capability-cache hit fraction across all clients.
+    pub cap_hit_rate: f64,
+    /// The resource class with the highest mean utilization.
+    pub bottleneck: &'static str,
+    /// That class's mean utilization, percent.
+    pub bottleneck_util_pct: f64,
+}
+
+struct Client {
+    stream: RequestStream,
+    think: ClosedLoop,
+    // Epoch-cleared capability set, mirroring `CapCache`'s eviction.
+    caps: HashSet<usize>,
+}
+
+struct World {
+    drive_cpu: Vec<FifoResource>,
+    drive_link: Vec<BandwidthShare>,
+    client_link: Vec<BandwidthShare>,
+    client_cpu: Vec<FifoResource>,
+    fm_shard: Vec<FifoResource>,
+    clients: Vec<Client>,
+    delivered: Throughput,
+    ops: u64,
+    cap_hits: u64,
+    cap_misses: u64,
+    drive_service_read: SimTime,
+    drive_service_write: SimTime,
+    drive_service_attr: SimTime,
+    client_service_data: SimTime,
+    cap_issue: SimTime,
+    ndrives: usize,
+    nshards: usize,
+    nobjects: usize,
+}
+
+/// Spread object ranks over drives/shards without correlating the hot
+/// ranks with low indices (Fibonacci-hash style multiplier).
+fn place(object: usize, n: usize) -> usize {
+    (object.wrapping_mul(0x9E37_79B9)) % n
+}
+
+/// Map a client's popularity rank to a concrete object.
+///
+/// Popularity is per *user*, not global: each client's zipf ranking is
+/// over its own working set (an affine permutation of the namespace),
+/// modeling many independent user populations. A single global hot
+/// object would funnel the whole installation onto one drive link and
+/// no fleet size could scale past it; per-user hot sets spread load
+/// while keeping every client's own traffic just as skewed (which is
+/// what the capability cache sees).
+fn object_of(client: usize, rank: usize, nobjects: usize) -> usize {
+    // 193 and 7919 are coprime to the namespace size (a multiple of 64).
+    (rank * 193 + client * 7919) % nobjects
+}
+
+fn issue(sim: &mut Simulator, world: &Rc<RefCell<World>>, client: usize) {
+    let (completion, bytes) = {
+        let mut w = world.borrow_mut();
+        let req = w.clients[client].stream.next_request();
+        let think = w.clients[client].think.think();
+        let now = sim.now() + think;
+        let nobjects = w.nobjects;
+        let object = object_of(client, req.object, nobjects);
+
+        // Capability check: a miss detours through the object's home
+        // FM shard before the drive will accept the request.
+        let cached = w.clients[client].caps.contains(&object);
+        let mut start = now;
+        if cached {
+            w.cap_hits += 1;
+        } else {
+            w.cap_misses += 1;
+            let shard = place(object, w.nshards);
+            let issue_cost = w.cap_issue;
+            let (_, t) = w.fm_shard[shard].reserve(now, issue_cost);
+            start = t;
+            if w.clients[client].caps.len() >= CAP_CACHE_CAP {
+                w.clients[client].caps.clear();
+            }
+            w.clients[client].caps.insert(object);
+        }
+
+        // Data path: drive CPU, drive link, client link, client CPU.
+        // Links are full-duplex; writes charge the same serialization
+        // in the opposite direction.
+        let drive = place(object, w.ndrives);
+        let (service, wire) = match req.op {
+            OpKind::Read => (w.drive_service_read, req.bytes),
+            OpKind::Write => (w.drive_service_write, req.bytes),
+            OpKind::GetAttr => (w.drive_service_attr, ATTR_BYTES),
+        };
+        let (_, t1) = w.drive_cpu[drive].reserve(start, service);
+        let (_, t2) = w.drive_link[drive].transfer(t1, wire);
+        let (_, t3) = w.client_link[client].transfer(t2, wire);
+        let client_service = match req.op {
+            OpKind::GetAttr => SimTime::from_micros(10),
+            _ => w.client_service_data,
+        };
+        let (_, t4) = w.client_cpu[client].reserve(t3, client_service);
+        (t4, req.bytes)
+    };
+    let world2 = Rc::clone(world);
+    sim.schedule_at(completion, move |sim| {
+        if sim.now() <= window() {
+            let now = sim.now();
+            {
+                let mut w = world2.borrow_mut();
+                w.delivered.record(now, bytes);
+                w.ops += 1;
+            }
+            issue(sim, &world2, client);
+        }
+    });
+}
+
+/// Simulate one matrix point.
+#[must_use]
+pub fn simulate(ndrives: usize, nclients: usize) -> ScaleRow {
+    let started = std::time::Instant::now();
+    let oc3 = 155.0e6 / 8.0;
+    let nshards = shards_for(ndrives);
+    let drive_cpu_model = CpuModel::new(133.0, 2.2);
+    let client_cpu_model = CpuModel::new(233.0, 2.2);
+    // Shards run on server-class silicon (§5.2's file-manager host).
+    let fm_cpu_model = CpuModel::new(500.0, 2.2);
+    let meter = CostMeter::new();
+
+    let spec = WorkloadSpec::scale_default(ndrives * OBJECTS_PER_DRIVE);
+    let world = Rc::new(RefCell::new(World {
+        drive_cpu: (0..ndrives)
+            .map(|i| FifoResource::new(format!("drive-cpu-{i}")))
+            .collect(),
+        drive_link: (0..ndrives)
+            .map(|i| BandwidthShare::new(format!("drive-link-{i}"), oc3))
+            .collect(),
+        client_link: (0..nclients)
+            .map(|i| BandwidthShare::new(format!("client-link-{i}"), oc3))
+            .collect(),
+        client_cpu: (0..nclients)
+            .map(|i| FifoResource::new(format!("client-cpu-{i}")))
+            .collect(),
+        fm_shard: (0..nshards)
+            .map(|i| FifoResource::new(format!("fm-shard-{i}")))
+            .collect(),
+        clients: (0..nclients)
+            .map(|c| Client {
+                stream: RequestStream::new(&spec, 0x5CA1_E000 + c as u64),
+                think: ClosedLoop::new(think_mean(), 0x7417_0000 + c as u64),
+                caps: (0..CAP_PREWARM.min(spec.objects))
+                    .map(|rank| object_of(c, rank, spec.objects))
+                    .collect(),
+            })
+            .collect(),
+        delivered: Throughput::new(),
+        ops: 0,
+        cap_hits: 0,
+        cap_misses: 0,
+        drive_service_read: meter
+            .estimate(DriveOp::Read, TRANSFER, 0)
+            .time_on(&drive_cpu_model),
+        drive_service_write: meter
+            .estimate(DriveOp::Write, TRANSFER, 0)
+            .time_on(&drive_cpu_model),
+        drive_service_attr: meter
+            .estimate(DriveOp::GetAttr, 0, 0)
+            .time_on(&drive_cpu_model),
+        client_service_data: client_cpu_model
+            .time_for_instructions(fig7::client_rpc().instructions(TRANSFER)),
+        cap_issue: fm_cpu_model.time_for_instructions(CAP_ISSUE_INSTR),
+        ndrives,
+        nshards,
+        nobjects: spec.objects,
+    }));
+
+    let mut sim = Simulator::with_capacity(nclients + 16);
+    for c in 0..nclients {
+        let w = Rc::clone(&world);
+        sim.schedule_at(SimTime::ZERO, move |sim| issue(sim, &w, c));
+    }
+    sim.run_until(window());
+
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let w = world.borrow();
+    let elapsed = window();
+    let mean = |it: &mut dyn Iterator<Item = f64>| {
+        let (sum, n) = it.fold((0.0, 0usize), |(s, n), u| (s + u, n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    };
+    let classes: [(&'static str, f64); 5] = [
+        (
+            "drive-cpu",
+            mean(&mut w.drive_cpu.iter().map(|r| r.utilization(elapsed))),
+        ),
+        (
+            "drive-link",
+            mean(&mut w.drive_link.iter().map(|r| r.fifo().utilization(elapsed))),
+        ),
+        (
+            "client-link",
+            mean(&mut w.client_link.iter().map(|r| r.fifo().utilization(elapsed))),
+        ),
+        (
+            "client-cpu",
+            mean(&mut w.client_cpu.iter().map(|r| r.utilization(elapsed))),
+        ),
+        (
+            "fm-shard",
+            mean(&mut w.fm_shard.iter().map(|r| r.utilization(elapsed))),
+        ),
+    ];
+    let (bottleneck, util) = classes
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("five classes");
+
+    ScaleRow {
+        drives: ndrives,
+        clients: nclients,
+        shards: nshards,
+        aggregate_mb_s: w.delivered.mbytes_per_sec(elapsed),
+        ops_per_sec: w.ops as f64 / elapsed.as_secs_f64(),
+        events_per_wall_sec: sim.events_run() as f64 / wall,
+        cap_hit_rate: w.cap_hits as f64 / (w.cap_hits + w.cap_misses).max(1) as f64,
+        bottleneck,
+        bottleneck_util_pct: util * 100.0,
+    }
+}
+
+/// Run an arbitrary drives × clients matrix (the CI smoke job uses a
+/// truncated one).
+#[must_use]
+pub fn run_matrix(drives: &[usize], clients: &[usize]) -> Vec<ScaleRow> {
+    let mut rows = Vec::with_capacity(drives.len() * clients.len());
+    for &d in drives {
+        for &c in clients {
+            rows.push(simulate(d, c));
+        }
+    }
+    rows
+}
+
+/// Run the full 13/32/64/128 × 100/400/1000 matrix.
+#[must_use]
+pub fn run() -> Vec<ScaleRow> {
+    run_matrix(&DRIVE_MATRIX, &CLIENT_MATRIX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adding_drives_relieves_a_saturated_fleet() {
+        // At 1000 clients the 13-drive testbed is drive-bound; the
+        // 128-drive fleet must deliver several times its bandwidth.
+        let small = simulate(13, 1000);
+        let large = simulate(128, 1000);
+        assert!(
+            small.bottleneck.starts_with("drive"),
+            "13x1000 bottleneck {}",
+            small.bottleneck
+        );
+        assert!(
+            large.aggregate_mb_s > small.aggregate_mb_s * 3.0,
+            "{:.0} -> {:.0} MB/s",
+            small.aggregate_mb_s,
+            large.aggregate_mb_s
+        );
+    }
+
+    #[test]
+    fn zipf_traffic_keeps_the_cap_cache_hot() {
+        let row = simulate(13, 100);
+        assert!(
+            row.cap_hit_rate > 0.5,
+            "hit rate {:.2} too low for zipf traffic",
+            row.cap_hit_rate
+        );
+    }
+
+    #[test]
+    fn fm_shards_never_saturate_first() {
+        // §5.2's claim, quantified: capability issue scales out with
+        // the shard count and is never the binding resource.
+        for row in run_matrix(&[13, 64], &[400]) {
+            assert_ne!(row.bottleneck, "fm-shard", "{row:?}");
+            assert!(row.bottleneck_util_pct > 0.0);
+        }
+    }
+
+    #[test]
+    fn matrix_point_reports_event_rate() {
+        let row = simulate(13, 100);
+        assert!(row.events_per_wall_sec > 0.0);
+        assert!(row.ops_per_sec > 0.0);
+        assert_eq!(row.shards, 1);
+    }
+}

@@ -255,8 +255,8 @@ impl ChunkStore {
 mod tests {
     use crate::store::{ChunkStore, StoreConfig};
     use nasd_fm::DriveFleet;
-    use nasd_obs::Registry;
     use nasd_object::DriveConfig;
+    use nasd_obs::Registry;
     use nasd_proto::PartitionId;
     use std::sync::Arc;
 
@@ -301,7 +301,9 @@ mod tests {
         assert!(report.packs_removed >= 1);
         assert!(matches!(
             ep.get_attr(&cap),
-            Err(nasd_fm::FmError::Drive(nasd_proto::NasdStatus::NoSuchObject))
+            Err(nasd_fm::FmError::Drive(
+                nasd_proto::NasdStatus::NoSuchObject
+            ))
         ));
     }
 }

@@ -36,6 +36,21 @@ pub trait FmConnect {
         fleet: Arc<DriveFleet>,
     ) -> Result<NfsClient, FmError>;
 
+    /// Connect an NFS-style client across `fms` file-manager shards
+    /// (from [`NasdNfs::spawn_sharded`](crate::NasdNfs::spawn_sharded)):
+    /// requests route by handle hash, and the client-side
+    /// capability-issue cache is enabled so repeated opens skip the
+    /// manager entirely.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a manager error, or an empty shard list.
+    fn nfs_sharded(
+        &self,
+        fms: Vec<Rpc<NfsRequest, NfsResponse>>,
+        fleet: Arc<DriveFleet>,
+    ) -> Result<NfsClient, FmError>;
+
     /// Connect AFS-style client `id`: registers the callback channel
     /// and fetches the root.
     ///
@@ -57,6 +72,17 @@ impl FmConnect for Connector {
         fleet: Arc<DriveFleet>,
     ) -> Result<NfsClient, FmError> {
         NfsClient::attach(self.in_proc(fm), fleet)
+    }
+
+    fn nfs_sharded(
+        &self,
+        fms: Vec<Rpc<NfsRequest, NfsResponse>>,
+        fleet: Arc<DriveFleet>,
+    ) -> Result<NfsClient, FmError> {
+        let channels = fms.into_iter().map(|rpc| self.in_proc(rpc)).collect();
+        let mut client = NfsClient::attach_sharded(channels, fleet)?;
+        client.enable_cap_cache(4096, None);
+        Ok(client)
     }
 
     fn afs(

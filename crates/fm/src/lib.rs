@@ -32,11 +32,12 @@ mod drives;
 mod handle;
 mod nfs;
 mod server;
+mod shard;
 
 pub use afs::{AfsClient, AfsRequest, AfsResponse, CallbackEvent, NasdAfs};
 pub use connect::FmConnect;
 pub use dirfmt::{decode_dir, encode_dir, DirRecord};
 pub use drives::{serve_drive_socket, spawn_drive, DriveEndpoint, DriveFleet};
 pub use handle::{FileHandle, FileType, FmAttrs, FmError};
-pub use nfs::{NasdNfs, NfsClient, NfsFile, NfsRequest, NfsResponse};
+pub use nfs::{CapCacheStats, NasdNfs, NfsClient, NfsFile, NfsRequest, NfsResponse};
 pub use server::{NfsServer, ServerRequest, ServerResponse};

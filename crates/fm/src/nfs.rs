@@ -10,13 +10,17 @@
 use crate::dirfmt::{decode_dir, encode_dir, DirRecord};
 use crate::drives::{DriveEndpoint, DriveFleet};
 use crate::handle::{FileHandle, FileType, FmAttrs, FmError};
+use crate::shard::FmShared;
 use bytes::{ByteRope, Bytes};
 use nasd_net::{spawn_service, CallOptions, Channel, RetryPolicy, Rpc, RpcError, ServiceHandle};
+use nasd_obs::{Counter, Registry};
 use nasd_proto::{
-    ByteRange, Capability, NasdStatus, ObjectAttributes, RequestBody, Rights, Version,
+    route_hash, shard_index, ByteRange, Capability, NasdStatus, ObjectAttributes, RequestBody,
+    Rights, Version,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Default capability lifetime issued by the file manager (seconds).
@@ -121,13 +125,19 @@ pub enum NfsResponse {
 }
 
 /// The NASD-NFS file manager.
+///
+/// One instance can serve any number of service loops (shards): all
+/// coherent state — revocation versions, directory locks, the placement
+/// cursor — lives in a shared table (`shard.rs`), so
+/// [`spawn_sharded`](Self::spawn_sharded) is just N queues over the
+/// same manager. Clients route requests by handle hash; see
+/// [`FmConnect::nfs_sharded`](crate::FmConnect::nfs_sharded).
 pub struct NasdNfs {
     fleet: Arc<DriveFleet>,
     root: FileHandle,
-    /// Versions of objects this manager has revoked (absent = 0).
-    versions: Mutex<HashMap<FileHandle, Version>>,
-    /// Round-robin file placement across drives.
-    next_drive: Mutex<usize>,
+    /// Revocation versions, directory locks, placement cursor — shared
+    /// by every service loop of this manager.
+    shared: Arc<FmShared>,
 }
 
 impl NasdNfs {
@@ -150,8 +160,7 @@ impl NasdNfs {
         let fm = NasdNfs {
             fleet,
             root,
-            versions: Mutex::new(HashMap::new()),
-            next_drive: Mutex::new(0),
+            shared: Arc::new(FmShared::new()),
         };
         // Stamp directory policy attributes.
         let attrs = FmAttrs {
@@ -172,7 +181,7 @@ impl NasdNfs {
     }
 
     fn version_of(&self, fh: FileHandle) -> Version {
-        self.versions.lock().get(&fh).copied().unwrap_or(Version(0))
+        self.shared.versions.get(fh)
     }
 
     /// Mint the manager's own full-rights capability for `fh`.
@@ -244,10 +253,7 @@ impl NasdNfs {
     }
 
     fn pick_drive(&self) -> usize {
-        let mut cursor = self.next_drive.lock();
-        let idx = *cursor;
-        *cursor = (idx + 1) % self.fleet.len();
-        idx
+        self.shared.next_drive.fetch_add(1, Ordering::Relaxed) % self.fleet.len()
     }
 
     /// Rights granted by a lookup reply.
@@ -285,6 +291,10 @@ impl NasdNfs {
                 let fh = if name.is_empty() {
                     dir
                 } else {
+                    // Directory reads take the stripe lock so a sibling
+                    // shard's read-modify-write cycle is never observed
+                    // half-done.
+                    let _g = self.shared.dir_locks.lock(dir);
                     let entries = self.read_dir(dir)?;
                     entries
                         .iter()
@@ -313,6 +323,10 @@ impl NasdNfs {
                 mode,
                 uid,
             } => {
+                // The whole read-check-create-write cycle runs under the
+                // directory's stripe lock: another shard creating the
+                // same name must lose, not corrupt the directory.
+                let _g = self.shared.dir_locks.lock(dir);
                 let mut entries = self.read_dir(dir)?;
                 if entries.iter().any(|e| e.name == name) {
                     return Err(FmError::Exists(name));
@@ -359,6 +373,7 @@ impl NasdNfs {
                 mode,
                 uid,
             } => {
+                let _g = self.shared.dir_locks.lock(dir);
                 let mut entries = self.read_dir(dir)?;
                 if entries.iter().any(|e| e.name == name) {
                     return Err(FmError::Exists(name));
@@ -392,26 +407,50 @@ impl NasdNfs {
                 Ok(NfsResponse::Handle(fh))
             }
             NfsRequest::Remove { dir, name } => {
-                let mut entries = self.read_dir(dir)?;
-                let idx = entries
-                    .iter()
-                    .position(|e| e.name == name)
-                    .ok_or_else(|| FmError::NotFound(name.clone()))?;
-                let victim = entries
-                    .get(idx)
-                    .cloned()
-                    .ok_or_else(|| FmError::NotFound(name.clone()))?;
-                if victim.is_dir && !self.read_dir(victim.handle)?.is_empty() {
-                    return Err(FmError::NotEmpty(name));
+                // Removing a directory needs the victim's stripe too:
+                // the emptiness check is only meaningful while creates
+                // inside the victim (which lock by the victim's handle,
+                // not `dir`) are excluded. The victim is only known
+                // after reading `dir`, so: probe under the single lock,
+                // then acquire the pair in stripe order and revalidate.
+                const ATTEMPTS: u32 = 4;
+                for _ in 0..ATTEMPTS {
+                    let probe = {
+                        let _g = self.shared.dir_locks.lock(dir);
+                        self.read_dir(dir)?
+                    };
+                    let Some(victim) = probe.iter().find(|e| e.name == name).cloned() else {
+                        return Err(FmError::NotFound(name));
+                    };
+                    let _g = if victim.is_dir {
+                        self.shared.dir_locks.lock_pair(dir, victim.handle)
+                    } else {
+                        self.shared.dir_locks.lock(dir)
+                    };
+                    let mut entries = self.read_dir(dir)?;
+                    let Some(idx) = entries
+                        .iter()
+                        .position(|e| e.name == name && e.handle == victim.handle)
+                    else {
+                        // Lost a race between probe and lock; retry.
+                        continue;
+                    };
+                    if victim.is_dir && !self.read_dir(victim.handle)?.is_empty() {
+                        return Err(FmError::NotEmpty(name));
+                    }
+                    let (ep, cap) = self.own_cap(victim.handle)?;
+                    ep.remove(&cap)?;
+                    self.shared.versions.remove(victim.handle);
+                    entries.remove(idx);
+                    self.write_dir(dir, &entries)?;
+                    return Ok(NfsResponse::Ok);
                 }
-                let (ep, cap) = self.own_cap(victim.handle)?;
-                ep.remove(&cap)?;
-                self.versions.lock().remove(&victim.handle);
-                entries.remove(idx);
-                self.write_dir(dir, &entries)?;
-                Ok(NfsResponse::Ok)
+                Err(FmError::Unavailable { attempts: ATTEMPTS })
             }
-            NfsRequest::Readdir { dir } => Ok(NfsResponse::Entries(self.read_dir(dir)?)),
+            NfsRequest::Readdir { dir } => {
+                let _g = self.shared.dir_locks.lock(dir);
+                Ok(NfsResponse::Entries(self.read_dir(dir)?))
+            }
             NfsRequest::GetAttr { fh } => {
                 let (attrs, _) = self.attrs_of(fh)?;
                 Ok(NfsResponse::Attrs(attrs))
@@ -422,6 +461,10 @@ impl NasdNfs {
                 to_dir,
                 to,
             } => {
+                // Both directories' stripes, acquired in stripe order
+                // (deduplicated), for the duration of the two-directory
+                // read-modify-write cycle.
+                let _g = self.shared.dir_locks.lock_pair(from_dir, to_dir);
                 let mut src = self.read_dir(from_dir)?;
                 let idx = src
                     .iter()
@@ -452,6 +495,9 @@ impl NasdNfs {
                 Ok(NfsResponse::Ok)
             }
             NfsRequest::SetMode { fh, mode } => {
+                // Serialize concurrent policy updates to one object
+                // across shards (stripe table reused by file handle).
+                let _g = self.shared.dir_locks.lock(fh);
                 let (mut attrs, _) = self.attrs_of(fh)?;
                 attrs.mode = mode;
                 self.write_policy(fh, &attrs)?;
@@ -459,7 +505,7 @@ impl NasdNfs {
                 // clients re-fetch under the new policy.
                 let (ep, cap) = self.own_cap(fh)?;
                 let new_version = ep.bump_version(&cap)?;
-                self.versions.lock().insert(fh, new_version);
+                self.shared.versions.insert(fh, new_version);
                 Ok(NfsResponse::Ok)
             }
         }
@@ -470,6 +516,27 @@ impl NasdNfs {
     pub fn spawn(self) -> (Rpc<NfsRequest, NfsResponse>, ServiceHandle) {
         let fm = Arc::new(self);
         spawn_service(move |req| fm.handle(req))
+    }
+
+    /// Spawn the manager as `shards` independent service loops sharing
+    /// one namespace (striped directory locks and a shared revocation
+    /// table keep them coherent — see `shard.rs`). Clients route
+    /// requests across the returned queues by handle hash, so
+    /// capability issue fans out instead of serializing on one thread.
+    ///
+    /// `shards == 0` is treated as 1.
+    #[must_use]
+    pub fn spawn_sharded(
+        self,
+        shards: usize,
+    ) -> (Vec<Rpc<NfsRequest, NfsResponse>>, Vec<ServiceHandle>) {
+        let fm = Arc::new(self);
+        (0..shards.max(1))
+            .map(|_| {
+                let fm = Arc::clone(&fm);
+                spawn_service(move |req| fm.handle(req))
+            })
+            .unzip()
     }
 }
 
@@ -489,13 +556,137 @@ pub struct NfsFile {
     cap: Capability,
 }
 
+/// Observable totals of a client's capability-issue cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CapCacheStats {
+    /// Lookups answered from cache (no file-manager RPC).
+    pub hits: u64,
+    /// Lookups that went to the file manager (includes lease expiries).
+    pub misses: u64,
+    /// Revocation-driven refreshes (a drive rejected a cached/held
+    /// capability and the client re-fetched by handle).
+    pub refreshes: u64,
+}
+
+/// A cached lookup result: handle, attributes, and the piggybacked
+/// capability, valid until `expires` (drive-clock seconds).
+struct CachedCap {
+    fh: FileHandle,
+    attrs: FmAttrs,
+    cap: Capability,
+    expires: u64,
+}
+
+/// Client-side capability-issue cache, keyed by
+/// `(directory, name, want_write)`.
+///
+/// Leased: entries are served only while inside the capability's own
+/// expiry (minus a safety margin). Revocation-safe by construction —
+/// the drive, not the cache, is the authority: a revoked cached
+/// capability is rejected at the drive, the client refreshes by handle
+/// exactly once ([`NfsClient::read`]'s retry), and every entry for that
+/// handle is purged.
+struct CapCache {
+    map: Mutex<HashMap<(FileHandle, String, bool), CachedCap>>,
+    capacity: usize,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    refreshes: Arc<Counter>,
+}
+
+/// Don't serve a cached capability within this many seconds of expiry:
+/// it could expire mid-operation and burn a refresh round trip.
+const CAP_LEASE_MARGIN: u64 = 5;
+
+impl CapCache {
+    fn new(capacity: usize, registry: Option<&Registry>) -> Self {
+        let counter = |name: &str| match registry {
+            Some(r) => r.counter(name),
+            None => Arc::new(Counter::new()),
+        };
+        CapCache {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(16),
+            hits: counter("capcache/hits"),
+            misses: counter("capcache/misses"),
+            refreshes: counter("capcache/refreshes"),
+        }
+    }
+
+    fn get(&self, dir: FileHandle, name: &str, want_write: bool, now: u64) -> Option<NfsFile> {
+        let key = (dir, name.to_string(), want_write);
+        let mut map = self.map.lock();
+        if let Some(e) = map.get(&key) {
+            if e.expires > now + CAP_LEASE_MARGIN {
+                self.hits.inc();
+                return Some(NfsFile {
+                    fh: e.fh,
+                    attrs: e.attrs,
+                    cap: e.cap.clone(),
+                });
+            }
+            // Lease expired: drop it and fall through to a miss.
+            map.remove(&key);
+        }
+        self.misses.inc();
+        None
+    }
+
+    fn put(&self, dir: FileHandle, name: &str, want_write: bool, file: &NfsFile) {
+        let mut map = self.map.lock();
+        if map.len() >= self.capacity {
+            // Epoch eviction: cheaper than tracking LRU order for a
+            // cache whose entries re-fill in one RPC each.
+            map.clear();
+        }
+        map.insert(
+            (dir, name.to_string(), want_write),
+            CachedCap {
+                fh: file.fh,
+                attrs: file.attrs,
+                cap: file.cap.clone(),
+                expires: file.cap.public.expires,
+            },
+        );
+    }
+
+    /// Drop every entry resolving to `fh` (after revocation or
+    /// namespace change).
+    fn purge_handle(&self, fh: FileHandle) {
+        self.map.lock().retain(|_, e| e.fh != fh);
+    }
+
+    /// Drop the entries for one directory entry name (both access
+    /// modes).
+    fn purge_name(&self, dir: FileHandle, name: &str) {
+        let mut map = self.map.lock();
+        map.remove(&(dir, name.to_string(), false));
+        map.remove(&(dir, name.to_string(), true));
+    }
+
+    fn stats(&self) -> CapCacheStats {
+        CapCacheStats {
+            hits: self.hits.value(),
+            misses: self.misses.value(),
+            refreshes: self.refreshes.value(),
+        }
+    }
+}
+
 /// Client library for [`NasdNfs`]: control through the manager, data
 /// directly to the drives.
+///
+/// Holds one channel per file-manager shard and routes every request by
+/// handle hash (directory handle for namespace operations, file handle
+/// for by-handle operations) — the same partition the shards' stripe
+/// locks use, so a single directory's updates serialize no matter how
+/// many shards serve it.
 pub struct NfsClient {
-    fm: Channel<NfsRequest, NfsResponse>,
+    shards: Vec<Channel<NfsRequest, NfsResponse>>,
     fleet: Arc<DriveFleet>,
     root: FileHandle,
     opts: CallOptions,
+    cache: Option<CapCache>,
 }
 
 impl NfsClient {
@@ -506,18 +697,68 @@ impl NfsClient {
         fm: Channel<NfsRequest, NfsResponse>,
         fleet: Arc<DriveFleet>,
     ) -> Result<Self, FmError> {
+        Self::attach_sharded(vec![fm], fleet)
+    }
+
+    /// Attach over one channel per file-manager shard. Obtain clients
+    /// through [`FmConnect::nfs_sharded`](crate::FmConnect::nfs_sharded).
+    pub(crate) fn attach_sharded(
+        shards: Vec<Channel<NfsRequest, NfsResponse>>,
+        fleet: Arc<DriveFleet>,
+    ) -> Result<Self, FmError> {
         let opts = CallOptions::retry(RetryPolicy::control());
-        let root = match fm.call_with(NfsRequest::GetRoot, &opts)? {
+        let first = shards.first().ok_or(FmError::Transport)?;
+        let root = match first.call_with(NfsRequest::GetRoot, &opts)? {
             NfsResponse::Root(fh, _) => fh,
             NfsResponse::Err(e) => return Err(e),
             _ => return Err(FmError::Transport),
         };
         Ok(NfsClient {
-            fm,
+            shards,
             fleet,
             root,
             opts,
+            cache: None,
         })
+    }
+
+    /// Enable the client-side capability-issue cache (leased,
+    /// revocation-safe). With `registry`, the `capcache/hits`,
+    /// `capcache/misses` and `capcache/refreshes` counters register
+    /// there; otherwise they are private to [`Self::cap_cache_stats`].
+    pub fn enable_cap_cache(&mut self, capacity: usize, registry: Option<&Registry>) {
+        self.cache = Some(CapCache::new(capacity, registry));
+    }
+
+    /// Totals of the capability-issue cache (zeros when disabled).
+    #[must_use]
+    pub fn cap_cache_stats(&self) -> CapCacheStats {
+        self.cache.as_ref().map(CapCache::stats).unwrap_or_default()
+    }
+
+    /// Which shard serves requests keyed on `fh`.
+    fn shard_of(&self, fh: FileHandle) -> usize {
+        shard_index(
+            route_hash(fh.drive, fh.partition, fh.object),
+            self.shards.len(),
+        )
+    }
+
+    /// Routing key per request: namespace operations route by the
+    /// directory they mutate/read, by-handle operations by the file
+    /// handle, renames by the source directory (the stripe locks, not
+    /// routing, serialize the destination).
+    fn route(&self, req: &NfsRequest) -> usize {
+        match req {
+            NfsRequest::GetRoot => 0,
+            NfsRequest::Lookup { dir, .. }
+            | NfsRequest::Create { dir, .. }
+            | NfsRequest::Mkdir { dir, .. }
+            | NfsRequest::Remove { dir, .. }
+            | NfsRequest::Readdir { dir } => self.shard_of(*dir),
+            NfsRequest::GetAttr { fh } | NfsRequest::SetMode { fh, .. } => self.shard_of(*fh),
+            NfsRequest::Rename { from_dir, .. } => self.shard_of(*from_dir),
+        }
     }
 
     /// The root directory handle.
@@ -541,7 +782,13 @@ impl NfsClient {
     }
 
     fn call(&self, req: NfsRequest) -> Result<NfsResponse, FmError> {
-        match self.fm.call_with(req, &self.opts) {
+        let shard = self.route(&req);
+        let ch = self
+            .shards
+            .get(shard)
+            .or_else(|| self.shards.first())
+            .ok_or(FmError::Transport)?;
+        match ch.call_with(req, &self.opts) {
             Ok(NfsResponse::Err(e)) => Err(e),
             Ok(other) => Ok(other),
             Err(RpcError::TimedOut) => Err(FmError::Unavailable {
@@ -560,21 +807,40 @@ impl NfsClient {
     pub fn walk_dir(&self, path: &str) -> Result<FileHandle, FmError> {
         let mut cur = self.root;
         for comp in path.split('/').filter(|c| !c.is_empty()) {
-            match self.call(NfsRequest::Lookup {
-                dir: cur,
-                name: comp.to_string(),
-                want_write: false,
-            })? {
-                NfsResponse::Entry(fh, attrs, _) => {
-                    if attrs.file_type != FileType::Directory {
-                        return Err(FmError::NotADirectory(comp.to_string()));
-                    }
-                    cur = fh;
-                }
-                _ => return Err(FmError::Transport),
+            let entry = self.lookup(cur, comp, false)?;
+            if entry.attrs.file_type != FileType::Directory {
+                return Err(FmError::NotADirectory(comp.to_string()));
             }
+            cur = entry.fh;
         }
         Ok(cur)
+    }
+
+    /// One lookup, served from the capability cache when possible.
+    fn lookup(&self, dir: FileHandle, name: &str, want_write: bool) -> Result<NfsFile, FmError> {
+        if let Some(cache) = &self.cache {
+            if let Some(file) = cache.get(dir, name, want_write, self.fleet.now()) {
+                return Ok(file);
+            }
+        }
+        match self.call(NfsRequest::Lookup {
+            dir,
+            name: name.to_string(),
+            want_write,
+        })? {
+            NfsResponse::Entry(fh, attrs, cap) => {
+                let file = NfsFile {
+                    fh,
+                    attrs,
+                    cap: *cap,
+                };
+                if let Some(cache) = &self.cache {
+                    cache.put(dir, name, want_write, &file);
+                }
+                Ok(file)
+            }
+            _ => Err(FmError::Transport),
+        }
     }
 
     fn split_parent(path: &str) -> Result<(&str, &str), FmError> {
@@ -599,18 +865,7 @@ impl NfsClient {
     pub fn open(&self, path: &str, want_write: bool) -> Result<NfsFile, FmError> {
         let (parent, name) = Self::split_parent(path)?;
         let dir = self.walk_dir(parent)?;
-        match self.call(NfsRequest::Lookup {
-            dir,
-            name: name.to_string(),
-            want_write,
-        })? {
-            NfsResponse::Entry(fh, attrs, cap) => Ok(NfsFile {
-                fh,
-                attrs,
-                cap: *cap,
-            }),
-            _ => Err(FmError::Transport),
-        }
+        self.lookup(dir, name, want_write)
     }
 
     /// Create a file, returning it opened for writing.
@@ -627,17 +882,24 @@ impl NfsClient {
             mode,
             uid,
         })? {
-            NfsResponse::Created(fh, cap) => Ok(NfsFile {
-                fh,
-                attrs: FmAttrs {
-                    file_type: FileType::Regular,
-                    size: 0,
-                    mtime: 0,
-                    mode,
-                    uid,
-                },
-                cap: *cap,
-            }),
+            NfsResponse::Created(fh, cap) => {
+                let file = NfsFile {
+                    fh,
+                    attrs: FmAttrs {
+                        file_type: FileType::Regular,
+                        size: 0,
+                        mtime: 0,
+                        mode,
+                        uid,
+                    },
+                    cap: *cap,
+                };
+                if let Some(cache) = &self.cache {
+                    // The create capability has write rights.
+                    cache.put(dir, name, true, &file);
+                }
+                Ok(file)
+            }
             _ => Err(FmError::Transport),
         }
     }
@@ -673,7 +935,12 @@ impl NfsClient {
             dir,
             name: name.to_string(),
         })? {
-            NfsResponse::Ok => Ok(()),
+            NfsResponse::Ok => {
+                if let Some(cache) = &self.cache {
+                    cache.purge_name(dir, name);
+                }
+                Ok(())
+            }
             _ => Err(FmError::Transport),
         }
     }
@@ -694,7 +961,13 @@ impl NfsClient {
             to_dir,
             to: to.to_string(),
         })? {
-            NfsResponse::Ok => Ok(()),
+            NfsResponse::Ok => {
+                if let Some(cache) = &self.cache {
+                    cache.purge_name(from_dir, from);
+                    cache.purge_name(to_dir, to);
+                }
+                Ok(())
+            }
             _ => Err(FmError::Transport),
         }
     }
@@ -780,6 +1053,13 @@ impl NfsClient {
     /// Re-fetch the capability after revocation or expiry. NFS's
     /// stateless design makes this just another lookup.
     fn refresh(&self, file: &mut NfsFile, want_write: bool) -> Result<(), FmError> {
+        if let Some(cache) = &self.cache {
+            // The cached capability was rejected by a drive (revocation
+            // or expiry): count the refresh and purge every cached
+            // entry resolving to this handle so the next open re-issues.
+            cache.refreshes.inc();
+            cache.purge_handle(file.fh);
+        }
         // A lookup needs the parent directory; NFS handles are stateless
         // so the client re-walks from the root. We retain the path-free
         // approach by asking the manager for a fresh capability via a
@@ -968,6 +1248,149 @@ mod tests {
             client.rename("/b/moved", "/b/taken"),
             Err(FmError::Exists(_))
         ));
+    }
+
+    fn setup_sharded(ndrives: usize, nshards: usize) -> (NfsClient, Arc<DriveFleet>) {
+        use crate::connect::FmConnect;
+        use nasd_net::Connector;
+        let fleet = Arc::new(
+            DriveFleet::spawn_memory(ndrives, DriveConfig::small(), PartitionId(1), 16 << 20)
+                .unwrap(),
+        );
+        let fm = NasdNfs::new(Arc::clone(&fleet)).unwrap();
+        // Dropping the handles detaches the service loops; they exit
+        // when the client's channels drop.
+        let (rpcs, _handles) = fm.spawn_sharded(nshards);
+        let client = Connector::new()
+            .nfs_sharded(rpcs, Arc::clone(&fleet))
+            .unwrap();
+        (client, fleet)
+    }
+
+    #[test]
+    fn sharded_fm_serves_the_full_namespace() {
+        let (client, _fleet) = setup_sharded(3, 4);
+        client.mkdir("/a", 0o755, 0).unwrap();
+        client.mkdir("/b", 0o755, 0).unwrap();
+        for i in 0..12 {
+            let mut f = client.create(&format!("/a/f{i}"), 0o644, 0).unwrap();
+            client
+                .write(&mut f, 0, format!("body {i}").as_bytes())
+                .unwrap();
+        }
+        // Reads route to whichever shard owns each handle; all data is
+        // visible regardless.
+        for i in 0..12 {
+            let mut f = client.open(&format!("/a/f{i}"), false).unwrap();
+            assert_eq!(
+                client.read(&mut f, 0, 16).unwrap(),
+                format!("body {i}").as_bytes()
+            );
+        }
+        // Cross-directory rename exercises the paired stripe locks.
+        client.rename("/a/f0", "/b/moved").unwrap();
+        assert!(client.open("/b/moved", false).is_ok());
+        assert!(matches!(
+            client.open("/a/f0", false),
+            Err(FmError::NotFound(_))
+        ));
+        assert_eq!(client.readdir("/a").unwrap().len(), 11);
+    }
+
+    #[test]
+    fn concurrent_creates_across_shards_never_corrupt_a_directory() {
+        let (client, fleet) = setup_sharded(4, 4);
+        client.mkdir("/shared", 0o755, 0).unwrap();
+        let client = Arc::new(client);
+        let mut threads = Vec::new();
+        for t in 0..4u32 {
+            let client = Arc::clone(&client);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..8u32 {
+                    client
+                        .create(&format!("/shared/t{t}-{i}"), 0o644, t)
+                        .unwrap();
+                }
+            }));
+        }
+        for th in threads {
+            th.join().expect("create thread panicked");
+        }
+        let names: std::collections::HashSet<String> = client
+            .readdir("/shared")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names.len(), 32, "lost directory entries: {names:?}");
+        drop(fleet);
+    }
+
+    #[test]
+    fn cap_cache_serves_repeat_opens_without_fm_calls() {
+        let (client, _fleet) = setup_sharded(2, 2);
+        let mut f = client.create("/hot", 0o644, 0).unwrap();
+        client.write(&mut f, 0, b"popular").unwrap();
+
+        let before = client.cap_cache_stats();
+        let mut a = client.open("/hot", false).unwrap();
+        let mid = client.cap_cache_stats();
+        let mut b = client.open("/hot", false).unwrap();
+        let after = client.cap_cache_stats();
+
+        assert_eq!(mid.misses, before.misses + 1, "first open is a miss");
+        assert_eq!(after.hits, mid.hits + 1, "second open is a hit");
+        assert_eq!(after.misses, mid.misses, "second open made no FM call");
+        // Both files work against the drive.
+        assert_eq!(client.read(&mut a, 0, 7).unwrap(), b"popular");
+        assert_eq!(client.read(&mut b, 0, 7).unwrap(), b"popular");
+    }
+
+    #[test]
+    fn cap_cache_revocation_refreshes_exactly_once_and_counts() {
+        use nasd_obs::Registry;
+        let (mut client, _fleet) = setup_sharded(2, 2);
+        let registry = Registry::new();
+        client.enable_cap_cache(1024, Some(&registry));
+
+        let mut f = client.create("/policy", 0o644, 0).unwrap();
+        client.write(&mut f, 0, b"v1").unwrap();
+        // Prime the cache.
+        let mut cached = client.open("/policy", false).unwrap();
+        assert_eq!(client.cap_cache_stats().misses, 1);
+
+        // FM revokes: version bump makes every outstanding (and cached)
+        // capability stale at the drive.
+        match client.call(NfsRequest::SetMode {
+            fh: f.fh,
+            mode: 0o600,
+        }) {
+            Ok(NfsResponse::Ok) => {}
+            other => panic!("setmode failed: {other:?}"),
+        }
+
+        // The drive rejects the cached cap; the client refreshes exactly
+        // once and the read succeeds.
+        assert_eq!(client.read(&mut cached, 0, 2).unwrap(), b"v1");
+        let stats = client.cap_cache_stats();
+        assert_eq!(stats.refreshes, 1, "exactly one refresh after revocation");
+        assert_eq!(
+            registry.counter("capcache/refreshes").value(),
+            1,
+            "obs counter did not move"
+        );
+
+        // A second read uses the refreshed capability: no further
+        // refresh.
+        assert_eq!(client.read(&mut cached, 0, 2).unwrap(), b"v1");
+        assert_eq!(client.cap_cache_stats().refreshes, 1);
+
+        // The stale cache entry for the path was purged: the next open
+        // is a miss (fresh capability), not a poisoned hit.
+        let misses_before = client.cap_cache_stats().misses;
+        let mut reopened = client.open("/policy", false).unwrap();
+        assert_eq!(client.cap_cache_stats().misses, misses_before + 1);
+        assert_eq!(client.read(&mut reopened, 0, 2).unwrap(), b"v1");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::{crate_of, RawFinding, Source};
 /// carries an explicit suppression.
 pub(crate) const D1_CRATES: &[&str] = &[
     "sim", "disk", "object", "proto", "cheops", "fm", "pfs", "net", "obs", "mgmt", "dedup",
+    "workload",
 ];
 
 /// Request-path modules that must return `NasdStatus` errors rather than

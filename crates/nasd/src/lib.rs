@@ -27,6 +27,7 @@
 //! | [`active`] | Active Disks: on-drive functions |
 //! | [`cost`] | Figure 4 server-cost and Figure 3 ASIC models |
 //! | [`dedup`] | content-addressed chunk store, backup/restore, prune and GC |
+//! | [`workload`] | seeded zipf / open- and closed-loop workload generation |
 //!
 //! # Quickstart
 //!
@@ -65,3 +66,4 @@ pub use nasd_obs as obs;
 pub use nasd_pfs as pfs;
 pub use nasd_proto as proto;
 pub use nasd_sim as sim;
+pub use nasd_workload as workload;

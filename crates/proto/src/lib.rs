@@ -33,6 +33,7 @@ mod capability;
 mod ids;
 mod message;
 mod rights;
+mod route;
 mod status;
 pub mod wire;
 
@@ -43,4 +44,5 @@ pub use capability::{
 pub use ids::{ByteRange, DriveId, Nonce, ObjectId, PartitionId, Version};
 pub use message::{Reply, ReplyBody, Request, RequestBody, WELL_KNOWN_OBJECT_LIST};
 pub use rights::Rights;
+pub use route::{route_hash, shard_index};
 pub use status::{NasdStatus, RetryClass};

@@ -1,0 +1,302 @@
+//! The previous kernel: a single global `BinaryHeap` event loop.
+//!
+//! Kept verbatim (minus the alloc accounting, which belongs to the real
+//! kernel) as [`HeapSimulator`] for two jobs:
+//!
+//! * the `perf` bench's old-vs-new dispatch rows, which show the
+//!   calendar queue's amortized-O(1) advantage at 10³/10⁵ pending
+//!   events;
+//! * the equivalence property suite (`crates/sim/tests/equivalence.rs`),
+//!   which replays identical schedule/cancel scripts against both
+//!   kernels and asserts byte-identical execution traces.
+//!
+//! Every schedule and pop here pays an O(log n) sift against the whole
+//! pending set — the cost the calendar queue removes. Do not use this in
+//! new code; it exists to be measured against.
+
+use nasd_obs::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Identifier of an event scheduled on a [`HeapSimulator`].
+///
+/// Generation-tagged exactly like [`crate::EventId`], but a distinct
+/// type: ids from one kernel are meaningless on the other.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HeapEventId {
+    slot: u32,
+    gen: u32,
+}
+
+type EventFn = Box<dyn FnOnce(&mut HeapSimulator)>;
+
+/// One slab slot: the closure of the event currently occupying it (if
+/// any) and the generation that heap entries / ids must match.
+struct Slot {
+    gen: u32,
+    run: Option<EventFn>,
+}
+
+/// What the heap actually orders: 24 bytes, `Copy`, no drop glue.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+    gen: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. The sequence number breaks ties deterministically in
+        // schedule order.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The pre-calendar-queue simulator: one global binary heap.
+///
+/// Same API and semantics as [`crate::Simulator`] (deterministic
+/// `(time, seq)` order, generation-tagged cancel, monotonic
+/// `run_until`); only the scheduling data structure differs.
+pub struct HeapSimulator {
+    now: SimTime,
+    heap: BinaryHeap<HeapEntry>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    next_seq: u64,
+    events_run: u64,
+}
+
+impl fmt::Debug for HeapSimulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HeapSimulator")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("events_run", &self.events_run)
+            .finish()
+    }
+}
+
+impl Default for HeapSimulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeapSimulator {
+    /// Create a simulator at time zero with no pending events.
+    #[must_use]
+    pub fn new() -> Self {
+        HeapSimulator {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            events_run: 0,
+        }
+    }
+
+    /// Create a simulator pre-sized for `events` concurrently pending
+    /// events.
+    #[must_use]
+    pub fn with_capacity(events: usize) -> Self {
+        HeapSimulator {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::with_capacity(events),
+            slots: Vec::with_capacity(events),
+            free: Vec::with_capacity(events),
+            next_seq: 0,
+            events_run: 0,
+        }
+    }
+
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[must_use]
+    pub fn events_run(&self) -> u64 {
+        self.events_run
+    }
+
+    /// Number of events still pending (including cancelled ones not yet
+    /// reaped).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether `entry` still refers to a live (scheduled, uncancelled,
+    /// unrun) event.
+    fn is_live(&self, entry: HeapEntry) -> bool {
+        self.slots
+            .get(entry.slot as usize)
+            .is_some_and(|s| s.gen == entry.gen && s.run.is_some())
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, event: F) -> HeapEventId
+    where
+        F: FnOnce(&mut HeapSimulator) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(Slot { gen: 0, run: None });
+                u32::try_from(self.slots.len() - 1).expect("more than u32::MAX live events")
+            }
+        };
+        let gen = {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(s.run.is_none(), "free-list slot still occupied");
+            s.run = Some(Box::new(event));
+            s.gen
+        };
+        self.heap.push(HeapEntry {
+            at,
+            seq: self.next_seq,
+            slot,
+            gen,
+        });
+        self.next_seq += 1;
+        HeapEventId { slot, gen }
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, event: F) -> HeapEventId
+    where
+        F: FnOnce(&mut HeapSimulator) + 'static,
+    {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancel a pending event. Cancelling an already-run or already-
+    /// cancelled event is a no-op.
+    pub fn cancel(&mut self, id: HeapEventId) {
+        if let Some(s) = self.slots.get_mut(id.slot as usize) {
+            if s.gen == id.gen && s.run.take().is_some() {
+                s.gen = s.gen.wrapping_add(1);
+                self.free.push(id.slot);
+            }
+        }
+    }
+
+    /// Drop stale (cancelled) entries sitting at the head of the queue.
+    fn reap_stale(&mut self) {
+        while let Some(&top) = self.heap.peek() {
+            if self.is_live(top) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Run a single event if any is pending. Returns `false` when the
+    /// event queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.reap_stale();
+        if let Some(top) = self.heap.pop() {
+            debug_assert!(top.at >= self.now, "event queue went backwards");
+            self.now = top.at;
+            self.events_run += 1;
+            let run = {
+                let s = &mut self.slots[top.slot as usize];
+                let run = s.run.take().expect("live event closure present");
+                s.gen = s.gen.wrapping_add(1);
+                run
+            };
+            self.free.push(top.slot);
+            run(self);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Run until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue is empty or the clock passes `deadline`,
+    /// whichever comes first (same semantics as
+    /// [`crate::Simulator::run_until`]).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            self.reap_stale();
+            match self.heap.peek() {
+                Some(ev) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn baseline_runs_in_time_order_with_ties_in_schedule_order() {
+        let mut sim = HeapSimulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (i, t) in [5u64, 1, 3, 3, 4].into_iter().enumerate() {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_millis(t), move |_| {
+                log.borrow_mut().push((t, i));
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![(1, 1), (3, 2), (3, 3), (4, 4), (5, 0)]);
+    }
+
+    #[test]
+    fn baseline_cancel_and_run_until_match_kernel_semantics() {
+        let mut sim = HeapSimulator::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = hits.clone();
+        let id = sim.schedule_at(SimTime::from_millis(1), move |_| *h.borrow_mut() += 1);
+        let h = hits.clone();
+        sim.schedule_at(SimTime::from_millis(100), move |_| *h.borrow_mut() += 10);
+        sim.cancel(id);
+        sim.run_until(SimTime::from_millis(50));
+        assert_eq!(*hits.borrow(), 0);
+        assert_eq!(sim.now(), SimTime::from_millis(50));
+        sim.run();
+        assert_eq!(*hits.borrow(), 10);
+    }
+}

@@ -10,7 +10,11 @@
 //!
 //! Events are ordered by `(time, sequence)` so identical runs replay
 //! byte-for-byte; all experiment randomness comes from seeded PRNGs
-//! upstream.
+//! upstream. Scheduling uses a hierarchical calendar queue (timer wheel
+//! plus overflow heap — see the module docs in `kernel.rs`) so dispatch
+//! stays amortized O(1) with 10⁵–10⁶ events pending; the previous
+//! single-`BinaryHeap` kernel is preserved as
+//! [`baseline::HeapSimulator`] for benchmarking and equivalence tests.
 //!
 //! # Example
 //!
@@ -32,10 +36,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 mod kernel;
 mod resource;
 
-pub use kernel::{EventId, Simulator};
+pub use kernel::{EventId, Simulator, WheelParams};
 pub use resource::{BandwidthShare, CpuModel, FifoResource, LinkModel};
 // `SimTime` and the single-owner accounting helpers moved to `nasd-obs`
 // (the observability layer sits below the kernel so metrics can be keyed

@@ -1,0 +1,109 @@
+//! Zipf-distributed object popularity.
+
+use rand::{Rng, StdRng};
+
+/// Zipf(θ) sampler over ranks `0..n`.
+///
+/// Rank `i` is drawn with probability proportional to `1/(i+1)^θ`, so
+/// rank 0 is the hottest object and the tail falls off polynomially.
+/// θ = 0 degenerates to uniform; θ ≈ 0.99 is the classic "web-like"
+/// skew used throughout the storage literature (and by YCSB).
+///
+/// The sampler precomputes the cumulative distribution once at
+/// construction (O(n) space) and draws by binary search (O(log n) per
+/// sample, no allocation), which keeps million-object configurations
+/// cheap enough for the scale bench's request streams.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// `cdf[i]` = P(rank <= i); last entry is exactly 1.0.
+    cdf: Vec<f64>,
+    theta: f64,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with skew `theta >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over an empty rank set");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "zipf skew must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(total);
+        }
+        // Normalise; pin the last entry to exactly 1.0 so a draw of
+        // u -> 1.0 can never fall off the end.
+        for p in cdf.iter_mut() {
+            *p /= total;
+        }
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf, theta }
+    }
+
+    /// Number of ranks the sampler draws from.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has exactly one rank (it never has zero).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The skew parameter this sampler was built with.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw a rank in `0..len()`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        // First index whose cumulative probability covers u.
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass assigned to `rank`.
+    pub fn mass(&self, rank: usize) -> f64 {
+        let hi = self.cdf[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        for rank in 0..4 {
+            assert!((z.mass(rank) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn covers_every_rank_eventually() {
+        let z = Zipf::new(8, 0.9);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "seen = {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rank set")]
+    fn rejects_zero_ranks() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

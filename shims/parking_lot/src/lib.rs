@@ -7,7 +7,11 @@
 
 #![forbid(unsafe_code)]
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self, RwLockReadGuard, RwLockWriteGuard};
+
+// Guard types are std's own (the real parking_lot defines its own
+// guards; for API compatibility only the names need to exist here).
+pub use std::sync::MutexGuard;
 
 /// Poison-free mutex with parking_lot's `lock()` signature.
 #[derive(Default, Debug)]
